@@ -1,0 +1,31 @@
+# PolyUFC build and verification targets.
+
+GO ?= go
+
+.PHONY: all build vet test bench experiments fmt cover
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper table/figure (test-size inputs; set
+# POLYUFC_BENCH_SIZE=bench for evaluation shapes).
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate every table and figure at evaluation size.
+experiments:
+	$(GO) run ./cmd/polyufc-bench -exp all -size bench
+
+fmt:
+	gofmt -w .
+
+cover:
+	$(GO) test -cover ./internal/...

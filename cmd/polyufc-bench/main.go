@@ -1,0 +1,49 @@
+// Command polyufc-bench regenerates the paper's tables and figures on the
+// simulated platforms: fig1, fig5, fig6, fig7, fig8, tab1-tab4, overhead,
+// dedup, or all.
+//
+// Usage:
+//
+//	polyufc-bench -exp fig7 -size bench
+//	polyufc-bench -exp all -size test
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"polyufc/internal/experiments"
+	"polyufc/internal/workloads"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment id: "+fmt.Sprint(experiments.ExperimentIDs()))
+		size = flag.String("size", "bench", "problem size class: test, bench, full")
+	)
+	flag.Parse()
+
+	var sz workloads.SizeClass
+	switch *size {
+	case "test":
+		sz = workloads.Test
+	case "bench", "":
+		sz = workloads.Bench
+	case "full":
+		sz = workloads.Full
+	default:
+		fmt.Fprintf(os.Stderr, "polyufc-bench: unknown size %q\n", *size)
+		os.Exit(2)
+	}
+
+	s, err := experiments.New(sz, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polyufc-bench:", err)
+		os.Exit(1)
+	}
+	if err := s.Run(*exp); err != nil {
+		fmt.Fprintln(os.Stderr, "polyufc-bench:", err)
+		os.Exit(1)
+	}
+}

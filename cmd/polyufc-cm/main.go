@@ -1,0 +1,140 @@
+// Command polyufc-cm inspects the PolyUFC-CM cache model for one kernel:
+// per-level hit/miss breakdown, DRAM traffic, operational intensity and
+// CB/BB characterization, optionally validated against the exact
+// trace-driven cache simulator.
+//
+// Usage:
+//
+//	polyufc-cm -kernel gemm -arch bdw -validate
+//	polyufc-cm -kernel mvt -arch rpl -fully-assoc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"polyufc/internal/cachemodel"
+	"polyufc/internal/hw"
+	"polyufc/internal/ir"
+	"polyufc/internal/pluto"
+	"polyufc/internal/roofline"
+	"polyufc/internal/scop"
+	"polyufc/internal/workloads"
+)
+
+func main() {
+	var (
+		kernel     = flag.String("kernel", "", "kernel name (see polyufc -list)")
+		arch       = flag.String("arch", "bdw", "platform: bdw or rpl")
+		size       = flag.String("size", "test", "size class: test, bench, full")
+		fullyAssoc = flag.Bool("fully-assoc", false, "use the fully-associative model (Fig. 8 ablation)")
+		noTile     = flag.Bool("no-tile", false, "skip Pluto tiling")
+		validate   = flag.Bool("validate", false, "run the exact cache simulator for comparison")
+		dumpScop   = flag.Bool("scop", false, "dump each nest's OpenSCoP-style JSON instead of analyzing")
+	)
+	flag.Parse()
+	if *kernel == "" {
+		fmt.Fprintln(os.Stderr, "polyufc-cm: -kernel is required")
+		os.Exit(2)
+	}
+	if err := run(*kernel, *arch, *size, *fullyAssoc, *noTile, *validate, *dumpScop); err != nil {
+		fmt.Fprintln(os.Stderr, "polyufc-cm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kernel, arch, size string, fullyAssoc, noTile, validate, dumpScop bool) error {
+	p := hw.PlatformByName(arch)
+	if p == nil {
+		return fmt.Errorf("unknown platform %q", arch)
+	}
+	var sz workloads.SizeClass
+	switch size {
+	case "test", "":
+		sz = workloads.Test
+	case "bench":
+		sz = workloads.Bench
+	case "full":
+		sz = workloads.Full
+	default:
+		return fmt.Errorf("unknown size %q", size)
+	}
+	k, err := workloads.ByName(kernel)
+	if err != nil {
+		return err
+	}
+	mod, err := k.BuildAffine(sz)
+	if err != nil {
+		return err
+	}
+	consts, err := roofline.Calibrate(hw.NewMachine(p))
+	if err != nil {
+		return err
+	}
+
+	opts := cachemodel.DefaultOptions()
+	opts.FullyAssoc = fullyAssoc
+
+	for _, f := range mod.Funcs {
+		for _, op := range f.Ops {
+			nest, ok := op.(*ir.Nest)
+			if !ok {
+				continue
+			}
+			if !noTile {
+				res, err := pluto.Optimize(nest, pluto.DefaultOptions())
+				if err != nil {
+					return err
+				}
+				nest = res.Nest
+			}
+			if dumpScop {
+				sc, err := scop.Export(nest)
+				if err != nil {
+					return err
+				}
+				data, err := sc.Marshal()
+				if err != nil {
+					return err
+				}
+				fmt.Println(string(data))
+				continue
+			}
+			cmOpts := opts
+			if nest.Root != nil && nest.Root.Parallel {
+				cmOpts.Threads = p.Threads
+			}
+			cm, err := cachemodel.Analyze(nest, p.Cache, cmOpts)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== %s (%s, %s model) ==\n", nest.Label, p.Name,
+				assocName(fullyAssoc))
+			fmt.Printf("   flops %d, loads %d, stores %d, instances %d\n",
+				cm.Flops, cm.Loads, cm.Stores, cm.Instances)
+			for _, lv := range cm.Levels {
+				fmt.Printf("   %-4s accesses %12d  cold %10d  cap/conf %10d  miss-ratio %.4f  fit-window %d\n",
+					lv.Name, lv.Accesses, lv.ColdMisses, lv.CapConfMisses, lv.MissRatio, lv.FitWindow)
+			}
+			fmt.Printf("   Q_DRAM %d B (x%d threads), OI %.3f FpB -> %s (balance %.1f)\n",
+				cm.QDRAM, cm.ThreadsDiv, cm.OI, consts.Classify(cm.OI), consts.BtDRAM)
+			if validate {
+				prof, err := hw.ProfileNest(nest, p.Cache)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("   simulator (serial): LLC misses %d vs model %d x%d, DRAM reads %d B\n",
+					prof.LLCMisses, cm.LLC().Misses, cm.ThreadsDiv, prof.DRAMReadB)
+			}
+		}
+	}
+	return nil
+}
+
+func assocName(fa bool) string {
+	if fa {
+		return "fully-associative"
+	}
+	return "set-associative"
+}

@@ -1,0 +1,187 @@
+// Command polyufc is the PolyUFC compiler driver: it builds a kernel from
+// the workload registry (or all of them), runs the full compilation flow —
+// lowering, Pluto tiling, PolyUFC-CM cache analysis, roofline
+// characterization, PolyUFC-SEARCH — and reports the selected uncore
+// frequency caps together with the model's predictions.
+//
+// Usage:
+//
+//	polyufc -kernel gemm -arch rpl -objective edp
+//	polyufc -kernel sdpa-bert -arch bdw -cap-level torch -print-ir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"polyufc/internal/core"
+	"polyufc/internal/frontend"
+	"polyufc/internal/hw"
+	"polyufc/internal/ir"
+	"polyufc/internal/roofline"
+	"polyufc/internal/search"
+	"polyufc/internal/workloads"
+)
+
+func main() {
+	var (
+		kernel    = flag.String("kernel", "", "kernel name from the registry (see -list)")
+		file      = flag.String("file", "", "compile an affine kernel source file instead of a registry kernel")
+		arch      = flag.String("arch", "rpl", "platform: bdw or rpl")
+		objective = flag.String("objective", "edp", "objective: edp, energy, performance")
+		size      = flag.String("size", "bench", "problem size class: test, bench, full")
+		capLevel  = flag.String("cap-level", "linalg", "cap granularity: torch, linalg, affine")
+		epsilon   = flag.Float64("epsilon", 1e-3, "search threshold epsilon (Sec. VI-C)")
+		printIR   = flag.Bool("print-ir", false, "print the transformed module")
+		measure   = flag.Bool("measure", false, "execute baseline and capped program on the simulated machine")
+		list      = flag.Bool("list", false, "list available kernels and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-18s %-10s %-12s %s\n", "kernel", "suite", "category", "paper size")
+		for _, k := range workloads.All() {
+			fmt.Printf("%-18s %-10s %-12s %s\n", k.Name, k.Suite, k.Category, k.PaperSize)
+		}
+		return
+	}
+	if *kernel == "" && *file == "" {
+		fmt.Fprintln(os.Stderr, "polyufc: -kernel or -file is required (use -list to see registry kernels)")
+		os.Exit(2)
+	}
+	if err := run(*kernel, *file, *arch, *objective, *size, *capLevel, *epsilon, *printIR, *measure); err != nil {
+		fmt.Fprintln(os.Stderr, "polyufc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kernel, file, arch, objective, size, capLevel string, epsilon float64, printIR, measure bool) error {
+	p := hw.PlatformByName(arch)
+	if p == nil {
+		return fmt.Errorf("unknown platform %q (want bdw or rpl)", arch)
+	}
+	obj, ok := search.ParseObjective(objective)
+	if !ok {
+		return fmt.Errorf("unknown objective %q", objective)
+	}
+	var sz workloads.SizeClass
+	switch size {
+	case "test":
+		sz = workloads.Test
+	case "bench", "":
+		sz = workloads.Bench
+	case "full":
+		sz = workloads.Full
+	default:
+		return fmt.Errorf("unknown size class %q", size)
+	}
+	var lvl ir.Dialect
+	switch capLevel {
+	case "torch":
+		lvl = ir.DialectTorch
+	case "linalg", "":
+		lvl = ir.DialectLinalg
+	case "affine":
+		lvl = ir.DialectAffine
+	default:
+		return fmt.Errorf("unknown cap level %q", capLevel)
+	}
+
+	var mod *ir.Module
+	if file != "" {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		mod, err = frontend.Parse(strings.TrimSuffix(filepath.Base(file), filepath.Ext(file)), string(src))
+		if err != nil {
+			return err
+		}
+		kernel = file
+	} else {
+		k, err := workloads.ByName(kernel)
+		if err != nil {
+			return err
+		}
+		mod, err = k.Build(sz)
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("calibrating rooflines for %s (one-time microbenchmarks)...\n", p.Name)
+	consts, err := roofline.Calibrate(hw.NewMachine(p))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  compute roof %.1f GF/s, memory roof %.1f GB/s, balance %.1f FpB\n",
+		consts.PeakGFlops, consts.PeakGBs, consts.BtDRAM)
+
+	cfg := core.DefaultConfig(p, consts)
+	cfg.Search.Objective = obj
+	cfg.Search.Epsilon = epsilon
+	cfg.CapLevel = lvl
+
+	res, err := core.Compile(mod, cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%s on %s (%s objective, %s-level caps, %s size)\n",
+		kernel, p.Name, obj, lvl, sz)
+	fmt.Printf("%-28s %8s %4s %6s %7s | predicted vs default-f\n",
+		"nest", "OI(FpB)", "cls", "tiled", "cap")
+	for _, r := range res.Reports {
+		dT := 100 * (1 - r.Est.Seconds/r.EstDefault.Seconds)
+		dE := 100 * (1 - r.Est.Joules/r.EstDefault.Joules)
+		dEDP := 100 * (1 - r.Est.EDP/r.EstDefault.EDP)
+		fmt.Printf("%-28s %8.2f %4s %6v %5.1fG | time %+5.1f%% energy %+5.1f%% EDP %+5.1f%%\n",
+			r.Label, r.OI, r.Class, r.Tiled, r.CapGHz, dT, dE, dEDP)
+	}
+	fmt.Printf("\ncompile time: preprocess %v, pluto %v, polyufc-cm %v, steps4-6 %v\n",
+		res.Timings.Preprocess, res.Timings.Pluto, res.Timings.CM, res.Timings.Steps46)
+	finalCaps := 0
+	for _, op := range res.Module.Funcs[0].Ops {
+		if _, ok := op.(*ir.SetUncoreCap); ok {
+			finalCaps++
+		}
+	}
+	fmt.Printf("caps in module: %d (inserted %d, removed/merged %d)\n",
+		finalCaps, res.CapsInserted, res.CapsRemoved)
+
+	if printIR {
+		fmt.Println("\n--- transformed module ---")
+		fmt.Print(res.Module.Print())
+	}
+
+	if measure {
+		m := hw.NewMachine(p)
+		m.SetUncoreCap(p.UncoreMax)
+		var base hw.RunResult
+		for _, op := range res.Module.Funcs[0].Ops {
+			if nest, ok := op.(*ir.Nest); ok {
+				r, err := m.RunNest(nest)
+				if err != nil {
+					return err
+				}
+				base.Seconds += r.Seconds
+				base.PkgJoules += r.PkgJoules
+			}
+		}
+		base.EDP = base.PkgJoules * base.Seconds
+		capped, err := m.RunFunc(res.Module.Funcs[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nmeasured on the simulated %s:\n", p.Name)
+		fmt.Printf("  baseline (uncore %.1f GHz): %.4f ms, %.4f J, EDP %.4g\n",
+			p.UncoreMax, base.Seconds*1e3, base.PkgJoules, base.EDP)
+		fmt.Printf("  polyufc capped:            %.4f ms, %.4f J, EDP %.4g (%+.1f%%)\n",
+			capped.Seconds*1e3, capped.PkgJoules, capped.EDP,
+			100*(1-capped.EDP/base.EDP))
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package polyufc is a from-scratch Go reproduction of "PolyUFC:
+// Polyhedral Compilation Meets Roofline Analysis for Uncore Frequency
+// Capping" (CGO 2026): an MLIR-style compilation flow that statically
+// computes operational intensity with a polyhedral cache model
+// (PolyUFC-CM), characterizes affine kernels against calibrated
+// performance and power rooflines, and selects per-kernel uncore frequency
+// caps that improve energy-delay product over the default uncore driver.
+//
+// The implementation and its simulated hardware substrate live under
+// internal/; the binaries under cmd/ (polyufc, polyufc-bench, polyufc-cm)
+// and the runnable examples under examples/ are the public surface. See
+// README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-reproduction results.
+package polyufc

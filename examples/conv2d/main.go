@@ -1,0 +1,48 @@
+// conv2d: the vision workloads of Table II (AlexNet, ConvNeXt, WideResNet
+// shapes) compiled and capped on both microarchitectures — the
+// compute-bound story of the paper: near-flat time across the uncore
+// range, so low caps save energy.
+//
+//	go run ./examples/conv2d
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"polyufc/internal/core"
+	"polyufc/internal/hw"
+	"polyufc/internal/roofline"
+	"polyufc/internal/workloads"
+)
+
+func main() {
+	kernels := []string{"conv2d-alexnet", "conv2d-convnext", "conv2d-wideresnet"}
+	for _, plat := range hw.Platforms() {
+		consts, err := roofline.Calibrate(hw.NewMachine(plat))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s (%s) ==\n", plat.Name, plat.CPU)
+		for _, name := range kernels {
+			k, err := workloads.ByName(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mod, err := k.Build(workloads.Test)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := core.Compile(mod, core.DefaultConfig(plat, consts))
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, r := range res.Reports {
+				fmt.Printf("  %-22s OI %7.1f FpB  %s  cap %.1f GHz  predicted EDP %+5.1f%%\n",
+					name, r.OI, r.Class, r.CapGHz,
+					100*(1-r.Est.EDP/r.EstDefault.EDP))
+			}
+		}
+	}
+	fmt.Println("\n(problem sizes: test class; use the polyufc CLI with -size bench/full for Table-II shapes)")
+}

@@ -1,0 +1,63 @@
+// polybench_sweep runs a PolyBench subset through the full flow on both
+// platforms and compares measured time/energy/EDP against the Pluto +
+// default-UFS baseline — a compact version of the paper's Fig. 7.
+//
+//	go run ./examples/polybench_sweep            # bench-size subset
+//	go run ./examples/polybench_sweep -size bench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"polyufc/internal/experiments"
+	"polyufc/internal/workloads"
+)
+
+func main() {
+	var (
+		size = flag.String("size", "bench", "problem size class: test, bench, full")
+		all  = flag.Bool("all", false, "run the whole PolyBench suite (slow at bench size)")
+	)
+	flag.Parse()
+
+	var sz workloads.SizeClass
+	switch *size {
+	case "test":
+		sz = workloads.Test
+	case "bench":
+		sz = workloads.Bench
+	case "full":
+		sz = workloads.Full
+	default:
+		log.Fatalf("unknown size %q", *size)
+	}
+
+	s, err := experiments.New(sz, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := []string{"gemm", "2mm", "mvt", "gemver", "atax", "jacobi-1d"}
+	if *all {
+		names = names[:0]
+		for _, k := range workloads.PolyBench() {
+			names = append(names, k.Name)
+		}
+	}
+	for _, p := range s.Platforms() {
+		rows, err := s.Fig7(p, names)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s ==\n", p.Name)
+		fmt.Printf("%-14s %4s %8s | %7s %8s %7s\n", "kernel", "cls", "cap GHz", "time%", "energy%", "EDP%")
+		for _, r := range rows {
+			fmt.Printf("%-14s %4s %8.1f | %+6.1f  %+6.1f  %+6.1f\n",
+				r.Kernel, r.Class, r.CapGHz,
+				100*r.TimeGain, 100*r.EnergyGain, 100*r.EDPGain)
+		}
+		fmt.Printf("geomean EDP improvement: %+.1f%%\n\n", 100*experiments.GeomeanEDPGain(rows))
+	}
+}

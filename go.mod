@@ -1,0 +1,3 @@
+module polyufc
+
+go 1.22

@@ -1,0 +1,417 @@
+package cachemodel
+
+import (
+	"fmt"
+
+	"polyufc/internal/cachesim"
+	"polyufc/internal/ir"
+)
+
+// Options configures a PolyUFC-CM analysis.
+type Options struct {
+	// Threads applies the paper's OpenMP sharing heuristic: sequential
+	// miss counts are divided by the thread count. 0 or 1 means serial.
+	Threads int
+	// FullyAssoc switches every level to the fully-associative model (the
+	// Fig. 8 ablation): capacity is tested against total lines instead of
+	// per-set occupancy.
+	FullyAssoc bool
+	// Dedup eliminates duplicate access functions (same array, same index
+	// expressions) before footprint and reuse computation, the paper's
+	// footnote-17 optimization. Defaults to on via DefaultOptions.
+	Dedup bool
+	// CountBudget bounds enumeration fallbacks in the polyhedral counts.
+	CountBudget int
+	// ExactBelow switches to exact trace-driven simulation for nests with
+	// at most this many statement instances (0 disables): the hybrid
+	// accuracy mode — exact where cheap, analytic where large.
+	ExactBelow int64
+}
+
+// DefaultOptions returns the standard configuration: serial, set-
+// associative, duplicate elimination on.
+func DefaultOptions() Options {
+	return Options{Threads: 1, Dedup: true, CountBudget: 1 << 22}
+}
+
+// LevelResult is the per-cache-level outcome of the analysis.
+type LevelResult struct {
+	Name          string
+	Accesses      int64
+	ColdMisses    int64
+	CapConfMisses int64
+	Misses        int64
+	MissRatio     float64
+	HitRatio      float64
+	// FitWindow is the number of innermost loops whose combined working
+	// set fits in this level (diagnostic; -1 when nothing was analyzed).
+	FitWindow int
+}
+
+// Result is the outcome of PolyUFC-CM on one nest.
+type Result struct {
+	Levels []LevelResult
+	// Flops is the paper's Omega: total arithmetic operations.
+	Flops int64
+	// Instances is the number of statement instances.
+	Instances int64
+	// Loads and Stores are dynamic access counts.
+	Loads, Stores int64
+	// QBytes is the total requested data volume (accesses x element size).
+	QBytes int64
+	// QDRAM is the LLC<->DRAM traffic in bytes: Miss_LLC x line size
+	// (Sec. IV-C). When the thread-sharing heuristic is active this is the
+	// per-thread-shared (divided) figure the paper uses for OI.
+	QDRAM int64
+	// ThreadsDiv records the divisor the thread-sharing heuristic applied
+	// to the miss counts (1 when serial): total physical DRAM traffic is
+	// QDRAM * ThreadsDiv.
+	ThreadsDiv int
+	// OI is the operational intensity Flops/QDRAM in flop/byte (Eqn. 1).
+	OI float64
+}
+
+// LLC returns the last-level result.
+func (r *Result) LLC() LevelResult { return r.Levels[len(r.Levels)-1] }
+
+// Analyze runs PolyUFC-CM over one affine nest for the given cache
+// hierarchy.
+func Analyze(nest *ir.Nest, cfg cachesim.Config, opts Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.CountBudget == 0 {
+		opts.CountBudget = 1 << 22
+	}
+	res := &Result{}
+	nLevels := len(cfg.Levels)
+	res.Levels = make([]LevelResult, nLevels)
+	for i, lc := range cfg.Levels {
+		res.Levels[i].Name = lc.Name
+		res.Levels[i].FitWindow = -1
+	}
+
+	if opts.ExactBelow > 0 {
+		if tc, err := nest.TripCount(); err == nil && tc <= opts.ExactBelow {
+			return analyzeExact(nest, cfg, opts, res)
+		}
+	}
+
+	for _, si := range nest.Statements() {
+		if err := analyzeStatement(si, cfg, opts, res); err != nil {
+			return nil, fmt.Errorf("cachemodel: statement %s: %w", si.Stmt.Name, err)
+		}
+	}
+
+	// Thread-sharing heuristic (Sec. IV-B): divide sequential miss counts
+	// by the OpenMP thread count.
+	res.ThreadsDiv = 1
+	if opts.Threads > 1 {
+		res.ThreadsDiv = opts.Threads
+	}
+	if opts.Threads > 1 {
+		t := int64(opts.Threads)
+		for i := range res.Levels {
+			res.Levels[i].ColdMisses = ceilI64(res.Levels[i].ColdMisses, t)
+			res.Levels[i].CapConfMisses = ceilI64(res.Levels[i].CapConfMisses, t)
+		}
+	}
+
+	// Access streams: level 0 sees every load and store; level i+1 sees
+	// level i's misses plus forwarded writes (write-through).
+	lineSize := cfg.Levels[0].LineSize
+	res.Levels[0].Accesses = res.Loads + res.Stores
+	for i := range res.Levels {
+		lv := &res.Levels[i]
+		lv.Misses = lv.ColdMisses + lv.CapConfMisses
+		if lv.Misses > lv.Accesses && lv.Accesses > 0 {
+			lv.Misses = lv.Accesses
+			lv.CapConfMisses = lv.Misses - lv.ColdMisses
+		}
+		if lv.Accesses > 0 {
+			lv.MissRatio = float64(lv.Misses) / float64(lv.Accesses)
+			lv.HitRatio = 1 - lv.MissRatio
+		}
+		if i+1 < nLevels {
+			res.Levels[i+1].Accesses = lv.Misses + res.Stores
+		}
+	}
+	res.QDRAM = res.LLC().Misses * lineSize
+	if res.QDRAM > 0 {
+		res.OI = float64(res.Flops) / float64(res.QDRAM)
+	}
+	return res, nil
+}
+
+// analyzeStatement applies the recursive reuse model to one statement and
+// accumulates its contribution into res. For each cache level and access,
+// the misses over the subtree rooted at loop l are
+//
+//	M(l) = footprint(loops l..n-1)        if the body of l fits the level
+//	     = trips(l) * M(l+1)              otherwise,
+//
+// where "the body of l fits" tests the combined footprint of all accesses
+// over the loops strictly deeper than l against the level's capacity
+// (fully-associative mode) or per-set occupancy against its associativity
+// (the paper's per-set model). This realizes the reuse-distance criterion
+// RD > k of Sec. IV-B: a reuse carried by loop l has distance equal to one
+// body execution's footprint, and survives iff that footprint fits.
+func analyzeStatement(si ir.StatementInfo, cfg cachesim.Config, opts Options, res *Result) error {
+	n := len(si.Loops)
+	ivs := si.IVNames()
+
+	// Prefix cardinalities: cnt[k] = |projection of D onto the k outermost
+	// IVs|; cnt[n] = |D|.
+	cnt := make([]int64, n+1)
+	cnt[0] = 1
+	proj := si.Domain
+	full, err := proj.CountInt(opts.CountBudget)
+	if err != nil {
+		return err
+	}
+	cnt[n] = full
+	for k := n - 1; k >= 1; k-- {
+		proj, _ = proj.ProjectOutVar(k) // drop innermost remaining dim
+		c, err := proj.CountInt(opts.CountBudget)
+		if err != nil {
+			return err
+		}
+		cnt[k] = c
+	}
+	if full == 0 {
+		return nil
+	}
+	// Average trip count of loop k across the executions of its prefix.
+	tripAt := make([]int64, n)
+	for k := 0; k < n; k++ {
+		tripAt[k] = roundTrip(float64(cnt[k+1]) / float64(maxI64(cnt[k], 1)))
+	}
+
+	// Bound-dependence closure: deps[d] is the set of outer loop indices
+	// whose IVs (transitively) appear in loop d's bounds. A tile IV never
+	// appears in an access function, but it moves the ranges of the intra
+	// IVs it bounds; footprints over a window containing both must expand
+	// the intra IV's trips accordingly.
+	deps := boundClosure(si.Loops, ivs)
+
+	// Global value range per IV: caps the closure expansion for
+	// non-rectangular couplings (j <= i sweeps [0, N), not trips_j *
+	// trips_i values).
+	globalRange := make([]int64, n)
+	for d := 0; d < n; d++ {
+		if lo, hi, ok := si.Domain.DimRange(d); ok {
+			globalRange[d] = hi - lo + 1
+		}
+	}
+
+	res.Instances += full
+	res.Flops += full * si.Stmt.Flops
+
+	accs := si.Stmt.Accesses
+	if opts.Dedup {
+		accs = dedupAccesses(accs)
+	}
+	for _, a := range si.Stmt.Accesses {
+		if a.Write {
+			res.Stores += full
+		} else {
+			res.Loads += full
+		}
+	}
+	res.QBytes += sumAccessBytes(si.Stmt.Accesses, full)
+
+	lineSize := cfg.Levels[0].LineSize
+	// Precompute per-access footprints over every suffix window
+	// ivs[l:] for l = 0..n (l = n is the empty window: one instance).
+	// Within a window, an IV whose bounds depend on other IVs *inside* the
+	// window covers its full swept range: its trips multiply by the trips
+	// of those bounding IVs.
+	fps := make([][]Footprint, len(accs)) // fps[ai][l]
+	for ai, a := range accs {
+		fps[ai] = make([]Footprint, n+1)
+		for l := 0; l <= n; l++ {
+			wTrips := map[string]int64{}
+			for d := l; d < n; d++ {
+				eff := tripAt[d]
+				for o := range deps[d] {
+					if o >= l && o < d {
+						eff *= tripAt[o]
+					}
+				}
+				if globalRange[d] > 0 && eff > globalRange[d] {
+					eff = globalRange[d]
+				}
+				wTrips[ivs[d]] = eff
+			}
+			fps[ai][l] = accessFootprint(a, ivs[l:], wTrips, lineSize)
+		}
+	}
+
+	for li, lc := range cfg.Levels {
+		numSets := lc.NumSets()
+		ways := lc.Ways()
+		capacityLines := lc.SizeBytes / lc.LineSize
+
+		// bodyFits[l]: does the combined working set of loops deeper than
+		// l (window ivs[l+1:]) fit this level?
+		bodyFits := make([]bool, n)
+		fitWindow := 0
+		for l := n - 1; l >= 0; l-- {
+			var totalLines, totalOcc int64
+			for ai := range accs {
+				fp := fps[ai][l+1]
+				totalLines += fp.Lines()
+				totalOcc += fp.PerSetOccupancy(lineSize, numSets)
+			}
+			if opts.FullyAssoc {
+				bodyFits[l] = totalLines <= capacityLines
+			} else {
+				bodyFits[l] = totalOcc <= ways && totalLines <= capacityLines
+			}
+			if bodyFits[l] {
+				fitWindow = n - l
+			} else {
+				break // monotone: outer windows are at least as large
+			}
+		}
+		// Fill remaining (outer) levels as non-fitting.
+		if res.Levels[li].FitWindow < fitWindow {
+			res.Levels[li].FitWindow = fitWindow
+		}
+
+		var cold, total int64
+		for ai := range accs {
+			m := fps[ai][n].Lines() // one instance
+			for l := n - 1; l >= 0; l-- {
+				if bodyFits[l] {
+					m = fps[ai][l].Lines()
+				} else {
+					m = tripAt[l] * m
+				}
+			}
+			all := fps[ai][0].Lines()
+			m = maxI64(m, all)  // at least one miss per distinct line
+			m = minI64(m, full) // at most one miss per instance
+			cold += all
+			total += m
+		}
+		res.Levels[li].ColdMisses += cold
+		res.Levels[li].CapConfMisses += maxI64(total-cold, 0)
+	}
+	return nil
+}
+
+// StatementResult is a per-statement analysis outcome (the granularity
+// the affine-dialect phase study of Sec. VI-A inspects).
+type StatementResult struct {
+	Name  string
+	Flops int64
+	QDRAM int64
+	OI    float64
+}
+
+// AnalyzeStatements runs PolyUFC-CM independently per statement of a nest,
+// returning each statement's flop count, DRAM traffic and operational
+// intensity.
+func AnalyzeStatements(nest *ir.Nest, cfg cachesim.Config, opts Options) ([]StatementResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.CountBudget == 0 {
+		opts.CountBudget = 1 << 22
+	}
+	lineSize := cfg.Levels[0].LineSize
+	var out []StatementResult
+	for _, si := range nest.Statements() {
+		res := &Result{Levels: make([]LevelResult, len(cfg.Levels))}
+		for i, lc := range cfg.Levels {
+			res.Levels[i].Name = lc.Name
+			res.Levels[i].FitWindow = -1
+		}
+		if err := analyzeStatement(si, cfg, opts, res); err != nil {
+			return nil, fmt.Errorf("cachemodel: statement %s: %w", si.Stmt.Name, err)
+		}
+		if opts.Threads > 1 {
+			t := int64(opts.Threads)
+			for i := range res.Levels {
+				res.Levels[i].ColdMisses = ceilI64(res.Levels[i].ColdMisses, t)
+				res.Levels[i].CapConfMisses = ceilI64(res.Levels[i].CapConfMisses, t)
+			}
+		}
+		last := res.Levels[len(res.Levels)-1]
+		q := (last.ColdMisses + last.CapConfMisses) * lineSize
+		sr := StatementResult{Name: si.Stmt.Name, Flops: res.Flops, QDRAM: q}
+		if q > 0 {
+			sr.OI = float64(res.Flops) / float64(q)
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+// boundClosure computes, for each loop d, the set of loop indices whose
+// IVs transitively appear in d's bounds.
+func boundClosure(loops []*ir.Loop, ivs []string) []map[int]bool {
+	idx := map[string]int{}
+	for i, iv := range ivs {
+		idx[iv] = i
+	}
+	direct := make([]map[int]bool, len(loops))
+	for d, l := range loops {
+		direct[d] = map[int]bool{}
+		for _, b := range append(append([]ir.Bound(nil), l.Lo...), l.Hi...) {
+			for iv := range b.Expr.Coef {
+				if o, ok := idx[iv]; ok && o != d {
+					direct[d][o] = true
+				}
+			}
+		}
+	}
+	// Transitive closure (bounds reference outer loops only, so one pass
+	// outer-to-inner suffices).
+	out := make([]map[int]bool, len(loops))
+	for d := range loops {
+		out[d] = map[int]bool{}
+		for o := range direct[d] {
+			out[d][o] = true
+			for oo := range out[o] {
+				out[d][oo] = true
+			}
+		}
+	}
+	return out
+}
+
+// dedupAccesses merges accesses with identical array and index functions
+// (footnote 17: duplicate elimination before symbolic counting).
+func dedupAccesses(accs []ir.Access) []ir.Access {
+	seen := map[string]bool{}
+	var out []ir.Access
+	for _, a := range accs {
+		key := a.Array.Name
+		for _, e := range a.Index {
+			key += "|" + e.String()
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, a)
+	}
+	return out
+}
+
+func sumAccessBytes(accs []ir.Access, instances int64) int64 {
+	var b int64
+	for _, a := range accs {
+		b += instances * a.Array.ElemSize
+	}
+	return b
+}
+
+func ceilI64(a, b int64) int64 {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

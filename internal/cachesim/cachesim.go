@@ -1,0 +1,258 @@
+// Package cachesim implements an exact trace-driven, multi-level,
+// set-associative LRU cache simulator with the policies PolyUFC-CM models:
+// inclusive caches, write-allocate, write-through (Sec. IV-A of the paper).
+// It plays two roles in this reproduction: ground truth for validating the
+// analytic cache model, and the memory subsystem of the simulated hardware
+// platforms (standing in for the real BDW/RPL machines).
+package cachesim
+
+import "fmt"
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Name      string
+	SizeBytes int64
+	LineSize  int64
+	Assoc     int64 // ways per set; 0 means fully associative
+}
+
+// NumSets returns the number of sets in the level.
+func (c LevelConfig) NumSets() int64 {
+	assoc := c.Assoc
+	lines := c.SizeBytes / c.LineSize
+	if assoc <= 0 || assoc > lines {
+		assoc = lines
+	}
+	return lines / assoc
+}
+
+// Ways returns the effective associativity.
+func (c LevelConfig) Ways() int64 {
+	lines := c.SizeBytes / c.LineSize
+	if c.Assoc <= 0 || c.Assoc > lines {
+		return lines
+	}
+	return c.Assoc
+}
+
+// Config is a cache hierarchy, outermost level last (L1 first, LLC last).
+type Config struct {
+	Levels []LevelConfig
+}
+
+// Validate checks structural invariants of the hierarchy.
+func (c Config) Validate() error {
+	if len(c.Levels) == 0 {
+		return fmt.Errorf("cachesim: no cache levels")
+	}
+	line := c.Levels[0].LineSize
+	for _, l := range c.Levels {
+		if l.LineSize != line {
+			return fmt.Errorf("cachesim: heterogeneous line sizes unsupported (%d vs %d)", l.LineSize, line)
+		}
+		if l.SizeBytes%(l.LineSize*l.Ways()) != 0 {
+			return fmt.Errorf("cachesim: level %s size %d not divisible by way size", l.Name, l.SizeBytes)
+		}
+		if l.LineSize&(l.LineSize-1) != 0 {
+			return fmt.Errorf("cachesim: line size %d not a power of two", l.LineSize)
+		}
+	}
+	return nil
+}
+
+// FullyAssociative returns a copy of the config with every level fully
+// associative (the Fig. 8 ablation).
+func (c Config) FullyAssociative() Config {
+	out := Config{Levels: append([]LevelConfig(nil), c.Levels...)}
+	for i := range out.Levels {
+		out.Levels[i].Assoc = 0
+	}
+	return out
+}
+
+// Stats holds per-level access statistics.
+type Stats struct {
+	Accesses int64
+	Hits     int64
+	Misses   int64
+	// ColdMisses counts first-touch misses (line never seen before by this
+	// level).
+	ColdMisses int64
+}
+
+// MissRatio returns misses/accesses, or 0 for an idle level.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// HitRatio returns hits/accesses, or 0 for an idle level.
+func (s Stats) HitRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// level is one cache level's state.
+type level struct {
+	cfg     LevelConfig
+	sets    int64
+	ways    int64
+	setMask int64
+	// tags[set] is the LRU-ordered list of resident line tags (most
+	// recently used first).
+	tags [][]int64
+	seen map[int64]bool // lines ever brought in (for cold-miss accounting)
+	st   Stats
+}
+
+func newLevel(cfg LevelConfig) *level {
+	sets := cfg.NumSets()
+	l := &level{
+		cfg:  cfg,
+		sets: sets,
+		ways: cfg.Ways(),
+		tags: make([][]int64, sets),
+		seen: make(map[int64]bool),
+	}
+	l.setMask = sets - 1
+	return l
+}
+
+// access looks up a line (by line number) and updates LRU state; reports
+// whether it hit.
+func (l *level) access(line int64) bool {
+	var set int64
+	if l.sets&(l.sets-1) == 0 {
+		set = line & l.setMask
+	} else {
+		set = line % l.sets
+	}
+	ways := l.tags[set]
+	for i, t := range ways {
+		if t == line {
+			// Move to front.
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = line
+			l.st.Accesses++
+			l.st.Hits++
+			return true
+		}
+	}
+	// Miss: allocate (write-allocate applies to both reads and writes).
+	l.st.Accesses++
+	l.st.Misses++
+	if !l.seen[line] {
+		l.seen[line] = true
+		l.st.ColdMisses++
+	}
+	if int64(len(ways)) < l.ways {
+		ways = append(ways, 0)
+	}
+	copy(ways[1:], ways)
+	ways[0] = line
+	l.tags[set] = ways
+	return false
+}
+
+// Simulator is a multi-level cache simulator.
+type Simulator struct {
+	cfg      Config
+	levels   []*level
+	lineSize int64
+	lineBits uint
+
+	// DRAMReadBytes counts line fills from memory (LLC read misses).
+	DRAMReadBytes int64
+	// DRAMWriteBytes counts write-through traffic reaching memory.
+	DRAMWriteBytes int64
+}
+
+// New constructs a simulator; the config must be valid.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{cfg: cfg, lineSize: cfg.Levels[0].LineSize}
+	for b := s.lineSize; b > 1; b >>= 1 {
+		s.lineBits++
+	}
+	for _, lc := range cfg.Levels {
+		s.levels = append(s.levels, newLevel(lc))
+	}
+	return s, nil
+}
+
+// MustNew is New for known-good configs.
+func MustNew(cfg Config) *Simulator {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// LineSize returns the hierarchy's cache line size in bytes.
+func (s *Simulator) LineSize() int64 { return s.lineSize }
+
+// Access simulates one memory access of the given byte size. Accesses
+// spanning multiple lines touch each line. Per the modeled write-through
+// policy, a write is forwarded through every level to memory; reads walk
+// down the hierarchy until they hit.
+func (s *Simulator) Access(addr, size int64, write bool) {
+	first := addr >> s.lineBits
+	last := (addr + size - 1) >> s.lineBits
+	for line := first; line <= last; line++ {
+		s.accessLine(line, write)
+	}
+}
+
+func (s *Simulator) accessLine(line int64, write bool) {
+	if write {
+		// Write-allocate: a write miss fetches the line like a read
+		// (filling every level it missed in); write-through additionally
+		// forwards the written bytes to memory.
+		filled := false
+		for _, l := range s.levels {
+			if l.access(line) {
+				filled = true
+				break
+			}
+		}
+		if !filled {
+			s.DRAMReadBytes += s.lineSize
+		}
+		s.DRAMWriteBytes += s.lineSize
+		return
+	}
+	for _, l := range s.levels {
+		if l.access(line) {
+			return
+		}
+	}
+	s.DRAMReadBytes += s.lineSize
+}
+
+// LevelStats returns the statistics of level i (0 = L1).
+func (s *Simulator) LevelStats(i int) Stats { return s.levels[i].st }
+
+// NumLevels returns the number of cache levels.
+func (s *Simulator) NumLevels() int { return len(s.levels) }
+
+// LLCStats returns the last-level cache statistics.
+func (s *Simulator) LLCStats() Stats { return s.levels[len(s.levels)-1].st }
+
+// DRAMBytes returns total memory traffic: fills plus write-through bytes.
+func (s *Simulator) DRAMBytes() int64 { return s.DRAMReadBytes + s.DRAMWriteBytes }
+
+// Reset clears all cache state and statistics.
+func (s *Simulator) Reset() {
+	for i, l := range s.levels {
+		s.levels[i] = newLevel(l.cfg)
+	}
+	s.DRAMReadBytes = 0
+	s.DRAMWriteBytes = 0
+}

@@ -1,0 +1,389 @@
+// Package core assembles the PolyUFC compilation flow of Fig. 3: lowering
+// through the dialect stack, Pluto tiling/parallelization, PolyUFC-CM
+// cache analysis, roofline characterization, Sec. V model construction,
+// PolyUFC-SEARCH frequency-cap selection, and cap insertion with
+// redundant-cap cleanup. The ML-PolyUFC multi-level machinery (Sec. VI)
+// lives here too: caps can be applied at torch, linalg or affine
+// granularity, and the per-dialect phase-change study of Fig. 5 is
+// exposed as PhaseStudy.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"polyufc/internal/cachemodel"
+	"polyufc/internal/hw"
+	"polyufc/internal/ir"
+	"polyufc/internal/lower"
+	"polyufc/internal/model"
+	"polyufc/internal/pluto"
+	"polyufc/internal/roofline"
+	"polyufc/internal/search"
+)
+
+// Config parameterizes one compilation.
+type Config struct {
+	Platform  *hw.Platform
+	Constants *roofline.Constants
+	Pluto     pluto.Options
+	CM        cachemodel.Options
+	Search    search.Options
+	// CapLevel selects the granularity caps are applied at (Sec. VI-B);
+	// linalg is the paper's choice.
+	CapLevel ir.Dialect
+	// AmortizeFactor gates cap insertion on profitability: a cap that
+	// changes the active frequency is only inserted when the kernel's
+	// predicted runtime is at least AmortizeFactor x the platform's
+	// cap-switch latency (Sec. VII-F overhead discussion). 0 disables the
+	// gate.
+	AmortizeFactor float64
+}
+
+// DefaultConfig returns the paper's evaluation configuration for a
+// calibrated platform.
+func DefaultConfig(p *hw.Platform, c *roofline.Constants) Config {
+	return Config{
+		Platform:       p,
+		Constants:      c,
+		Pluto:          pluto.DefaultOptions(),
+		CM:             cachemodel.DefaultOptions(),
+		Search:         search.DefaultOptions(),
+		CapLevel:       ir.DialectLinalg,
+		AmortizeFactor: 5,
+	}
+}
+
+// Timings is the Table-IV compile-time breakdown.
+type Timings struct {
+	Preprocess time.Duration // statement extraction / lowering (stage 2 prep)
+	Pluto      time.Duration // stage 2 optimizer
+	CM         time.Duration // stages 3a-3b (PolyUFC-CM + OI)
+	Steps46    time.Duration // stages 4-6 (characterize, estimate, search, insert)
+}
+
+// Total returns the end-to-end compile time.
+func (t Timings) Total() time.Duration {
+	return t.Preprocess + t.Pluto + t.CM + t.Steps46
+}
+
+// KernelReport is the per-nest analysis outcome.
+type KernelReport struct {
+	Label   string
+	Origin  string
+	OI      float64
+	Class   roofline.Class
+	CapGHz  float64
+	Tiled   bool
+	Threads int
+	// Est is the model estimate at the selected cap; EstDefault at the
+	// driver's default (maximum uncore frequency).
+	Est, EstDefault model.Estimate
+	CM              *cachemodel.Result
+	SearchEvals     int
+}
+
+// Result is the outcome of one PolyUFC compilation.
+type Result struct {
+	Module       *ir.Module
+	Reports      []KernelReport
+	Timings      Timings
+	CapsInserted int
+	CapsRemoved  int
+}
+
+// Compile runs the full PolyUFC flow on a module (torch, linalg or affine
+// level) and returns the transformed module with uncore caps inserted.
+func Compile(mod *ir.Module, cfg Config) (*Result, error) {
+	if cfg.Platform == nil || cfg.Constants == nil {
+		return nil, fmt.Errorf("core: config needs platform and calibrated constants")
+	}
+	res := &Result{Module: mod}
+
+	// Stage 1-2 prep: lower to affine.
+	start := time.Now()
+	if err := lower.TorchToLinalg(mod); err != nil {
+		return nil, err
+	}
+	if err := lower.LinalgToAffine(mod); err != nil {
+		return nil, err
+	}
+	res.Timings.Preprocess = time.Since(start)
+
+	// Stage 2: Pluto tiling + parallelization per nest.
+	start = time.Now()
+	tiled := map[*ir.Nest]bool{}
+	for _, f := range mod.Funcs {
+		for i, op := range f.Ops {
+			nest, ok := op.(*ir.Nest)
+			if !ok {
+				continue
+			}
+			pres, err := pluto.Optimize(nest, cfg.Pluto)
+			if err != nil {
+				return nil, fmt.Errorf("core: pluto on %s: %w", nest.Label, err)
+			}
+			f.Ops[i] = pres.Nest
+			tiled[pres.Nest] = pres.Tiled
+		}
+	}
+	res.Timings.Pluto = time.Since(start)
+
+	// Stage 3: PolyUFC-CM + OI per nest.
+	start = time.Now()
+	cms := map[*ir.Nest]*cachemodel.Result{}
+	for _, f := range mod.Funcs {
+		for _, op := range f.Ops {
+			nest, ok := op.(*ir.Nest)
+			if !ok {
+				continue
+			}
+			cmOpts := cfg.CM
+			if nest.Root != nil && nest.Root.Parallel && cmOpts.Threads <= 1 {
+				cmOpts.Threads = cfg.Platform.Threads
+			}
+			cm, err := cachemodel.Analyze(nest, cfg.Platform.Cache, cmOpts)
+			if err != nil {
+				return nil, fmt.Errorf("core: cache model on %s: %w", nest.Label, err)
+			}
+			cms[nest] = cm
+		}
+	}
+	res.Timings.CM = time.Since(start)
+
+	// Stages 4-6: characterize, estimate, search, insert caps.
+	start = time.Now()
+	freqs := cfg.Platform.UncoreSteps()
+	for _, f := range mod.Funcs {
+		var out []ir.Op
+		activeCap := cfg.Platform.UncoreMax // the driver default
+		for _, op := range f.Ops {
+			nest, ok := op.(*ir.Nest)
+			if !ok {
+				out = append(out, op)
+				continue
+			}
+			cm := cms[nest]
+			threads := 1
+			if nest.Root != nil && nest.Root.Parallel {
+				threads = cfg.Platform.Threads
+			}
+			m := model.New(cfg.Constants, model.FromCacheModel(cm, threads))
+			sres := search.Run(m, freqs, cfg.Search)
+			rep := KernelReport{
+				Label: nest.Label, Origin: nest.Origin(),
+				OI: cm.OI, Class: sres.Class, CapGHz: sres.BestGHz,
+				Tiled: tiled[nest], Threads: threads,
+				Est: sres.Best, EstDefault: m.At(cfg.Platform.UncoreMax),
+				CM: cm, SearchEvals: sres.Evaluated,
+			}
+			res.Reports = append(res.Reports, rep)
+			// Profitability gate (Sec. VII-F): switching the cap costs
+			// CapLatency; only worthwhile when the kernel runs long enough.
+			profitable := cfg.AmortizeFactor <= 0 ||
+				sres.Best.Seconds >= cfg.AmortizeFactor*cfg.Platform.CapLatency
+			if profitable && sres.BestGHz != activeCap {
+				out = append(out,
+					&ir.SetUncoreCap{GHz: sres.BestGHz, Level: cfg.CapLevel, From: nest.Label})
+				res.CapsInserted++
+				activeCap = sres.BestGHz
+			}
+			out = append(out, nest)
+		}
+		f.Ops = out
+	}
+
+	// Granularity merging (Sec. VI-B): at torch granularity, consecutive
+	// nests sharing a torch-level origin get one cap — min of member caps
+	// when all members are CB, max otherwise (the safe direction for BB).
+	if cfg.CapLevel == ir.DialectTorch {
+		minSec := cfg.AmortizeFactor * cfg.Platform.CapLatency
+		res.CapsRemoved += mergeTorchCaps(mod, res.Reports, minSec)
+	}
+
+	// Rewrite patterns: drop shadowed and equal caps.
+	res.CapsRemoved += ir.ApplyPatterns(mod,
+		ir.RedundantCapPattern{}, ir.EqualCapPattern{})
+	res.Timings.Steps46 = time.Since(start)
+	return res, nil
+}
+
+// torchOrigin extracts the torch-level ancestor from an origin chain like
+// "torch.sdpa/linalg.batch_matmul".
+func torchOrigin(origin string) string {
+	if i := strings.Index(origin, "/"); i >= 0 {
+		return origin[:i]
+	}
+	return origin
+}
+
+// mergeTorchCaps rebuilds each function's cap placement at torch
+// granularity: all existing caps are dropped, consecutive nests sharing a
+// torch-level origin form one group, and each group gets a single cap —
+// the min of member caps when every member is CB, the max otherwise (the
+// paper's min/max combination rule, Sec. VII-A). Groups whose summed
+// predicted runtime is below minSec stay uncapped (the profitability gate
+// at group granularity).
+func mergeTorchCaps(mod *ir.Module, reports []KernelReport, minSec float64) int {
+	classOf := map[string]roofline.Class{}
+	capOf := map[string]float64{}
+	secOf := map[string]float64{}
+	for _, r := range reports {
+		classOf[r.Label] = r.Class
+		capOf[r.Label] = r.CapGHz
+		secOf[r.Label] = r.Est.Seconds
+	}
+	removed := 0
+	for _, f := range mod.Funcs {
+		// Strip caps, keep nests and foreign ops in order.
+		var seq []ir.Op
+		for _, op := range f.Ops {
+			if _, ok := op.(*ir.SetUncoreCap); ok {
+				removed++
+				continue
+			}
+			seq = append(seq, op)
+		}
+		var out []ir.Op
+		i := 0
+		for i < len(seq) {
+			nest, ok := seq[i].(*ir.Nest)
+			if !ok {
+				out = append(out, seq[i])
+				i++
+				continue
+			}
+			group := torchOrigin(nest.Origin())
+			var nests []*ir.Nest
+			j := i
+			for j < len(seq) {
+				n, ok := seq[j].(*ir.Nest)
+				if !ok || torchOrigin(n.Origin()) != group {
+					break
+				}
+				nests = append(nests, n)
+				j++
+				if group == "" {
+					break // unlabelled nests stay solo
+				}
+			}
+			allCB := true
+			groupSec := 0.0
+			for _, n := range nests {
+				if classOf[n.Label] != roofline.ComputeBound {
+					allCB = false
+				}
+				groupSec += secOf[n.Label]
+			}
+			gcap := capOf[nests[0].Label]
+			for _, n := range nests[1:] {
+				c := capOf[n.Label]
+				if allCB && c < gcap {
+					gcap = c
+				}
+				if !allCB && c > gcap {
+					gcap = c
+				}
+			}
+			if groupSec >= minSec {
+				out = append(out, &ir.SetUncoreCap{GHz: gcap, Level: ir.DialectTorch, From: group})
+				removed--
+			}
+			for _, n := range nests {
+				out = append(out, n)
+			}
+			i = j
+		}
+		f.Ops = out
+	}
+	if removed < 0 {
+		removed = 0
+	}
+	return removed
+}
+
+// Phase is one entry of the Fig. 5 phase-change study.
+type Phase struct {
+	Level ir.Dialect
+	Op    string
+	Class roofline.Class
+	OI    float64
+}
+
+// PhaseStudy characterizes a module at every dialect level: the torch view
+// aggregates all lowered pieces of each torch op, the linalg view
+// characterizes each structured op, and the affine view each nest (after
+// Pluto). It returns the per-level phase sequences.
+func PhaseStudy(mod *ir.Module, cfg Config) (map[ir.Dialect][]Phase, error) {
+	// Work on a lowered copy-free pipeline: lower in place.
+	if err := lower.TorchToLinalg(mod); err != nil {
+		return nil, err
+	}
+	if err := lower.LinalgToAffine(mod); err != nil {
+		return nil, err
+	}
+	out := map[ir.Dialect][]Phase{}
+	type agg struct {
+		name  string
+		flops int64
+		qdram int64
+	}
+	var torchAggs []agg
+	for _, f := range mod.Funcs {
+		for _, op := range f.Ops {
+			nest, ok := op.(*ir.Nest)
+			if !ok {
+				continue
+			}
+			pres, err := pluto.Optimize(nest, cfg.Pluto)
+			if err != nil {
+				return nil, err
+			}
+			cmOpts := cfg.CM
+			if pres.Nest.Root != nil && pres.Nest.Root.Parallel && cmOpts.Threads <= 1 {
+				cmOpts.Threads = cfg.Platform.Threads
+			}
+			cm, err := cachemodel.Analyze(pres.Nest, cfg.Platform.Cache, cmOpts)
+			if err != nil {
+				return nil, err
+			}
+			// Linalg view: one phase per nest (our linalg ops lower 1:1 to
+			// nests).
+			ph := Phase{Op: nest.Origin(), Class: cfg.Constants.Classify(cm.OI), OI: cm.OI}
+			out[ir.DialectLinalg] = append(out[ir.DialectLinalg],
+				Phase{Level: ir.DialectLinalg, Op: ph.Op, Class: ph.Class, OI: ph.OI})
+			// Affine view: one phase per polyhedral statement — the finest
+			// granularity (Sec. VI-B notes its control overhead).
+			stRes, err := cachemodel.AnalyzeStatements(pres.Nest, cfg.Platform.Cache, cmOpts)
+			if err != nil {
+				return nil, err
+			}
+			for _, sr := range stRes {
+				out[ir.DialectAffine] = append(out[ir.DialectAffine], Phase{
+					Level: ir.DialectAffine,
+					Op:    nest.Label + "/" + sr.Name,
+					Class: cfg.Constants.Classify(sr.OI), OI: sr.OI,
+				})
+			}
+			// Torch aggregation by origin.
+			root := torchOrigin(nest.Origin())
+			if len(torchAggs) == 0 || torchAggs[len(torchAggs)-1].name != root {
+				torchAggs = append(torchAggs, agg{name: root})
+			}
+			torchAggs[len(torchAggs)-1].flops += cm.Flops
+			torchAggs[len(torchAggs)-1].qdram += cm.QDRAM
+		}
+	}
+	for _, a := range torchAggs {
+		oi := 0.0
+		if a.qdram > 0 {
+			oi = float64(a.flops) / float64(a.qdram)
+		}
+		out[ir.DialectTorch] = append(out[ir.DialectTorch], Phase{
+			Level: ir.DialectTorch, Op: a.name,
+			Class: cfg.Constants.Classify(oi), OI: oi,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"math"
+
+	"polyufc/internal/core"
+	"polyufc/internal/hw"
+	"polyufc/internal/workloads"
+)
+
+// TileSizeRow is one point of the tile-size ablation (the paper fixes
+// Pluto's default 32; this quantifies the choice).
+type TileSizeRow struct {
+	Kernel   string
+	Platform string
+	TileSize int64
+	// L1Misses from the exact simulator; EDP measured at the selected cap.
+	L1Misses int64
+	CapGHz   float64
+	EDP      float64
+}
+
+// TileSizeSweep compiles a kernel at several tile sizes and measures the
+// outcome.
+func (s *Suite) TileSizeSweep(p *hw.Platform, kernelName string, sizes []int64) ([]TileSizeRow, error) {
+	var out []TileSizeRow
+	for _, ts := range sizes {
+		k, err := workloads.ByName(kernelName)
+		if err != nil {
+			return nil, err
+		}
+		mod, err := k.Build(s.Size)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig(p, s.consts[p.Name])
+		cfg.Pluto.TileSize = ts
+		res, err := core.Compile(mod, cfg)
+		if err != nil {
+			return nil, err
+		}
+		m := hw.NewMachine(p)
+		var l1 int64
+		var agg hw.RunResult
+		for _, nest := range nestsOf(res.Module) {
+			prof, err := m.Profile(nest)
+			if err != nil {
+				return nil, err
+			}
+			l1 += prof.LevelMisses[0]
+		}
+		run, err := m.RunFunc(res.Module.Funcs[0])
+		if err != nil {
+			return nil, err
+		}
+		agg = run
+		cap := p.UncoreMax
+		if len(res.Reports) > 0 {
+			best := res.Reports[0]
+			for _, r := range res.Reports {
+				if r.CM.Flops > best.CM.Flops {
+					best = r
+				}
+			}
+			cap = best.CapGHz
+		}
+		out = append(out, TileSizeRow{
+			Kernel: kernelName, Platform: p.Name, TileSize: ts,
+			L1Misses: l1, CapGHz: cap, EDP: agg.EDP,
+		})
+	}
+	return out, nil
+}
+
+// RenderTileSize prints the ablation for gemm on both platforms.
+func (s *Suite) RenderTileSize() error {
+	s.printf("== Ablation: Pluto tile size (paper default 32) ==\n")
+	sizes := []int64{8, 16, 32, 64}
+	for _, p := range s.plats {
+		rows, err := s.TileSizeSweep(p, "gemm", sizes)
+		if err != nil {
+			return err
+		}
+		s.printf("-- gemm on %s\n", p.Name)
+		s.printf("   tile   L1 misses      cap(GHz)   EDP(mJ*s)\n")
+		for _, r := range rows {
+			s.printf("   %4d   %10d   %8.1f   %9.5f\n", r.TileSize, r.L1Misses, r.CapGHz, r.EDP*1e3)
+		}
+	}
+	return nil
+}
+
+// ValidRow is one kernel of the model-validation study: the Sec. V
+// estimates against machine measurement at the driver default (the
+// PAPI-counter validation of Sec. VII-D).
+type ValidRow struct {
+	Kernel             string
+	Platform           string
+	EstSec, HWSec      float64
+	EstJ, HWJ          float64
+	TimeErr, EnergyErr float64 // |est-hw|/hw
+}
+
+// Validate runs the study over the given kernels.
+func (s *Suite) Validate(p *hw.Platform, kernels []string) ([]ValidRow, error) {
+	var out []ValidRow
+	for _, name := range kernels {
+		res, err := s.compile(name, p)
+		if err != nil {
+			return nil, err
+		}
+		m := hw.NewMachine(p)
+		m.SetUncoreCap(p.UncoreMax)
+		var estT, estE, hwT, hwE float64
+		for i, nest := range nestsOf(res.Module) {
+			rep := res.Reports[i]
+			estT += rep.EstDefault.Seconds
+			estE += rep.EstDefault.Joules
+			r, err := m.RunNest(nest)
+			if err != nil {
+				return nil, err
+			}
+			hwT += r.Seconds
+			hwE += r.PkgJoules
+		}
+		out = append(out, ValidRow{
+			Kernel: name, Platform: p.Name,
+			EstSec: estT, HWSec: hwT, EstJ: estE, HWJ: hwE,
+			TimeErr:   math.Abs(estT-hwT) / hwT,
+			EnergyErr: math.Abs(estE-hwE) / hwE,
+		})
+	}
+	return out, nil
+}
+
+// RenderValidate prints the validation over a representative kernel mix
+// and its mean errors.
+func (s *Suite) RenderValidate() error {
+	s.printf("== Validation: Sec. V estimates vs machine measurement (driver default) ==\n")
+	kernels := []string{"gemm", "2mm", "mvt", "gemver", "atax", "jacobi-2d", "doitgen", "syrk"}
+	for _, p := range s.plats {
+		rows, err := s.Validate(p, kernels)
+		if err != nil {
+			return err
+		}
+		s.printf("-- %s\n", p.Name)
+		s.printf("   %-12s est/HW time (ms)      est/HW energy (J)   | errors\n", "kernel")
+		var te, ee float64
+		for _, r := range rows {
+			s.printf("   %-12s %8.3f /%8.3f   %8.4f /%8.4f | t %4.0f%%  e %4.0f%%\n",
+				r.Kernel, r.EstSec*1e3, r.HWSec*1e3, r.EstJ, r.HWJ,
+				100*r.TimeErr, 100*r.EnergyErr)
+			te += r.TimeErr
+			ee += r.EnergyErr
+		}
+		s.printf("   mean: time %.0f%%, energy %.0f%%\n",
+			100*te/float64(len(rows)), 100*ee/float64(len(rows)))
+	}
+	return nil
+}

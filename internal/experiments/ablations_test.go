@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+func TestTileSizeSweep(t *testing.T) {
+	s := suite(t)
+	rows, err := s.TileSizeSweep(s.Platforms()[0], "gemm", []int64{8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.L1Misses <= 0 || r.EDP <= 0 {
+			t.Fatalf("bad row %+v", r)
+		}
+		if r.CapGHz < s.Platforms()[0].UncoreMin || r.CapGHz > s.Platforms()[0].UncoreMax {
+			t.Fatalf("cap out of range: %+v", r)
+		}
+	}
+}
+
+func TestValidationErrorsBounded(t *testing.T) {
+	s := suite(t)
+	rows, err := s.Validate(s.Platforms()[1], []string{"gemm", "mvt", "atax"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.HWSec <= 0 || r.HWJ <= 0 {
+			t.Fatalf("%s: bad measurement", r.Kernel)
+		}
+		// The Sec. V estimates must track the machine within 50% for the
+		// regular (non-time-loop) kernels at any size.
+		if r.TimeErr > 0.5 || r.EnergyErr > 0.5 {
+			t.Fatalf("%s: model error time %.0f%% energy %.0f%%",
+				r.Kernel, 100*r.TimeErr, 100*r.EnergyErr)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestDUFSComparison(t *testing.T) {
+	s := suite(t)
+	p := s.Platforms()[0]
+	rows, err := s.DUFSComparison(p, []string{"gemm", "mvt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Base.EDP <= 0 || r.DUFS.EDP <= 0 || r.PolyUFC.EDP <= 0 {
+			t.Fatalf("%s: non-positive EDP values %+v", r.Kernel, r)
+		}
+		// Static compile-time capping must not lose badly to the reactive
+		// governor (the Sec. VII-F claim is "equivalent or better"; allow
+		// small noise).
+		if r.PolyUFCvsDUFS < -0.10 {
+			t.Fatalf("%s: PolyUFC loses %.1f%% EDP to DUFS", r.Kernel, -100*r.PolyUFCvsDUFS)
+		}
+	}
+}

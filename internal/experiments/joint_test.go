@@ -1,0 +1,32 @@
+package experiments
+
+import "testing"
+
+func TestJointNeverLosesToUncoreOnly(t *testing.T) {
+	s := suite(t)
+	for _, p := range s.Platforms() {
+		rows, err := s.Joint(p, []string{"gemm", "mvt"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.BaseEDP <= 0 || r.UncoreOnlyEDP <= 0 || r.JointEDP <= 0 {
+				t.Fatalf("%s/%s: bad EDPs %+v", p.Name, r.Kernel, r)
+			}
+			// The joint optimum includes the uncore-only point in its
+			// search space; measured results may deviate slightly from
+			// the model's ranking, so allow small noise.
+			if r.JointExtraGain < -0.03 {
+				t.Fatalf("%s/%s: joint loses %.1f%% to uncore-only",
+					p.Name, r.Kernel, -100*r.JointExtraGain)
+			}
+			// Frequencies must be on the grids.
+			if r.JointCoreGHz < p.CoreMin || r.JointCoreGHz > p.CoreMax {
+				t.Fatalf("%s/%s: core %.1f out of range", p.Name, r.Kernel, r.JointCoreGHz)
+			}
+			if r.JointUncoreGHz < p.UncoreMin || r.JointUncoreGHz > p.UncoreMax {
+				t.Fatalf("%s/%s: uncore %.1f out of range", p.Name, r.Kernel, r.JointUncoreGHz)
+			}
+		}
+	}
+}

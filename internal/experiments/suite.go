@@ -1,0 +1,161 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Sec. VII): the uncore-frequency sweeps of Fig. 1, the
+// phase-change study of Fig. 5, the roofline characterization of Fig. 6,
+// the time/energy/EDP comparison against the UFS-driver baseline of
+// Fig. 7, the associativity ablation of Fig. 8, the roofline constants of
+// Tab. I, the benchmark and platform inventories of Tabs. II-III, the
+// compile-time breakdown of Tab. IV, the cap-switch overhead study of
+// Sec. VII-F and the duplicate-elimination study of footnote 17. Each
+// experiment returns structured data and can render the paper-style rows.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"polyufc/internal/core"
+	"polyufc/internal/hw"
+	"polyufc/internal/ir"
+	"polyufc/internal/roofline"
+	"polyufc/internal/workloads"
+)
+
+// Suite carries calibrated platforms and output configuration.
+type Suite struct {
+	Size   workloads.SizeClass
+	Out    io.Writer
+	plats  []*hw.Platform
+	consts map[string]*roofline.Constants
+}
+
+// New builds a suite over both Table-III platforms, calibrating their
+// rooflines once.
+func New(size workloads.SizeClass, out io.Writer) (*Suite, error) {
+	s := &Suite{Size: size, Out: out, consts: map[string]*roofline.Constants{}}
+	for _, p := range hw.Platforms() {
+		c, err := roofline.Calibrate(hw.NewMachine(p))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: calibrate %s: %w", p.Name, err)
+		}
+		s.plats = append(s.plats, p)
+		s.consts[p.Name] = c
+	}
+	return s, nil
+}
+
+// Platforms returns the suite's platforms.
+func (s *Suite) Platforms() []*hw.Platform { return s.plats }
+
+// Constants returns the calibrated rooflines for a platform.
+func (s *Suite) Constants(name string) *roofline.Constants { return s.consts[name] }
+
+func (s *Suite) printf(format string, args ...interface{}) {
+	if s.Out != nil {
+		fmt.Fprintf(s.Out, format, args...)
+	}
+}
+
+// compile builds, lowers and PolyUFC-compiles one kernel for a platform.
+func (s *Suite) compile(kernelName string, p *hw.Platform) (*core.Result, error) {
+	k, err := workloads.ByName(kernelName)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := k.Build(s.Size)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig(p, s.consts[p.Name])
+	return core.Compile(mod, cfg)
+}
+
+// nestsOf collects the affine nests of a compiled module in order.
+func nestsOf(mod *ir.Module) []*ir.Nest {
+	var out []*ir.Nest
+	for _, f := range mod.Funcs {
+		for _, op := range f.Ops {
+			if n, ok := op.(*ir.Nest); ok {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// runBaseline measures the Pluto baseline: every nest at the driver
+// default (maximum uncore frequency).
+func runBaseline(m *hw.Machine, mod *ir.Module) (hw.RunResult, error) {
+	m.SetUncoreCap(m.P.UncoreMax)
+	var agg hw.RunResult
+	for _, nest := range nestsOf(mod) {
+		r, err := m.RunNest(nest)
+		if err != nil {
+			return agg, err
+		}
+		agg.Seconds += r.Seconds
+		agg.PkgJoules += r.PkgJoules
+		agg.UncoreJoules += r.UncoreJoules
+	}
+	agg.EDP = agg.PkgJoules * agg.Seconds
+	if agg.Seconds > 0 {
+		agg.AvgWatts = agg.PkgJoules / agg.Seconds
+	}
+	return agg, nil
+}
+
+// Run executes one experiment by id and renders it.
+func (s *Suite) Run(id string) error {
+	switch id {
+	case "fig1":
+		return s.RenderFig1()
+	case "fig5":
+		return s.RenderFig5()
+	case "fig6":
+		return s.RenderFig6()
+	case "fig7":
+		return s.RenderFig7()
+	case "fig8":
+		return s.RenderFig8()
+	case "tab1":
+		return s.RenderTab1()
+	case "tab2":
+		return s.RenderTab2()
+	case "tab3":
+		return s.RenderTab3()
+	case "tab4":
+		return s.RenderTab4()
+	case "overhead":
+		return s.RenderOverhead()
+	case "dedup":
+		return s.RenderDedup()
+	case "dufs":
+		return s.RenderDUFS()
+	case "joint":
+		return s.RenderJoint()
+	case "tilesize":
+		return s.RenderTileSize()
+	case "valid":
+		return s.RenderValidate()
+	case "all":
+		for _, e := range ExperimentIDs() {
+			if e == "all" {
+				continue
+			}
+			if err := s.Run(e); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("experiments: unknown experiment %q (want one of %v)", id, ExperimentIDs())
+}
+
+// ExperimentIDs lists the available experiments.
+func ExperimentIDs() []string {
+	ids := []string{"fig1", "fig5", "fig6", "fig7", "fig8",
+		"tab1", "tab2", "tab3", "tab4", "overhead", "dedup", "dufs", "joint",
+		"tilesize", "valid", "all"}
+	sort.Strings(ids)
+	return ids
+}

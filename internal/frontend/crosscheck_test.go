@@ -1,0 +1,135 @@
+package frontend
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"polyufc/internal/interp"
+	"polyufc/internal/ir"
+	"polyufc/internal/pluto"
+)
+
+// genKernel emits a random affine kernel source: a loop nest of depth 2-3
+// with rectangular or triangular bounds and one statement with 1-3 array
+// accesses using affine indices.
+func genKernel(r *rand.Rand) string {
+	var sb strings.Builder
+	n := 4 + r.Intn(10)
+	fmt.Fprintf(&sb, "param N = %d\n", n)
+	fmt.Fprintf(&sb, "array A[N][N] : f64\narray B[N][N] : f64\narray v[N]\n")
+	depth := 2 + r.Intn(2)
+	ivs := []string{"i", "j", "k"}[:depth]
+	for d, iv := range ivs {
+		lo := "0"
+		hi := "N-1"
+		if d > 0 && r.Intn(2) == 0 {
+			// Triangular against the previous IV.
+			if r.Intn(2) == 0 {
+				hi = ivs[d-1]
+			} else {
+				lo = ivs[d-1]
+			}
+		}
+		fmt.Fprintf(&sb, "%sfor %s = %s to %s {\n", strings.Repeat("  ", d), iv, lo, hi)
+	}
+	pad := strings.Repeat("  ", depth)
+	i0, i1 := ivs[0], ivs[r.Intn(depth)]
+	switch r.Intn(3) {
+	case 0:
+		fmt.Fprintf(&sb, "%sA[%s][%s] += B[%s][%s] * 2;\n", pad, i0, i1, i1, i0)
+	case 1:
+		fmt.Fprintf(&sb, "%sv[%s] += A[%s][%s];\n", pad, i1, i0, i1)
+	default:
+		fmt.Fprintf(&sb, "%sA[%s][%s] = A[%s][%s] + B[%s][%s] + 1;\n", pad, i0, i1, i0, i1, i0, i1)
+	}
+	for d := depth - 1; d >= 0; d-- {
+		fmt.Fprintf(&sb, "%s}\n", strings.Repeat("  ", d))
+	}
+	return sb.String()
+}
+
+// TestPropertyParserInterpIslAgree cross-validates three independent
+// machineries on random kernels: the parser's IR, the interpreter's
+// dynamic instance count, and the polyhedral (symbolic or enumerated)
+// domain cardinality must all agree — before and after tiling.
+func TestPropertyParserInterpIslAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := genKernel(r)
+		mod, err := Parse("fuzz", src)
+		if err != nil {
+			t.Logf("source:\n%s\nerror: %v", src, err)
+			return false
+		}
+		nest := mod.Funcs[0].Ops[0].(*ir.Nest)
+		static, err := nest.TripCount()
+		if err != nil {
+			t.Logf("source:\n%s\ncount error: %v", src, err)
+			return false
+		}
+		dyn, err := interp.RunNest(nest, interp.NullTracer{})
+		if err != nil {
+			t.Logf("source:\n%s\ninterp error: %v", src, err)
+			return false
+		}
+		if dyn.Instances != static {
+			t.Logf("source:\n%s\ninterp %d vs polyhedral %d", src, dyn.Instances, static)
+			return false
+		}
+		// Tiling must preserve both counts when legal.
+		res, err := pluto.Optimize(nest, pluto.DefaultOptions())
+		if err != nil {
+			t.Logf("source:\n%s\npluto error: %v", src, err)
+			return false
+		}
+		if res.Tiled {
+			tiledStatic, err := res.Nest.TripCount()
+			if err != nil || tiledStatic != static {
+				t.Logf("source:\n%s\ntiled count %d (%v) vs %d", src, tiledStatic, err, static)
+				return false
+			}
+			tiledDyn, err := interp.RunNest(res.Nest, interp.NullTracer{})
+			if err != nil || tiledDyn.Instances != static {
+				t.Logf("source:\n%s\ntiled interp %d (%v)", src, tiledDyn.Instances, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyTraceMatchesAccessCounts checks that the dynamic load/store
+// counts equal instances times the statement's static access counts.
+func TestPropertyTraceMatchesAccessCounts(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mod, err := Parse("fuzz", genKernel(r))
+		if err != nil {
+			return false
+		}
+		nest := mod.Funcs[0].Ops[0].(*ir.Nest)
+		st := nest.Statements()[0].Stmt
+		var reads, writes int64
+		for _, a := range st.Accesses {
+			if a.Write {
+				writes++
+			} else {
+				reads++
+			}
+		}
+		dyn, err := interp.RunNest(nest, interp.NullTracer{})
+		if err != nil {
+			return false
+		}
+		return dyn.Loads == reads*dyn.Instances && dyn.Stores == writes*dyn.Instances
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package frontend_test
+
+import (
+	"fmt"
+
+	"polyufc/internal/frontend"
+	"polyufc/internal/ir"
+)
+
+// ExampleParse compiles a small kernel and inspects its polyhedral
+// structure.
+func ExampleParse() {
+	src := `
+param N = 8
+array A[N][N] : f64
+array x[N]
+array y[N]
+
+for i = 0 to N-1 {
+  for j = 0 to N-1 {
+    y[i] += A[i][j] * x[j];
+  }
+}
+`
+	mod, err := frontend.Parse("matvec", src)
+	if err != nil {
+		panic(err)
+	}
+	nest := mod.Funcs[0].Ops[0].(*ir.Nest)
+	trips, _ := nest.TripCount()
+	flops, _ := nest.Flops()
+	fmt.Printf("nests: %d\n", len(mod.Funcs[0].Ops))
+	fmt.Printf("instances: %d\n", trips)
+	fmt.Printf("flops: %d\n", flops)
+	// Output:
+	// nests: 1
+	// instances: 64
+	// flops: 128
+}

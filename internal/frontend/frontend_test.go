@@ -1,0 +1,311 @@
+package frontend
+
+import (
+	"strings"
+	"testing"
+
+	"polyufc/internal/interp"
+	"polyufc/internal/ir"
+	"polyufc/internal/pluto"
+)
+
+const gemmSrc = `
+# gemm: C = C*beta + A*B
+param N = 24
+array A[N][N] : f64
+array B[N][N] : f64
+array C[N][N] : f64
+
+for i = 0 to N-1 {
+  for j = 0 to N-1 {
+    C[i][j] = C[i][j] * 2;
+  }
+}
+for i = 0 to N-1 {
+  for j = 0 to N-1 {
+    for k = 0 to N-1 {
+      C[i][j] += A[i][k] * B[k][j];
+    }
+  }
+}
+`
+
+func TestParseGemm(t *testing.T) {
+	mod, err := Parse("gemm", gemmSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mod.Funcs[0]
+	if len(f.Ops) != 2 {
+		t.Fatalf("nests = %d", len(f.Ops))
+	}
+	update := f.Ops[1].(*ir.Nest)
+	fl, err := update.Flops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// += of a product: 2 flops per instance.
+	if fl != 2*24*24*24 {
+		t.Fatalf("flops = %d", fl)
+	}
+	sts := update.Statements()
+	if len(sts) != 1 {
+		t.Fatalf("statements = %d", len(sts))
+	}
+	// Accesses: A read, B read, C read (compound), C write.
+	if len(sts[0].Stmt.Accesses) != 4 {
+		t.Fatalf("accesses = %d: %+v", len(sts[0].Stmt.Accesses), sts[0].Stmt.Accesses)
+	}
+	writes := 0
+	for _, a := range sts[0].Stmt.Accesses {
+		if a.Write {
+			writes++
+			if a.Array.Name != "C" {
+				t.Fatalf("write to %s", a.Array.Name)
+			}
+		}
+	}
+	if writes != 1 {
+		t.Fatalf("writes = %d", writes)
+	}
+}
+
+func TestParsedKernelMatchesHandBuilt(t *testing.T) {
+	// The parsed gemm update nest must execute identically to the
+	// hand-built one: same instance count, same address trace length.
+	mod := MustParse("gemm", gemmSrc)
+	nest := mod.Funcs[0].Ops[1].(*ir.Nest)
+	st, err := interp.RunNest(nest, interp.NullTracer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Instances != 24*24*24 || st.Loads != 3*st.Instances || st.Stores != st.Instances {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestParsedKernelTiles(t *testing.T) {
+	mod := MustParse("gemm", gemmSrc)
+	nest := mod.Funcs[0].Ops[1].(*ir.Nest)
+	res, err := pluto.Optimize(nest, pluto.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Tiled {
+		t.Fatal("parsed gemm should tile")
+	}
+	orig, _ := nest.TripCount()
+	got, _ := res.Nest.TripCount()
+	if orig != got {
+		t.Fatalf("tiling changed trips %d -> %d", orig, got)
+	}
+}
+
+func TestTriangularAndMinMaxBounds(t *testing.T) {
+	src := `
+param N = 16
+array A[N][N]
+for i = 0 to N-1 {
+  for j = max(0, i-2) to min(N-1, i+2) {
+    A[i][j] = A[i][j] + 1;
+  }
+}
+`
+	mod, err := Parse("band", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nest := mod.Funcs[0].Ops[0].(*ir.Nest)
+	tc, err := nest.TripCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Band of width 5 clipped at the edges: rows 0,1 have 3,4; rows 13..15
+	// have 5,5... count directly: sum over i of (min(15,i+2)-max(0,i-2)+1).
+	want := int64(0)
+	for i := int64(0); i < 16; i++ {
+		lo, hi := i-2, i+2
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > 15 {
+			hi = 15
+		}
+		want += hi - lo + 1
+	}
+	if tc != want {
+		t.Fatalf("trip count = %d, want %d", tc, want)
+	}
+}
+
+func TestFloordivBounds(t *testing.T) {
+	src := `
+param N = 100
+array A[N]
+for t = 0 to N-1 / 10 {
+  A[t] = 0;
+}
+`
+	mod, err := Parse("fd", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := mod.Funcs[0].Ops[0].(*ir.Nest).TripCount()
+	if err != nil || tc != 10 { // t in [0, floor(99/10)] = [0,9]
+		t.Fatalf("trips = %d (%v)", tc, err)
+	}
+}
+
+func TestScalarsAndFunctions(t *testing.T) {
+	src := `
+param N = 8
+array x[N] : f32
+array nrm
+for i = 0 to N-1 {
+  nrm += x[i] * x[i];
+}
+for i = 0 to N-1 {
+  x[i] = x[i] / sqrt(nrm);
+}
+`
+	mod, err := Parse("norm", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := mod.Funcs[0].Ops[0].(*ir.Nest).Statements()[0].Stmt
+	// x[i]*x[i] (1 op) + compound add (1 op).
+	if first.Flops != 2 {
+		t.Fatalf("flops = %d", first.Flops)
+	}
+	second := mod.Funcs[0].Ops[1].(*ir.Nest).Statements()[0].Stmt
+	// divide (1) + sqrt (1).
+	if second.Flops != 2 {
+		t.Fatalf("flops = %d", second.Flops)
+	}
+	// The scalar nrm reads with constant index.
+	found := false
+	for _, a := range second.Accesses {
+		if a.Array.Name == "nrm" && len(a.Index) == 1 && a.Index[0].Const == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("scalar access missing")
+	}
+}
+
+func TestElementTypes(t *testing.T) {
+	src := `
+array a[4] : f32
+array b[4] : f64
+array c[4] : i16
+for i = 0 to 3 { a[i] = b[i] + c[i]; }
+`
+	mod, err := Parse("ty", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrays := mod.Funcs[0].Arrays()
+	sizes := map[string]int64{}
+	for _, a := range arrays {
+		sizes[a.Name] = a.ElemSize
+	}
+	if sizes["a"] != 4 || sizes["b"] != 8 || sizes["c"] != 2 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown array", "for i = 0 to 3 { Z[i] = 0; }", "unknown array"},
+		{"non-affine", "param N = 4\narray A[N]\nfor i = 0 to 3 { A[i*i] = 0; }", "non-affine"},
+		{"bad dims", "array A[4][4]\nfor i = 0 to 3 { A[i] = 0; }", "dims"},
+		{"shadow", "array A[4]\nfor i = 0 to 3 { for i = 0 to 3 { A[i] = 0; } }", "shadows"},
+		{"unterminated", "array A[4]\nfor i = 0 to 3 { A[i] = 0;", "end of input"},
+		{"no nests", "param N = 4\narray A[N]", "no loop nests"},
+		{"bad type", "array A[4] : f128\nfor i = 0 to 3 { A[i] = 0; }", "unknown element type"},
+		{"bad char", "array A[4]\nfor i = 0 to 3 { A[i] = 0; } @", "unexpected character"},
+		{"nonconst param", "param N = 4\nparam M = N\nfor i = 0 to 3 { }", ""},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.name, c.src)
+		if c.wantErr == "" {
+			continue // just must not panic
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Fatalf("%s: err = %v, want contains %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestParamArithmetic(t *testing.T) {
+	src := `
+param N = 10
+param M = 2*N + 4
+array A[M]
+for i = 0 to M-1 { A[i] = 0; }
+`
+	mod, err := Parse("pa", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, _ := mod.Funcs[0].Ops[0].(*ir.Nest).TripCount()
+	if tc != 24 {
+		t.Fatalf("trips = %d", tc)
+	}
+}
+
+func TestImperfectNestParses(t *testing.T) {
+	src := `
+param N = 6
+array A[N][N]
+array s
+for i = 0 to N-1 {
+  s = 0;
+  for j = 0 to N-1 {
+    s += A[i][j];
+  }
+  A[i][0] = s;
+}
+`
+	mod, err := Parse("imp", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nest := mod.Funcs[0].Ops[0].(*ir.Nest)
+	sts := nest.Statements()
+	if len(sts) != 3 {
+		t.Fatalf("statements = %d", len(sts))
+	}
+	tc, err := nest.TripCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc != 6+36+6 {
+		t.Fatalf("instances = %d", tc)
+	}
+}
+
+func TestParallelKeyword(t *testing.T) {
+	src := `
+param N = 8
+array A[N]
+parallel for i = 0 to N-1 {
+  A[i] = A[i] + 1;
+}
+`
+	mod, err := Parse("par", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nest := mod.Funcs[0].Ops[0].(*ir.Nest)
+	if !nest.Root.Parallel {
+		t.Fatal("parallel keyword not honored")
+	}
+	// Misplaced keyword errors out.
+	if _, err := Parse("bad", "array A[4]\nparallel A[0] = 1;"); err == nil {
+		t.Fatal("expected error for 'parallel' without 'for'")
+	}
+}

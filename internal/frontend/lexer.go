@@ -1,0 +1,151 @@
+// Package frontend parses a small C-like affine kernel language into the
+// affine IR — the role Polygeist's cgeist front end plays in the paper's
+// flow. The language covers the affine program class of Sec. II-A:
+// parameterized array declarations, perfectly or imperfectly nested loops
+// with affine (max/min/floordiv) bounds, and assignment statements over
+// affine array accesses. Example:
+//
+//	param N = 512
+//	array A[N][N] : f64
+//	array B[N][N] : f64
+//	array C[N][N] : f64
+//
+//	for i = 0 to N-1 {
+//	  for j = 0 to N-1 {
+//	    for k = 0 to N-1 {
+//	      C[i][j] += A[i][k] * B[k][j];
+//	    }
+//	  }
+//	}
+//
+// Arithmetic on the right-hand side is used for access extraction and
+// operator counting (the unitary flop model); values are not computed.
+package frontend
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+// lexer tokenizes source text.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+	toks []token
+}
+
+// lex splits the source into tokens, dropping comments (# ... or // ...).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.advance(1)
+		case c == ' ' || c == '\t' || c == '\r':
+			l.advance(1)
+		case c == '#':
+			l.skipLine()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			l.skipLine()
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		case unicode.IsDigit(rune(c)):
+			l.lexNumber()
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, line: l.line, col: l.col})
+	return l.toks, nil
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) skipLine() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.advance(1)
+	}
+}
+
+func (l *lexer) emit(kind tokKind, text string, line, col int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, line: line, col: col})
+}
+
+func (l *lexer) lexIdent() {
+	line, col, start := l.line, l.col, l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			break
+		}
+		l.advance(1)
+	}
+	l.emit(tokIdent, l.src[start:l.pos], line, col)
+}
+
+func (l *lexer) lexNumber() {
+	line, col, start := l.line, l.col, l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if !unicode.IsDigit(c) && c != '.' {
+			break
+		}
+		l.advance(1)
+	}
+	l.emit(tokNumber, l.src[start:l.pos], line, col)
+}
+
+// twoCharSymbols lists the multi-character operators.
+var twoCharSymbols = []string{"+=", "-=", "*=", "/=", ".."}
+
+func (l *lexer) lexSymbol() error {
+	line, col := l.line, l.col
+	for _, s := range twoCharSymbols {
+		if strings.HasPrefix(l.src[l.pos:], s) {
+			l.advance(2)
+			l.emit(tokSymbol, s, line, col)
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '+', '-', '*', '/', '%', '=', '(', ')', '[', ']', '{', '}', ',', ';', ':':
+		l.advance(1)
+		l.emit(tokSymbol, string(c), line, col)
+		return nil
+	}
+	return fmt.Errorf("frontend: line %d:%d: unexpected character %q", line, col, c)
+}

@@ -1,0 +1,287 @@
+package hw
+
+import (
+	"math"
+	"testing"
+
+	"polyufc/internal/ir"
+)
+
+// synthetic profiles for model-shape tests.
+func cbProfile() *CacheProfile {
+	return &CacheProfile{
+		Flops: 2e9, Instances: 1e9, Loads: 3e9, Stores: 1e8,
+		LevelHits: []int64{3e9, 5e7, 4e7}, LevelMisses: []int64{1e8, 5e7, 1e6},
+		LLCMisses: 1e6, DRAMReadB: 64e6, HasParallel: true,
+	}
+}
+
+func bbProfile() *CacheProfile {
+	return &CacheProfile{
+		Flops: 4e7, Instances: 2e7, Loads: 4e7, Stores: 1e7,
+		LevelHits: []int64{3e7, 5e6, 2e6}, LevelMisses: []int64{2e7, 1.5e7, 1e7},
+		LLCMisses: 1e7, DRAMReadB: 640e6, HasParallel: true,
+	}
+}
+
+func argminEDP(rs []RunResult) (float64, float64) {
+	best := rs[0]
+	for _, r := range rs {
+		if r.EDP < best.EDP {
+			best = r
+		}
+	}
+	return best.UncoreGHz, best.EDP
+}
+
+func TestCBKernelPrefersLowUncore(t *testing.T) {
+	for _, p := range Platforms() {
+		m := NewMachine(p)
+		rs := m.SweepUncore(cbProfile())
+		fBest, _ := argminEDP(rs)
+		mid := (p.UncoreMin + p.UncoreMax) / 2
+		if fBest > mid {
+			t.Fatalf("%s: CB EDP optimum at %.1f GHz, expected below midpoint %.1f", p.Name, fBest, mid)
+		}
+		// Time must be nearly flat: within 5% between min and max freq.
+		t0, t1 := rs[0].Seconds, rs[len(rs)-1].Seconds
+		if math.Abs(t0-t1)/t1 > 0.05 {
+			t.Fatalf("%s: CB time varies %.1f%% across uncore range", p.Name, 100*math.Abs(t0-t1)/t1)
+		}
+		// Energy must increase with frequency.
+		if rs[0].PkgJoules >= rs[len(rs)-1].PkgJoules {
+			t.Fatalf("%s: CB energy did not grow with uncore frequency", p.Name)
+		}
+	}
+}
+
+func TestBBKernelPrefersHighUncore(t *testing.T) {
+	for _, p := range Platforms() {
+		m := NewMachine(p)
+		rs := m.SweepUncore(bbProfile())
+		fBest, _ := argminEDP(rs)
+		mid := (p.UncoreMin + p.UncoreMax) / 2
+		if fBest <= mid {
+			t.Fatalf("%s: BB EDP optimum at %.1f GHz, expected above midpoint %.1f", p.Name, fBest, mid)
+		}
+		// And strictly below max: saturation makes the top frequencies
+		// pure power waste (the paper's gemver/mvt observation).
+		if fBest >= p.UncoreMax {
+			t.Fatalf("%s: BB EDP optimum at max frequency; saturation missing", p.Name)
+		}
+		// Time must improve measurably from min to max frequency (the
+		// saturating curve leaves ~20-40% on BDW's narrow range).
+		t0, t1 := rs[0].Seconds, rs[len(rs)-1].Seconds
+		if t0 < 1.15*t1 {
+			t.Fatalf("%s: BB time barely improves with uncore frequency (%.3f vs %.3f)", p.Name, t0, t1)
+		}
+	}
+}
+
+func TestUncoreStepsAndClamp(t *testing.T) {
+	p := BDW()
+	steps := p.UncoreSteps()
+	if len(steps) != 17 { // 1.2..2.8 in 0.1 steps
+		t.Fatalf("BDW steps = %d, want 17", len(steps))
+	}
+	r := RPL()
+	if n := len(r.UncoreSteps()); n != 39 { // 0.8..4.6: the paper's ~39 steps
+		t.Fatalf("RPL steps = %d, want 39", n)
+	}
+	if got := p.ClampCap(0.5); got != 1.2 {
+		t.Fatalf("clamp low = %v", got)
+	}
+	if got := p.ClampCap(9.9); got != 2.8 {
+		t.Fatalf("clamp high = %v", got)
+	}
+	if got := p.ClampCap(2.04); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("round = %v", got)
+	}
+}
+
+func TestCapSwitchOverhead(t *testing.T) {
+	m := NewMachine(BDW())
+	m.ResetCounters()
+	m.SetUncoreCap(2.0)
+	m.SetUncoreCap(2.0) // no change: free
+	m.SetUncoreCap(1.5)
+	if m.CapSwitches() != 2 {
+		t.Fatalf("switches = %d", m.CapSwitches())
+	}
+	_, _, sec := m.RAPL()
+	want := 2 * BDW().CapLatency
+	if math.Abs(sec-want) > 1e-12 {
+		t.Fatalf("overhead = %g, want %g", sec, want)
+	}
+}
+
+func TestRAPLUncoreZoneAvailability(t *testing.T) {
+	b := NewMachine(BDW())
+	b.Measure(bbProfile())
+	_, u, _ := b.RAPL()
+	if !math.IsNaN(u) {
+		t.Fatal("BDW must not expose an uncore RAPL zone (fn. 15)")
+	}
+	r := NewMachine(RPL())
+	r.Measure(bbProfile())
+	_, u2, _ := r.RAPL()
+	if math.IsNaN(u2) || u2 <= 0 {
+		t.Fatalf("RPL uncore zone = %v", u2)
+	}
+}
+
+func TestMeasureAccumulatesRAPL(t *testing.T) {
+	m := NewMachine(RPL())
+	m.ResetCounters()
+	r1 := m.Measure(cbProfile())
+	r2 := m.Measure(cbProfile())
+	pkg, _, sec := m.RAPL()
+	if math.Abs(pkg-(r1.PkgJoules+r2.PkgJoules)) > 1e-9 {
+		t.Fatal("package energy does not accumulate")
+	}
+	if math.Abs(sec-(r1.Seconds+r2.Seconds)) > 1e-12 {
+		t.Fatal("busy time does not accumulate")
+	}
+}
+
+func TestRunFuncWithCaps(t *testing.T) {
+	// A function with a cap, a kernel, a different cap, and a kernel.
+	A := ir.NewArray("A", 8, 64)
+	B := ir.NewArray("B", 8, 64)
+	stmt := &ir.Statement{Name: "S", Flops: 1}
+	i := ir.AffVar("i")
+	stmt.Accesses = []ir.Access{
+		{Array: A, Index: []ir.AffExpr{i}},
+		{Array: B, Write: true, Index: []ir.AffExpr{i}},
+	}
+	nest := &ir.Nest{Label: "copy", Root: ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(63), stmt)}
+	f := &ir.Func{Name: "k", Ops: []ir.Op{
+		&ir.SetUncoreCap{GHz: 1.5},
+		nest,
+		&ir.SetUncoreCap{GHz: 2.5},
+		nest,
+	}}
+	m := NewMachine(BDW())
+	res, err := m.RunFunc(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= 2*BDW().CapLatency {
+		t.Fatalf("run time %g too small", res.Seconds)
+	}
+	if m.CapSwitches() != 2 {
+		t.Fatalf("switches = %d", m.CapSwitches())
+	}
+	if res.EDP <= 0 || res.PkgJoules <= 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+}
+
+func TestProfileMemoized(t *testing.T) {
+	A := ir.NewArray("A", 8, 128)
+	stmt := &ir.Statement{Name: "S", Flops: 1}
+	stmt.Accesses = []ir.Access{{Array: A, Write: true, Index: []ir.AffExpr{ir.AffVar("i")}}}
+	nest := &ir.Nest{Label: "w", Root: ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(127), stmt)}
+	m := NewMachine(RPL())
+	p1, err := m.Profile(nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := m.Profile(nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("profile not memoized")
+	}
+	if p1.Stores != 128 {
+		t.Fatalf("stores = %d", p1.Stores)
+	}
+}
+
+func TestParallelSpeedsUp(t *testing.T) {
+	p := cbProfile()
+	serial := *p
+	serial.HasParallel = false
+	m := NewMachine(RPL())
+	rp := m.measureAt(p, 3.0, m.P.Threads)
+	rs := m.measureAt(&serial, 3.0, 1)
+	if rp.Seconds >= rs.Seconds/4 {
+		t.Fatalf("parallel %.4fs vs serial %.4fs: insufficient speedup", rp.Seconds, rs.Seconds)
+	}
+}
+
+func TestPlatformLookup(t *testing.T) {
+	if PlatformByName("BDW") == nil || PlatformByName("rpl") == nil {
+		t.Fatal("lookup failed")
+	}
+	if PlatformByName("xyz") != nil {
+		t.Fatal("unknown platform should be nil")
+	}
+}
+
+func TestMeasurementNoise(t *testing.T) {
+	m := NewMachine(RPL())
+	p := cbProfile()
+	clean1 := m.Measure(p)
+	clean2 := m.Measure(p)
+	if clean1.Seconds != clean2.Seconds {
+		t.Fatal("noiseless measurements must be deterministic")
+	}
+	m.SetNoise(42, 0.02)
+	var sum, sumSq float64
+	const n = 200
+	for i := 0; i < n; i++ {
+		r := m.Measure(p)
+		ratio := r.Seconds / clean1.Seconds
+		sum += ratio
+		sumSq += ratio * ratio
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.01 {
+		t.Fatalf("noise mean ratio %.4f, want ~1", mean)
+	}
+	variance := sumSq/n - mean*mean
+	if variance <= 0 || math.Sqrt(variance) > 0.05 {
+		t.Fatalf("noise stddev %.4f out of range", math.Sqrt(variance))
+	}
+	// Same seed reproduces exactly.
+	m1, m2 := NewMachine(RPL()), NewMachine(RPL())
+	m1.SetNoise(7, 0.05)
+	m2.SetNoise(7, 0.05)
+	if m1.Measure(p).Seconds != m2.Measure(p).Seconds {
+		t.Fatal("seeded noise must be reproducible")
+	}
+	// Disabling restores determinism.
+	m.SetNoise(0, 0)
+	if m.Measure(p).Seconds != clean1.Seconds {
+		t.Fatal("disabling noise failed")
+	}
+}
+
+func TestSetCoreFreq(t *testing.T) {
+	m := NewMachine(BDW())
+	if m.CoreFreq() != BDW().CoreBase {
+		t.Fatalf("initial core freq = %f", m.CoreFreq())
+	}
+	f := m.SetCoreFreq(2.55)
+	if f != 2.6 && f != 2.5 {
+		t.Fatalf("rounded core freq = %f", f)
+	}
+	if got := m.SetCoreFreq(99); got != BDW().CoreMax {
+		t.Fatalf("clamp high = %f", got)
+	}
+	if got := m.SetCoreFreq(0.1); got != BDW().CoreMin {
+		t.Fatalf("clamp low = %f", got)
+	}
+	// Throttled compute-bound runs take proportionally longer.
+	p := cbProfile()
+	fast := m.MeasureAt(p, BDW().CoreMax, 2.0)
+	slow := m.MeasureAt(p, BDW().CoreMin, 2.0)
+	if slow.Seconds < 2*fast.Seconds {
+		t.Fatalf("core throttle barely slowed CB kernel: %g vs %g", slow.Seconds, fast.Seconds)
+	}
+	if fast.CoreGHz != BDW().CoreMax || slow.CoreGHz != BDW().CoreMin {
+		t.Fatal("CoreGHz not recorded")
+	}
+}

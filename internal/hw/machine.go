@@ -1,0 +1,377 @@
+package hw
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"polyufc/internal/cachesim"
+	"polyufc/internal/interp"
+	"polyufc/internal/ir"
+)
+
+// CacheProfile is the frequency-independent execution profile of one
+// kernel on one platform: event counts from the exact simulator. Profiles
+// are reused across uncore frequency sweeps, since cache behaviour does
+// not depend on the uncore clock.
+type CacheProfile struct {
+	Flops     int64
+	Instances int64
+	Loads     int64
+	Stores    int64
+	// LevelHits[i] are hits at cache level i.
+	LevelHits []int64
+	// LevelMisses[i] are misses at cache level i.
+	LevelMisses []int64
+	LLCMisses   int64
+	DRAMReadB   int64
+	DRAMWriteB  int64
+	HasParallel bool
+	Label       string
+}
+
+// Machine is a platform with driver state and RAPL-style energy counters.
+type Machine struct {
+	P *Platform
+	// uncoreCap is the active cap set through the UFS driver.
+	uncoreCap float64
+	// coreFreq is the active core frequency set through the P-state
+	// driver (the performance governor pins it at CoreBase by default).
+	coreFreq float64
+	// capSwitches counts cap changes (each costs CapLatency).
+	capSwitches int64
+	// RAPL accumulators (joules) and total busy time (seconds).
+	pkgEnergy    float64
+	uncoreEnergy float64
+	busyTime     float64
+	profiles     map[*ir.Nest]*CacheProfile
+	// noise, when non-nil, applies seeded multiplicative jitter to each
+	// measurement — the run-to-run variation real RAPL/timing exhibits.
+	noise      *rand.Rand
+	noiseSigma float64
+}
+
+// SetNoise enables deterministic measurement jitter: each Measure result's
+// time and energy are scaled by independent factors drawn from
+// N(1, sigma). sigma = 0 disables it again.
+func (m *Machine) SetNoise(seed int64, sigma float64) {
+	if sigma <= 0 {
+		m.noise = nil
+		m.noiseSigma = 0
+		return
+	}
+	m.noise = rand.New(rand.NewSource(seed))
+	m.noiseSigma = sigma
+}
+
+// jitter perturbs a result in place when noise is enabled.
+func (m *Machine) jitter(r *RunResult) {
+	if m.noise == nil {
+		return
+	}
+	ft := 1 + m.noise.NormFloat64()*m.noiseSigma
+	fe := 1 + m.noise.NormFloat64()*m.noiseSigma
+	if ft < 0.5 {
+		ft = 0.5
+	}
+	if fe < 0.5 {
+		fe = 0.5
+	}
+	r.Seconds *= ft
+	r.PkgJoules *= fe
+	r.UncoreJoules *= fe
+	r.AvgWatts = r.PkgJoules / r.Seconds
+	r.EDP = r.PkgJoules * r.Seconds
+	r.GFlops /= ft
+	r.DRAMGBs /= ft
+}
+
+// NewMachine boots a platform with the uncore at its maximum frequency
+// (the default UFS driver behaviour under load: no capping, the
+// over-provisioning the paper targets).
+func NewMachine(p *Platform) *Machine {
+	return &Machine{P: p, uncoreCap: p.UncoreMax, coreFreq: p.CoreBase,
+		profiles: map[*ir.Nest]*CacheProfile{}}
+}
+
+// UncoreCap returns the active uncore frequency cap in GHz.
+func (m *Machine) UncoreCap() float64 { return m.uncoreCap }
+
+// CoreFreq returns the active core frequency in GHz.
+func (m *Machine) CoreFreq() float64 { return m.coreFreq }
+
+// SetCoreFreq emulates the intel_pstate driver: the requested frequency is
+// clamped to the platform's core range at 0.1 GHz granularity; a change
+// costs the same transition latency as an uncore cap.
+func (m *Machine) SetCoreFreq(ghz float64) float64 {
+	f := roundStep(ghz, m.P.CapStep)
+	if f < m.P.CoreMin {
+		f = m.P.CoreMin
+	}
+	if f > m.P.CoreMax {
+		f = m.P.CoreMax
+	}
+	if f != m.coreFreq {
+		m.coreFreq = f
+		m.capSwitches++
+		m.busyTime += m.P.CapLatency
+		m.pkgEnergy += m.P.CapLatency * m.P.truth.PConstW
+	}
+	return f
+}
+
+// CapSwitches returns how many cap changes the UFS driver performed.
+func (m *Machine) CapSwitches() int64 { return m.capSwitches }
+
+// SetUncoreCap emulates the intel_uncore_frequency driver: the requested
+// cap is clamped to the platform range and 0.1 GHz granularity; changing
+// the cap costs CapLatency of wall-clock time (accounted to busyTime and
+// constant power).
+func (m *Machine) SetUncoreCap(ghz float64) float64 {
+	f := m.P.ClampCap(ghz)
+	if f != m.uncoreCap {
+		m.uncoreCap = f
+		m.capSwitches++
+		m.busyTime += m.P.CapLatency
+		m.pkgEnergy += m.P.CapLatency * m.P.truth.PConstW
+	}
+	return f
+}
+
+// ResetCounters clears the RAPL accumulators and driver statistics.
+func (m *Machine) ResetCounters() {
+	m.pkgEnergy, m.uncoreEnergy, m.busyTime = 0, 0, 0
+	m.capSwitches = 0
+}
+
+// RAPL returns the accumulated package energy, uncore-zone energy (NaN on
+// platforms without the uncore zone, per footnote 15) and busy time.
+func (m *Machine) RAPL() (pkgJ, uncoreJ, seconds float64) {
+	u := m.uncoreEnergy
+	if !m.P.HasUncoreRAPL {
+		u = math.NaN()
+	}
+	return m.pkgEnergy, u, m.busyTime
+}
+
+// Profile executes the kernel once through the exact cache simulator and
+// returns its frequency-independent profile. Profiles are memoized per
+// nest.
+func (m *Machine) Profile(nest *ir.Nest) (*CacheProfile, error) {
+	if p, ok := m.profiles[nest]; ok {
+		return p, nil
+	}
+	p, err := ProfileNest(nest, m.P.Cache)
+	if err != nil {
+		return nil, err
+	}
+	m.profiles[nest] = p
+	return p, nil
+}
+
+// ProfileNest runs a nest through a cache hierarchy and collects counts.
+func ProfileNest(nest *ir.Nest, cache cachesim.Config) (*CacheProfile, error) {
+	sim, err := cachesim.New(cache)
+	if err != nil {
+		return nil, err
+	}
+	st, err := interp.RunNest(nest, interp.TracerFunc(func(a, sz int64, w bool) {
+		sim.Access(a, sz, w)
+	}))
+	if err != nil {
+		return nil, err
+	}
+	p := &CacheProfile{
+		Flops: st.Flops, Instances: st.Instances,
+		Loads: st.Loads, Stores: st.Stores,
+		LLCMisses: sim.LLCStats().Misses,
+		DRAMReadB: sim.DRAMReadBytes, DRAMWriteB: sim.DRAMWriteBytes,
+		Label: nest.Label,
+	}
+	for i := 0; i < sim.NumLevels(); i++ {
+		p.LevelHits = append(p.LevelHits, sim.LevelStats(i).Hits)
+		p.LevelMisses = append(p.LevelMisses, sim.LevelStats(i).Misses)
+	}
+	if nest.Root != nil && nest.Root.Parallel {
+		p.HasParallel = true
+	}
+	return p, nil
+}
+
+// RunResult is one hardware measurement.
+type RunResult struct {
+	Seconds      float64
+	PkgJoules    float64
+	UncoreJoules float64
+	AvgWatts     float64
+	EDP          float64 // joule-seconds
+	GFlops       float64
+	DRAMGBs      float64 // achieved DRAM bandwidth
+	UncoreGHz    float64
+	CoreGHz      float64
+	Threads      int
+}
+
+// Measure converts a profile into time and energy at the machine's current
+// uncore cap, using the hidden ground-truth model. The RAPL counters
+// accumulate.
+func (m *Machine) Measure(p *CacheProfile) RunResult {
+	threads := 1
+	if p.HasParallel {
+		threads = m.P.Threads
+	}
+	r := m.measureAtJoint(p, m.coreFreq, m.uncoreCap, threads)
+	m.jitter(&r)
+	m.pkgEnergy += r.PkgJoules
+	m.uncoreEnergy += r.UncoreJoules
+	m.busyTime += r.Seconds
+	return r
+}
+
+// measureAt measures at the base core clock (the performance governor's
+// pin) and the given uncore frequency.
+func (m *Machine) measureAt(p *CacheProfile, fU float64, threads int) RunResult {
+	return m.measureAtJoint(p, m.P.CoreBase, fU, threads)
+}
+
+// measureAtJoint is the hidden hardware model, parametric in both
+// frequency domains. Core-clocked resources (FPU throughput, L1/L2/LLC hit
+// latencies) scale with f_core; core dynamic energy per flop follows the
+// classic f²-with-voltage-floor DVFS law.
+func (m *Machine) measureAtJoint(p *CacheProfile, fC, fU float64, threads int) RunResult {
+	t := m.P.truth
+	th := float64(threads)
+
+	// Compute time: FPU throughput at the core clock.
+	flopsPerSec := th * t.FlopsPerCycle * fC * 1e9
+	tc := float64(p.Flops) / flopsPerSec
+
+	// Cache hit service time (core-clocked), overlapped by ILP and spread
+	// over threads.
+	clockScale := m.P.CoreBase / fC
+	var tHits float64
+	for i, hits := range p.LevelHits {
+		lat := t.HitLatencyNs[minInt(i, len(t.HitLatencyNs)-1)] * 1e-9 * clockScale
+		tHits += float64(hits) * lat
+	}
+	tHits /= t.ILP * th
+
+	// DRAM: per-miss latency a/f + b overlapped by MLP, against the
+	// saturating bandwidth of the uncore interconnect.
+	missLat := (t.DRAMLatCoefNsGHz/fU + t.DRAMLatBaseNs) * 1e-9
+	mlp := minF(t.MLP*th, t.MLPSystem)
+	tLat := float64(p.LLCMisses) * missLat / mlp
+	bw := t.BWPeakGBs * fU / (fU + t.BWKneeGHz) * 1e9
+	tBW := float64(p.DRAMReadB) / bw
+	tDRAM := math.Max(tLat, tBW)
+
+	tm := tHits + tDRAM
+	sec := math.Max(tc, tm) + t.Overlap*math.Min(tc, tm)
+	if sec <= 0 {
+		sec = 1e-12
+	}
+
+	// Power. Core dynamic energy per flop scales as 0.35 + 0.65*(f/base)^2
+	// (frequency-proportional with the voltage-squared term above a
+	// leakage/voltage floor).
+	rel := fC / m.P.CoreBase
+	eFlop := t.CoreJPerFlop * (0.35 + 0.65*rel*rel)
+	pCore := t.CoreIdleWPerGHz*fC + eFlop*float64(p.Flops)/sec
+	util := math.Min(1, (float64(p.DRAMReadB)/sec)/bw)
+	pUncore := t.UncoreIdleWPerGHz*fU + (t.UncoreActWPerGHz*fU+t.UncoreActBaseW)*util
+	pTotal := t.PConstW + pCore + pUncore
+
+	energy := pTotal * sec
+	return RunResult{
+		Seconds:      sec,
+		PkgJoules:    energy,
+		UncoreJoules: pUncore * sec,
+		AvgWatts:     pTotal,
+		EDP:          energy * sec,
+		GFlops:       float64(p.Flops) / sec / 1e9,
+		DRAMGBs:      float64(p.DRAMReadB) / sec / 1e9,
+		UncoreGHz:    fU,
+		CoreGHz:      fC,
+		Threads:      threads,
+	}
+}
+
+// RunNest profiles (memoized) and measures a nest at the current cap.
+func (m *Machine) RunNest(nest *ir.Nest) (RunResult, error) {
+	p, err := m.Profile(nest)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return m.Measure(p), nil
+}
+
+// RunFunc executes a function's op sequence: cap ops drive the UFS driver,
+// affine nests execute on the machine. It returns the aggregate result.
+func (m *Machine) RunFunc(f *ir.Func) (RunResult, error) {
+	var agg RunResult
+	agg.UncoreGHz = m.uncoreCap
+	for _, op := range f.Ops {
+		switch x := op.(type) {
+		case *ir.SetUncoreCap:
+			before := m.busyTime
+			beforeE := m.pkgEnergy
+			m.SetUncoreCap(x.GHz)
+			agg.Seconds += m.busyTime - before
+			agg.PkgJoules += m.pkgEnergy - beforeE
+		case *ir.Nest:
+			r, err := m.RunNest(x)
+			if err != nil {
+				return agg, err
+			}
+			agg.Seconds += r.Seconds
+			agg.PkgJoules += r.PkgJoules
+			agg.UncoreJoules += r.UncoreJoules
+		default:
+			return agg, fmt.Errorf("hw: cannot execute %s", op.OpName())
+		}
+	}
+	if agg.Seconds > 0 {
+		agg.AvgWatts = agg.PkgJoules / agg.Seconds
+	}
+	agg.EDP = agg.PkgJoules * agg.Seconds
+	return agg, nil
+}
+
+// MeasureAt measures a profile at explicit core and uncore frequencies
+// without touching driver state or the RAPL counters — the hook the
+// roofline micro-benchmarks and frequency-domain studies use.
+func (m *Machine) MeasureAt(p *CacheProfile, fCore, fUncore float64) RunResult {
+	threads := 1
+	if p.HasParallel {
+		threads = m.P.Threads
+	}
+	return m.measureAtJoint(p, fCore, fUncore, threads)
+}
+
+// SweepUncore measures a profile at every allowed uncore frequency without
+// touching driver state — the instrument behind the Fig. 1 curves.
+func (m *Machine) SweepUncore(p *CacheProfile) []RunResult {
+	threads := 1
+	if p.HasParallel {
+		threads = m.P.Threads
+	}
+	var out []RunResult
+	for _, f := range m.P.UncoreSteps() {
+		out = append(out, m.measureAt(p, f, threads))
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,190 @@
+package interp
+
+import (
+	"testing"
+
+	"polyufc/internal/cachesim"
+	"polyufc/internal/ir"
+	"polyufc/internal/pluto"
+)
+
+func matmulNest(m, n, k int64) *ir.Nest {
+	A := ir.NewArray("A", 8, m, k)
+	B := ir.NewArray("B", 8, k, n)
+	C := ir.NewArray("C", 8, m, n)
+	stmt := &ir.Statement{Name: "S0", Flops: 2}
+	i, j, kk := ir.AffVar("i"), ir.AffVar("j"), ir.AffVar("k")
+	stmt.Accesses = []ir.Access{
+		{Array: A, Index: []ir.AffExpr{i, kk}},
+		{Array: B, Index: []ir.AffExpr{kk, j}},
+		{Array: C, Index: []ir.AffExpr{i, j}},
+		{Array: C, Write: true, Index: []ir.AffExpr{i, j}},
+	}
+	kl := ir.SimpleLoop("k", ir.AffConst(0), ir.AffConst(k-1), stmt)
+	jl := ir.SimpleLoop("j", ir.AffConst(0), ir.AffConst(n-1), kl)
+	il := ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(m-1), jl)
+	return &ir.Nest{Label: "matmul", Root: il}
+}
+
+func TestRunCountsMatchPolyhedralModel(t *testing.T) {
+	nest := matmulNest(12, 10, 8)
+	st, err := RunNest(nest, NullTracer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(12 * 10 * 8)
+	if st.Instances != want {
+		t.Fatalf("instances = %d, want %d", st.Instances, want)
+	}
+	if st.Flops != 2*want {
+		t.Fatalf("flops = %d", st.Flops)
+	}
+	if st.Loads != 3*want || st.Stores != want {
+		t.Fatalf("loads/stores = %d/%d", st.Loads, st.Stores)
+	}
+	fl, err := nest.Flops()
+	if err != nil || fl != st.Flops {
+		t.Fatalf("polyhedral flop count %d != executed %d", fl, st.Flops)
+	}
+}
+
+func TestLayoutNonOverlapping(t *testing.T) {
+	a := ir.NewArray("a", 8, 100)
+	b := ir.NewArray("b", 8, 100)
+	l := NewLayout([]*ir.Array{a, b})
+	if l.Base[a] == l.Base[b] {
+		t.Fatal("overlapping bases")
+	}
+	if l.Base[b]-l.Base[a] < a.SizeBytes() {
+		t.Fatal("arrays overlap")
+	}
+	if l.Base[a]%4096 != 0 || l.Base[b]%4096 != 0 {
+		t.Fatal("bases not page aligned")
+	}
+}
+
+func TestTraceAddresses(t *testing.T) {
+	// A[i][j] over 2x3, row-major, 8-byte elems.
+	A := ir.NewArray("A", 8, 2, 3)
+	stmt := &ir.Statement{Name: "S", Flops: 0}
+	i, j := ir.AffVar("i"), ir.AffVar("j")
+	stmt.Accesses = []ir.Access{{Array: A, Write: true, Index: []ir.AffExpr{i, j}}}
+	jl := ir.SimpleLoop("j", ir.AffConst(0), ir.AffConst(2), stmt)
+	il := ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(1), jl)
+	nest := &ir.Nest{Root: il}
+	var addrs []int64
+	_, err := RunNest(nest, TracerFunc(func(addr, size int64, write bool) {
+		if !write || size != 8 {
+			t.Fatalf("access kind wrong: write=%v size=%d", write, size)
+		}
+		addrs = append(addrs, addr)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 6 {
+		t.Fatalf("accesses = %d", len(addrs))
+	}
+	base := addrs[0]
+	for idx, a := range addrs {
+		if a != base+int64(idx)*8 {
+			t.Fatalf("addrs = %v, not sequential row-major", addrs)
+		}
+	}
+}
+
+func TestTiledExecutionSameFootprint(t *testing.T) {
+	// The tiled nest must perform exactly the same accesses (different
+	// order), so cold misses in a big cache are identical, and total
+	// instance counts match.
+	nest := matmulNest(40, 40, 40)
+	tiled, err := pluto.TileNest(nest, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigCache := cachesim.Config{Levels: []cachesim.LevelConfig{
+		{Name: "L1", SizeBytes: 1 << 22, LineSize: 64, Assoc: 8},
+	}}
+	s1 := cachesim.MustNew(bigCache)
+	st1, err := RunNest(nest, TracerFunc(func(a, sz int64, w bool) { s1.Access(a, sz, w) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := cachesim.MustNew(bigCache)
+	st2, err := RunNest(tiled, TracerFunc(func(a, sz int64, w bool) { s2.Access(a, sz, w) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Instances != st2.Instances {
+		t.Fatalf("instances %d vs %d", st1.Instances, st2.Instances)
+	}
+	c1, c2 := s1.LevelStats(0).ColdMisses, s2.LevelStats(0).ColdMisses
+	if c1 != c2 {
+		t.Fatalf("cold misses differ: %d vs %d", c1, c2)
+	}
+}
+
+func TestTilingImprovesLocality(t *testing.T) {
+	// In a small cache, tiled matmul must miss less than untiled.
+	nest := matmulNest(64, 64, 64)
+	tiled, err := pluto.TileNest(nest, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := cachesim.Config{Levels: []cachesim.LevelConfig{
+		{Name: "L1", SizeBytes: 16 << 10, LineSize: 64, Assoc: 8},
+	}}
+	s1 := cachesim.MustNew(small)
+	if _, err := RunNest(nest, TracerFunc(func(a, sz int64, w bool) { s1.Access(a, sz, w) })); err != nil {
+		t.Fatal(err)
+	}
+	s2 := cachesim.MustNew(small)
+	if _, err := RunNest(tiled, TracerFunc(func(a, sz int64, w bool) { s2.Access(a, sz, w) })); err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := s1.LevelStats(0).Misses, s2.LevelStats(0).Misses
+	if m2 >= m1 {
+		t.Fatalf("tiling did not reduce misses: untiled %d, tiled %d", m1, m2)
+	}
+}
+
+func TestCompileRejectsUnknownArray(t *testing.T) {
+	nest := matmulNest(4, 4, 4)
+	empty := &Layout{Base: map[*ir.Array]int64{}}
+	if _, err := Compile(nest, empty); err == nil {
+		t.Fatal("expected error for missing layout entry")
+	}
+}
+
+func TestStrideAccessPattern(t *testing.T) {
+	// B[k][j] accessed with k innermost: stride = row length.
+	B := ir.NewArray("B", 8, 4, 5)
+	stmt := &ir.Statement{Name: "S", Flops: 0}
+	k, j := ir.AffVar("k"), ir.AffVar("j")
+	stmt.Accesses = []ir.Access{{Array: B, Index: []ir.AffExpr{k, j}}}
+	kl := ir.SimpleLoop("k", ir.AffConst(0), ir.AffConst(3), stmt)
+	jl := ir.SimpleLoop("j", ir.AffConst(0), ir.AffConst(4), kl)
+	nest := &ir.Nest{Root: jl}
+	var addrs []int64
+	if _, err := RunNest(nest, TracerFunc(func(a, _ int64, _ bool) { addrs = append(addrs, a) })); err != nil {
+		t.Fatal(err)
+	}
+	// For fixed j, consecutive k differ by 5*8 bytes.
+	if addrs[1]-addrs[0] != 40 {
+		t.Fatalf("stride = %d, want 40", addrs[1]-addrs[0])
+	}
+}
+
+func BenchmarkInterpMatmul(b *testing.B) {
+	nest := matmulNest(64, 64, 64)
+	layout := NewLayout(nest.Operands())
+	prog, err := Compile(nest, layout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog.Run(NullTracer{})
+	}
+	b.SetBytes(64 * 64 * 64 * 4 * 8)
+}

@@ -1,0 +1,154 @@
+// Package ir defines a small multi-dialect intermediate representation
+// mirroring the MLIR levels the PolyUFC flow operates on: a high-level
+// torch-like dialect (whole ML operators), a linalg-like dialect
+// (structured operations), and an affine dialect (loop nests over affine
+// accesses). Lowering between the levels lives in package lower; the
+// polyufc.set_uncore_cap operation can be inserted at any level.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dialect identifies the abstraction level of an operation or function.
+type Dialect int
+
+// Dialect levels, from highest to lowest.
+const (
+	DialectTorch Dialect = iota
+	DialectLinalg
+	DialectAffine
+)
+
+func (d Dialect) String() string {
+	switch d {
+	case DialectTorch:
+		return "torch"
+	case DialectLinalg:
+		return "linalg"
+	case DialectAffine:
+		return "affine"
+	}
+	return fmt.Sprintf("dialect(%d)", int(d))
+}
+
+// Op is any operation in a function body. Torch ops, linalg ops, affine
+// loop nests and polyufc cap ops all implement it.
+type Op interface {
+	// Dialect reports the op's abstraction level.
+	Dialect() Dialect
+	// OpName returns the dialect-qualified operation name, e.g.
+	// "linalg.matmul".
+	OpName() string
+	// Operands returns the arrays the op reads or writes (reads first).
+	Operands() []*Array
+	// Origin returns the name of the higher-level op this op was lowered
+	// from, or "" if it is original.
+	Origin() string
+}
+
+// Array is a tensor/memref: a named, row-major array of fixed element size.
+type Array struct {
+	Name     string
+	ElemSize int64   // bytes per element
+	Dims     []int64 // extents, outermost first
+}
+
+// NewArray constructs an array; elemSize is in bytes.
+func NewArray(name string, elemSize int64, dims ...int64) *Array {
+	return &Array{Name: name, ElemSize: elemSize, Dims: append([]int64(nil), dims...)}
+}
+
+// NumElems returns the total number of elements.
+func (a *Array) NumElems() int64 {
+	n := int64(1)
+	for _, d := range a.Dims {
+		n *= d
+	}
+	return n
+}
+
+// SizeBytes returns the array's total size in bytes.
+func (a *Array) SizeBytes() int64 { return a.NumElems() * a.ElemSize }
+
+// Strides returns row-major element strides for each dimension.
+func (a *Array) Strides() []int64 {
+	s := make([]int64, len(a.Dims))
+	acc := int64(1)
+	for i := len(a.Dims) - 1; i >= 0; i-- {
+		s[i] = acc
+		acc *= a.Dims[i]
+	}
+	return s
+}
+
+func (a *Array) String() string {
+	parts := make([]string, len(a.Dims))
+	for i, d := range a.Dims {
+		parts[i] = fmt.Sprint(d)
+	}
+	return fmt.Sprintf("%s: memref<%sxf%d>", a.Name, strings.Join(parts, "x"), a.ElemSize*8)
+}
+
+// Func is a function body: an ordered list of operations at one dialect
+// level (mixed levels are permitted mid-lowering).
+type Func struct {
+	Name string
+	Ops  []Op
+}
+
+// Module is a compilation unit.
+type Module struct {
+	Name  string
+	Funcs []*Func
+}
+
+// NewModule returns a module with a single empty function of the same name.
+func NewModule(name string) (*Module, *Func) {
+	f := &Func{Name: name}
+	return &Module{Name: name, Funcs: []*Func{f}}, f
+}
+
+// Arrays returns the distinct arrays referenced by the function, in first-
+// use order.
+func (f *Func) Arrays() []*Array {
+	seen := map[*Array]bool{}
+	var out []*Array
+	for _, op := range f.Ops {
+		for _, a := range op.Operands() {
+			if a != nil && !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// SetUncoreCap is the polyufc.set_uncore_cap operation: it requests that
+// the uncore frequency be capped at GHz before the following op executes.
+type SetUncoreCap struct {
+	GHz float64
+	// Level records the dialect level the cap was inserted at (caps are
+	// dialect-agnostic runtime calls; Level drives the granularity study).
+	Level Dialect
+	// From names the op the cap was derived for (diagnostics).
+	From string
+}
+
+// Dialect implements Op; caps report the level they were inserted at.
+func (c *SetUncoreCap) Dialect() Dialect { return c.Level }
+
+// OpName implements Op.
+func (c *SetUncoreCap) OpName() string { return "polyufc.set_uncore_cap" }
+
+// Operands implements Op; caps touch no arrays.
+func (c *SetUncoreCap) Operands() []*Array { return nil }
+
+// Origin implements Op.
+func (c *SetUncoreCap) Origin() string { return c.From }
+
+func (c *SetUncoreCap) String() string {
+	return fmt.Sprintf("polyufc.set_uncore_cap(%.1f GHz)", c.GHz)
+}

@@ -1,0 +1,143 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the module in an MLIR-flavoured textual form.
+func (m *Module) Print() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "module @%s {\n", m.Name)
+	for _, f := range m.Funcs {
+		sb.WriteString(indent(f.Print(), 2))
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Print renders the function body.
+func (f *Func) Print() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func.func @%s(", f.Name)
+	arrays := f.Arrays()
+	parts := make([]string, len(arrays))
+	for i, a := range arrays {
+		parts[i] = "%" + a.String()
+	}
+	sb.WriteString(strings.Join(parts, ", "))
+	sb.WriteString(") {\n")
+	for _, op := range f.Ops {
+		sb.WriteString(indent(PrintOp(op), 2))
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// PrintOp renders one operation.
+func PrintOp(op Op) string {
+	switch x := op.(type) {
+	case *SetUncoreCap:
+		return fmt.Sprintf("%s {ghz = %.1f, for = %q}\n", x.OpName(), x.GHz, x.From)
+	case *Nest:
+		var sb strings.Builder
+		label := x.Label
+		if label == "" {
+			label = "nest"
+		}
+		fmt.Fprintf(&sb, "// affine nest %q", label)
+		if x.Origin() != "" {
+			fmt.Fprintf(&sb, " (from %s)", x.Origin())
+		}
+		sb.WriteString("\n")
+		sb.WriteString(printLoop(x.Root))
+		return sb.String()
+	case *TorchSDPA:
+		return fmt.Sprintf("%s(%s, %s, %s) -> %s %s\n", x.OpName(), x.Q.Name, x.K.Name, x.V.Name, x.Out.Name, torchShape(x.Out))
+	case *TorchMatMul:
+		return fmt.Sprintf("%s(%s, %s) -> %s %s\n", x.OpName(), x.A.Name, x.B.Name, x.Out.Name, torchShape(x.Out))
+	case *TorchConv2D:
+		return fmt.Sprintf("%s(%s, %s) -> %s %s\n", x.OpName(), x.Input.Name, x.Filter.Name, x.Out.Name, torchShape(x.Out))
+	default:
+		ops := op.Operands()
+		names := make([]string, len(ops))
+		for i, a := range ops {
+			names[i] = a.Name
+		}
+		s := fmt.Sprintf("%s(%s)", op.OpName(), strings.Join(names, ", "))
+		if op.Origin() != "" {
+			s += fmt.Sprintf(" {origin = %q}", op.Origin())
+		}
+		return s + "\n"
+	}
+}
+
+func printLoop(l *Loop) string {
+	if l == nil {
+		return ""
+	}
+	var sb strings.Builder
+	kw := "affine.for"
+	if l.Parallel {
+		kw = "affine.parallel"
+	}
+	fmt.Fprintf(&sb, "%s %%%s = %s to %s {\n", kw, l.IV, boundStr(l.Lo, "max"), boundStr(l.Hi, "min"))
+	for _, node := range l.Body {
+		switch x := node.(type) {
+		case *Loop:
+			sb.WriteString(indent(printLoop(x), 2))
+		case *Statement:
+			sb.WriteString(indent(printStatement(x), 2))
+		case *CapNode:
+			sb.WriteString(indent(fmt.Sprintf("polyufc.set_uncore_cap {ghz = %.1f}\n", x.Cap.GHz), 2))
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func boundStr(bounds []Bound, combiner string) string {
+	if len(bounds) == 1 {
+		return bounds[0].String()
+	}
+	parts := make([]string, len(bounds))
+	for i, b := range bounds {
+		parts[i] = b.String()
+	}
+	return combiner + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func printStatement(s *Statement) string {
+	var sb strings.Builder
+	for _, a := range s.Accesses {
+		if !a.Write {
+			fmt.Fprintf(&sb, "%%v = affine.load %%%s[%s]\n", a.Array.Name, idxStr(a.Index))
+		}
+	}
+	fmt.Fprintf(&sb, "// %s: %d flops\n", s.Name, s.Flops)
+	for _, a := range s.Accesses {
+		if a.Write {
+			fmt.Fprintf(&sb, "affine.store %%v, %%%s[%s]\n", a.Array.Name, idxStr(a.Index))
+		}
+	}
+	return sb.String()
+}
+
+func idxStr(idx []AffExpr) string {
+	parts := make([]string, len(idx))
+	for i, e := range idx {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func indent(s string, n int) string {
+	pad := strings.Repeat(" ", n)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = pad + l
+		}
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,547 @@
+package isl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ConKind distinguishes inequality (>= 0) from equality (= 0) constraints.
+type ConKind int
+
+// Constraint kinds.
+const (
+	GE ConKind = iota // expression >= 0
+	EQ                // expression == 0
+)
+
+// con is an internal constraint with coefficient columns laid out as
+// [params | in dims | out dims | existentials] plus a constant.
+type con struct {
+	kind ConKind
+	coef []int64
+	c    int64
+}
+
+func (k ConKind) String() string {
+	if k == EQ {
+		return "="
+	}
+	return ">="
+}
+
+// BasicSet is a conjunction of affine constraints over a space, possibly
+// with existentially quantified dimensions (used to express integer
+// division and modulo). When the space has In dimensions the BasicSet is
+// interpreted as a basic relation (map).
+type BasicSet struct {
+	Sp     Space
+	NExist int
+	cons   []con
+	// markedEmpty is set when simplification detects an unsatisfiable
+	// constant constraint.
+	markedEmpty bool
+}
+
+// Universe returns the unconstrained basic set over the given space.
+func Universe(sp Space) BasicSet { return BasicSet{Sp: sp} }
+
+// totalCols returns the number of coefficient columns including existentials.
+func (b *BasicSet) totalCols() int { return b.Sp.NumCols() + b.NExist }
+
+// Clone returns a deep copy of b.
+func (b BasicSet) Clone() BasicSet {
+	nb := b
+	nb.cons = make([]con, len(b.cons))
+	for i, c := range b.cons {
+		nb.cons[i] = con{kind: c.kind, coef: append([]int64(nil), c.coef...), c: c.c}
+	}
+	return nb
+}
+
+// NumConstraints returns the number of constraints in b.
+func (b BasicSet) NumConstraints() int { return len(b.cons) }
+
+// rawCoef converts a LinExpr into a full coefficient row for b.
+func (b *BasicSet) rawCoef(e LinExpr) []int64 {
+	np, nv := b.Sp.NumParams(), b.Sp.NumVars()
+	if len(e.ParamCoef) != np || len(e.VarCoef) != nv {
+		panic(fmt.Sprintf("isl: expression shape (%d,%d) does not match space (%d,%d)",
+			len(e.ParamCoef), len(e.VarCoef), np, nv))
+	}
+	row := make([]int64, b.totalCols())
+	copy(row, e.ParamCoef)
+	copy(row[np:], e.VarCoef)
+	return row
+}
+
+// AddGE adds the constraint e >= 0.
+func (b *BasicSet) AddGE(e LinExpr) { b.addRaw(GE, b.rawCoef(e), e.Const) }
+
+// AddEQ adds the constraint e == 0.
+func (b *BasicSet) AddEQ(e LinExpr) { b.addRaw(EQ, b.rawCoef(e), e.Const) }
+
+// AddLE adds the constraint e <= f, i.e. f - e >= 0.
+func (b *BasicSet) AddLE(e, f LinExpr) { b.AddGE(f.Sub(e)) }
+
+// AddEquals adds the constraint e == f.
+func (b *BasicSet) AddEquals(e, f LinExpr) { b.AddEQ(e.Sub(f)) }
+
+// AddRange adds lo <= var_i <= hi for constant bounds.
+func (b *BasicSet) AddRange(i int, lo, hi int64) {
+	v := b.Sp.VarExpr(i)
+	b.AddGE(v.AddConst(-lo))      // v - lo >= 0
+	b.AddGE(v.Neg().AddConst(hi)) // hi - v >= 0
+}
+
+// FixVar adds the equality var_i == v.
+func (b *BasicSet) FixVar(i int, v int64) {
+	b.AddEQ(b.Sp.VarExpr(i).AddConst(-v))
+}
+
+func (b *BasicSet) addRaw(kind ConKind, coef []int64, c int64) {
+	cc := con{kind: kind, coef: coef, c: c}
+	normalizeCon(&cc)
+	switch trivial(cc) {
+	case trivTrue:
+		return
+	case trivFalse:
+		b.markedEmpty = true
+	}
+	b.cons = append(b.cons, cc)
+}
+
+type trivKind int
+
+const (
+	trivNo trivKind = iota
+	trivTrue
+	trivFalse
+)
+
+func trivial(c con) trivKind {
+	for _, v := range c.coef {
+		if v != 0 {
+			return trivNo
+		}
+	}
+	if c.kind == EQ {
+		if c.c == 0 {
+			return trivTrue
+		}
+		return trivFalse
+	}
+	if c.c >= 0 {
+		return trivTrue
+	}
+	return trivFalse
+}
+
+// normalizeCon divides a constraint by the gcd of its coefficients,
+// tightening inequalities by floor division of the constant.
+func normalizeCon(c *con) {
+	var g int64
+	for _, v := range c.coef {
+		g = gcd64(g, v)
+	}
+	if g <= 1 {
+		return
+	}
+	for i := range c.coef {
+		c.coef[i] /= g
+	}
+	if c.kind == GE {
+		c.c = floorDiv(c.c, g)
+	} else {
+		if c.c%g != 0 {
+			// Equality with non-divisible constant is unsatisfiable; encode
+			// as 0 == 1 which trivial() will flag.
+			for i := range c.coef {
+				c.coef[i] = 0
+			}
+			c.c = 1
+			return
+		}
+		c.c /= g
+	}
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// floorDiv returns floor(a/b) for b > 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// ceilDiv returns ceil(a/b) for b > 0.
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) == (b < 0) {
+		q++
+	}
+	return q
+}
+
+// AddExists appends n existentially quantified columns to b and returns the
+// column index of the first new existential (relative to the full column
+// layout: params, vars, existentials).
+func (b *BasicSet) AddExists(n int) int {
+	base := b.totalCols()
+	for i := range b.cons {
+		b.cons[i].coef = append(b.cons[i].coef, make([]int64, n)...)
+	}
+	b.NExist += n
+	return base
+}
+
+// AddRawGE adds a constraint given full-width columns (params, vars,
+// existentials) and a constant. The row is copied.
+func (b *BasicSet) AddRawGE(coef []int64, c int64) {
+	b.mustWidth(coef)
+	b.addRaw(GE, append([]int64(nil), coef...), c)
+}
+
+// AddRawEQ adds an equality constraint given full-width columns.
+func (b *BasicSet) AddRawEQ(coef []int64, c int64) {
+	b.mustWidth(coef)
+	b.addRaw(EQ, append([]int64(nil), coef...), c)
+}
+
+func (b *BasicSet) mustWidth(coef []int64) {
+	if len(coef) != b.totalCols() {
+		panic(fmt.Sprintf("isl: constraint width %d does not match %d columns", len(coef), b.totalCols()))
+	}
+}
+
+// Intersect returns the conjunction of b and o, which must share a space.
+// Existentials of both operands are preserved (renumbered apart).
+func (b BasicSet) Intersect(o BasicSet) BasicSet {
+	if !b.Sp.Equal(o.Sp) {
+		panic("isl: Intersect on different spaces")
+	}
+	r := b.Clone()
+	r.AddExists(o.NExist)
+	base := b.Sp.NumCols()
+	for _, c := range o.cons {
+		row := make([]int64, r.totalCols())
+		copy(row, c.coef[:base])
+		copy(row[base+b.NExist:], c.coef[base:])
+		r.addRaw(c.kind, row, c.c)
+	}
+	r.markedEmpty = r.markedEmpty || o.markedEmpty
+	return r
+}
+
+// InstantiateParams folds concrete parameter values into the constraint
+// constants, returning a basic set over a parameter-free space.
+func (b BasicSet) InstantiateParams(vals []int64) BasicSet {
+	np := b.Sp.NumParams()
+	if len(vals) != np {
+		panic("isl: wrong number of parameter values")
+	}
+	nsp := Space{In: b.Sp.In, Out: b.Sp.Out}
+	r := BasicSet{Sp: nsp, NExist: b.NExist, markedEmpty: b.markedEmpty}
+	for _, c := range b.cons {
+		row := append([]int64(nil), c.coef[np:]...)
+		k := c.c
+		for i := 0; i < np; i++ {
+			k += c.coef[i] * vals[i]
+		}
+		r.addRaw(c.kind, row, k)
+	}
+	return r
+}
+
+// fmEliminate performs Fourier-Motzkin elimination of column col, returning
+// the projected basic set and whether the projection is integrally exact.
+// Equalities involving col with a unit coefficient are substituted exactly.
+func (b BasicSet) fmEliminate(col int) (BasicSet, bool) {
+	// Prefer an equality substitution with unit coefficient: exact.
+	for idx, c := range b.cons {
+		if c.kind == EQ && (c.coef[col] == 1 || c.coef[col] == -1) {
+			return b.substituteOut(idx, col), true
+		}
+	}
+	exact := true
+	var lowers, uppers, rest []con
+	for _, c := range b.cons {
+		switch {
+		case c.coef[col] > 0:
+			lowers = append(lowers, c)
+			if c.kind == EQ {
+				// Non-unit equality: treat as pair of inequalities.
+				neg := con{kind: GE, coef: negRow(c.coef), c: -c.c}
+				uppers = append(uppers, neg)
+				lowers[len(lowers)-1].kind = GE
+			}
+		case c.coef[col] < 0:
+			uppers = append(uppers, c)
+			if c.kind == EQ {
+				neg := con{kind: GE, coef: negRow(c.coef), c: -c.c}
+				lowers = append(lowers, neg)
+				uppers[len(uppers)-1].kind = GE
+			}
+		default:
+			rest = append(rest, c)
+		}
+	}
+	r := BasicSet{Sp: b.Sp, NExist: b.NExist, markedEmpty: b.markedEmpty}
+	for _, c := range rest {
+		r.addRaw(c.kind, zeroCol(c.coef, col), c.c)
+	}
+	for _, lo := range lowers {
+		a := lo.coef[col] // > 0: a*x >= -(rest_lo)
+		for _, up := range uppers {
+			bb := -up.coef[col] // > 0: b*x <= rest_up
+			if a != 1 && bb != 1 {
+				exact = false
+			}
+			// Combine: b*(lo) + a*(up) eliminates x.
+			row := make([]int64, len(lo.coef))
+			for i := range row {
+				row[i] = bb*lo.coef[i] + a*up.coef[i]
+			}
+			row[col] = 0
+			r.addRaw(GE, row, bb*lo.c+a*up.c)
+		}
+	}
+	return r, exact
+}
+
+func negRow(row []int64) []int64 {
+	out := make([]int64, len(row))
+	for i, v := range row {
+		out[i] = -v
+	}
+	return out
+}
+
+func zeroCol(row []int64, col int) []int64 {
+	out := append([]int64(nil), row...)
+	out[col] = 0
+	return out
+}
+
+// substituteOut uses equality constraint eqIdx (with unit coefficient on
+// col) to substitute col away in all other constraints.
+func (b BasicSet) substituteOut(eqIdx, col int) BasicSet {
+	eq := b.cons[eqIdx]
+	s := eq.coef[col] // +-1
+	// col = -s * (rest + c)  where rest excludes col.
+	r := BasicSet{Sp: b.Sp, NExist: b.NExist, markedEmpty: b.markedEmpty}
+	for i, c := range b.cons {
+		if i == eqIdx {
+			continue
+		}
+		f := c.coef[col]
+		if f == 0 {
+			r.addRaw(c.kind, append([]int64(nil), c.coef...), c.c)
+			continue
+		}
+		// Since s is +-1, col = -s*(rest + const); substituting gives
+		// new = c - (f*s)*eq, which zeroes the col column exactly.
+		row := make([]int64, len(c.coef))
+		for j := range row {
+			row[j] = c.coef[j] - f*s*eq.coef[j]
+		}
+		row[col] = 0
+		r.addRaw(c.kind, row, c.c-f*s*eq.c)
+	}
+	return r
+}
+
+// EliminateExists projects away all existential dimensions with
+// Fourier-Motzkin, reporting whether the result is integrally exact.
+func (b BasicSet) EliminateExists() (BasicSet, bool) {
+	exact := true
+	r := b
+	for r.NExist > 0 {
+		col := r.totalCols() - 1
+		var ex bool
+		r, ex = r.fmEliminate(col)
+		exact = exact && ex
+		// Drop the now-unused trailing column.
+		for i := range r.cons {
+			r.cons[i].coef = r.cons[i].coef[:col]
+		}
+		r.NExist--
+	}
+	return r, exact
+}
+
+// ProjectOutVar projects away variable i (0-based across in+out dims),
+// returning a basic set over the reduced space and whether the projection
+// is integrally exact.
+func (b BasicSet) ProjectOutVar(i int) (BasicSet, bool) {
+	np := b.Sp.NumParams()
+	col := np + i
+	r, exact := b.fmEliminate(col)
+	// Remove the column and the dimension from the space.
+	nsp := Space{Params: b.Sp.Params}
+	nin := append([]string(nil), b.Sp.In...)
+	nout := append([]string(nil), b.Sp.Out...)
+	if i < len(nin) {
+		nin = append(nin[:i], nin[i+1:]...)
+	} else {
+		j := i - len(b.Sp.In)
+		nout = append(nout[:j], nout[j+1:]...)
+	}
+	nsp.In, nsp.Out = nin, nout
+	out := BasicSet{Sp: nsp, NExist: r.NExist, markedEmpty: r.markedEmpty}
+	for _, c := range r.cons {
+		row := make([]int64, 0, len(c.coef)-1)
+		row = append(row, c.coef[:col]...)
+		row = append(row, c.coef[col+1:]...)
+		out.addRaw(c.kind, row, c.c)
+	}
+	return out, exact
+}
+
+// IsEmptyRational reports whether b is empty over the rationals. A true
+// result implies integer emptiness; a false result is inconclusive for the
+// integers (the caller may fall back to enumeration).
+func (b BasicSet) IsEmptyRational() bool {
+	if b.markedEmpty {
+		return true
+	}
+	r := b
+	for col := r.totalCols() - 1; col >= r.Sp.NumParams(); col-- {
+		r, _ = r.fmEliminate(col)
+		if r.markedEmpty {
+			return true
+		}
+	}
+	// Remaining constraints involve parameters only; with no parameters they
+	// are constants and trivial() already flagged contradictions. With
+	// parameters we cannot decide; report not-known-empty.
+	return r.markedEmpty
+}
+
+// EvalPoint reports whether the given parameter/variable assignment
+// satisfies b, searching existential values if necessary.
+func (b BasicSet) EvalPoint(params, vars []int64) bool {
+	if b.markedEmpty {
+		return false
+	}
+	np, nv := b.Sp.NumParams(), b.Sp.NumVars()
+	if len(params) != np || len(vars) != nv {
+		panic("isl: EvalPoint arity mismatch")
+	}
+	full := make([]int64, b.totalCols())
+	copy(full, params)
+	copy(full[np:], vars)
+	return b.searchExists(b.buildBoundSystems(), full, np+nv)
+}
+
+// searchExists checks satisfiability with columns [0,from) fixed, searching
+// assignments for the remaining (existential) columns via bound propagation.
+func (b BasicSet) searchExists(sys *boundSystems, full []int64, from int) bool {
+	if from == len(full) {
+		for _, c := range b.cons {
+			v := c.c
+			for i, co := range c.coef {
+				v += co * full[i]
+			}
+			if c.kind == EQ && v != 0 {
+				return false
+			}
+			if c.kind == GE && v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	lo, hi, ok := sys.colBounds(full, from)
+	if !ok {
+		return false
+	}
+	const existSearchCap = 1 << 16
+	if hi-lo+1 > existSearchCap || hi-lo < 0 {
+		// Unbounded or huge existential range: in the PolyUFC class
+		// existentials are tightly bounded (division/modulo witnesses), so
+		// treat as unsatisfiable rather than search astronomically.
+		return false
+	}
+	for v := lo; v <= hi; v++ {
+		full[from] = v
+		if b.searchExists(sys, full, from+1) {
+			full[from] = 0
+			return true
+		}
+	}
+	full[from] = 0
+	return false
+}
+
+// Constraints returns a copy of b's constraints as (kind, coefficients,
+// constant) triples with full column layout.
+func (b BasicSet) Constraints() []ConstraintView {
+	out := make([]ConstraintView, len(b.cons))
+	for i, c := range b.cons {
+		out[i] = ConstraintView{Kind: c.kind, Coef: append([]int64(nil), c.coef...), Const: c.c}
+	}
+	return out
+}
+
+// ConstraintView is an exported read-only view of one constraint.
+type ConstraintView struct {
+	Kind  ConKind
+	Coef  []int64
+	Const int64
+}
+
+func (b BasicSet) String() string {
+	var sb strings.Builder
+	sb.WriteString(b.Sp.String())
+	sb.WriteString(" : ")
+	if b.markedEmpty {
+		sb.WriteString("false")
+		return sb.String()
+	}
+	if len(b.cons) == 0 {
+		sb.WriteString("true")
+		return sb.String()
+	}
+	names := make([]string, 0, b.totalCols())
+	names = append(names, b.Sp.Params...)
+	names = append(names, b.Sp.In...)
+	names = append(names, b.Sp.Out...)
+	for i := 0; i < b.NExist; i++ {
+		names = append(names, fmt.Sprintf("e%d", i))
+	}
+	var parts []string
+	for _, c := range b.cons {
+		var terms []string
+		for i, co := range c.coef {
+			switch co {
+			case 0:
+			case 1:
+				terms = append(terms, names[i])
+			case -1:
+				terms = append(terms, "-"+names[i])
+			default:
+				terms = append(terms, fmt.Sprintf("%d*%s", co, names[i]))
+			}
+		}
+		if c.c != 0 || len(terms) == 0 {
+			terms = append(terms, fmt.Sprintf("%d", c.c))
+		}
+		parts = append(parts, strings.Join(terms, " + ")+" "+c.kind.String()+" 0")
+	}
+	sb.WriteString(strings.Join(parts, " and "))
+	return sb.String()
+}

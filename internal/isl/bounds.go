@@ -1,0 +1,193 @@
+package isl
+
+// boundSystems holds, for each column k, a constraint system involving only
+// columns <= k, obtained by rationally eliminating all later columns with
+// Fourier-Motzkin. The systems give (possibly loose) integer bounds for
+// column k given fixed values of columns < k; loose bounds are harmless for
+// enumeration because every candidate point is verified against the full
+// constraint system.
+type boundSystems struct {
+	rows [][]con
+}
+
+// buildBoundSystems computes the per-column projected systems for b.
+func (b BasicSet) buildBoundSystems() *boundSystems {
+	n := b.totalCols()
+	bs := &boundSystems{rows: make([][]con, n)}
+	cur := make([]con, len(b.cons))
+	for i, c := range b.cons {
+		cur[i] = con{kind: c.kind, coef: append([]int64(nil), c.coef...), c: c.c}
+	}
+	for col := n - 1; col >= 0; col-- {
+		bs.rows[col] = cur
+		cur = fmRows(cur, col)
+	}
+	return bs
+}
+
+// fmRows eliminates column col from rows via Fourier-Motzkin (rational).
+func fmRows(rows []con, col int) []con {
+	var lowers, uppers, rest []con
+	for _, c := range rows {
+		a := c.coef[col]
+		switch {
+		case a == 0:
+			rest = append(rest, c)
+		case c.kind == EQ:
+			lo := con{kind: GE, coef: append([]int64(nil), c.coef...), c: c.c}
+			up := con{kind: GE, coef: negRow(c.coef), c: -c.c}
+			if a > 0 {
+				lowers = append(lowers, lo)
+				uppers = append(uppers, up)
+			} else {
+				lowers = append(lowers, up)
+				uppers = append(uppers, lo)
+			}
+		case a > 0:
+			lowers = append(lowers, c)
+		default:
+			uppers = append(uppers, c)
+		}
+	}
+	out := rest
+	for _, lo := range lowers {
+		a := lo.coef[col]
+		for _, up := range uppers {
+			bb := -up.coef[col]
+			row := make([]int64, len(lo.coef))
+			for i := range row {
+				row[i] = bb*lo.coef[i] + a*up.coef[i]
+			}
+			row[col] = 0
+			cc := con{kind: GE, coef: row, c: bb*lo.c + a*up.c}
+			normalizeCon(&cc)
+			if trivial(cc) == trivTrue {
+				continue
+			}
+			out = append(out, cc)
+		}
+	}
+	return out
+}
+
+// DimRange returns rational lower/upper bounds for set dimension d over
+// the whole (instantiated) set, by Fourier-Motzkin elimination of every
+// other column. ok is false when the dimension is unbounded or the set is
+// empty on the rational relaxation.
+func (s Set) DimRange(d int) (lo, hi int64, ok bool) {
+	const inf = int64(1) << 62
+	lo, hi = inf, -inf
+	found := false
+	np := s.Sp.NumParams()
+	for _, b := range s.Basics {
+		if b.markedEmpty {
+			continue
+		}
+		rows := make([]con, len(b.cons))
+		for i, c := range b.cons {
+			rows[i] = con{kind: c.kind, coef: append([]int64(nil), c.coef...), c: c.c}
+		}
+		target := np + d
+		for col := b.totalCols() - 1; col >= 0; col-- {
+			if col == target {
+				continue
+			}
+			rows = fmRows(rows, col)
+		}
+		blo, bhi := -inf, inf
+		infeasible := false
+		for _, c := range rows {
+			a := c.coef[target]
+			if a == 0 {
+				if trivial(c) == trivFalse {
+					infeasible = true
+				}
+				continue
+			}
+			if c.kind == EQ {
+				v := -c.c / a
+				if v > blo {
+					blo = v
+				}
+				if v < bhi {
+					bhi = v
+				}
+				continue
+			}
+			if a > 0 {
+				if v := ceilDiv(-c.c, a); v > blo {
+					blo = v
+				}
+			} else {
+				if v := floorDiv(c.c, -a); v < bhi {
+					bhi = v
+				}
+			}
+		}
+		if infeasible || blo > bhi {
+			continue
+		}
+		found = true
+		if blo < lo {
+			lo = blo
+		}
+		if bhi > hi {
+			hi = bhi
+		}
+	}
+	if !found || lo <= -inf/2 || hi >= inf/2 {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// colBoundsIn derives [lo, hi] bounds for column col from the projected
+// system, given fixed values for columns [0, col).
+func (bs *boundSystems) colBounds(full []int64, col int) (lo, hi int64, ok bool) {
+	const inf = int64(1) << 62
+	lo, hi = -inf, inf
+	for _, c := range bs.rows[col] {
+		a := c.coef[col]
+		if a == 0 {
+			// A constraint over earlier columns only: check it now to prune.
+			v := c.c
+			for j := 0; j < col; j++ {
+				v += c.coef[j] * full[j]
+			}
+			if (c.kind == EQ && v != 0) || (c.kind == GE && v < 0) {
+				return 0, 0, false
+			}
+			continue
+		}
+		rest := c.c
+		for j := 0; j < col; j++ {
+			rest += c.coef[j] * full[j]
+		}
+		if c.kind == EQ {
+			if rest%a != 0 {
+				return 0, 0, false
+			}
+			v := -rest / a
+			if v > lo {
+				lo = v
+			}
+			if v < hi {
+				hi = v
+			}
+			continue
+		}
+		if a > 0 {
+			if v := ceilDiv(-rest, a); v > lo {
+				lo = v
+			}
+		} else {
+			if v := floorDiv(rest, -a); v < hi {
+				hi = v
+			}
+		}
+	}
+	if lo > hi {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}

@@ -1,0 +1,497 @@
+package isl
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"polyufc/internal/poly"
+)
+
+// ErrNotCountable is returned when symbolic counting does not support the
+// set's constraint structure (the caller may fall back to enumeration).
+var ErrNotCountable = errors.New("isl: set outside the symbolically countable class")
+
+// Count returns the exact number of integer points in the instantiated
+// (parameter-free) set. Basic sets are made disjoint before counting so the
+// union cardinality is exact. Symbolic Faulhaber summation is used for the
+// loop-nest-form class (including constant-size tiled domains); basic sets
+// outside that class fall back to bounded enumeration with the given point
+// budget.
+func (s Set) Count(enumLimit int) (*big.Rat, error) {
+	if s.Sp.NumParams() != 0 {
+		return nil, errors.New("isl: Count requires instantiated parameters")
+	}
+	total := new(big.Rat)
+	// Disjointify: piece_i = basic_i minus basics already counted.
+	remaining := s.Coalesce()
+	var counted []BasicSet
+	for _, b := range remaining.Basics {
+		piece := FromBasic(b)
+		if len(counted) > 0 {
+			prior := Set{Sp: s.Sp, Basics: counted}
+			var exact bool
+			piece, exact = piece.Subtract(prior)
+			if !exact {
+				// Projection during subtraction lost precision; count the
+				// whole union by enumeration instead.
+				n, err := s.CountEnumerate(enumLimit)
+				if err != nil {
+					return nil, err
+				}
+				return big.NewRat(n, 1), nil
+			}
+		}
+		for _, pb := range piece.Basics {
+			c, err := pb.Count(enumLimit)
+			if err != nil {
+				return nil, err
+			}
+			total.Add(total, c)
+		}
+		counted = append(counted, b)
+	}
+	return total, nil
+}
+
+// CountInt is Count returning an int64; it errors if the result is not an
+// integer that fits (which would indicate an internal bug).
+func (s Set) CountInt(enumLimit int) (int64, error) {
+	r, err := s.Count(enumLimit)
+	if err != nil {
+		return 0, err
+	}
+	if !r.IsInt() || !r.Num().IsInt64() {
+		return 0, fmt.Errorf("isl: non-integer count %s", r.RatString())
+	}
+	return r.Num().Int64(), nil
+}
+
+// Count returns the number of integer points in the instantiated basic set,
+// using symbolic summation where possible and bounded enumeration
+// otherwise.
+func (b BasicSet) Count(enumLimit int) (*big.Rat, error) {
+	if b.markedEmpty {
+		return new(big.Rat), nil
+	}
+	if b.Sp.NumParams() != 0 {
+		return nil, errors.New("isl: Count requires instantiated parameters")
+	}
+	work := b
+	if work.NExist > 0 {
+		elim, exact := work.EliminateExists()
+		if exact {
+			work = elim
+		} else {
+			return b.countByEnumeration(enumLimit)
+		}
+	}
+	n, err := countSymbolic(work)
+	if err == nil {
+		return n, nil
+	}
+	if errors.Is(err, ErrNotCountable) {
+		return b.countByEnumeration(enumLimit)
+	}
+	return nil, err
+}
+
+func (b BasicSet) countByEnumeration(limit int) (*big.Rat, error) {
+	n, err := FromBasic(b).CountEnumerate(limit)
+	if err != nil {
+		return nil, err
+	}
+	return big.NewRat(n, 1), nil
+}
+
+// crow is a counting-time constraint over nv variable columns.
+type crow struct {
+	kind ConKind
+	coef []int64
+	c    int64
+}
+
+// countSymbolic counts a parameter-free, existential-free basic set by
+// recursive symbolic summation: variables are eliminated innermost-first;
+// multiple lower (upper) bounds induce a chamber split on which bound is
+// maximal (minimal); the per-variable sum uses Faulhaber's closed form.
+func countSymbolic(b BasicSet) (*big.Rat, error) {
+	nv := b.Sp.NumVars()
+	rows := make([]crow, 0, len(b.cons))
+	for _, c := range b.cons {
+		rows = append(rows, crow{kind: c.kind, coef: append([]int64(nil), c.coef...), c: c.c})
+	}
+	body := poly.ConstInt(nv, 1)
+	budget := maxCountNodes
+	return countRec(rows, nv, nv, body, 0, &budget)
+}
+
+const (
+	maxChamberDepth = 64
+	// maxCountNodes bounds the total chamber-tree size; beyond it the
+	// caller falls back to enumeration.
+	maxCountNodes = 200000
+)
+
+func countRec(rows []crow, nv, remaining int, body poly.Poly, depth int, budget *int) (*big.Rat, error) {
+	if depth > maxChamberDepth {
+		return nil, ErrNotCountable
+	}
+	*budget--
+	if *budget <= 0 {
+		return nil, ErrNotCountable
+	}
+	if remaining == 0 {
+		// All variables eliminated: residual rows are constants.
+		for _, r := range rows {
+			for _, co := range r.coef {
+				if co != 0 {
+					return nil, ErrNotCountable
+				}
+			}
+			if (r.kind == EQ && r.c != 0) || (r.kind == GE && r.c < 0) {
+				return new(big.Rat), nil
+			}
+		}
+		c, ok := body.IsConst()
+		if !ok {
+			return nil, fmt.Errorf("isl: internal: non-constant body after elimination")
+		}
+		return c, nil
+	}
+	d := remaining - 1 // eliminate the innermost remaining variable
+
+	// Equality substitution when possible.
+	for i, r := range rows {
+		if r.coef[d] == 0 {
+			continue
+		}
+		if r.kind != EQ {
+			continue
+		}
+		a := r.coef[d]
+		if a == 1 || a == -1 {
+			expr := rowToPoly(r, nv, d, -a) // x_d = -a*(rest + c)
+			nrows := substituteRows(rows, i, d, a)
+			nbody := body.SubstPoly(d, expr)
+			return countRec(nrows, nv, remaining-1, nbody, depth, budget)
+		}
+		// Non-unit equality a*x = -(rest+c): countable only when rest is
+		// constant and divisible.
+		if rowRestConst(r, d) {
+			if (-r.c)%a != 0 {
+				return new(big.Rat), nil // no integer solution
+			}
+			v := -r.c / a
+			nrows := fixRows(rows, d, v)
+			nbody := body.SubstPoly(d, poly.ConstInt(nv, v))
+			return countRec(nrows, nv, remaining-1, nbody, depth, budget)
+		}
+		return nil, ErrNotCountable
+	}
+
+	var lowers, uppers []boundExpr
+	var rest []crow
+	for _, r := range rows {
+		a := r.coef[d]
+		switch {
+		case a == 0:
+			rest = append(rest, r)
+		case a > 0: // a*x + rest + c >= 0  ->  x >= ceil(-(rest+c)/a)
+			be, ok := makeBound(r, d, nv, true)
+			if !ok {
+				return nil, ErrNotCountable
+			}
+			lowers = append(lowers, be)
+		default: // a < 0: x <= floor((rest+c)/(-a))
+			be, ok := makeBound(r, d, nv, false)
+			if !ok {
+				return nil, ErrNotCountable
+			}
+			uppers = append(uppers, be)
+		}
+	}
+	if len(lowers) == 0 || len(uppers) == 0 {
+		return nil, ErrUnbounded
+	}
+	// Prune dominated bounds to avoid chamber blow-up on tiled domains
+	// (e.g. the lower bound 0 is redundant against 32*t once t >= 0).
+	lowers = pruneDominated(lowers, rest, nv, true)
+	uppers = pruneDominated(uppers, rest, nv, false)
+
+	total := new(big.Rat)
+	for li, L := range lowers {
+		for ui, U := range uppers {
+			// Chamber where L is the max lower bound and U the min upper.
+			chamber := append([]crow(nil), rest...)
+			okCh := true
+			for j, L2 := range lowers {
+				if j == li {
+					continue
+				}
+				// L >= L2 (strict for j < li to break ties).
+				strict := int64(0)
+				if j < li {
+					strict = 1
+				}
+				row, ok := diffRow(L, L2, strict, nv)
+				if !ok {
+					okCh = false
+					break
+				}
+				chamber = append(chamber, row)
+			}
+			if okCh {
+				for j, U2 := range uppers {
+					if j == ui {
+						continue
+					}
+					strict := int64(0)
+					if j < ui {
+						strict = 1
+					}
+					// U <= U2 (strict for j < ui): U2 - U - strict >= 0.
+					row, ok := diffRow(U2, U, strict, nv)
+					if !ok {
+						okCh = false
+						break
+					}
+					chamber = append(chamber, row)
+				}
+			}
+			if !okCh {
+				return nil, ErrNotCountable
+			}
+			// Guard: U >= L.
+			guard, ok := diffRow(U, L, 0, nv)
+			if !ok {
+				return nil, ErrNotCountable
+			}
+			chamber = append(chamber, guard)
+			nbody := poly.SumVar(body, d, L.poly, U.poly)
+			c, err := countRec(chamber, nv, remaining-1, nbody, depth+1, budget)
+			if err != nil {
+				return nil, err
+			}
+			total.Add(total, c)
+		}
+	}
+	return total, nil
+}
+
+// pruneDominated removes bounds that can never be the binding one under
+// the outer constraints: lower bound L_i is redundant when L_i <= L_j
+// everywhere (some other bound is always at least as tight), established
+// by the rational infeasibility of rest ∧ L_i >= L_j + 1. Upper bounds are
+// symmetric.
+func pruneDominated(bounds []boundExpr, rest []crow, nv int, lower bool) []boundExpr {
+	if len(bounds) <= 1 {
+		return bounds
+	}
+	dropped := make([]bool, len(bounds))
+	for i := range bounds {
+		if dropped[i] {
+			continue
+		}
+		for j := range bounds {
+			if i == j || dropped[j] || dropped[i] {
+				continue
+			}
+			// Does bound j always dominate bound i?
+			var witness crow
+			if lower {
+				// i redundant if L_i <= L_j always: infeasible(L_i >= L_j+1).
+				witness, _ = diffRow(bounds[i], bounds[j], 1, nv)
+			} else {
+				// i redundant if U_i >= U_j always: infeasible(U_i <= U_j-1).
+				witness, _ = diffRow(bounds[j], bounds[i], 1, nv)
+			}
+			sys := append(append([]crow(nil), rest...), witness)
+			if rowsInfeasibleRational(sys, nv) {
+				dropped[i] = true
+			}
+		}
+	}
+	out := bounds[:0]
+	for i, b := range bounds {
+		if !dropped[i] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// rowsInfeasibleRational reports whether the constraint rows are rationally
+// infeasible, via Fourier-Motzkin elimination of every column.
+func rowsInfeasibleRational(rows []crow, nv int) bool {
+	cons := make([]con, len(rows))
+	for i, r := range rows {
+		cons[i] = con{kind: r.kind, coef: append([]int64(nil), r.coef...), c: r.c}
+	}
+	for col := nv - 1; col >= 0; col-- {
+		cons = fmRows(cons, col)
+		for _, c := range cons {
+			if trivial(c) == trivFalse {
+				return true
+			}
+		}
+	}
+	for _, c := range cons {
+		if trivial(c) == trivFalse {
+			return true
+		}
+	}
+	return false
+}
+
+// boundExpr is a lower or upper bound on the eliminated variable, as both a
+// polynomial (for summation) and an integer row (for chamber constraints).
+type boundExpr struct {
+	poly poly.Poly
+	coef []int64 // over nv columns, col d zeroed
+	c    int64
+}
+
+// makeBound extracts the bound from a GE row. For unit coefficients the
+// bound is affine in the outer variables; for non-unit coefficients only
+// constant bounds are supported (floor/ceil evaluated numerically).
+func makeBound(r crow, d, nv int, lower bool) (boundExpr, bool) {
+	a := r.coef[d]
+	if a == 1 || a == -1 {
+		// lower: x >= -(rest+c); upper: x <= rest+c (with a = -1).
+		sign := int64(-1)
+		if !lower {
+			sign = 1
+		}
+		coef := make([]int64, nv)
+		p := poly.New(nv)
+		for i := 0; i < nv; i++ {
+			if i == d {
+				continue
+			}
+			coef[i] = sign * r.coef[i]
+			if coef[i] != 0 {
+				p = p.Add(poly.Var(nv, i).ScaleInt(coef[i]))
+			}
+		}
+		c := sign * r.c
+		p = p.Add(poly.ConstInt(nv, c))
+		return boundExpr{poly: p, coef: coef, c: c}, true
+	}
+	mag := a
+	if mag < 0 {
+		mag = -mag
+	}
+	if rowRestConst(r, d) {
+		var v int64
+		if lower {
+			v = ceilDiv(-r.c, a) // a > 0
+		} else {
+			v = floorDiv(r.c, -a) // a < 0
+		}
+		return boundExpr{poly: poly.ConstInt(nv, v), coef: make([]int64, nv), c: v}, true
+	}
+	// Non-unit coefficient with variable rest: exact when every variable
+	// coefficient is divisible by |a| (the constant-tile-size pattern:
+	// floor((a*w + c)/a) = w + floor(c/a), and symmetrically with ceil).
+	coef := make([]int64, nv)
+	for i := 0; i < nv; i++ {
+		if i == d {
+			continue
+		}
+		ci := r.coef[i]
+		if ci%mag != 0 {
+			return boundExpr{}, false
+		}
+		if lower {
+			coef[i] = -ci / a // a > 0
+		} else {
+			coef[i] = ci / -a // a < 0, flip sign
+		}
+	}
+	var c int64
+	if lower {
+		c = ceilDiv(-r.c, a)
+	} else {
+		c = floorDiv(r.c, -a)
+	}
+	p := poly.ConstInt(nv, c)
+	for i := 0; i < nv; i++ {
+		if coef[i] != 0 {
+			p = p.Add(poly.Var(nv, i).ScaleInt(coef[i]))
+		}
+	}
+	return boundExpr{poly: p, coef: coef, c: c}, true
+}
+
+// rowRestConst reports whether row r involves no variable other than d.
+func rowRestConst(r crow, d int) bool {
+	for i, co := range r.coef {
+		if i != d && co != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// diffRow builds the constraint a - b - strict >= 0 as a crow.
+func diffRow(a, b boundExpr, strict int64, nv int) (crow, bool) {
+	coef := make([]int64, nv)
+	for i := 0; i < nv; i++ {
+		coef[i] = a.coef[i] - b.coef[i]
+	}
+	return crow{kind: GE, coef: coef, c: a.c - b.c - strict}, true
+}
+
+// rowToPoly converts +-(rest + c) of an equality row into a polynomial
+// (excluding column d); sign is the multiplier applied to (rest + c).
+func rowToPoly(r crow, nv, d int, sign int64) poly.Poly {
+	p := poly.ConstInt(nv, sign*r.c)
+	for i := 0; i < nv; i++ {
+		if i == d || r.coef[i] == 0 {
+			continue
+		}
+		p = p.Add(poly.Var(nv, i).ScaleInt(sign * r.coef[i]))
+	}
+	return p
+}
+
+// substituteRows eliminates column d from all rows using equality row eqIdx
+// (unit coefficient a on d).
+func substituteRows(rows []crow, eqIdx, d int, a int64) []crow {
+	eq := rows[eqIdx]
+	out := make([]crow, 0, len(rows)-1)
+	for i, r := range rows {
+		if i == eqIdx {
+			continue
+		}
+		f := r.coef[d]
+		if f == 0 {
+			out = append(out, r)
+			continue
+		}
+		coef := make([]int64, len(r.coef))
+		for j := range coef {
+			coef[j] = r.coef[j] - f*a*eq.coef[j]
+		}
+		coef[d] = 0
+		out = append(out, crow{kind: r.kind, coef: coef, c: r.c - f*a*eq.c})
+	}
+	return out
+}
+
+// fixRows substitutes the constant v for column d in all rows.
+func fixRows(rows []crow, d int, v int64) []crow {
+	out := make([]crow, 0, len(rows))
+	for _, r := range rows {
+		f := r.coef[d]
+		if f == 0 {
+			out = append(out, r)
+			continue
+		}
+		coef := append([]int64(nil), r.coef...)
+		coef[d] = 0
+		out = append(out, crow{kind: r.kind, coef: coef, c: r.c + f*v})
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package isl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrEnumLimit is returned when enumeration would exceed the caller's point
+// budget.
+var ErrEnumLimit = errors.New("isl: enumeration limit exceeded")
+
+// ErrUnbounded is returned when a set has no finite bounds on some
+// dimension.
+var ErrUnbounded = errors.New("isl: set is unbounded")
+
+// Enumerate yields each distinct integer point of the (parameter-free) set,
+// in no particular order, until yield returns false or limit points have
+// been produced. Points are deduplicated across the union's basic sets.
+func (s Set) Enumerate(limit int, yield func(pt []int64) bool) error {
+	if s.Sp.NumParams() != 0 {
+		return errors.New("isl: Enumerate requires instantiated parameters")
+	}
+	seen := map[string]bool{}
+	count := 0
+	for _, b := range s.Basics {
+		if b.markedEmpty {
+			continue
+		}
+		stop, err := b.enumerate(limit, func(pt []int64) bool {
+			key := fmt.Sprint(pt)
+			if seen[key] {
+				return true
+			}
+			seen[key] = true
+			count++
+			if count > limit {
+				return false
+			}
+			return yield(pt)
+		})
+		if err != nil {
+			return err
+		}
+		if stop {
+			if count > limit {
+				return ErrEnumLimit
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// enumerate walks the integer points of one basic set via recursive bound
+// propagation. It reports (stopped, error); stopped means yield returned
+// false.
+func (b BasicSet) enumerate(limit int, yield func(pt []int64) bool) (bool, error) {
+	nv := b.Sp.NumVars()
+	full := make([]int64, b.totalCols())
+	sys := b.buildBoundSystems()
+	var rec func(col int) (bool, error)
+	rec = func(col int) (bool, error) {
+		if col == nv {
+			// All dims fixed; verify with existential search.
+			if b.searchExists(sys, full, nv) {
+				pt := append([]int64(nil), full[:nv]...)
+				if !yield(pt) {
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+		lo, hi, ok := sys.colBounds(full, col)
+		if !ok {
+			return false, nil
+		}
+		const inf = int64(1) << 61
+		if lo < -inf || hi > inf {
+			return false, ErrUnbounded
+		}
+		for v := lo; v <= hi; v++ {
+			full[col] = v
+			stop, err := rec(col + 1)
+			if stop || err != nil {
+				return stop, err
+			}
+		}
+		full[col] = 0
+		return false, nil
+	}
+	return rec(0)
+}
+
+// CountEnumerate counts the distinct integer points of the set by
+// exhaustive enumeration, up to the given budget.
+func (s Set) CountEnumerate(limit int) (int64, error) {
+	var n int64
+	err := s.Enumerate(limit, func([]int64) bool { n++; return true })
+	return n, err
+}
+
+// IsEmpty reports whether the instantiated set contains no integer point,
+// deciding exactly via bounded enumeration (budgeted) with a rational
+// pre-check.
+func (s Set) IsEmpty(limit int) (bool, error) {
+	if s.IsEmptyRational() {
+		return true, nil
+	}
+	found := false
+	err := s.Enumerate(limit, func([]int64) bool { found = true; return false })
+	if err != nil {
+		return false, err
+	}
+	return !found, nil
+}
+
+// LexminPoint returns the lexicographically minimal point of the
+// instantiated set, or ok=false if the set is empty. The search descends
+// dimension by dimension, testing feasibility of each candidate prefix.
+func (s Set) LexminPoint(limit int) (pt []int64, ok bool, err error) {
+	if s.Sp.NumParams() != 0 {
+		return nil, false, errors.New("isl: LexminPoint requires instantiated parameters")
+	}
+	var best []int64
+	for _, b := range s.Basics {
+		cand, found, berr := b.lexmin(limit)
+		if berr != nil {
+			return nil, false, berr
+		}
+		if found && (best == nil || lexLess(cand, best)) {
+			best = cand
+		}
+	}
+	return best, best != nil, nil
+}
+
+func lexLess(a, b []int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// LexmaxPoint returns the lexicographically maximal point of the
+// instantiated set, or ok=false if the set is empty.
+func (s Set) LexmaxPoint(limit int) (pt []int64, ok bool, err error) {
+	if s.Sp.NumParams() != 0 {
+		return nil, false, errors.New("isl: LexmaxPoint requires instantiated parameters")
+	}
+	var best []int64
+	for _, b := range s.Basics {
+		cand, found, berr := b.lexExtreme(limit, false)
+		if berr != nil {
+			return nil, false, berr
+		}
+		if found && (best == nil || lexLess(best, cand)) {
+			best = cand
+		}
+	}
+	return best, best != nil, nil
+}
+
+func (b BasicSet) lexmin(limit int) ([]int64, bool, error) {
+	return b.lexExtreme(limit, true)
+}
+
+// lexExtreme finds the lexicographic minimum (min=true) or maximum of one
+// basic set by per-dimension directed search with feasibility probing.
+func (b BasicSet) lexExtreme(limit int, min bool) ([]int64, bool, error) {
+	if b.markedEmpty {
+		return nil, false, nil
+	}
+	nv := b.Sp.NumVars()
+	full := make([]int64, b.totalCols())
+	sys := b.buildBoundSystems()
+	budget := limit
+	var feasible func(col int) bool
+	feasible = func(col int) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		if col == nv {
+			return b.searchExists(sys, full, nv)
+		}
+		lo, hi, ok := sys.colBounds(full, col)
+		if !ok {
+			return false
+		}
+		for v := lo; v <= hi; v++ {
+			full[col] = v
+			if feasible(col + 1) {
+				full[col] = 0
+				return true
+			}
+		}
+		full[col] = 0
+		return false
+	}
+	pt := make([]int64, nv)
+	for col := 0; col < nv; col++ {
+		lo, hi, ok := sys.colBounds(full, col)
+		if !ok {
+			return nil, false, nil
+		}
+		found := false
+		probe := func(v int64) bool {
+			full[col] = v
+			if feasible(col + 1) {
+				pt[col] = v
+				found = true
+				return true
+			}
+			return false
+		}
+		if min {
+			for v := lo; v <= hi && !probe(v); v++ {
+			}
+		} else {
+			for v := hi; v >= lo && !probe(v); v-- {
+			}
+		}
+		if !found {
+			return nil, false, nil
+		}
+		full[col] = pt[col]
+		if budget <= 0 {
+			return nil, false, ErrEnumLimit
+		}
+	}
+	return pt, true, nil
+}

@@ -1,0 +1,88 @@
+package isl
+
+// Higher-level set operations: gist (constraint simplification under a
+// context) and containment/equality checks, mirroring the isl entry points
+// the PolyUFC passes rely on for cleaning up intermediate relations.
+
+// Gist removes from b the constraints already implied by the context (and
+// b's remaining constraints): the result describes the same set within the
+// context but with fewer constraints. Implication is tested over the
+// rationals, so Gist is conservative: it only drops a constraint when the
+// rational test proves redundancy.
+func (b BasicSet) Gist(context BasicSet) BasicSet {
+	if !b.Sp.Equal(context.Sp) {
+		panic("isl: Gist on different spaces")
+	}
+	out := b.Clone()
+	for i := 0; i < len(out.cons); i++ {
+		c := out.cons[i]
+		if c.kind == EQ {
+			// Equalities are kept (they define the set's dimension).
+			continue
+		}
+		// Build: context ∧ (out without c) ∧ ¬c. Empty => c redundant.
+		trial := BasicSet{Sp: out.Sp, NExist: out.NExist}
+		for j, oc := range out.cons {
+			if j == i {
+				continue
+			}
+			trial.addRaw(oc.kind, append([]int64(nil), oc.coef...), oc.c)
+		}
+		base := trial.totalCols()
+		trial.AddExists(context.NExist)
+		np := out.Sp.NumCols()
+		for _, cc := range context.cons {
+			row := make([]int64, trial.totalCols())
+			copy(row, cc.coef[:np])
+			copy(row[base:], cc.coef[np:])
+			trial.addRaw(cc.kind, row, cc.c)
+		}
+		neg := make([]int64, trial.totalCols())
+		copy(neg, negRow(c.coef))
+		trial.addRaw(GE, neg, -c.c-1)
+		if trial.IsEmptyRational() {
+			out.cons = append(out.cons[:i], out.cons[i+1:]...)
+			i--
+		}
+	}
+	return out
+}
+
+// IsSubset reports whether a ⊆ b over the integers, deciding via a \ b
+// emptiness with the given enumeration budget. The boolean is meaningful
+// only when err is nil; an inexact subtraction falls back to enumeration.
+func IsSubset(a, b Set, limit int) (bool, error) {
+	diff, exact := a.Subtract(b)
+	if exact {
+		return diff.IsEmpty(limit)
+	}
+	// Inexact subtraction over-approximates b: a \ approx(b) empty does
+	// not prove containment. Decide by enumerating a and testing points.
+	contained := true
+	err := a.Enumerate(limit, func(pt []int64) bool {
+		if !b.EvalPoint(nil, pt) {
+			contained = false
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return false, err
+	}
+	return contained, nil
+}
+
+// IsEqual reports whether a and b contain exactly the same integer points.
+func IsEqual(a, b Set, limit int) (bool, error) {
+	ab, err := IsSubset(a, b, limit)
+	if err != nil || !ab {
+		return false, err
+	}
+	return IsSubset(b, a, limit)
+}
+
+// RemoveRedundancies simplifies a basic set by gisting it against the
+// universe: constraints implied by the others are dropped.
+func (b BasicSet) RemoveRedundancies() BasicSet {
+	return b.Gist(Universe(b.Sp))
+}

@@ -1,0 +1,230 @@
+package isl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Set is a union of basic sets over a common space. When the space has In
+// dimensions the Set is interpreted as a relation (see Map).
+type Set struct {
+	Sp     Space
+	Basics []BasicSet
+}
+
+// Map is a relation: a union of basic relations. Structurally identical to
+// Set; the space's In dimensions carry the domain.
+type Map = Set
+
+// EmptySet returns the empty set over the given space.
+func EmptySet(sp Space) Set { return Set{Sp: sp} }
+
+// UniverseSet returns the unconstrained set over the given space.
+func UniverseSet(sp Space) Set { return Set{Sp: sp, Basics: []BasicSet{Universe(sp)}} }
+
+// FromBasic wraps a single basic set as a union.
+func FromBasic(b BasicSet) Set { return Set{Sp: b.Sp, Basics: []BasicSet{b}} }
+
+// NumBasics returns the number of basic sets in the union.
+func (s Set) NumBasics() int { return len(s.Basics) }
+
+// Union returns s ∪ o.
+func (s Set) Union(o Set) Set {
+	if !s.Sp.Equal(o.Sp) {
+		panic("isl: Union on different spaces")
+	}
+	r := Set{Sp: s.Sp}
+	r.Basics = append(append([]BasicSet(nil), s.Basics...), o.Basics...)
+	return r
+}
+
+// Intersect returns s ∩ o (pairwise basic-set intersections).
+func (s Set) Intersect(o Set) Set {
+	if !s.Sp.Equal(o.Sp) {
+		panic("isl: Intersect on different spaces")
+	}
+	r := Set{Sp: s.Sp}
+	for _, a := range s.Basics {
+		for _, b := range o.Basics {
+			x := a.Intersect(b)
+			if !x.markedEmpty {
+				r.Basics = append(r.Basics, x)
+			}
+		}
+	}
+	return r
+}
+
+// Subtract returns s \ o. Existential-free constraints of o are negated;
+// basic sets of o containing existentials are first projected (the
+// projection is an over-approximation of o, so the difference remains an
+// under-approximation only if projection was inexact — exactness is
+// reported by the second return value).
+func (s Set) Subtract(o Set) (Set, bool) {
+	if !s.Sp.Equal(o.Sp) {
+		panic("isl: Subtract on different spaces")
+	}
+	exact := true
+	cur := s
+	for _, b := range o.Basics {
+		nb := b
+		if nb.NExist > 0 {
+			var ex bool
+			nb, ex = nb.EliminateExists()
+			exact = exact && ex
+		}
+		next := Set{Sp: s.Sp}
+		for _, a := range cur.Basics {
+			next.Basics = append(next.Basics, subtractBasic(a, nb)...)
+		}
+		cur = next
+	}
+	return cur, exact
+}
+
+// subtractBasic computes a \ b where b has no existentials, as a union of
+// basic sets: for each constraint of b, a piece of a where that constraint
+// is violated (with earlier constraints holding, to keep pieces disjoint).
+func subtractBasic(a, b BasicSet) []BasicSet {
+	var out []BasicSet
+	var holds []con // constraints of b asserted so far
+	for _, c := range b.cons {
+		negs := negateCon(c)
+		for _, nc := range negs {
+			piece := a.Clone()
+			base := a.Sp.NumCols()
+			for _, hc := range holds {
+				piece.addRaw(hc.kind, widenRow(hc.coef, base, piece.totalCols()), hc.c)
+			}
+			piece.addRaw(nc.kind, widenRow(nc.coef, base, piece.totalCols()), nc.c)
+			if !piece.markedEmpty && !piece.IsEmptyRational() {
+				out = append(out, piece)
+			}
+		}
+		holds = append(holds, c)
+	}
+	return out
+}
+
+// widenRow adapts a constraint row with `base` leading columns (and no
+// existentials) to a row with `width` columns.
+func widenRow(row []int64, base, width int) []int64 {
+	out := make([]int64, width)
+	copy(out, row[:base])
+	return out
+}
+
+// negateCon returns constraints expressing the negation of c:
+// not(e >= 0) is -e-1 >= 0; not(e == 0) is e-1 >= 0 or -e-1 >= 0.
+func negateCon(c con) []con {
+	neg := con{kind: GE, coef: negRow(c.coef), c: -c.c - 1}
+	if c.kind == GE {
+		return []con{neg}
+	}
+	pos := con{kind: GE, coef: append([]int64(nil), c.coef...), c: c.c - 1}
+	return []con{pos, neg}
+}
+
+// InstantiateParams folds concrete parameter values into every basic set.
+func (s Set) InstantiateParams(vals []int64) Set {
+	r := Set{Sp: Space{In: s.Sp.In, Out: s.Sp.Out}}
+	for _, b := range s.Basics {
+		nb := b.InstantiateParams(vals)
+		if !nb.markedEmpty {
+			r.Basics = append(r.Basics, nb)
+		}
+	}
+	return r
+}
+
+// IsEmptyRational reports whether every basic set is rationally empty.
+func (s Set) IsEmptyRational() bool {
+	for _, b := range s.Basics {
+		if !b.IsEmptyRational() {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalPoint reports whether the point lies in any basic set of s.
+func (s Set) EvalPoint(params, vars []int64) bool {
+	for _, b := range s.Basics {
+		if b.EvalPoint(params, vars) {
+			return true
+		}
+	}
+	return false
+}
+
+// ProjectOutVar projects away variable i from every basic set.
+func (s Set) ProjectOutVar(i int) (Set, bool) {
+	exact := true
+	var r Set
+	for idx, b := range s.Basics {
+		nb, ex := b.ProjectOutVar(i)
+		exact = exact && ex
+		if idx == 0 {
+			r = Set{Sp: nb.Sp}
+		}
+		if !nb.markedEmpty {
+			r.Basics = append(r.Basics, nb)
+		}
+	}
+	if len(s.Basics) == 0 {
+		// Build the reduced space from scratch.
+		b := Universe(s.Sp)
+		nb, _ := b.ProjectOutVar(i)
+		r = Set{Sp: nb.Sp}
+	}
+	return r, exact
+}
+
+func (s Set) String() string {
+	if len(s.Basics) == 0 {
+		return s.Sp.String() + " : false"
+	}
+	parts := make([]string, len(s.Basics))
+	for i, b := range s.Basics {
+		parts[i] = b.String()
+	}
+	return strings.Join(parts, " ;; ")
+}
+
+// Coalesce removes basic sets that are rationally empty and deduplicates
+// structurally identical basic sets. This is the duplicate-elimination step
+// PolyUFC applies before symbolic counting (paper footnote 17).
+func (s Set) Coalesce() Set {
+	seen := map[string]bool{}
+	r := Set{Sp: s.Sp}
+	for _, b := range s.Basics {
+		if b.markedEmpty {
+			continue
+		}
+		key := basicKey(b)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		r.Basics = append(r.Basics, b)
+	}
+	return r
+}
+
+func basicKey(b BasicSet) string {
+	rows := make([]string, len(b.cons))
+	for i, c := range b.cons {
+		rows[i] = fmt.Sprintf("%d|%v|%d", c.kind, c.coef, c.c)
+	}
+	// Order-insensitive: sort rows.
+	sortStrings(rows)
+	return fmt.Sprintf("%d;%s", b.NExist, strings.Join(rows, "&"))
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

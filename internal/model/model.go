@@ -1,0 +1,204 @@
+// Package model implements the Sec. V parametric performance/power/energy
+// model of PolyUFC: execution time decomposed into compute and memory
+// components (Eqns. 2-4), performance and bandwidth (Eqns. 5-6), peak and
+// average power (Eqns. 8 and 10), energy (Eqn. 11) and EDP, all parametric
+// in the uncore frequency cap f_c and the statically computed operational
+// intensity.
+package model
+
+import (
+	"math"
+
+	"polyufc/internal/cachemodel"
+	"polyufc/internal/roofline"
+)
+
+// KernelStats are the per-kernel inputs of the model, produced by
+// PolyUFC-CM (Sec. IV): flop count, traffic, and the per-level hit/miss
+// ratio chain.
+type KernelStats struct {
+	Flops  int64
+	QBytes int64 // requested bytes (loads+stores x element size)
+	QDRAM  int64 // LLC<->DRAM bytes (thread-shared figure, used for OI)
+	// QDRAMTime is the total physical DRAM traffic driving the time and
+	// bandwidth terms: the thread-sharing heuristic divides QDRAM for
+	// characterization, but wall time is governed by the undivided volume
+	// over the shared memory system.
+	QDRAMTime int64
+	OI        float64
+	// HitRatio[i], MissRatio[i] per cache level, L1 first.
+	HitRatio  []float64
+	MissRatio []float64
+	// Threads the kernel will run with (OpenMP).
+	Threads int
+}
+
+// FromCacheModel converts a PolyUFC-CM result into model inputs.
+func FromCacheModel(r *cachemodel.Result, threads int) KernelStats {
+	div := int64(r.ThreadsDiv)
+	if div < 1 {
+		div = 1
+	}
+	ks := KernelStats{
+		Flops: r.Flops, QBytes: r.QBytes, QDRAM: r.QDRAM,
+		QDRAMTime: r.QDRAM * div, OI: r.OI,
+		Threads: threads,
+	}
+	for _, lv := range r.Levels {
+		ks.HitRatio = append(ks.HitRatio, lv.HitRatio)
+		ks.MissRatio = append(ks.MissRatio, lv.MissRatio)
+	}
+	return ks
+}
+
+// Estimate is the model's prediction at one uncore frequency.
+type Estimate struct {
+	FGHz      float64
+	Seconds   float64 // T_{f,I} (Eqn. 2)
+	TCompute  float64 // T^Omega (Eqn. 3)
+	TMemory   float64 // T^Q (Eqn. 4)
+	GFlops    float64 // Perf (Eqn. 5), in Gflop/s
+	GBs       float64 // BW (Eqn. 6), in GB/s
+	Watts     float64 // P_{f,I} (Eqn. 10)
+	PeakWatts float64 // P̂ ceiling (Eqn. 8)
+	Joules    float64 // E_{f,I} (Eqn. 11)
+	EDP       float64 // E x T
+	Class     roofline.Class
+}
+
+// Model evaluates the Sec. V equations for one kernel on one calibrated
+// platform.
+type Model struct {
+	C  *roofline.Constants
+	KS KernelStats
+}
+
+// New builds a model instance.
+func New(c *roofline.Constants, ks KernelStats) *Model {
+	return &Model{C: c, KS: ks}
+}
+
+// Class returns the kernel's CB/BB characterization (Sec. IV-D).
+func (m *Model) Class() roofline.Class { return m.C.Classify(m.KS.OI) }
+
+// At evaluates the model at uncore frequency f (GHz).
+func (m *Model) At(f float64) Estimate {
+	c, ks := m.C, m.KS
+	th := float64(maxInt(ks.Threads, 1))
+
+	// Eqn. 3: compute time at full machine throughput; a serial kernel
+	// only uses one core's share of the peak.
+	perThreadTFpu := c.TFpu * float64(maxInt(threadsOfPeak(c), 1))
+	tComp := float64(ks.Flops) * perThreadTFpu / th
+
+	// Eqn. 4: memory time. The requested volume Q is served at level i
+	// with probability (prod_{j<i} miss_j) * hit_i, at hit latency H_i;
+	// what misses everywhere goes to DRAM at the f-dependent per-byte
+	// service time M^t(f).
+	q := float64(ks.QBytes)
+	tMem := 0.0
+	chain := 1.0
+	for i := range ks.HitRatio {
+		perAccess := c.HitLatency[i]
+		// Convert the per-access service time into per-byte by the
+		// element granularity implied by QBytes/accesses; the calibrated
+		// HitLatency is per access, so scale by accesses = Q/elem. To stay
+		// element-size agnostic we fold H_i per byte using 8-byte elements
+		// (the calibration bench granularity).
+		tMem += chain * ks.HitRatio[i] * (q / 8.0) * perAccess
+		chain *= ks.MissRatio[i]
+	}
+	tMem /= th // hits served concurrently across threads
+	qTime := ks.QDRAMTime
+	if qTime == 0 {
+		qTime = ks.QDRAM
+	}
+	tDRAM := float64(qTime) * c.MissLat(f)
+	tMem += tDRAM
+
+	t := tComp + tMem
+	if t <= 0 {
+		t = 1e-12
+	}
+
+	perf := float64(ks.Flops) / t
+	bw := float64(qTime) / t
+
+	// Eqn. 10: average power, CB/BB specialization. kappa(f) = alpha*f +
+	// gamma converts achieved DRAM bandwidth into uncore dynamic power.
+	pUncore := c.UncorePower(f, bw)
+	pCore := c.EFpu * perf
+	watts := c.PCon + pCore + pUncore
+
+	// Eqn. 8: peak power ceiling.
+	var peak float64
+	cls := m.Class()
+	if cls == roofline.ComputeBound {
+		peak = c.PCon + c.PeakDRAMPower(f)*(c.BtDRAM/math.Max(ks.OI, 1e-9)) + c.PFpuHat
+	} else {
+		peak = c.PCon + c.PeakDRAMPower(f) + c.PFpuHat*(ks.OI/c.BtDRAM)
+	}
+
+	// Eqn. 11: E = Omega*e_FPU + T^Q * P (compute energy plus
+	// time-weighted platform power for the memory phase; the constant and
+	// uncore power also burn during compute).
+	joules := float64(ks.Flops)*c.EFpu + t*(c.PCon+pUncore)
+
+	return Estimate{
+		FGHz: f, Seconds: t, TCompute: tComp, TMemory: tMem,
+		GFlops: perf / 1e9, GBs: bw / 1e9,
+		Watts: watts, PeakWatts: peak,
+		Joules: joules, EDP: joules * t,
+		Class: cls,
+	}
+}
+
+// threadsOfPeak reports how many threads the calibrated peak assumed: the
+// calibration benches run fully parallel, so TFpu is whole-machine.
+func threadsOfPeak(c *roofline.Constants) int {
+	// The platform thread count is public information (Table III).
+	switch c.Platform {
+	case "BDW":
+		return 12
+	case "RPL":
+		return 20
+	}
+	return 1
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Sweep evaluates the model over a frequency grid.
+func (m *Model) Sweep(freqs []float64) []Estimate {
+	out := make([]Estimate, len(freqs))
+	for i, f := range freqs {
+		out[i] = m.At(f)
+	}
+	return out
+}
+
+// Deltas are the relative changes PolyUFC-SEARCH steers by (Sec. VI-C).
+type Deltas struct {
+	Perf, BW, EDP float64
+}
+
+// DeltasBetween computes new/old ratios.
+func DeltasBetween(old, new Estimate) Deltas {
+	return Deltas{
+		Perf: safeRatio(new.GFlops, old.GFlops),
+		BW:   safeRatio(new.GBs, old.GBs),
+		EDP:  safeRatio(new.EDP, old.EDP),
+	}
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 1
+	}
+	return a / b
+}

@@ -1,0 +1,287 @@
+// Package pluto implements the baseline loop-nest transformation of the
+// PolyUFC flow: polyhedral dependence analysis, legality-checked
+// rectangular tiling (Pluto's default tile size 32), and parallel-loop
+// marking. It is a deliberately small reimplementation of the parts of the
+// Pluto compiler (Bondhugula et al., PLDI 2008) the paper's evaluation
+// relies on: its output is the "Pluto tiled-parallel" code shape that
+// PolyUFC-CM analyzes and the hardware baseline executes.
+package pluto
+
+import (
+	"fmt"
+
+	"polyufc/internal/ir"
+	"polyufc/internal/isl"
+)
+
+// Dependence describes one data dependence between two statement instances
+// of a nest, summarized per loop level.
+type Dependence struct {
+	Array *ir.Array
+	// SrcStmt and DstStmt name the endpoints.
+	SrcStmt, DstStmt string
+	// Kind is "flow", "anti", or "output".
+	Kind string
+	// NonNegative[k] reports that no instance of the dependence has a
+	// negative distance at loop level k.
+	NonNegative []bool
+	// Zero[k] reports that every instance has distance exactly 0 at level
+	// k (the condition under which level k remains parallel).
+	Zero []bool
+	// Carried[k] reports that some instance has equal distances at levels
+	// < k and a positive distance at level k.
+	Carried []bool
+}
+
+// DepInfo aggregates the dependences of one nest.
+type DepInfo struct {
+	Depth int
+	Deps  []Dependence
+}
+
+// FullyPermutable reports whether every dependence has non-negative
+// distance at every level, the legality condition for rectangular tiling
+// of the whole band.
+func (d *DepInfo) FullyPermutable() bool {
+	for _, dep := range d.Deps {
+		for _, nn := range dep.NonNegative {
+			if !nn {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ParallelLevels returns, per loop level, whether the level is parallel:
+// every dependence has zero distance at that level.
+func (d *DepInfo) ParallelLevels() []bool {
+	out := make([]bool, d.Depth)
+	for k := range out {
+		out[k] = true
+		for _, dep := range d.Deps {
+			if !dep.Zero[k] {
+				out[k] = false
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Analyze computes the dependences of a nest. All statements must share the
+// full loop stack (a "perfect" nest); imperfect nests are rejected.
+func Analyze(nest *ir.Nest) (*DepInfo, error) {
+	sts := nest.Statements()
+	if len(sts) == 0 {
+		return nil, fmt.Errorf("pluto: nest has no statements")
+	}
+	depth := len(sts[0].Loops)
+	for _, si := range sts {
+		if len(si.Loops) != depth {
+			return nil, fmt.Errorf("pluto: imperfect nest (statement %s at depth %d, expected %d)",
+				si.Stmt.Name, len(si.Loops), depth)
+		}
+	}
+	info := &DepInfo{Depth: depth}
+	for si1 := range sts {
+		for si2 := range sts {
+			deps, err := pairDeps(sts[si1], sts[si2], si1, si2)
+			if err != nil {
+				return nil, err
+			}
+			info.Deps = append(info.Deps, deps...)
+		}
+	}
+	return info, nil
+}
+
+// pairDeps computes the dependences from accesses of s1 to accesses of s2,
+// where s1's instance precedes s2's in execution order (lexicographic over
+// the shared IVs; for equal iterations, textual order pos1 < pos2).
+func pairDeps(s1, s2 ir.StatementInfo, pos1, pos2 int) ([]Dependence, error) {
+	var out []Dependence
+	ivs := s1.IVNames()
+	for _, a1 := range s1.Stmt.Accesses {
+		for _, a2 := range s2.Stmt.Accesses {
+			if a1.Array != a2.Array {
+				continue
+			}
+			if !a1.Write && !a2.Write {
+				continue
+			}
+			kind := "flow"
+			switch {
+			case a1.Write && a2.Write:
+				kind = "output"
+			case !a1.Write && a2.Write:
+				kind = "anti"
+			}
+			dep, nonEmpty := analyzeAccessPair(ivs, s1, s2, a1, a2, pos1 < pos2)
+			if nonEmpty {
+				dep.Array = a1.Array
+				dep.SrcStmt = s1.Stmt.Name
+				dep.DstStmt = s2.Stmt.Name
+				dep.Kind = kind
+				out = append(out, dep)
+			}
+		}
+	}
+	return out, nil
+}
+
+// analyzeAccessPair builds the dependence relation
+// {(i, i') : i in D1, i' in D2, f(i) = g(i'), i before i'} and summarizes
+// its distance signs per level, using sound rational emptiness tests
+// (inconclusive tests are treated as "dependence may exist").
+func analyzeAccessPair(ivs []string, s1, s2 ir.StatementInfo, a1, a2 ir.Access, allowEqual bool) (Dependence, bool) {
+	n := len(ivs)
+	base := depBase(ivs, s1, s2, a1, a2)
+
+	// Lexicographic pieces: for k in [0,n): prefix equal, i'_k > i_k; plus
+	// the all-equal piece when textual order allows it.
+	pieces := make([]isl.BasicSet, 0, n+1)
+	for k := 0; k < n; k++ {
+		p := base.Clone()
+		sp := p.Sp
+		for j := 0; j < k; j++ {
+			p.AddEquals(sp.VarExpr(j), sp.VarExpr(n+j))
+		}
+		p.AddGE(sp.VarExpr(n + k).Sub(sp.VarExpr(k)).AddConst(-1))
+		pieces = append(pieces, p)
+	}
+	if allowEqual {
+		p := base.Clone()
+		sp := p.Sp
+		for j := 0; j < n; j++ {
+			p.AddEquals(sp.VarExpr(j), sp.VarExpr(n+j))
+		}
+		pieces = append(pieces, p)
+	}
+
+	anyNonEmpty := false
+	for _, p := range pieces {
+		if !p.IsEmptyRational() {
+			anyNonEmpty = true
+			break
+		}
+	}
+	if !anyNonEmpty {
+		return Dependence{}, false
+	}
+
+	dep := Dependence{
+		NonNegative: make([]bool, n),
+		Zero:        make([]bool, n),
+		Carried:     make([]bool, n),
+	}
+	for k := 0; k < n; k++ {
+		// Negative component possible at k?
+		neg := false
+		for _, p := range pieces {
+			q := p.Clone()
+			sp := q.Sp
+			// i'_k - i_k <= -1
+			q.AddGE(sp.VarExpr(k).Sub(sp.VarExpr(n + k)).AddConst(-1))
+			if !q.IsEmptyRational() {
+				neg = true
+				break
+			}
+		}
+		dep.NonNegative[k] = !neg
+
+		// Nonzero component possible at k?
+		nonzero := neg
+		if !nonzero {
+			for _, p := range pieces {
+				q := p.Clone()
+				sp := q.Sp
+				// i'_k - i_k >= 1
+				q.AddGE(sp.VarExpr(n + k).Sub(sp.VarExpr(k)).AddConst(-1))
+				if !q.IsEmptyRational() {
+					nonzero = true
+					break
+				}
+			}
+		}
+		dep.Zero[k] = !nonzero
+
+		// Carried at k: prefix equal, positive at k.
+		carried := false
+		for _, p := range pieces {
+			q := p.Clone()
+			sp := q.Sp
+			for j := 0; j < k; j++ {
+				q.AddEquals(sp.VarExpr(j), sp.VarExpr(n+j))
+			}
+			q.AddGE(sp.VarExpr(n + k).Sub(sp.VarExpr(k)).AddConst(-1))
+			if !q.IsEmptyRational() {
+				carried = true
+				break
+			}
+		}
+		dep.Carried[k] = carried
+	}
+	return dep, true
+}
+
+// depBase builds the conjunction: i in D1, i' in D2, f(i) = g(i') over the
+// 2n-dimensional space (i, i').
+func depBase(ivs []string, s1, s2 ir.StatementInfo, a1, a2 ir.Access) isl.BasicSet {
+	n := len(ivs)
+	dims := make([]string, 0, 2*n)
+	dims = append(dims, ivs...)
+	for _, iv := range ivs {
+		dims = append(dims, iv+"'")
+	}
+	sp := isl.NewSetSpace(nil, dims)
+	b := isl.Universe(sp)
+	embedDomain(&b, s1.Domain, 0, 2*n)
+	embedDomain(&b, s2.Domain, n, 2*n)
+	// Access equality per array dimension.
+	for d := range a1.Index {
+		e := sp.NewLinExpr()
+		addAff(&e, a1.Index[d], ivs, 0, 1)
+		addAff(&e, a2.Index[d], ivs, n, -1)
+		b.AddEQ(e)
+	}
+	return b
+}
+
+// embedDomain adds the constraints of a (parameter- and existential-free)
+// domain over n IVs into a wider basic set, with the domain's variables
+// mapped to columns [offset, offset+n).
+func embedDomain(b *isl.BasicSet, dom isl.Set, offset, width int) {
+	for _, bs := range dom.Basics {
+		for _, cv := range bs.Constraints() {
+			row := make([]int64, width)
+			for i, c := range cv.Coef {
+				row[offset+i] = c
+			}
+			if cv.Kind == isl.EQ {
+				b.AddRawEQ(row, cv.Const)
+			} else {
+				b.AddRawGE(row, cv.Const)
+			}
+		}
+	}
+}
+
+// addAff accumulates sign * aff (over the named IVs at the given column
+// offset) into a LinExpr of the dependence space.
+func addAff(e *isl.LinExpr, aff ir.AffExpr, ivs []string, offset int, sign int64) {
+	for iv, c := range aff.Coef {
+		idx := -1
+		for i, name := range ivs {
+			if name == iv {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			panic(fmt.Sprintf("pluto: access references unknown IV %q", iv))
+		}
+		e.VarCoef[offset+idx] += sign * c
+	}
+	e.Const += sign * aff.Const
+}

@@ -1,0 +1,231 @@
+package pluto
+
+import (
+	"testing"
+
+	"polyufc/internal/ir"
+)
+
+// matmulNest builds C[i,j] += A[i,k]*B[k,j] over m x n x k.
+func matmulNest(m, n, k int64) *ir.Nest {
+	A := ir.NewArray("A", 8, m, k)
+	B := ir.NewArray("B", 8, k, n)
+	C := ir.NewArray("C", 8, m, n)
+	stmt := &ir.Statement{Name: "S0", Flops: 2}
+	i, j, kk := ir.AffVar("i"), ir.AffVar("j"), ir.AffVar("k")
+	stmt.Accesses = []ir.Access{
+		{Array: A, Index: []ir.AffExpr{i, kk}},
+		{Array: B, Index: []ir.AffExpr{kk, j}},
+		{Array: C, Index: []ir.AffExpr{i, j}},
+		{Array: C, Write: true, Index: []ir.AffExpr{i, j}},
+	}
+	kl := ir.SimpleLoop("k", ir.AffConst(0), ir.AffConst(k-1), stmt)
+	jl := ir.SimpleLoop("j", ir.AffConst(0), ir.AffConst(n-1), kl)
+	il := ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(m-1), jl)
+	return &ir.Nest{Label: "matmul", Root: il}
+}
+
+// stencilNest builds A[i] = A[i-1] + A[i] (a loop-carried dependence).
+func stencilNest(n int64) *ir.Nest {
+	A := ir.NewArray("A", 8, n)
+	stmt := &ir.Statement{Name: "S0", Flops: 1}
+	i := ir.AffVar("i")
+	stmt.Accesses = []ir.Access{
+		{Array: A, Index: []ir.AffExpr{i.AddConst(-1)}},
+		{Array: A, Index: []ir.AffExpr{i}},
+		{Array: A, Write: true, Index: []ir.AffExpr{i}},
+	}
+	il := ir.SimpleLoop("i", ir.AffConst(1), ir.AffConst(n-1), stmt)
+	return &ir.Nest{Label: "stencil", Root: il}
+}
+
+func TestMatmulDependences(t *testing.T) {
+	info, err := Analyze(matmulNest(16, 16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Depth != 3 {
+		t.Fatalf("depth = %d", info.Depth)
+	}
+	if len(info.Deps) == 0 {
+		t.Fatal("matmul must have reduction dependences on C")
+	}
+	if !info.FullyPermutable() {
+		t.Fatal("matmul band must be fully permutable")
+	}
+	par := info.ParallelLevels()
+	if !par[0] || !par[1] || par[2] {
+		t.Fatalf("parallel levels = %v, want [true true false]", par)
+	}
+	for _, d := range info.Deps {
+		if d.Array.Name != "C" {
+			t.Fatalf("dependence on %s, only C expected", d.Array.Name)
+		}
+		if !d.Carried[2] {
+			t.Fatal("reduction dependence must be carried at k")
+		}
+	}
+}
+
+func TestStencilNotParallel(t *testing.T) {
+	info, err := Analyze(stencilNest(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := info.ParallelLevels()
+	if par[0] {
+		t.Fatal("A[i] = A[i-1] + A[i] loop must not be parallel")
+	}
+	if !info.FullyPermutable() {
+		t.Fatal("forward-only dependence is still non-negative")
+	}
+}
+
+func TestReversedDependenceBlocksTiling(t *testing.T) {
+	// A[i][j] = A[i+1][j-1]: distance (+1, -1) -> negative at level 1.
+	A := ir.NewArray("A", 8, 20, 20)
+	stmt := &ir.Statement{Name: "S0", Flops: 1}
+	i, j := ir.AffVar("i"), ir.AffVar("j")
+	stmt.Accesses = []ir.Access{
+		{Array: A, Index: []ir.AffExpr{i.AddConst(1), j.AddConst(-1)}},
+		{Array: A, Write: true, Index: []ir.AffExpr{i, j}},
+	}
+	jl := ir.SimpleLoop("j", ir.AffConst(1), ir.AffConst(18), stmt)
+	il := ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(18), jl)
+	nest := &ir.Nest{Label: "skewed", Root: il}
+	info, err := Analyze(nest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FullyPermutable() {
+		t.Fatal("(+,-) dependence must block rectangular tiling")
+	}
+	res, err := Optimize(nest, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tiled {
+		t.Fatal("illegal tiling applied")
+	}
+}
+
+func TestTilePreservesTripCount(t *testing.T) {
+	for _, dims := range [][3]int64{{8, 8, 8}, {33, 17, 40}, {64, 64, 64}, {100, 3, 7}} {
+		nest := matmulNest(dims[0], dims[1], dims[2])
+		orig, err := nest.TripCount()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tiled, err := TileNest(nest, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tiled.TripCount()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != orig {
+			t.Fatalf("dims %v: tiled trip count %d != original %d", dims, got, orig)
+		}
+	}
+}
+
+func TestTileStructure(t *testing.T) {
+	nest := matmulNest(64, 64, 64)
+	tiled, err := TileNest(nest, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ivs []string
+	tiled.WalkLoops(func(l *ir.Loop, _ int) { ivs = append(ivs, l.IV) })
+	want := []string{"t_i", "t_j", "t_k", "i", "j", "k"}
+	if len(ivs) != len(want) {
+		t.Fatalf("loops = %v", ivs)
+	}
+	for i := range want {
+		if ivs[i] != want[i] {
+			t.Fatalf("loops = %v, want %v", ivs, want)
+		}
+	}
+}
+
+func TestTriangularTiling(t *testing.T) {
+	// Triangular domain: 0 <= i < N, 0 <= j <= i (no dependences).
+	n := int64(50)
+	A := ir.NewArray("A", 8, n, n)
+	stmt := &ir.Statement{Name: "S0", Flops: 1}
+	i, j := ir.AffVar("i"), ir.AffVar("j")
+	stmt.Accesses = []ir.Access{{Array: A, Write: true, Index: []ir.AffExpr{i, j}}}
+	jl := ir.SimpleLoop("j", ir.AffConst(0), i, stmt)
+	il := ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(n-1), jl)
+	nest := &ir.Nest{Label: "tri", Root: il}
+	orig, err := nest.TripCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig != n*(n+1)/2 {
+		t.Fatalf("triangular trip count = %d", orig)
+	}
+	tiled, err := TileNest(nest, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tiled.TripCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != orig {
+		t.Fatalf("tiled triangular trip count %d != %d", got, orig)
+	}
+}
+
+func TestOptimizePipeline(t *testing.T) {
+	nest := matmulNest(64, 64, 64)
+	res, err := Optimize(nest, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Tiled {
+		t.Fatal("matmul should be tiled")
+	}
+	if res.NumDeps == 0 {
+		t.Fatal("no dependences recorded")
+	}
+	// Parallel loops: t_i, t_j, i, j (levels 0 and 1 parallel).
+	if len(res.ParallelLoops) != 4 {
+		t.Fatalf("parallel loops = %v", res.ParallelLoops)
+	}
+	// The original nest must be unmodified.
+	nest.WalkLoops(func(l *ir.Loop, _ int) {
+		if l.Parallel {
+			t.Fatalf("input nest mutated: %s marked parallel", l.IV)
+		}
+	})
+	// Outermost loop of the result must be parallel for the baseline shape.
+	if !res.Nest.Root.Parallel {
+		t.Fatal("outermost tile loop should be parallel")
+	}
+}
+
+func TestOptimizeElementwiseUntiledWhenShallow(t *testing.T) {
+	// 1-D elementwise: depth 1, not tiled, but parallel.
+	A := ir.NewArray("A", 8, 100)
+	B := ir.NewArray("B", 8, 100)
+	stmt := &ir.Statement{Name: "S0", Flops: 1}
+	i := ir.AffVar("i")
+	stmt.Accesses = []ir.Access{
+		{Array: A, Index: []ir.AffExpr{i}},
+		{Array: B, Write: true, Index: []ir.AffExpr{i}},
+	}
+	nest := &ir.Nest{Label: "copy", Root: ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(99), stmt)}
+	res, err := Optimize(nest, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tiled {
+		t.Fatal("1-D nest should not be tiled")
+	}
+	if len(res.ParallelLoops) != 1 {
+		t.Fatalf("parallel loops = %v", res.ParallelLoops)
+	}
+}

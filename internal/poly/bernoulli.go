@@ -1,0 +1,134 @@
+package poly
+
+import (
+	"math/big"
+	"sync"
+)
+
+// bernoulliCache memoizes Bernoulli numbers (B+ convention, B1 = +1/2).
+var bernoulliCache struct {
+	sync.Mutex
+	vals []*big.Rat
+}
+
+// Bernoulli returns the n-th Bernoulli number using the convention
+// B1 = +1/2 (the "B+" numbers), which is the convention under which
+// Faulhaber's formula takes the form used by SumPow.
+func Bernoulli(n int) *big.Rat {
+	if n < 0 {
+		panic("poly: negative Bernoulli index")
+	}
+	bernoulliCache.Lock()
+	defer bernoulliCache.Unlock()
+	for len(bernoulliCache.vals) <= n {
+		m := len(bernoulliCache.vals)
+		if m == 0 {
+			bernoulliCache.vals = append(bernoulliCache.vals, big.NewRat(1, 1))
+			continue
+		}
+		// B+_m = 1 - sum_{k=0}^{m-1} C(m,k) B+_k / (m-k+1)
+		// derived from sum_{k=0}^{m} C(m+1,k) B-_k = 0 adjusted for B+;
+		// equivalently use the recurrence for B- and flip the sign of B1.
+		// We compute B- via: sum_{j=0}^{m} C(m+1, j) B-_j = 0, m >= 1.
+		sum := new(big.Rat)
+		c := big.NewInt(1) // C(m+1, j), starting at j=0
+		mp1 := big.NewInt(int64(m + 1))
+		for j := 0; j < m; j++ {
+			bj := new(big.Rat).Set(bernoulliCache.vals[j])
+			if j == 1 {
+				bj.Neg(bj) // stored as B+, recurrence needs B-
+			}
+			term := new(big.Rat).Mul(bj, new(big.Rat).SetInt(c))
+			sum.Add(sum, term)
+			// C(m+1, j+1) = C(m+1, j) * (m+1-j) / (j+1)
+			c.Mul(c, new(big.Int).Sub(mp1, big.NewInt(int64(j))))
+			c.Quo(c, big.NewInt(int64(j+1)))
+		}
+		bm := new(big.Rat).Quo(sum.Neg(sum), new(big.Rat).SetInt(c))
+		if m == 1 {
+			bm.Neg(bm) // convert B-_1 = -1/2 to B+_1 = +1/2
+		}
+		bernoulliCache.vals = append(bernoulliCache.vals, bm)
+	}
+	return new(big.Rat).Set(bernoulliCache.vals[n])
+}
+
+// SumPow returns the Faulhaber polynomial S_k in one variable n such that
+// S_k(n) = sum_{x=1}^{n} x^k for all integers n >= 0, and, as a polynomial
+// identity, S_k(n) - S_k(n-1) = n^k for every integer n. The latter makes
+// the telescoping identity sum_{x=L}^{U} x^k = S_k(U) - S_k(L-1) valid for
+// arbitrary integer bounds with U >= L-1.
+func SumPow(k int) Poly {
+	if k < 0 {
+		panic("poly: negative power in SumPow")
+	}
+	// S_k(n) = 1/(k+1) * sum_{j=0}^{k} C(k+1, j) B+_j n^{k+1-j}
+	res := New(1)
+	c := big.NewInt(1) // C(k+1, j)
+	kp1 := big.NewInt(int64(k + 1))
+	for j := 0; j <= k; j++ {
+		bj := Bernoulli(j)
+		if bj.Sign() != 0 {
+			coef := new(big.Rat).Mul(new(big.Rat).SetInt(c), bj)
+			coef.Quo(coef, new(big.Rat).SetInt64(int64(k+1)))
+			term := Var(1, 0).Pow(k + 1 - j).Scale(coef)
+			res = res.Add(term)
+		}
+		c.Mul(c, new(big.Int).Sub(kp1, big.NewInt(int64(j))))
+		c.Quo(c, big.NewInt(int64(j+1)))
+	}
+	return res
+}
+
+// SumVar computes the symbolic sum of p over variable i ranging from L to U
+// inclusive: sum_{x_i = L}^{U} p. L and U are polynomials in the same
+// variable space that must not involve variable i. The result no longer
+// involves variable i (its coefficient space is unchanged). The identity is
+// exact for all integer values with U >= L - 1; callers are responsible for
+// restricting evaluation to regions where U >= L (the value at U = L-1 is 0).
+func SumVar(p Poly, i int, L, U Poly) Poly {
+	if L.DegreeOf(i) > 0 || U.DegreeOf(i) > 0 {
+		panic("poly: summation bounds must not involve the summed variable")
+	}
+	n := p.n
+	if L.n != n || U.n != n {
+		panic("poly: bound variable space mismatch")
+	}
+	Lm1 := L.Sub(ConstInt(n, 1))
+	// Decompose p by powers of x_i.
+	byDeg := map[int]Poly{}
+	for k, c := range p.terms {
+		d := int(k[i])
+		rest := []byte(k)
+		rest[i] = 0
+		cp, ok := byDeg[d]
+		if !ok {
+			cp = New(n)
+			byDeg[d] = cp
+		}
+		cp.addTerm(string(rest), c)
+	}
+	result := New(n)
+	for d, coef := range byDeg {
+		sk := SumPow(d) // in one variable
+		// Lift S_k into the n-variable space with its variable at index i,
+		// then substitute the bounds.
+		skN := liftUni(sk, n, i)
+		atU := skN.SubstPoly(i, U)
+		atL := skN.SubstPoly(i, Lm1)
+		result = result.Add(coef.Mul(atU.Sub(atL)))
+	}
+	return result
+}
+
+// liftUni re-expresses a univariate polynomial in an n-variable space with
+// its variable placed at index i.
+func liftUni(p Poly, n, i int) Poly {
+	r := New(n)
+	for k, c := range p.terms {
+		key := make([]byte, n)
+		key[i] = k[0]
+		r.terms[string(key)] = new(big.Rat).Set(c)
+	}
+	return r
+}

@@ -1,0 +1,428 @@
+// Package poly implements exact multivariate polynomial arithmetic over the
+// rationals, Bernoulli numbers, and Faulhaber (closed-form power-sum)
+// summation. It is the counting back end of the polyhedral library: the
+// cardinality of a loop-nest-form integer polytope is computed by summing
+// polynomials symbolically, dimension by dimension, which is the role the
+// barvinok library plays in the original PolyUFC implementation.
+package poly
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Poly is a polynomial in a fixed number of variables with rational
+// coefficients. The zero value is not usable; construct values with New,
+// Const, Var, or the arithmetic methods. Variables are identified by index
+// in [0, N). Polynomials are immutable: all operations return new values.
+type Poly struct {
+	// n is the number of variables in the polynomial's space.
+	n int
+	// terms maps an exponent key (one byte per variable) to a nonzero
+	// coefficient. The zero polynomial has an empty map.
+	terms map[string]*big.Rat
+}
+
+// New returns the zero polynomial in n variables.
+func New(n int) Poly {
+	if n < 0 {
+		panic("poly: negative variable count")
+	}
+	return Poly{n: n, terms: map[string]*big.Rat{}}
+}
+
+// Const returns the constant polynomial c in n variables.
+func Const(n int, c *big.Rat) Poly {
+	p := New(n)
+	if c.Sign() != 0 {
+		p.terms[string(make([]byte, n))] = new(big.Rat).Set(c)
+	}
+	return p
+}
+
+// ConstInt returns the constant polynomial c in n variables.
+func ConstInt(n int, c int64) Poly {
+	return Const(n, big.NewRat(c, 1))
+}
+
+// Var returns the polynomial consisting of the single variable i.
+func Var(n, i int) Poly {
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("poly: variable %d out of range [0,%d)", i, n))
+	}
+	p := New(n)
+	key := make([]byte, n)
+	key[i] = 1
+	p.terms[string(key)] = big.NewRat(1, 1)
+	return p
+}
+
+// NumVars reports the number of variables in p's space.
+func (p Poly) NumVars() int { return p.n }
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p.terms) == 0 }
+
+// IsConst reports whether p has no variable terms, and returns the constant.
+func (p Poly) IsConst() (*big.Rat, bool) {
+	switch len(p.terms) {
+	case 0:
+		return new(big.Rat), true
+	case 1:
+		zero := string(make([]byte, p.n))
+		if c, ok := p.terms[zero]; ok {
+			return new(big.Rat).Set(c), true
+		}
+	}
+	return nil, false
+}
+
+// Degree returns the total degree of p, or -1 for the zero polynomial.
+func (p Poly) Degree() int {
+	deg := -1
+	for k := range p.terms {
+		d := 0
+		for i := 0; i < p.n; i++ {
+			d += int(k[i])
+		}
+		if d > deg {
+			deg = d
+		}
+	}
+	return deg
+}
+
+// DegreeOf returns the maximum exponent of variable i in p.
+func (p Poly) DegreeOf(i int) int {
+	deg := 0
+	for k := range p.terms {
+		if int(k[i]) > deg {
+			deg = int(k[i])
+		}
+	}
+	return deg
+}
+
+// Coeff returns the coefficient of the monomial with the given exponents.
+func (p Poly) Coeff(exps []int) *big.Rat {
+	if len(exps) != p.n {
+		panic("poly: exponent vector length mismatch")
+	}
+	key := make([]byte, p.n)
+	for i, e := range exps {
+		if e < 0 || e > 255 {
+			panic("poly: exponent out of byte range")
+		}
+		key[i] = byte(e)
+	}
+	if c, ok := p.terms[string(key)]; ok {
+		return new(big.Rat).Set(c)
+	}
+	return new(big.Rat)
+}
+
+func (p Poly) clone() Poly {
+	q := New(p.n)
+	for k, c := range p.terms {
+		q.terms[k] = new(big.Rat).Set(c)
+	}
+	return q
+}
+
+func (p Poly) addTerm(key string, c *big.Rat) {
+	if c.Sign() == 0 {
+		return
+	}
+	if old, ok := p.terms[key]; ok {
+		old.Add(old, c)
+		if old.Sign() == 0 {
+			delete(p.terms, key)
+		}
+	} else {
+		p.terms[key] = new(big.Rat).Set(c)
+	}
+}
+
+// Add returns p + q. Both must share the same variable space.
+func (p Poly) Add(q Poly) Poly {
+	p.mustMatch(q)
+	r := p.clone()
+	for k, c := range q.terms {
+		r.addTerm(k, c)
+	}
+	return r
+}
+
+// Sub returns p - q.
+func (p Poly) Sub(q Poly) Poly {
+	p.mustMatch(q)
+	r := p.clone()
+	neg := new(big.Rat)
+	for k, c := range q.terms {
+		neg.Neg(c)
+		r.addTerm(k, neg)
+	}
+	return r
+}
+
+// Neg returns -p.
+func (p Poly) Neg() Poly {
+	r := New(p.n)
+	for k, c := range p.terms {
+		r.terms[k] = new(big.Rat).Neg(c)
+	}
+	return r
+}
+
+// Scale returns c * p.
+func (p Poly) Scale(c *big.Rat) Poly {
+	if c.Sign() == 0 {
+		return New(p.n)
+	}
+	r := New(p.n)
+	for k, co := range p.terms {
+		r.terms[k] = new(big.Rat).Mul(co, c)
+	}
+	return r
+}
+
+// ScaleInt returns c * p.
+func (p Poly) ScaleInt(c int64) Poly { return p.Scale(big.NewRat(c, 1)) }
+
+// Mul returns p * q.
+func (p Poly) Mul(q Poly) Poly {
+	p.mustMatch(q)
+	r := New(p.n)
+	tmp := new(big.Rat)
+	key := make([]byte, p.n)
+	for k1, c1 := range p.terms {
+		for k2, c2 := range q.terms {
+			for i := 0; i < p.n; i++ {
+				e := int(k1[i]) + int(k2[i])
+				if e > 255 {
+					panic("poly: exponent overflow in Mul")
+				}
+				key[i] = byte(e)
+			}
+			tmp.Mul(c1, c2)
+			r.addTerm(string(key), tmp)
+		}
+	}
+	return r
+}
+
+// Pow returns p raised to the non-negative integer power k.
+func (p Poly) Pow(k int) Poly {
+	if k < 0 {
+		panic("poly: negative exponent")
+	}
+	r := ConstInt(p.n, 1)
+	base := p
+	for k > 0 {
+		if k&1 == 1 {
+			r = r.Mul(base)
+		}
+		k >>= 1
+		if k > 0 {
+			base = base.Mul(base)
+		}
+	}
+	return r
+}
+
+// Eval evaluates p at the given rational point.
+func (p Poly) Eval(point []*big.Rat) *big.Rat {
+	if len(point) != p.n {
+		panic("poly: evaluation point length mismatch")
+	}
+	sum := new(big.Rat)
+	term := new(big.Rat)
+	pw := new(big.Rat)
+	for k, c := range p.terms {
+		term.Set(c)
+		for i := 0; i < p.n; i++ {
+			for e := 0; e < int(k[i]); e++ {
+				pw.Set(point[i])
+				term.Mul(term, pw)
+			}
+		}
+		sum.Add(sum, term)
+	}
+	return sum
+}
+
+// EvalInt evaluates p at an integer point.
+func (p Poly) EvalInt(point []int64) *big.Rat {
+	rats := make([]*big.Rat, len(point))
+	for i, v := range point {
+		rats[i] = big.NewRat(v, 1)
+	}
+	return p.Eval(rats)
+}
+
+// EvalInt64 evaluates p at an integer point and returns the result as an
+// int64, reporting whether the value was an integer that fits.
+func (p Poly) EvalInt64(point []int64) (int64, bool) {
+	r := p.EvalInt(point)
+	if !r.IsInt() {
+		return 0, false
+	}
+	n := r.Num()
+	if !n.IsInt64() {
+		return 0, false
+	}
+	return n.Int64(), true
+}
+
+// SubstPoly returns the polynomial obtained by substituting variable i with
+// the polynomial q (in the same variable space as p).
+func (p Poly) SubstPoly(i int, q Poly) Poly {
+	p.mustMatch(q)
+	if i < 0 || i >= p.n {
+		panic("poly: substitution variable out of range")
+	}
+	// Group terms of p by the exponent of variable i:
+	// p = sum_k c_k(rest) * x_i^k, result = sum_k c_k * q^k.
+	byDeg := map[int]Poly{}
+	for k, c := range p.terms {
+		d := int(k[i])
+		rest := []byte(k)
+		rest[i] = 0
+		cp, ok := byDeg[d]
+		if !ok {
+			cp = New(p.n)
+			byDeg[d] = cp
+		}
+		cp.addTerm(string(rest), c)
+	}
+	result := New(p.n)
+	// Iterate degrees in increasing order, maintaining q^k incrementally.
+	degs := make([]int, 0, len(byDeg))
+	for d := range byDeg {
+		degs = append(degs, d)
+	}
+	sort.Ints(degs)
+	qpow := ConstInt(p.n, 1)
+	cur := 0
+	for _, d := range degs {
+		for cur < d {
+			qpow = qpow.Mul(q)
+			cur++
+		}
+		result = result.Add(byDeg[d].Mul(qpow))
+	}
+	return result
+}
+
+// ExtendVars returns p re-expressed in a space with m >= p.NumVars()
+// variables; the original variables keep their indices.
+func (p Poly) ExtendVars(m int) Poly {
+	if m < p.n {
+		panic("poly: ExtendVars cannot shrink the space")
+	}
+	if m == p.n {
+		return p
+	}
+	r := New(m)
+	for k, c := range p.terms {
+		key := make([]byte, m)
+		copy(key, k)
+		r.terms[string(key)] = new(big.Rat).Set(c)
+	}
+	return r
+}
+
+// Equal reports whether p and q are identical polynomials.
+func (p Poly) Equal(q Poly) bool {
+	if p.n != q.n || len(p.terms) != len(q.terms) {
+		return false
+	}
+	for k, c := range p.terms {
+		c2, ok := q.terms[k]
+		if !ok || c.Cmp(c2) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (p Poly) mustMatch(q Poly) {
+	if p.n != q.n {
+		panic(fmt.Sprintf("poly: variable space mismatch (%d vs %d)", p.n, q.n))
+	}
+}
+
+// String renders the polynomial with variables named x0, x1, ...
+func (p Poly) String() string { return p.Format(nil) }
+
+// Format renders the polynomial using the supplied variable names; a nil or
+// short slice falls back to xN naming.
+func (p Poly) Format(names []string) string {
+	if len(p.terms) == 0 {
+		return "0"
+	}
+	keys := make([]string, 0, len(p.terms))
+	for k := range p.terms {
+		keys = append(keys, k)
+	}
+	// Sort by total degree descending, then lexicographically, so output is
+	// deterministic.
+	sort.Slice(keys, func(a, b int) bool {
+		da, db := 0, 0
+		for i := 0; i < p.n; i++ {
+			da += int(keys[a][i])
+			db += int(keys[b][i])
+		}
+		if da != db {
+			return da > db
+		}
+		return keys[a] > keys[b]
+	})
+	var sb strings.Builder
+	for idx, k := range keys {
+		c := p.terms[k]
+		if idx > 0 {
+			if c.Sign() >= 0 {
+				sb.WriteString(" + ")
+			} else {
+				sb.WriteString(" - ")
+			}
+		} else if c.Sign() < 0 {
+			sb.WriteString("-")
+		}
+		abs := new(big.Rat).Abs(c)
+		mono := monoString(k, p.n, names)
+		if mono == "" {
+			sb.WriteString(abs.RatString())
+		} else {
+			if abs.Cmp(big.NewRat(1, 1)) != 0 {
+				sb.WriteString(abs.RatString())
+				sb.WriteString("*")
+			}
+			sb.WriteString(mono)
+		}
+	}
+	return sb.String()
+}
+
+func monoString(key string, n int, names []string) string {
+	var parts []string
+	for i := 0; i < n; i++ {
+		e := int(key[i])
+		if e == 0 {
+			continue
+		}
+		name := fmt.Sprintf("x%d", i)
+		if i < len(names) && names[i] != "" {
+			name = names[i]
+		}
+		if e == 1 {
+			parts = append(parts, name)
+		} else {
+			parts = append(parts, fmt.Sprintf("%s^%d", name, e))
+		}
+	}
+	return strings.Join(parts, "*")
+}

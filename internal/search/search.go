@@ -1,0 +1,158 @@
+// Package search implements PolyUFC-SEARCH (Sec. VI-C): a binary search
+// over the platform's uncore frequency grid (0.1 GHz steps), directed by
+// the kernel's CB/BB characterization — CB kernels are pushed toward lower
+// frequencies to save energy when the performance loss stays within the
+// tunable threshold epsilon; BB kernels toward higher frequencies when
+// performance gains track bandwidth gains — with the objective (EDP,
+// energy-only or performance-only) deciding acceptance.
+package search
+
+import (
+	"polyufc/internal/model"
+	"polyufc/internal/roofline"
+)
+
+// Objective selects what the search optimizes.
+type Objective int
+
+// Supported objectives (Sec. VI: "multiple metrics, like performance-only,
+// energy and EDP").
+const (
+	ObjectiveEDP Objective = iota
+	ObjectiveEnergy
+	ObjectivePerformance
+)
+
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveEDP:
+		return "edp"
+	case ObjectiveEnergy:
+		return "energy"
+	case ObjectivePerformance:
+		return "performance"
+	}
+	return "objective?"
+}
+
+// ParseObjective maps a CLI string to an Objective.
+func ParseObjective(s string) (Objective, bool) {
+	switch s {
+	case "edp", "":
+		return ObjectiveEDP, true
+	case "energy":
+		return ObjectiveEnergy, true
+	case "performance", "perf", "time":
+		return ObjectivePerformance, true
+	}
+	return ObjectiveEDP, false
+}
+
+// Step records one iteration of the search for reporting.
+type Step struct {
+	FGHz   float64
+	Deltas model.Deltas
+	Score  float64
+	Taken  bool
+}
+
+// Result is the outcome of one search.
+type Result struct {
+	BestGHz   float64
+	Best      model.Estimate
+	Class     roofline.Class
+	Steps     []Step
+	Evaluated int
+}
+
+// Options tunes the search.
+type Options struct {
+	Objective Objective
+	// Epsilon is the tunable Perf-vs-BW tolerance of Sec. VI-C; the paper
+	// uses 1e-3 for the evaluation.
+	Epsilon float64
+}
+
+// DefaultOptions returns the paper's evaluation settings.
+func DefaultOptions() Options {
+	return Options{Objective: ObjectiveEDP, Epsilon: 1e-3}
+}
+
+// score returns the value to minimize.
+func score(e model.Estimate, o Objective) float64 {
+	switch o {
+	case ObjectiveEnergy:
+		return e.Joules
+	case ObjectivePerformance:
+		return e.Seconds
+	default:
+		return e.EDP
+	}
+}
+
+// Run performs the binary search over the frequency grid for one kernel
+// model. freqs must be sorted ascending (the platform's UncoreSteps).
+func Run(m *model.Model, freqs []float64, opts Options) Result {
+	if len(freqs) == 0 {
+		return Result{}
+	}
+	cls := m.Class()
+	res := Result{Class: cls}
+
+	// Reference point: the driver default (maximum uncore frequency).
+	ref := m.At(freqs[len(freqs)-1])
+	res.Evaluated++
+
+	// Directional binary search on the grid. The model's objective is
+	// unimodal in f for both classes (Sec. VI-C notes the space is
+	// non-convex in (f, I) jointly but the per-kernel slice is explored by
+	// bisection): we bisect on the discrete derivative, biased by the
+	// characterization through the epsilon gate.
+	lo, hi := 0, len(freqs)-1
+	eval := func(i int) model.Estimate {
+		res.Evaluated++
+		return m.At(freqs[i])
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		em := eval(mid)
+		en := eval(mid + 1)
+		dm := model.DeltasBetween(ref, em)
+		better := score(em, opts.Objective) <= score(en, opts.Objective)
+		// Epsilon gate (Sec. VI-C): for CB kernels a move to lower
+		// frequency is acceptable only if the performance loss does not
+		// exceed the bandwidth loss by more than epsilon; for BB kernels a
+		// move up requires performance gains to track bandwidth gains.
+		if cls == roofline.ComputeBound {
+			perfLoss := 1 - dm.Perf
+			bwLoss := 1 - dm.BW
+			if better && perfLoss-bwLoss > opts.Epsilon {
+				better = false // the loss is real work lost, stop descending
+			}
+		} else {
+			dn := model.DeltasBetween(em, en)
+			if !better && dn.Perf+opts.Epsilon < dn.BW {
+				// Bandwidth grows but performance does not follow: the
+				// extra frequency is over-provisioning.
+				better = true
+			}
+		}
+		res.Steps = append(res.Steps, Step{
+			FGHz: freqs[mid], Deltas: dm,
+			Score: score(em, opts.Objective), Taken: better,
+		})
+		if better {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	// Pick the better endpoint.
+	el, eh := eval(lo), eval(hi)
+	if score(el, opts.Objective) <= score(eh, opts.Objective) {
+		res.BestGHz, res.Best = freqs[lo], el
+	} else {
+		res.BestGHz, res.Best = freqs[hi], eh
+	}
+	return res
+}

@@ -1,0 +1,143 @@
+package search
+
+import (
+	"testing"
+
+	"polyufc/internal/hw"
+	"polyufc/internal/model"
+	"polyufc/internal/roofline"
+)
+
+func setup(t *testing.T, p *hw.Platform, ks model.KernelStats) (*model.Model, []float64) {
+	t.Helper()
+	c, err := roofline.Calibrate(hw.NewMachine(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model.New(c, ks), p.UncoreSteps()
+}
+
+func cbStats(threads int) model.KernelStats {
+	return model.KernelStats{
+		Flops: 2e9, QBytes: 8e9, QDRAM: 64e6, OI: 2e9 / 64e6,
+		HitRatio:  []float64{0.95, 0.6, 0.5},
+		MissRatio: []float64{0.05, 0.4, 0.5},
+		Threads:   threads,
+	}
+}
+
+func bbStats(threads int) model.KernelStats {
+	return model.KernelStats{
+		Flops: 4e7, QBytes: 4e8, QDRAM: 64e7, OI: 4e7 / 64e7,
+		HitRatio:  []float64{0.6, 0.2, 0.1},
+		MissRatio: []float64{0.4, 0.8, 0.9},
+		Threads:   threads,
+	}
+}
+
+func TestCBSearchGoesLow(t *testing.T) {
+	for _, p := range hw.Platforms() {
+		m, freqs := setup(t, p, cbStats(p.Threads))
+		res := Run(m, freqs, DefaultOptions())
+		if res.Class != roofline.ComputeBound {
+			t.Fatalf("%s: class = %v", p.Name, res.Class)
+		}
+		mid := (p.UncoreMin + p.UncoreMax) / 2
+		if res.BestGHz > mid {
+			t.Fatalf("%s: CB cap %.1f GHz above midpoint", p.Name, res.BestGHz)
+		}
+		// The found cap must beat the driver default on the model.
+		def := m.At(p.UncoreMax)
+		if res.Best.EDP >= def.EDP {
+			t.Fatalf("%s: no EDP improvement (%.3g vs %.3g)", p.Name, res.Best.EDP, def.EDP)
+		}
+	}
+}
+
+func TestBBSearchGoesHighButNotMax(t *testing.T) {
+	for _, p := range hw.Platforms() {
+		m, freqs := setup(t, p, bbStats(p.Threads))
+		res := Run(m, freqs, DefaultOptions())
+		if res.Class != roofline.BandwidthBound {
+			t.Fatalf("%s: class = %v", p.Name, res.Class)
+		}
+		mid := (p.UncoreMin + p.UncoreMax) / 2
+		if res.BestGHz <= mid {
+			t.Fatalf("%s: BB cap %.1f GHz at or below midpoint", p.Name, res.BestGHz)
+		}
+		def := m.At(p.UncoreMax)
+		if res.Best.EDP > def.EDP {
+			t.Fatalf("%s: BB search worse than default", p.Name)
+		}
+	}
+}
+
+func TestSearchFindsGridOptimum(t *testing.T) {
+	// The binary search must land on (or tie with) the exhaustive optimum
+	// for the unimodal model objective.
+	for _, mk := range []func(int) model.KernelStats{cbStats, bbStats} {
+		p := hw.RPL()
+		m, freqs := setup(t, p, mk(p.Threads))
+		res := Run(m, freqs, DefaultOptions())
+		bestF, bestEDP := 0.0, 0.0
+		for _, f := range freqs {
+			e := m.At(f)
+			if bestEDP == 0 || e.EDP < bestEDP {
+				bestEDP, bestF = e.EDP, f
+			}
+		}
+		if res.Best.EDP > bestEDP*1.02 {
+			t.Fatalf("search EDP %.4g at %.1f vs exhaustive %.4g at %.1f",
+				res.Best.EDP, res.BestGHz, bestEDP, bestF)
+		}
+	}
+}
+
+func TestSearchLogarithmicEvaluations(t *testing.T) {
+	p := hw.RPL() // 39 grid points
+	m, freqs := setup(t, p, cbStats(p.Threads))
+	res := Run(m, freqs, DefaultOptions())
+	if res.Evaluated > 16 {
+		t.Fatalf("search evaluated %d points on a 39-point grid", res.Evaluated)
+	}
+	if len(res.Steps) == 0 {
+		t.Fatal("no steps recorded")
+	}
+}
+
+func TestObjectives(t *testing.T) {
+	p := hw.BDW()
+	m, freqs := setup(t, p, bbStats(p.Threads))
+	perfRes := Run(m, freqs, Options{Objective: ObjectivePerformance, Epsilon: 1e-3})
+	energyRes := Run(m, freqs, Options{Objective: ObjectiveEnergy, Epsilon: 1e-3})
+	// Performance-only must choose a frequency at least as high as
+	// energy-only for a BB kernel.
+	if perfRes.BestGHz < energyRes.BestGHz {
+		t.Fatalf("perf cap %.1f < energy cap %.1f", perfRes.BestGHz, energyRes.BestGHz)
+	}
+}
+
+func TestParseObjective(t *testing.T) {
+	for s, want := range map[string]Objective{
+		"edp": ObjectiveEDP, "": ObjectiveEDP,
+		"energy": ObjectiveEnergy, "perf": ObjectivePerformance,
+		"performance": ObjectivePerformance, "time": ObjectivePerformance,
+	} {
+		got, ok := ParseObjective(s)
+		if !ok || got != want {
+			t.Fatalf("ParseObjective(%q) = %v, %v", s, got, ok)
+		}
+	}
+	if _, ok := ParseObjective("bogus"); ok {
+		t.Fatal("bogus objective accepted")
+	}
+}
+
+func TestEmptyGrid(t *testing.T) {
+	p := hw.BDW()
+	m, _ := setup(t, p, cbStats(1))
+	res := Run(m, nil, DefaultOptions())
+	if res.BestGHz != 0 || res.Evaluated != 0 {
+		t.Fatalf("empty grid result = %+v", res)
+	}
+}

@@ -1,0 +1,147 @@
+package workloads
+
+import (
+	"fmt"
+
+	"polyufc/internal/ir"
+)
+
+// ML kernels of Table II, built at the torch dialect so the full
+// torch -> linalg -> affine lowering is exercised. Bench sizes scale the
+// heaviest shapes down so the exact cache simulation stays tractable;
+// Full uses the paper's shapes.
+
+const f32 = 4
+
+func init() {
+	registerConv2D()
+	registerSDPA()
+	registerLMHead()
+}
+
+// conv2dModule builds input/filter/output arrays and the torch op.
+func conv2dModule(name string, n, c, h, w, f, kh, kw, stride int64) (*ir.Module, error) {
+	if (h-kh)%stride != 0 || (w-kw)%stride != 0 {
+		return nil, fmt.Errorf("workloads: conv shape %s not stride-aligned", name)
+	}
+	oh := (h-kh)/stride + 1
+	ow := (w-kw)/stride + 1
+	in := ir.NewArray("input", f32, n, c, h, w)
+	flt := ir.NewArray("filter", f32, f, c, kh, kw)
+	out := ir.NewArray("output", f32, n, f, oh, ow)
+	return mkModule(name, ir.NewTorchConv2D(in, flt, out, stride, stride)), nil
+}
+
+func registerConv2D() {
+	register(Kernel{
+		Name: "conv2d-alexnet", Suite: "ml", Category: "vision",
+		PaperSize: "1x3x224x224; 64x3x11x11 stride 4",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			switch s {
+			case Test:
+				return conv2dModule("conv2d-alexnet", 1, 3, 59, 59, 16, 11, 11, 4)
+			case Bench:
+				return conv2dModule("conv2d-alexnet", 1, 3, 223, 223, 32, 11, 11, 4)
+			default:
+				return conv2dModule("conv2d-alexnet", 1, 3, 223, 223, 64, 11, 11, 4)
+			}
+		},
+	})
+	register(Kernel{
+		Name: "conv2d-convnext", Suite: "ml", Category: "vision",
+		PaperSize: "1x384x28x28; 768x384x2x2 stride 2",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			switch s {
+			case Test:
+				return conv2dModule("conv2d-convnext", 1, 48, 14, 14, 96, 2, 2, 2)
+			case Bench:
+				return conv2dModule("conv2d-convnext", 1, 192, 28, 28, 384, 2, 2, 2)
+			default:
+				return conv2dModule("conv2d-convnext", 1, 384, 28, 28, 768, 2, 2, 2)
+			}
+		},
+	})
+	register(Kernel{
+		Name: "conv2d-wideresnet", Suite: "ml", Category: "vision",
+		PaperSize: "64x1024x7x7; 2048x1024x1x1",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			switch s {
+			case Test:
+				return conv2dModule("conv2d-wideresnet", 2, 64, 7, 7, 128, 1, 1, 1)
+			case Bench:
+				return conv2dModule("conv2d-wideresnet", 8, 256, 7, 7, 512, 1, 1, 1)
+			default:
+				return conv2dModule("conv2d-wideresnet", 64, 1024, 7, 7, 2048, 1, 1, 1)
+			}
+		},
+	})
+}
+
+func sdpaModule(name string, b, h, s, d int64) (*ir.Module, error) {
+	q := ir.NewArray("Q", f32, b, h, s, d)
+	k := ir.NewArray("K", f32, b, h, s, d)
+	vv := ir.NewArray("V", f32, b, h, s, d)
+	o := ir.NewArray("O", f32, b, h, s, d)
+	return mkModule(name, ir.NewTorchSDPA(q, k, vv, o)), nil
+}
+
+func registerSDPA() {
+	register(Kernel{
+		Name: "sdpa-bert", Suite: "ml", Category: "nlp",
+		PaperSize: "2x12x128x64",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			if s == Test {
+				return sdpaModule("sdpa-bert", 1, 4, 32, 16)
+			}
+			return sdpaModule("sdpa-bert", 2, 12, 128, 64)
+		},
+	})
+	register(Kernel{
+		Name: "sdpa-gemma2", Suite: "ml", Category: "nlp",
+		PaperSize: "1x16x7x256",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			if s == Test {
+				return sdpaModule("sdpa-gemma2", 1, 4, 7, 32)
+			}
+			return sdpaModule("sdpa-gemma2", 1, 16, 7, 256)
+		},
+	})
+}
+
+func lmHeadModule(name string, m, k, n int64) (*ir.Module, error) {
+	a := ir.NewArray("hidden", f32, m, k)
+	b := ir.NewArray("wte", f32, k, n)
+	c := ir.NewArray("logits", f32, m, n)
+	return mkModule(name, ir.NewTorchMatMul(a, b, c)), nil
+}
+
+func registerLMHead() {
+	register(Kernel{
+		Name: "lm-head-gpt2", Suite: "ml", Category: "nlp",
+		PaperSize: "4x768x50257",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			switch s {
+			case Test:
+				return lmHeadModule("lm-head-gpt2", 4, 96, 1024)
+			case Bench:
+				return lmHeadModule("lm-head-gpt2", 4, 768, 12568)
+			default:
+				return lmHeadModule("lm-head-gpt2", 4, 768, 50257)
+			}
+		},
+	})
+	register(Kernel{
+		Name: "lm-head-llama2", Suite: "ml", Category: "nlp",
+		PaperSize: "13x4096x32000",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			switch s {
+			case Test:
+				return lmHeadModule("lm-head-llama2", 13, 128, 1000)
+			case Bench:
+				return lmHeadModule("lm-head-llama2", 13, 1024, 8000)
+			default:
+				return lmHeadModule("lm-head-llama2", 13, 4096, 32000)
+			}
+		},
+	})
+}

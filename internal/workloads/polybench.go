@@ -1,0 +1,653 @@
+package workloads
+
+import (
+	"fmt"
+
+	"polyufc/internal/ir"
+)
+
+// The PolyBench kernels are encoded as affine loop nests with faithful
+// iteration-domain and access structure (the inputs every analysis in this
+// repository consumes); arithmetic is abstracted to per-statement flop
+// counts, as in the paper's unitary cost model (footnote 13). Problem
+// sizes: Test for unit tests, Bench for simulation-scale evaluation, Full
+// approaching PolyBench LARGE.
+
+func pick(s SizeClass, test, bench, full int64) int64 {
+	switch s {
+	case Test:
+		return test
+	case Full:
+		return full
+	default:
+		return bench
+	}
+}
+
+// cubicN is the size for O(n^3) kernels; chosen so Bench-size kernels stay
+// compute-bound on both platforms (OI ~ n/12 FpB must exceed the RPL time
+// balance).
+func cubicN(s SizeClass) int64 { return pick(s, 40, 360, 1200) }
+
+// quadN is the size for O(n^2) kernels; Bench-size arrays exceed both LLCs
+// so streaming kernels stay bandwidth-bound.
+func quadN(s SizeClass) int64 { return pick(s, 128, 2000, 4000) }
+
+func init() {
+	registerBlas()
+	registerKernels()
+	registerSolvers()
+	registerStencils()
+	registerDatamining()
+	registerMedley()
+	registerPow2Variants()
+}
+
+// registerPow2Variants adds hidden power-of-two-size variants of gemm and
+// 2mm for the Fig. 8 set-associativity study: 2^k strides alias cache
+// sets, so the set-associative and fully-associative models diverge.
+func registerPow2Variants() {
+	pow2N := func(s SizeClass) int64 { return pick(s, 64, 512, 2048) }
+	mk := func(base string) func(SizeClass) (*ir.Module, error) {
+		return func(s SizeClass) (*ir.Module, error) {
+			n := pow2N(s)
+			switch base {
+			case "gemm":
+				A := ir.NewArray("A", f64, n, n)
+				B := ir.NewArray("B", f64, n, n)
+				C := ir.NewArray("C", f64, n, n)
+				scale := rectNest("gemm_scale", []string{"i", "j"}, []int64{n, n},
+					stmt("S_scale", 1, rd(C, v("i"), v("j")), wr(C, v("i"), v("j"))))
+				upd := rectNest("gemm_update", []string{"i", "j", "k"}, []int64{n, n, n},
+					stmt("S_upd", 3,
+						rd(A, v("i"), v("k")), rd(B, v("k"), v("j")),
+						rd(C, v("i"), v("j")), wr(C, v("i"), v("j"))))
+				return mkModule("gemm-pow2", scale, upd), nil
+			case "2mm":
+				A := ir.NewArray("A", f64, n, n)
+				B := ir.NewArray("B", f64, n, n)
+				C := ir.NewArray("C", f64, n, n)
+				D := ir.NewArray("D", f64, n, n)
+				tmp := ir.NewArray("tmp", f64, n, n)
+				mm1 := rectNest("2mm_mm1", []string{"i", "j", "k"}, []int64{n, n, n},
+					stmt("S_mm1", 3,
+						rd(A, v("i"), v("k")), rd(B, v("k"), v("j")),
+						rd(tmp, v("i"), v("j")), wr(tmp, v("i"), v("j"))))
+				mm2 := rectNest("2mm_mm2", []string{"i", "j", "k"}, []int64{n, n, n},
+					stmt("S_mm2", 2,
+						rd(tmp, v("i"), v("k")), rd(C, v("k"), v("j")),
+						rd(D, v("i"), v("j")), wr(D, v("i"), v("j"))))
+				return mkModule("2mm-pow2", mm1, mm2), nil
+			}
+			return nil, fmt.Errorf("workloads: no pow2 variant for %s", base)
+		}
+	}
+	register(Kernel{
+		Name: "gemm-pow2", Suite: "polybench", Category: "blas", Hidden: true,
+		PaperSize: "N=2^k (Fig. 8 conflict study)", Build: mk("gemm"),
+	})
+	register(Kernel{
+		Name: "2mm-pow2", Suite: "polybench", Category: "blas", Hidden: true,
+		PaperSize: "N=2^k (Fig. 8 conflict study)", Build: mk("2mm"),
+	})
+}
+
+// --- linear-algebra/blas ---------------------------------------------------
+
+func registerBlas() {
+	register(Kernel{
+		Name: "gemm", Suite: "polybench", Category: "blas",
+		PaperSize: "NI=NJ=NK=2000 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := cubicN(s)
+			A := ir.NewArray("A", f64, n, n)
+			B := ir.NewArray("B", f64, n, n)
+			C := ir.NewArray("C", f64, n, n)
+			scale := rectNest("gemm_scale", []string{"i", "j"}, []int64{n, n},
+				stmt("S_scale", 1, rd(C, v("i"), v("j")), wr(C, v("i"), v("j"))))
+			upd := rectNest("gemm_update", []string{"i", "j", "k"}, []int64{n, n, n},
+				stmt("S_upd", 3,
+					rd(A, v("i"), v("k")), rd(B, v("k"), v("j")),
+					rd(C, v("i"), v("j")), wr(C, v("i"), v("j"))))
+			return mkModule("gemm", scale, upd), nil
+		},
+	})
+
+	register(Kernel{
+		Name: "2mm", Suite: "polybench", Category: "blas",
+		PaperSize: "NI=NJ=NK=NL=2000 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := cubicN(s)
+			A := ir.NewArray("A", f64, n, n)
+			B := ir.NewArray("B", f64, n, n)
+			C := ir.NewArray("C", f64, n, n)
+			D := ir.NewArray("D", f64, n, n)
+			tmp := ir.NewArray("tmp", f64, n, n)
+			fill := rectNest("2mm_fill", []string{"i", "j"}, []int64{n, n},
+				stmt("S_fill", 0, wr(tmp, v("i"), v("j"))))
+			mm1 := rectNest("2mm_mm1", []string{"i", "j", "k"}, []int64{n, n, n},
+				stmt("S_mm1", 3,
+					rd(A, v("i"), v("k")), rd(B, v("k"), v("j")),
+					rd(tmp, v("i"), v("j")), wr(tmp, v("i"), v("j"))))
+			scale := rectNest("2mm_scale", []string{"i", "j"}, []int64{n, n},
+				stmt("S_scale", 1, rd(D, v("i"), v("j")), wr(D, v("i"), v("j"))))
+			mm2 := rectNest("2mm_mm2", []string{"i", "j", "k"}, []int64{n, n, n},
+				stmt("S_mm2", 2,
+					rd(tmp, v("i"), v("k")), rd(C, v("k"), v("j")),
+					rd(D, v("i"), v("j")), wr(D, v("i"), v("j"))))
+			return mkModule("2mm", fill, mm1, scale, mm2), nil
+		},
+	})
+
+	register(Kernel{
+		Name: "3mm", Suite: "polybench", Category: "blas",
+		PaperSize: "NI..NM=2000 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := cubicN(s)
+			A := ir.NewArray("A", f64, n, n)
+			B := ir.NewArray("B", f64, n, n)
+			C := ir.NewArray("C", f64, n, n)
+			D := ir.NewArray("D", f64, n, n)
+			E := ir.NewArray("E", f64, n, n)
+			F := ir.NewArray("F", f64, n, n)
+			G := ir.NewArray("G", f64, n, n)
+			mm := func(label string, x, y, out *ir.Array) *ir.Nest {
+				return rectNest(label, []string{"i", "j", "k"}, []int64{n, n, n},
+					stmt("S_"+label, 2,
+						rd(x, v("i"), v("k")), rd(y, v("k"), v("j")),
+						rd(out, v("i"), v("j")), wr(out, v("i"), v("j"))))
+			}
+			return mkModule("3mm",
+				mm("3mm_EAB", A, B, E), mm("3mm_FCD", C, D, F), mm("3mm_GEF", E, F, G)), nil
+		},
+	})
+
+	register(Kernel{
+		Name: "syrk", Suite: "polybench", Category: "blas",
+		PaperSize: "N=1200 M=1000 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := cubicN(s)
+			A := ir.NewArray("A", f64, n, n)
+			C := ir.NewArray("C", f64, n, n)
+			// C[i][j] += alpha*A[i][k]*A[j][k], j <= i.
+			st := stmt("S_syrk", 3,
+				rd(A, v("i"), v("k")), rd(A, v("j"), v("k")),
+				rd(C, v("i"), v("j")), wr(C, v("i"), v("j")))
+			kl := ir.SimpleLoop("k", ir.AffConst(0), ir.AffConst(n-1), st)
+			jl := ir.SimpleLoop("j", ir.AffConst(0), v("i"), kl)
+			il := ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(n-1), jl)
+			return mkModule("syrk", &ir.Nest{Label: "syrk", Root: il}), nil
+		},
+	})
+
+	register(Kernel{
+		Name: "syr2k", Suite: "polybench", Category: "blas",
+		PaperSize: "N=1200 M=1000 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := cubicN(s)
+			A := ir.NewArray("A", f64, n, n)
+			B := ir.NewArray("B", f64, n, n)
+			C := ir.NewArray("C", f64, n, n)
+			st := stmt("S_syr2k", 5,
+				rd(A, v("i"), v("k")), rd(B, v("j"), v("k")),
+				rd(A, v("j"), v("k")), rd(B, v("i"), v("k")),
+				rd(C, v("i"), v("j")), wr(C, v("i"), v("j")))
+			kl := ir.SimpleLoop("k", ir.AffConst(0), ir.AffConst(n-1), st)
+			jl := ir.SimpleLoop("j", ir.AffConst(0), v("i"), kl)
+			il := ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(n-1), jl)
+			return mkModule("syr2k", &ir.Nest{Label: "syr2k", Root: il}), nil
+		},
+	})
+
+	register(Kernel{
+		Name: "trmm", Suite: "polybench", Category: "blas",
+		PaperSize: "M=1000 N=1200 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := cubicN(s)
+			A := ir.NewArray("A", f64, n, n)
+			B := ir.NewArray("B", f64, n, n)
+			// B[i][j] += A[k][i]*B[k][j], k > i: a triangular matmul whose
+			// anti-dependence on B blocks rectangular tiling.
+			st := stmt("S_trmm", 2,
+				rd(A, v("k"), v("i")), rd(B, v("k"), v("j")),
+				rd(B, v("i"), v("j")), wr(B, v("i"), v("j")))
+			kl := ir.SimpleLoop("k", v("i").AddConst(1), ir.AffConst(n-1), st)
+			jl := ir.SimpleLoop("j", ir.AffConst(0), ir.AffConst(n-1), kl)
+			il := ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(n-1), jl)
+			return mkModule("trmm", &ir.Nest{Label: "trmm", Root: il}), nil
+		},
+	})
+
+	register(Kernel{
+		Name: "gemver", Suite: "polybench", Category: "blas",
+		PaperSize: "N=4000 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := quadN(s)
+			A := ir.NewArray("A", f64, n, n)
+			u1 := ir.NewArray("u1", f64, n)
+			v1 := ir.NewArray("v1", f64, n)
+			u2 := ir.NewArray("u2", f64, n)
+			v2 := ir.NewArray("v2", f64, n)
+			x := ir.NewArray("x", f64, n)
+			y := ir.NewArray("y", f64, n)
+			z := ir.NewArray("z", f64, n)
+			w := ir.NewArray("w", f64, n)
+			up := rectNest("gemver_A", []string{"i", "j"}, []int64{n, n},
+				stmt("S_A", 4,
+					rd(A, v("i"), v("j")), rd(u1, v("i")), rd(v1, v("j")),
+					rd(u2, v("i")), rd(v2, v("j")), wr(A, v("i"), v("j"))))
+			xt := rectNest("gemver_x", []string{"i", "j"}, []int64{n, n},
+				stmt("S_x", 3,
+					rd(A, v("j"), v("i")), rd(y, v("j")),
+					rd(x, v("i")), wr(x, v("i"))))
+			xz := rectNest("gemver_xz", []string{"i"}, []int64{n},
+				stmt("S_xz", 1, rd(x, v("i")), rd(z, v("i")), wr(x, v("i"))))
+			wv := rectNest("gemver_w", []string{"i", "j"}, []int64{n, n},
+				stmt("S_w", 3,
+					rd(A, v("i"), v("j")), rd(x, v("j")),
+					rd(w, v("i")), wr(w, v("i"))))
+			return mkModule("gemver", up, xt, xz, wv), nil
+		},
+	})
+
+	register(Kernel{
+		Name: "gesummv", Suite: "polybench", Category: "blas",
+		PaperSize: "N=2800 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := quadN(s)
+			A := ir.NewArray("A", f64, n, n)
+			B := ir.NewArray("B", f64, n, n)
+			x := ir.NewArray("x", f64, n)
+			y := ir.NewArray("y", f64, n)
+			tmp := ir.NewArray("tmp", f64, n)
+			mv := rectNest("gesummv_mv", []string{"i", "j"}, []int64{n, n},
+				stmt("S_mv", 5,
+					rd(A, v("i"), v("j")), rd(B, v("i"), v("j")), rd(x, v("j")),
+					rd(tmp, v("i")), wr(tmp, v("i")),
+					rd(y, v("i")), wr(y, v("i"))))
+			return mkModule("gesummv", mv), nil
+		},
+	})
+}
+
+// --- kernels ---------------------------------------------------------------
+
+func registerKernels() {
+	register(Kernel{
+		Name: "atax", Suite: "polybench", Category: "kernels",
+		PaperSize: "M=1900 N=2100 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := quadN(s)
+			A := ir.NewArray("A", f64, n, n)
+			x := ir.NewArray("x", f64, n)
+			y := ir.NewArray("y", f64, n)
+			tmp := ir.NewArray("tmp", f64, n)
+			t1 := rectNest("atax_tmp", []string{"i", "j"}, []int64{n, n},
+				stmt("S_tmp", 2, rd(A, v("i"), v("j")), rd(x, v("j")),
+					rd(tmp, v("i")), wr(tmp, v("i"))))
+			t2 := rectNest("atax_y", []string{"i", "j"}, []int64{n, n},
+				stmt("S_y", 2, rd(A, v("i"), v("j")), rd(tmp, v("i")),
+					rd(y, v("j")), wr(y, v("j"))))
+			return mkModule("atax", t1, t2), nil
+		},
+	})
+
+	register(Kernel{
+		Name: "bicg", Suite: "polybench", Category: "kernels",
+		PaperSize: "M=1900 N=2100 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := quadN(s)
+			A := ir.NewArray("A", f64, n, n)
+			p := ir.NewArray("p", f64, n)
+			q := ir.NewArray("q", f64, n)
+			r := ir.NewArray("r", f64, n)
+			sArr := ir.NewArray("s", f64, n)
+			nest := rectNest("bicg", []string{"i", "j"}, []int64{n, n},
+				stmt("S_bicg", 4,
+					rd(A, v("i"), v("j")), rd(r, v("i")), rd(p, v("j")),
+					rd(sArr, v("j")), wr(sArr, v("j")),
+					rd(q, v("i")), wr(q, v("i"))))
+			return mkModule("bicg", nest), nil
+		},
+	})
+
+	register(Kernel{
+		Name: "mvt", Suite: "polybench", Category: "kernels",
+		PaperSize: "N=4000 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := quadN(s)
+			A := ir.NewArray("A", f64, n, n)
+			x1 := ir.NewArray("x1", f64, n)
+			x2 := ir.NewArray("x2", f64, n)
+			y1 := ir.NewArray("y1", f64, n)
+			y2 := ir.NewArray("y2", f64, n)
+			m1 := rectNest("mvt_x1", []string{"i", "j"}, []int64{n, n},
+				stmt("S_x1", 2, rd(A, v("i"), v("j")), rd(y1, v("j")),
+					rd(x1, v("i")), wr(x1, v("i"))))
+			m2 := rectNest("mvt_x2", []string{"i", "j"}, []int64{n, n},
+				stmt("S_x2", 2, rd(A, v("j"), v("i")), rd(y2, v("j")),
+					rd(x2, v("i")), wr(x2, v("i"))))
+			return mkModule("mvt", m1, m2), nil
+		},
+	})
+
+	register(Kernel{
+		Name: "doitgen", Suite: "polybench", Category: "kernels",
+		PaperSize: "NR=NQ=150 NP=250 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			nr := pick(s, 8, 60, 150)
+			np := pick(s, 24, 140, 250)
+			A := ir.NewArray("A", f64, nr, nr, np)
+			C4 := ir.NewArray("C4", f64, np, np)
+			sum := ir.NewArray("sum", f64, nr, nr, np)
+			// sum[r][q][p] += A[r][q][s] * C4[s][p]; then A = sum. (The
+			// 3-D sum keeps the nest perfect; PolyBench uses a per-(r,q)
+			// vector, an immaterial difference for access structure.)
+			acc := rectNest("doitgen_sum", []string{"r", "q", "p", "sx"},
+				[]int64{nr, nr, np, np},
+				stmt("S_sum", 2,
+					rd(A, v("r"), v("q"), v("sx")), rd(C4, v("sx"), v("p")),
+					rd(sum, v("r"), v("q"), v("p")), wr(sum, v("r"), v("q"), v("p"))))
+			cp := rectNest("doitgen_copy", []string{"r", "q", "p"}, []int64{nr, nr, np},
+				stmt("S_copy", 0, rd(sum, v("r"), v("q"), v("p")), wr(A, v("r"), v("q"), v("p"))))
+			return mkModule("doitgen", acc, cp), nil
+		},
+	})
+}
+
+// --- solvers ---------------------------------------------------------------
+
+func registerSolvers() {
+	register(Kernel{
+		Name: "trisolv", Suite: "polybench", Category: "solvers",
+		PaperSize: "N=4000 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := quadN(s)
+			L := ir.NewArray("L", f64, n, n)
+			x := ir.NewArray("x", f64, n)
+			b := ir.NewArray("b", f64, n)
+			initN := rectNest("trisolv_init", []string{"i"}, []int64{n},
+				stmt("S_init", 0, rd(b, v("i")), wr(x, v("i"))))
+			sub := triNestLE("trisolv_sub", "i", n, "j",
+				stmt("S_sub", 2, rd(L, v("i"), v("j")), rd(x, v("j")),
+					rd(x, v("i")), wr(x, v("i"))))
+			div := rectNest("trisolv_div", []string{"i"}, []int64{n},
+				stmt("S_div", 1, rd(L, v("i"), v("i")), rd(x, v("i")), wr(x, v("i"))))
+			return mkModule("trisolv", initN, sub, div), nil
+		},
+	})
+
+	register(Kernel{
+		Name: "durbin", Suite: "polybench", Category: "solvers",
+		PaperSize: "N=4000 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := quadN(s)
+			r := ir.NewArray("r", f64, n)
+			y := ir.NewArray("y", f64, n)
+			z := ir.NewArray("z", f64, n)
+			// The Levinson-Durbin recursion: per step k, z[i] combines
+			// y[i] and the reversed y[k-i-1]; then y = z. Sequential in k.
+			zk := triNestLE("durbin_z", "k", n, "i",
+				stmt("S_z", 3,
+					rd(y, v("i")),
+					rd(y, v("k").Add(v("i").Scale(-1)).AddConst(-1)),
+					rd(r, v("k")), wr(z, v("i"))))
+			cp := triNestLE("durbin_copy", "k", n, "i",
+				stmt("S_copy", 0, rd(z, v("i")), wr(y, v("i"))))
+			return mkModule("durbin", zk, cp), nil
+		},
+	})
+
+	register(Kernel{
+		Name: "cholesky", Suite: "polybench", Category: "solvers",
+		PaperSize: "N=2000 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := cubicN(s)
+			A := ir.NewArray("A", f64, n, n)
+			// A[i][j] -= A[i][k]*A[j][k] for k < j <= i, then scaling
+			// statements; the in-place updates are sequential in i.
+			st := stmt("S_chol", 2,
+				rd(A, v("i"), v("k")), rd(A, v("j"), v("k")),
+				rd(A, v("i"), v("j")), wr(A, v("i"), v("j")))
+			kl := ir.SimpleLoop("k", ir.AffConst(0), v("j").AddConst(-1), st)
+			jl := ir.SimpleLoop("j", ir.AffConst(0), v("i"), kl)
+			il := ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(n-1), jl)
+			div := triNestLE("cholesky_div", "i", n, "j",
+				stmt("S_div", 1, rd(A, v("j"), v("j")),
+					rd(A, v("i"), v("j")), wr(A, v("i"), v("j"))))
+			return mkModule("cholesky",
+				&ir.Nest{Label: "cholesky_update", Root: il}, div), nil
+		},
+	})
+
+	register(Kernel{
+		Name: "lu", Suite: "polybench", Category: "solvers",
+		PaperSize: "N=2000 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := cubicN(s)
+			A := ir.NewArray("A", f64, n, n)
+			// Lower part: A[i][j] -= A[i][k]*A[k][j], k < j < i.
+			stL := stmt("S_lu_low", 2,
+				rd(A, v("i"), v("k")), rd(A, v("k"), v("j")),
+				rd(A, v("i"), v("j")), wr(A, v("i"), v("j")))
+			klL := ir.SimpleLoop("k", ir.AffConst(0), v("j").AddConst(-1), stL)
+			jlL := ir.SimpleLoop("j", ir.AffConst(0), v("i").AddConst(-1), klL)
+			ilL := ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(n-1), jlL)
+			// Upper part: A[i][j] -= A[i][k]*A[k][j], k < i <= j.
+			stU := stmt("S_lu_up", 2,
+				rd(A, v("i"), v("k")), rd(A, v("k"), v("j")),
+				rd(A, v("i"), v("j")), wr(A, v("i"), v("j")))
+			klU := ir.SimpleLoop("k", ir.AffConst(0), v("i").AddConst(-1), stU)
+			jlU := ir.SimpleLoop("j", v("i"), ir.AffConst(n-1), klU)
+			ilU := ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(n-1), jlU)
+			return mkModule("lu",
+				&ir.Nest{Label: "lu_lower", Root: ilL},
+				&ir.Nest{Label: "lu_upper", Root: ilU}), nil
+		},
+	})
+
+	register(Kernel{
+		Name: "gramschmidt", Suite: "polybench", Category: "solvers",
+		PaperSize: "M=1400 N=1200 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := cubicN(s)
+			A := ir.NewArray("A", f64, n, n)
+			Q := ir.NewArray("Q", f64, n, n)
+			R := ir.NewArray("R", f64, n, n)
+			nrm := ir.NewArray("nrm", f64, 1)
+			norm := rectNest("gs_norm", []string{"k", "i"}, []int64{n, n},
+				stmt("S_norm", 2, rd(A, v("i"), v("k")),
+					rd(nrm, ir.AffConst(0)), wr(nrm, ir.AffConst(0))))
+			qk := rectNest("gs_q", []string{"k", "i"}, []int64{n, n},
+				stmt("S_q", 1, rd(A, v("i"), v("k")), rd(R, v("k"), v("k")),
+					wr(Q, v("i"), v("k"))))
+			// R[k][j] += Q[i][k]*A[i][j]; A[i][j] -= Q[i][k]*R[k][j], j>k.
+			stR := stmt("S_r", 4,
+				rd(Q, v("i"), v("k")), rd(A, v("i"), v("j")),
+				rd(R, v("k"), v("j")), wr(R, v("k"), v("j")),
+				wr(A, v("i"), v("j")))
+			ilR := ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(n-1), stR)
+			jlR := ir.SimpleLoop("j", v("k").AddConst(1), ir.AffConst(n-1), ilR)
+			klR := ir.SimpleLoop("k", ir.AffConst(0), ir.AffConst(n-1), jlR)
+			return mkModule("gramschmidt", norm, qk,
+				&ir.Nest{Label: "gs_update", Root: klR}), nil
+		},
+	})
+}
+
+// --- stencils ----------------------------------------------------------------
+
+func registerStencils() {
+	register(Kernel{
+		Name: "jacobi-1d", Suite: "polybench", Category: "stencils",
+		PaperSize: "N=2000000 T=500 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := pick(s, 2000, 400000, 2000000)
+			tsteps := pick(s, 10, 100, 500)
+			A := ir.NewArray("A", f64, n)
+			B := ir.NewArray("B", f64, n)
+			s1 := stmt("S_ab", 2,
+				rd(A, v("i").AddConst(-1)), rd(A, v("i")), rd(A, v("i").AddConst(1)),
+				wr(B, v("i")))
+			s2 := stmt("S_ba", 2,
+				rd(B, v("i").AddConst(-1)), rd(B, v("i")), rd(B, v("i").AddConst(1)),
+				wr(A, v("i")))
+			il := ir.SimpleLoop("i", ir.AffConst(1), ir.AffConst(n-2), s1, s2)
+			tl := ir.SimpleLoop("t", ir.AffConst(0), ir.AffConst(tsteps-1), il)
+			return mkModule("jacobi-1d", &ir.Nest{Label: "jacobi1d", Root: tl}), nil
+		},
+	})
+
+	register(Kernel{
+		Name: "jacobi-2d", Suite: "polybench", Category: "stencils",
+		PaperSize: "N=1300 T=500 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := pick(s, 64, 1300, 2800)
+			tsteps := pick(s, 4, 20, 100)
+			A := ir.NewArray("A", f64, n, n)
+			B := ir.NewArray("B", f64, n, n)
+			s1 := stmt("S_ab", 4,
+				rd(A, v("i"), v("j")),
+				rd(A, v("i"), v("j").AddConst(-1)), rd(A, v("i"), v("j").AddConst(1)),
+				rd(A, v("i").AddConst(-1), v("j")), rd(A, v("i").AddConst(1), v("j")),
+				wr(B, v("i"), v("j")))
+			s2 := stmt("S_ba", 4,
+				rd(B, v("i"), v("j")),
+				rd(B, v("i"), v("j").AddConst(-1)), rd(B, v("i"), v("j").AddConst(1)),
+				rd(B, v("i").AddConst(-1), v("j")), rd(B, v("i").AddConst(1), v("j")),
+				wr(A, v("i"), v("j")))
+			jl := ir.SimpleLoop("j", ir.AffConst(1), ir.AffConst(n-2), s1, s2)
+			il := ir.SimpleLoop("i", ir.AffConst(1), ir.AffConst(n-2), jl)
+			tl := ir.SimpleLoop("t", ir.AffConst(0), ir.AffConst(tsteps-1), il)
+			return mkModule("jacobi-2d", &ir.Nest{Label: "jacobi2d", Root: tl}), nil
+		},
+	})
+
+	register(Kernel{
+		Name: "adi", Suite: "polybench", Category: "stencils",
+		PaperSize: "N=1000 T=500 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := pick(s, 64, 1000, 2000)
+			tsteps := pick(s, 2, 12, 50)
+			u := ir.NewArray("u", f64, n, n)
+			vv := ir.NewArray("v", f64, n, n)
+			p := ir.NewArray("p", f64, n, n)
+			q := ir.NewArray("q", f64, n, n)
+			// Column sweep: recurrences along j for each i.
+			sCol := stmt("S_col", 6,
+				rd(p, v("i"), v("j").AddConst(-1)), rd(q, v("i"), v("j").AddConst(-1)),
+				rd(u, v("j"), v("i").AddConst(-1)), rd(u, v("j"), v("i")),
+				rd(u, v("j"), v("i").AddConst(1)),
+				wr(p, v("i"), v("j")), wr(q, v("i"), v("j")))
+			jlC := ir.SimpleLoop("j", ir.AffConst(1), ir.AffConst(n-2), sCol)
+			ilC := ir.SimpleLoop("i", ir.AffConst(1), ir.AffConst(n-2), jlC)
+			// Back substitution for v.
+			sBack := stmt("S_back", 2,
+				rd(p, v("i"), v("j")), rd(q, v("i"), v("j")),
+				rd(vv, v("j").AddConst(1), v("i")), wr(vv, v("j"), v("i")))
+			jlB := ir.SimpleLoop("j", ir.AffConst(1), ir.AffConst(n-2), sBack)
+			ilB := ir.SimpleLoop("i", ir.AffConst(1), ir.AffConst(n-2), jlB)
+			// Row sweep.
+			sRow := stmt("S_row", 6,
+				rd(p, v("i"), v("j").AddConst(-1)), rd(q, v("i"), v("j").AddConst(-1)),
+				rd(vv, v("i").AddConst(-1), v("j")), rd(vv, v("i"), v("j")),
+				rd(vv, v("i").AddConst(1), v("j")),
+				wr(p, v("i"), v("j")), wr(q, v("i"), v("j")))
+			jlR := ir.SimpleLoop("j", ir.AffConst(1), ir.AffConst(n-2), sRow)
+			ilR := ir.SimpleLoop("i", ir.AffConst(1), ir.AffConst(n-2), jlR)
+			sU := stmt("S_u", 2,
+				rd(p, v("i"), v("j")), rd(q, v("i"), v("j")),
+				rd(u, v("i"), v("j").AddConst(1)), wr(u, v("i"), v("j")))
+			jlU := ir.SimpleLoop("j", ir.AffConst(1), ir.AffConst(n-2), sU)
+			ilU := ir.SimpleLoop("i", ir.AffConst(1), ir.AffConst(n-2), jlU)
+			body := []ir.Node{ilC, ilB, ilR, ilU}
+			tl := &ir.Loop{IV: "t",
+				Lo:   []ir.Bound{ir.BExpr(ir.AffConst(0))},
+				Hi:   []ir.Bound{ir.BExpr(ir.AffConst(tsteps - 1))},
+				Body: body}
+			return mkModule("adi", &ir.Nest{Label: "adi", Root: tl}), nil
+		},
+	})
+}
+
+// --- datamining --------------------------------------------------------------
+
+func registerDatamining() {
+	covLike := func(name string, withNorm bool) func(SizeClass) (*ir.Module, error) {
+		return func(s SizeClass) (*ir.Module, error) {
+			n := cubicN(s)
+			data := ir.NewArray("data", f64, n, n)
+			mean := ir.NewArray("mean", f64, n)
+			out := ir.NewArray(name, f64, n, n)
+			m1 := rectNest(name+"_mean", []string{"j", "i"}, []int64{n, n},
+				stmt("S_mean", 1, rd(data, v("i"), v("j")),
+					rd(mean, v("j")), wr(mean, v("j"))))
+			ops := []ir.Op{m1}
+			if withNorm {
+				sd := ir.NewArray("stddev", f64, n)
+				m2 := rectNest(name+"_std", []string{"j", "i"}, []int64{n, n},
+					stmt("S_std", 3, rd(data, v("i"), v("j")), rd(mean, v("j")),
+						rd(sd, v("j")), wr(sd, v("j"))))
+				m3 := rectNest(name+"_norm", []string{"i", "j"}, []int64{n, n},
+					stmt("S_norm", 2, rd(data, v("i"), v("j")), rd(mean, v("j")),
+						rd(sd, v("j")), wr(data, v("i"), v("j"))))
+				ops = append(ops, m2, m3)
+			} else {
+				m3 := rectNest(name+"_center", []string{"i", "j"}, []int64{n, n},
+					stmt("S_center", 1, rd(data, v("i"), v("j")), rd(mean, v("j")),
+						wr(data, v("i"), v("j"))))
+				ops = append(ops, m3)
+			}
+			// out[i][j] += data[k][i]*data[k][j], j >= i.
+			st := stmt("S_"+name, 2,
+				rd(data, v("k"), v("i")), rd(data, v("k"), v("j")),
+				rd(out, v("i"), v("j")), wr(out, v("i"), v("j")))
+			kl := ir.SimpleLoop("k", ir.AffConst(0), ir.AffConst(n-1), st)
+			jl := ir.SimpleLoop("j", v("i"), ir.AffConst(n-1), kl)
+			il := ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(n-1), jl)
+			ops = append(ops, &ir.Nest{Label: name + "_main", Root: il})
+			return mkModule(name, ops...), nil
+		}
+	}
+	register(Kernel{
+		Name: "correlation", Suite: "polybench", Category: "datamining",
+		PaperSize: "M=N=1200 (LARGE)", Build: covLike("correlation", true),
+	})
+	register(Kernel{
+		Name: "covariance", Suite: "polybench", Category: "datamining",
+		PaperSize: "M=N=1200 (LARGE)", Build: covLike("covariance", false),
+	})
+}
+
+// --- medley ------------------------------------------------------------------
+
+func registerMedley() {
+	register(Kernel{
+		Name: "deriche", Suite: "polybench", Category: "medley",
+		PaperSize: "W=4096 H=2160 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			w := pick(s, 128, 2048, 4096)
+			h := pick(s, 64, 1080, 2160)
+			img := ir.NewArray("img", f64, h, w)
+			y1 := ir.NewArray("y1", f64, h, w)
+			y2 := ir.NewArray("y2", f64, h, w)
+			out := ir.NewArray("out", f64, h, w)
+			// Horizontal causal recurrence.
+			hpass := rectNest("deriche_h", []string{"i", "j"}, []int64{h, w - 2},
+				stmt("S_h", 4,
+					rd(img, v("i"), v("j").AddConst(2)),
+					rd(y1, v("i"), v("j").AddConst(1)), rd(y1, v("i"), v("j")),
+					wr(y1, v("i"), v("j").AddConst(2))))
+			// Vertical causal recurrence.
+			vpass := rectNest("deriche_v", []string{"j", "i"}, []int64{w, h - 2},
+				stmt("S_v", 4,
+					rd(y1, v("i").AddConst(2), v("j")),
+					rd(y2, v("i").AddConst(1), v("j")), rd(y2, v("i"), v("j")),
+					wr(y2, v("i").AddConst(2), v("j"))))
+			comb := rectNest("deriche_sum", []string{"i", "j"}, []int64{h, w},
+				stmt("S_sum", 1, rd(y1, v("i"), v("j")), rd(y2, v("i"), v("j")),
+					wr(out, v("i"), v("j"))))
+			return mkModule("deriche", hpass, vpass, comb), nil
+		},
+	})
+}

@@ -1,0 +1,244 @@
+package workloads
+
+import (
+	"polyufc/internal/ir"
+)
+
+// The remaining PolyBench 4.2 kernels: symm, fdtd-2d, heat-3d, seidel-2d,
+// floyd-warshall, ludcmp and nussinov, completing the 30-kernel suite.
+
+func init() {
+	registerSymm()
+	registerFdtd2D()
+	registerHeat3D()
+	registerSeidel2D()
+	registerFloydWarshall()
+	registerLudcmp()
+	registerNussinov()
+}
+
+func registerSymm() {
+	register(Kernel{
+		Name: "symm", Suite: "polybench", Category: "blas",
+		PaperSize: "M=1000 N=1200 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := cubicN(s)
+			A := ir.NewArray("A", f64, n, n)
+			B := ir.NewArray("B", f64, n, n)
+			C := ir.NewArray("C", f64, n, n)
+			tmp := ir.NewArray("temp2", f64, n, n)
+			// Lower-triangular accumulation: C[k][j] += alpha*B[i][j]*A[i][k]
+			// and temp2[i][j] += B[k][j]*A[i][k], for k < i.
+			st := stmt("S_symm_tri", 4,
+				rd(B, v("i"), v("j")), rd(A, v("i"), v("k")),
+				rd(C, v("k"), v("j")), wr(C, v("k"), v("j")),
+				rd(B, v("k"), v("j")),
+				rd(tmp, v("i"), v("j")), wr(tmp, v("i"), v("j")))
+			kl := ir.SimpleLoop("k", ir.AffConst(0), v("i").AddConst(-1), st)
+			jl := ir.SimpleLoop("j", ir.AffConst(0), ir.AffConst(n-1), kl)
+			il := ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(n-1), jl)
+			fin := rectNest("symm_final", []string{"i", "j"}, []int64{n, n},
+				stmt("S_symm_fin", 4,
+					rd(C, v("i"), v("j")), rd(B, v("i"), v("j")),
+					rd(A, v("i"), v("i")), rd(tmp, v("i"), v("j")),
+					wr(C, v("i"), v("j"))))
+			return mkModule("symm", &ir.Nest{Label: "symm_tri", Root: il}, fin), nil
+		},
+	})
+}
+
+func registerFdtd2D() {
+	register(Kernel{
+		Name: "fdtd-2d", Suite: "polybench", Category: "stencils",
+		PaperSize: "NX=1000 NY=1200 T=500 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			nx := pick(s, 48, 1000, 2000)
+			ny := pick(s, 56, 1200, 2600)
+			tsteps := pick(s, 3, 16, 100)
+			ex := ir.NewArray("ex", f64, nx, ny)
+			ey := ir.NewArray("ey", f64, nx, ny)
+			hz := ir.NewArray("hz", f64, nx, ny)
+			sEy := stmt("S_ey", 2,
+				rd(ey, v("i"), v("j")),
+				rd(hz, v("i"), v("j")), rd(hz, v("i").AddConst(-1), v("j")),
+				wr(ey, v("i"), v("j")))
+			jlE := ir.SimpleLoop("j", ir.AffConst(0), ir.AffConst(ny-1), sEy)
+			ilE := ir.SimpleLoop("i", ir.AffConst(1), ir.AffConst(nx-1), jlE)
+			sEx := stmt("S_ex", 2,
+				rd(ex, v("i"), v("j")),
+				rd(hz, v("i"), v("j")), rd(hz, v("i"), v("j").AddConst(-1)),
+				wr(ex, v("i"), v("j")))
+			jlX := ir.SimpleLoop("j", ir.AffConst(1), ir.AffConst(ny-1), sEx)
+			ilX := ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(nx-1), jlX)
+			sHz := stmt("S_hz", 4,
+				rd(hz, v("i"), v("j")),
+				rd(ex, v("i"), v("j").AddConst(1)), rd(ex, v("i"), v("j")),
+				rd(ey, v("i").AddConst(1), v("j")), rd(ey, v("i"), v("j")),
+				wr(hz, v("i"), v("j")))
+			jlH := ir.SimpleLoop("j", ir.AffConst(0), ir.AffConst(ny-2), sHz)
+			ilH := ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(nx-2), jlH)
+			tl := &ir.Loop{IV: "t",
+				Lo:   []ir.Bound{ir.BExpr(ir.AffConst(0))},
+				Hi:   []ir.Bound{ir.BExpr(ir.AffConst(tsteps - 1))},
+				Body: []ir.Node{ilE, ilX, ilH}}
+			return mkModule("fdtd-2d", &ir.Nest{Label: "fdtd2d", Root: tl}), nil
+		},
+	})
+}
+
+func registerHeat3D() {
+	register(Kernel{
+		Name: "heat-3d", Suite: "polybench", Category: "stencils",
+		PaperSize: "N=120 T=500 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := pick(s, 16, 90, 120)
+			tsteps := pick(s, 2, 10, 100)
+			A := ir.NewArray("A", f64, n, n, n)
+			B := ir.NewArray("B", f64, n, n, n)
+			sweep := func(name string, src, dst *ir.Array) *ir.Loop {
+				st := stmt(name, 10,
+					rd(src, v("i"), v("j"), v("k")),
+					rd(src, v("i").AddConst(-1), v("j"), v("k")),
+					rd(src, v("i").AddConst(1), v("j"), v("k")),
+					rd(src, v("i"), v("j").AddConst(-1), v("k")),
+					rd(src, v("i"), v("j").AddConst(1), v("k")),
+					rd(src, v("i"), v("j"), v("k").AddConst(-1)),
+					rd(src, v("i"), v("j"), v("k").AddConst(1)),
+					wr(dst, v("i"), v("j"), v("k")))
+				kl := ir.SimpleLoop("k", ir.AffConst(1), ir.AffConst(n-2), st)
+				jl := ir.SimpleLoop("j", ir.AffConst(1), ir.AffConst(n-2), kl)
+				return ir.SimpleLoop("i", ir.AffConst(1), ir.AffConst(n-2), jl)
+			}
+			tl := &ir.Loop{IV: "t",
+				Lo:   []ir.Bound{ir.BExpr(ir.AffConst(0))},
+				Hi:   []ir.Bound{ir.BExpr(ir.AffConst(tsteps - 1))},
+				Body: []ir.Node{sweep("S_ab", A, B), sweep("S_ba", B, A)}}
+			return mkModule("heat-3d", &ir.Nest{Label: "heat3d", Root: tl}), nil
+		},
+	})
+}
+
+func registerSeidel2D() {
+	register(Kernel{
+		Name: "seidel-2d", Suite: "polybench", Category: "stencils",
+		PaperSize: "N=2000 T=500 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := pick(s, 64, 1500, 4000)
+			tsteps := pick(s, 3, 10, 100)
+			A := ir.NewArray("A", f64, n, n)
+			st := stmt("S_seidel", 9,
+				rd(A, v("i").AddConst(-1), v("j").AddConst(-1)),
+				rd(A, v("i").AddConst(-1), v("j")),
+				rd(A, v("i").AddConst(-1), v("j").AddConst(1)),
+				rd(A, v("i"), v("j").AddConst(-1)),
+				rd(A, v("i"), v("j")),
+				rd(A, v("i"), v("j").AddConst(1)),
+				rd(A, v("i").AddConst(1), v("j").AddConst(-1)),
+				rd(A, v("i").AddConst(1), v("j")),
+				rd(A, v("i").AddConst(1), v("j").AddConst(1)),
+				wr(A, v("i"), v("j")))
+			jl := ir.SimpleLoop("j", ir.AffConst(1), ir.AffConst(n-2), st)
+			il := ir.SimpleLoop("i", ir.AffConst(1), ir.AffConst(n-2), jl)
+			tl := ir.SimpleLoop("t", ir.AffConst(0), ir.AffConst(tsteps-1), il)
+			return mkModule("seidel-2d", &ir.Nest{Label: "seidel2d", Root: tl}), nil
+		},
+	})
+}
+
+func registerFloydWarshall() {
+	register(Kernel{
+		Name: "floyd-warshall", Suite: "polybench", Category: "medley",
+		PaperSize: "N=2800 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := pick(s, 40, 300, 1000)
+			path := ir.NewArray("path", f64, n, n)
+			st := stmt("S_fw", 2,
+				rd(path, v("i"), v("j")),
+				rd(path, v("i"), v("k")), rd(path, v("k"), v("j")),
+				wr(path, v("i"), v("j")))
+			jl := ir.SimpleLoop("j", ir.AffConst(0), ir.AffConst(n-1), st)
+			il := ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(n-1), jl)
+			kl := ir.SimpleLoop("k", ir.AffConst(0), ir.AffConst(n-1), il)
+			return mkModule("floyd-warshall", &ir.Nest{Label: "floyd", Root: kl}), nil
+		},
+	})
+}
+
+func registerLudcmp() {
+	register(Kernel{
+		Name: "ludcmp", Suite: "polybench", Category: "solvers",
+		PaperSize: "N=2000 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := cubicN(s)
+			A := ir.NewArray("A", f64, n, n)
+			b := ir.NewArray("b", f64, n)
+			x := ir.NewArray("x", f64, n)
+			y := ir.NewArray("y", f64, n)
+			// LU factorization (as in the lu kernel).
+			stL := stmt("S_lud_low", 2,
+				rd(A, v("i"), v("k")), rd(A, v("k"), v("j")),
+				rd(A, v("i"), v("j")), wr(A, v("i"), v("j")))
+			klL := ir.SimpleLoop("k", ir.AffConst(0), v("j").AddConst(-1), stL)
+			jlL := ir.SimpleLoop("j", ir.AffConst(0), v("i").AddConst(-1), klL)
+			ilL := ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(n-1), jlL)
+			stU := stmt("S_lud_up", 2,
+				rd(A, v("i"), v("k")), rd(A, v("k"), v("j")),
+				rd(A, v("i"), v("j")), wr(A, v("i"), v("j")))
+			klU := ir.SimpleLoop("k", ir.AffConst(0), v("i").AddConst(-1), stU)
+			jlU := ir.SimpleLoop("j", v("i"), ir.AffConst(n-1), klU)
+			ilU := ir.SimpleLoop("i", ir.AffConst(0), ir.AffConst(n-1), jlU)
+			// Forward substitution: y[i] = b[i] - sum_{j<i} A[i][j]*y[j].
+			fwd := triNestLE("ludcmp_fwd", "i", n, "j",
+				stmt("S_fwd", 2, rd(A, v("i"), v("j")), rd(y, v("j")),
+					rd(b, v("i")), rd(y, v("i")), wr(y, v("i"))))
+			// Backward substitution encoded with reversed affine indices:
+			// x[n-1-i] uses rows below it.
+			bwd := triNestLE("ludcmp_bwd", "i", n, "j",
+				stmt("S_bwd", 2,
+					rd(A, ir.AffConst(n-1).Add(v("i").Scale(-1)), ir.AffConst(n-1).Add(v("j").Scale(-1))),
+					rd(x, ir.AffConst(n-1).Add(v("j").Scale(-1))),
+					rd(y, ir.AffConst(n-1).Add(v("i").Scale(-1))),
+					wr(x, ir.AffConst(n-1).Add(v("i").Scale(-1)))))
+			return mkModule("ludcmp",
+				&ir.Nest{Label: "ludcmp_lower", Root: ilL},
+				&ir.Nest{Label: "ludcmp_upper", Root: ilU},
+				fwd, bwd), nil
+		},
+	})
+}
+
+func registerNussinov() {
+	register(Kernel{
+		Name: "nussinov", Suite: "polybench", Category: "medley",
+		PaperSize: "N=2500 (LARGE)",
+		Build: func(s SizeClass) (*ir.Module, error) {
+			n := pick(s, 32, 280, 800)
+			table := ir.NewArray("table", f64, n, n)
+			seq := ir.NewArray("seq", f64, n)
+			// RNA folding DP over the upper triangle, with the outer loop
+			// running in reverse encoded as i' -> N-1-i':
+			// table[i][j] = max over k in (i, j) of table[i][k]+table[k+1][j].
+			ri := ir.AffConst(n - 1).Add(v("ip").Scale(-1)) // i = N-1-ip
+			st := stmt("S_nuss", 2,
+				rd(table, ri, v("k")),
+				rd(table, v("k").AddConst(1), v("j")),
+				rd(table, ri, v("j")), wr(table, ri, v("j")))
+			// k in [i+1, j-1] -> k >= N-ip, k <= j-1.
+			kl := &ir.Loop{IV: "k",
+				Lo:   []ir.Bound{ir.BExpr(ir.AffConst(n).Add(v("ip").Scale(-1)))},
+				Hi:   []ir.Bound{ir.BExpr(v("j").AddConst(-1))},
+				Body: []ir.Node{st}}
+			// j in [i+1, N-1] -> j >= N-ip.
+			base := stmt("S_nuss_base", 2,
+				rd(table, ri, v("j").AddConst(-1)),
+				rd(seq, ri), rd(seq, v("j")),
+				rd(table, ri, v("j")), wr(table, ri, v("j")))
+			jl := &ir.Loop{IV: "j",
+				Lo:   []ir.Bound{ir.BExpr(ir.AffConst(n).Add(v("ip").Scale(-1)))},
+				Hi:   []ir.Bound{ir.BExpr(ir.AffConst(n - 1))},
+				Body: []ir.Node{base, kl}}
+			il := ir.SimpleLoop("ip", ir.AffConst(0), ir.AffConst(n-1), jl)
+			return mkModule("nussinov", &ir.Nest{Label: "nussinov", Root: il}), nil
+		},
+	})
+}
