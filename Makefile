@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench experiments fmt cover
+.PHONY: all build vet test race bench experiments fmt cover
 
 all: build vet test
 
@@ -14,6 +14,10 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector gate for the parallel evaluation engine (tier-1 in CI).
+race:
+	$(GO) test -race ./...
 
 # One benchmark per paper table/figure (test-size inputs; set
 # POLYUFC_BENCH_SIZE=bench for evaluation shapes).

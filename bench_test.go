@@ -48,6 +48,43 @@ func suite(b *testing.B) *experiments.Suite {
 	return suiteVal
 }
 
+// benchSuiteSweep renders the three kernel-sweep figures (Fig. 1, 6, 7) —
+// the evaluation's hot path — on a dedicated suite.
+func benchSuiteSweep(b *testing.B, concurrency int, keepCache bool) {
+	b.Helper()
+	s, err := experiments.New(benchSize(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Concurrency = concurrency
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !keepCache {
+			s.ResetCache()
+		}
+		for _, id := range []string{"fig1", "fig6", "fig7"} {
+			if err := s.Run(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSuiteSerial is the cold baseline: one worker, and the compile
+// and profile caches are dropped before every sweep, so each pass
+// recompiles and re-simulates every kernel from scratch.
+func BenchmarkSuiteSerial(b *testing.B) { benchSuiteSweep(b, 1, false) }
+
+// BenchmarkSuiteParallel is the evaluation engine at steady state:
+// GOMAXPROCS workers with the memoizing compile and profile caches kept
+// warm across sweeps, as in repeated evaluation runs.
+func BenchmarkSuiteParallel(b *testing.B) { benchSuiteSweep(b, 0, true) }
+
+// BenchmarkSuiteParallelColdCache isolates the worker pool's contribution:
+// GOMAXPROCS workers, but both caches are dropped every iteration as in
+// the serial baseline.
+func BenchmarkSuiteParallelColdCache(b *testing.B) { benchSuiteSweep(b, 0, false) }
+
 // BenchmarkFig1UncoreSweep regenerates the Fig. 1 motivation sweeps:
 // time/energy/EDP of conv2d, 2mm, gemver, mvt across the uncore range.
 func BenchmarkFig1UncoreSweep(b *testing.B) {

@@ -5,13 +5,20 @@
 // Usage:
 //
 //	polyufc-bench -exp fig7 -size bench
-//	polyufc-bench -exp all -size test
+//	polyufc-bench -exp all -size test -j 8
+//
+// Sweeps fan out over a worker pool (-j workers, default GOMAXPROCS) with
+// memoized compilations; output is byte-identical to -j 1. Ctrl-C cancels
+// in-flight sweeps cleanly.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"polyufc/internal/experiments"
 	"polyufc/internal/workloads"
@@ -21,6 +28,7 @@ func main() {
 	var (
 		exp  = flag.String("exp", "all", "experiment id: "+fmt.Sprint(experiments.ExperimentIDs()))
 		size = flag.String("size", "bench", "problem size class: test, bench, full")
+		jobs = flag.Int("j", 0, "worker-pool size for sweeps (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -37,12 +45,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	s, err := experiments.New(sz, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "polyufc-bench:", err)
 		os.Exit(1)
 	}
+	s.Concurrency = *jobs
+	s.Ctx = ctx
 	if err := s.Run(*exp); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "polyufc-bench: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "polyufc-bench:", err)
 		os.Exit(1)
 	}

@@ -3,7 +3,7 @@
 // default-UFS baseline — a compact version of the paper's Fig. 7.
 //
 //	go run ./examples/polybench_sweep            # bench-size subset
-//	go run ./examples/polybench_sweep -size bench -all
+//	go run ./examples/polybench_sweep -size bench -all -j 8
 package main
 
 import (
@@ -20,6 +20,7 @@ func main() {
 	var (
 		size = flag.String("size", "bench", "problem size class: test, bench, full")
 		all  = flag.Bool("all", false, "run the whole PolyBench suite (slow at bench size)")
+		jobs = flag.Int("j", 0, "worker-pool size for sweeps (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -39,6 +40,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Kernels sweep concurrently through the suite's worker pool; rows
+	// come back in input order, so the printout below is deterministic.
+	s.Concurrency = *jobs
 	names := []string{"gemm", "2mm", "mvt", "gemver", "atax", "jacobi-1d"}
 	if *all {
 		names = names[:0]

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"context"
+
+	"polyufc/internal/ir"
+	"polyufc/internal/parallel"
+)
+
+// CacheKey identifies one memoizable compilation: the kernel, the target
+// platform, the problem size class, and the configuration bits that change
+// the compiled artifact (cap granularity, cache-model associativity, the
+// profitability gate). Two compilations with equal keys produce deep-equal
+// Results, because Compile is pure and deterministic for a fixed input.
+type CacheKey struct {
+	Kernel   string
+	Platform string
+	// Size is the workloads.SizeClass ordinal (kept as int to avoid a
+	// core -> workloads dependency).
+	Size       int
+	CapLevel   ir.Dialect
+	FullyAssoc bool
+	// NoAmortize marks configurations with the profitability gate
+	// disabled (AmortizeFactor 0), as in the Sec. VII-F overhead study.
+	NoAmortize bool
+}
+
+// Cache memoizes PolyUFC compilations across evaluation sweeps. It is safe
+// for concurrent use: concurrent requests for the same key build once and
+// share the Result (singleflight). Shared Results must be treated as
+// immutable by callers — the experiment renderers only read them.
+//
+// The zero value is ready to use.
+type Cache struct {
+	memo parallel.Memo[CacheKey, *Result]
+}
+
+// Compile returns the memoized Result for key, building the module and
+// compiling it on the first request. The build callback runs only on a
+// cache miss, so repeated sweeps skip both module construction and the
+// whole polyhedral pipeline.
+func (c *Cache) Compile(ctx context.Context, key CacheKey, cfg Config, build func() (*ir.Module, error)) (*Result, error) {
+	return c.memo.Do(ctx, key, func() (*Result, error) {
+		mod, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return Compile(mod, cfg)
+	})
+}
+
+// Stats returns cache hits and misses so far.
+func (c *Cache) Stats() (hits, misses int64) { return c.memo.Stats() }
+
+// Len returns the number of cached compilations.
+func (c *Cache) Len() int { return c.memo.Len() }
+
+// Reset drops all cached compilations.
+func (c *Cache) Reset() { c.memo.Reset() }

@@ -95,10 +95,16 @@ type Result struct {
 
 // Compile runs the full PolyUFC flow on a module (torch, linalg or affine
 // level) and returns the transformed module with uncore caps inserted.
+//
+// Compile is pure: the input module is deep-cloned before lowering, so two
+// calls on the same module yield independent, deep-equal Results (modulo
+// wall-clock Timings). The parallel engine's memo cache (Cache) relies on
+// this property to share Results across sweeps.
 func Compile(mod *ir.Module, cfg Config) (*Result, error) {
 	if cfg.Platform == nil || cfg.Constants == nil {
 		return nil, fmt.Errorf("core: config needs platform and calibrated constants")
 	}
+	mod = mod.Clone()
 	res := &Result{Module: mod}
 
 	// Stage 1-2 prep: lower to affine.
@@ -316,7 +322,8 @@ type Phase struct {
 // characterizes each structured op, and the affine view each nest (after
 // Pluto). It returns the per-level phase sequences.
 func PhaseStudy(mod *ir.Module, cfg Config) (map[ir.Dialect][]Phase, error) {
-	// Work on a lowered copy-free pipeline: lower in place.
+	// Like Compile, the study is pure: it lowers a private clone.
+	mod = mod.Clone()
 	if err := lower.TorchToLinalg(mod); err != nil {
 		return nil, err
 	}

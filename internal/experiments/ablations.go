@@ -39,7 +39,7 @@ func (s *Suite) TileSizeSweep(p *hw.Platform, kernelName string, sizes []int64) 
 		if err != nil {
 			return nil, err
 		}
-		m := hw.NewMachine(p)
+		m := s.machine(p)
 		var l1 int64
 		var agg hw.RunResult
 		for _, nest := range nestsOf(res.Module) {
@@ -109,7 +109,7 @@ func (s *Suite) Validate(p *hw.Platform, kernels []string) ([]ValidRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		m := hw.NewMachine(p)
+		m := s.machine(p)
 		m.SetUncoreCap(p.UncoreMax)
 		var estT, estE, hwT, hwE float64
 		for i, nest := range nestsOf(res.Module) {

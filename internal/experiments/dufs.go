@@ -25,7 +25,7 @@ func (s *Suite) DUFSComparison(p *hw.Platform, kernels []string) ([]DUFSRow, err
 		if err != nil {
 			return nil, err
 		}
-		m := hw.NewMachine(p)
+		m := s.machine(p)
 		var profs []*hw.CacheProfile
 		for _, nest := range nestsOf(res.Module) {
 			prof, err := m.Profile(nest)
@@ -65,10 +65,10 @@ func (s *Suite) DUFSComparison(p *hw.Platform, kernels []string) ([]DUFSRow, err
 
 		// DUFS: reactive governor over the same stream.
 		g := hw.DefaultDUFS()
-		dufs := g.RunNests(hw.NewMachine(p), repProfs)
+		dufs := g.RunNests(s.machine(p), repProfs)
 
 		// PolyUFC: the compiled program repeated.
-		mPU := hw.NewMachine(p)
+		mPU := s.machine(p)
 		var capped hw.RunResult
 		for r := 0; r < reps; r++ {
 			run, err := mPU.RunFunc(res.Module.Funcs[0])

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -8,6 +9,7 @@ import (
 	"polyufc/internal/hw"
 	"polyufc/internal/ir"
 	"polyufc/internal/model"
+	"polyufc/internal/parallel"
 	"polyufc/internal/roofline"
 	"polyufc/internal/workloads"
 )
@@ -36,42 +38,44 @@ type Fig1Series struct {
 var Fig1Kernels = []string{"conv2d-alexnet", "2mm", "gemver", "mvt"}
 
 // Fig1 sweeps each representative kernel over the platform's uncore range
-// on Pluto-optimized code, as in the paper's motivation figure.
+// on Pluto-optimized code, as in the paper's motivation figure. Kernels
+// sweep concurrently on the worker pool; the series come back in
+// Fig1Kernels order.
 func (s *Suite) Fig1(p *hw.Platform) ([]Fig1Series, error) {
-	var out []Fig1Series
-	for _, name := range Fig1Kernels {
-		res, err := s.compile(name, p)
-		if err != nil {
-			return nil, fmt.Errorf("fig1 %s: %w", name, err)
-		}
-		m := hw.NewMachine(p)
-		series := Fig1Series{Kernel: name, Platform: p.Name}
-		var profs []*hw.CacheProfile
-		for _, nest := range nestsOf(res.Module) {
-			prof, err := m.Profile(nest)
+	return parallel.Map(s.ctx(), len(Fig1Kernels), s.Concurrency,
+		func(_ context.Context, i int) (Fig1Series, error) {
+			name := Fig1Kernels[i]
+			res, err := s.compile(name, p)
 			if err != nil {
-				return nil, err
+				return Fig1Series{}, fmt.Errorf("fig1 %s: %w", name, err)
 			}
-			profs = append(profs, prof)
-		}
-		for _, f := range p.UncoreSteps() {
-			var pt Fig1Point
-			pt.FGHz = f
-			m.SetUncoreCap(f)
-			for _, prof := range profs {
-				r := m.Measure(prof)
-				pt.Seconds += r.Seconds
-				pt.Joules += r.PkgJoules
+			m := s.machine(p)
+			series := Fig1Series{Kernel: name, Platform: p.Name}
+			var profs []*hw.CacheProfile
+			for _, nest := range nestsOf(res.Module) {
+				prof, err := m.Profile(nest)
+				if err != nil {
+					return Fig1Series{}, err
+				}
+				profs = append(profs, prof)
 			}
-			pt.EDP = pt.Seconds * pt.Joules
-			series.Points = append(series.Points, pt)
-		}
-		series.BestTime = argminF(series.Points, func(p Fig1Point) float64 { return p.Seconds })
-		series.BestEnergy = argminF(series.Points, func(p Fig1Point) float64 { return p.Joules })
-		series.BestEDP = argminF(series.Points, func(p Fig1Point) float64 { return p.EDP })
-		out = append(out, series)
-	}
-	return out, nil
+			for _, f := range p.UncoreSteps() {
+				var pt Fig1Point
+				pt.FGHz = f
+				m.SetUncoreCap(f)
+				for _, prof := range profs {
+					r := m.Measure(prof)
+					pt.Seconds += r.Seconds
+					pt.Joules += r.PkgJoules
+				}
+				pt.EDP = pt.Seconds * pt.Joules
+				series.Points = append(series.Points, pt)
+			}
+			series.BestTime = argminF(series.Points, func(p Fig1Point) float64 { return p.Seconds })
+			series.BestEnergy = argminF(series.Points, func(p Fig1Point) float64 { return p.Joules })
+			series.BestEDP = argminF(series.Points, func(p Fig1Point) float64 { return p.EDP })
+			return series, nil
+		})
 }
 
 func argminF(pts []Fig1Point, val func(Fig1Point) float64) float64 {
@@ -179,66 +183,59 @@ type Fig6Row struct {
 }
 
 // Fig6 characterizes the given kernels on a platform and validates against
-// hardware measurements.
+// hardware measurements. One worker per kernel; rows return in input order.
 func (s *Suite) Fig6(p *hw.Platform, kernels []string) ([]Fig6Row, error) {
 	c := s.consts[p.Name]
-	var out []Fig6Row
-	for _, name := range kernels {
-		k, err := workloads.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		res, err := s.compile(name, p)
-		if err != nil {
-			return nil, fmt.Errorf("fig6 %s: %w", name, err)
-		}
-		// Aggregate model estimates and hardware runs at max frequency.
-		m := hw.NewMachine(p)
-		m.SetUncoreCap(p.UncoreMax)
-		var estT, hwT, estE, hwE float64
-		var flops, qdram, qdramHW int64
-		for i, nest := range nestsOf(res.Module) {
-			rep := res.Reports[i]
-			est := rep.EstDefault
-			estT += est.Seconds
-			estE += est.Joules
-			flops += rep.CM.Flops
-			qdram += rep.CM.QDRAM
-			r, err := m.RunNest(nest)
+	return parallel.Map(s.ctx(), len(kernels), s.Concurrency,
+		func(_ context.Context, idx int) (Fig6Row, error) {
+			name := kernels[idx]
+			k, err := workloads.ByName(name)
 			if err != nil {
-				return nil, err
+				return Fig6Row{}, err
 			}
-			hwT += r.Seconds
-			hwE += r.PkgJoules
-			prof, _ := m.Profile(nest)
-			qdramHW += prof.DRAMReadB / int64(maxInt(rep.CM.ThreadsDiv, 1))
-		}
-		oi := 0.0
-		if qdram > 0 {
-			oi = float64(flops) / float64(qdram)
-		}
-		hwOI := math.Inf(1)
-		if qdramHW > 0 {
-			hwOI = float64(flops) / float64(qdramHW)
-		}
-		row := Fig6Row{
-			Kernel: name, Platform: p.Name, Category: k.Category,
-			OI: oi, Class: c.Classify(oi),
-			EstGFlops: float64(flops) / estT / 1e9, HWGFlops: float64(flops) / hwT / 1e9,
-			EstWatts: estE / estT, HWWatts: hwE / hwT,
-			HWClass: c.Classify(hwOI),
-		}
-		row.Correct = row.Class == row.HWClass
-		out = append(out, row)
-	}
-	return out, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+			res, err := s.compile(name, p)
+			if err != nil {
+				return Fig6Row{}, fmt.Errorf("fig6 %s: %w", name, err)
+			}
+			// Aggregate model estimates and hardware runs at max frequency.
+			m := s.machine(p)
+			m.SetUncoreCap(p.UncoreMax)
+			var estT, hwT, estE, hwE float64
+			var flops, qdram, qdramHW int64
+			for i, nest := range nestsOf(res.Module) {
+				rep := res.Reports[i]
+				est := rep.EstDefault
+				estT += est.Seconds
+				estE += est.Joules
+				flops += rep.CM.Flops
+				qdram += rep.CM.QDRAM
+				r, err := m.RunNest(nest)
+				if err != nil {
+					return Fig6Row{}, err
+				}
+				hwT += r.Seconds
+				hwE += r.PkgJoules
+				prof, _ := m.Profile(nest)
+				qdramHW += prof.DRAMReadB / int64(max(rep.CM.ThreadsDiv, 1))
+			}
+			oi := 0.0
+			if qdram > 0 {
+				oi = float64(flops) / float64(qdram)
+			}
+			hwOI := math.Inf(1)
+			if qdramHW > 0 {
+				hwOI = float64(flops) / float64(qdramHW)
+			}
+			row := Fig6Row{
+				Kernel: name, Platform: p.Name, Category: k.Category,
+				OI: oi, Class: c.Classify(oi),
+				EstGFlops: float64(flops) / estT / 1e9, HWGFlops: float64(flops) / hwT / 1e9,
+				EstWatts: estE / estT, HWWatts: hwE / hwT,
+				HWClass: c.Classify(hwOI),
+			}
+			row.Correct = row.Class == row.HWClass
+			return row, nil
+		})
 }
 
 // RenderFig6 prints the ML kernels on both platforms and PolyBench on RPL.
@@ -298,22 +295,23 @@ type Fig7Row struct {
 }
 
 // Fig7 compares PolyUFC-capped execution against the Pluto + default-UFS
-// baseline for the given kernels on one platform.
+// baseline for the given kernels on one platform. Kernels run concurrently
+// on the worker pool; rows return in input order.
 func (s *Suite) Fig7(p *hw.Platform, kernels []string) ([]Fig7Row, error) {
-	var out []Fig7Row
-	for _, name := range kernels {
+	return parallel.Map(s.ctx(), len(kernels), s.Concurrency, func(_ context.Context, idx int) (Fig7Row, error) {
+		name := kernels[idx]
 		k, err := workloads.ByName(name)
 		if err != nil {
-			return nil, err
+			return Fig7Row{}, err
 		}
 		res, err := s.compile(name, p)
 		if err != nil {
-			return nil, fmt.Errorf("fig7 %s: %w", name, err)
+			return Fig7Row{}, fmt.Errorf("fig7 %s: %w", name, err)
 		}
-		m := hw.NewMachine(p)
+		m := s.machine(p)
 		base, err := runBaseline(m, res.Module)
 		if err != nil {
-			return nil, err
+			return Fig7Row{}, err
 		}
 		// Repeat the program so each measurement covers at least ~20 ms of
 		// steady-state execution: small simulated problem sizes would
@@ -339,7 +337,7 @@ func (s *Suite) Fig7(p *hw.Platform, kernels []string) ([]Fig7Row, error) {
 		m.ResetCounters()
 		capped, err := m.RunFunc(repeated)
 		if err != nil {
-			return nil, err
+			return Fig7Row{}, err
 		}
 		// Dominant nest's characterization and cap.
 		var rep core.KernelReport
@@ -350,16 +348,15 @@ func (s *Suite) Fig7(p *hw.Platform, kernels []string) ([]Fig7Row, error) {
 				rep = r
 			}
 		}
-		out = append(out, Fig7Row{
+		return Fig7Row{
 			Kernel: name, Suite: k.Suite, Platform: p.Name,
 			Class: rep.Class, CapGHz: rep.CapGHz,
 			TimeGain:    1 - capped.Seconds/base.Seconds,
 			EnergyGain:  1 - capped.PkgJoules/base.PkgJoules,
 			EDPGain:     1 - capped.EDP/base.EDP,
 			BaselineEDP: base.EDP, PolyUFCEDP: capped.EDP,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // GeomeanEDPGain returns the geometric-mean EDP improvement of the rows.
@@ -431,18 +428,10 @@ type Fig8Result struct {
 // associative PolyUFC-CM configurations against hardware over the uncore
 // range.
 func (s *Suite) Fig8(kernelName string, p *hw.Platform) (*Fig8Result, error) {
-	k, err := workloads.ByName(kernelName)
-	if err != nil {
-		return nil, err
-	}
 	build := func(fullyAssoc bool) ([]*model.Model, error) {
-		mod, err := k.Build(s.Size)
-		if err != nil {
-			return nil, err
-		}
 		cfg := core.DefaultConfig(p, s.consts[p.Name])
 		cfg.CM.FullyAssoc = fullyAssoc
-		res, err := core.Compile(mod, cfg)
+		res, err := s.compileCfg(kernelName, p, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -460,17 +449,13 @@ func (s *Suite) Fig8(kernelName string, p *hw.Platform) (*Fig8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Hardware series from a (third) compiled module's nests.
-	mod, err := k.Build(s.Size)
+	// Hardware series from the default compilation's nests (a cache hit:
+	// it shares the set-associative configuration above).
+	res, err := s.compile(kernelName, p)
 	if err != nil {
 		return nil, err
 	}
-	cfg := core.DefaultConfig(p, s.consts[p.Name])
-	res, err := core.Compile(mod, cfg)
-	if err != nil {
-		return nil, err
-	}
-	m := hw.NewMachine(p)
+	m := s.machine(p)
 	var profs []*hw.CacheProfile
 	for _, nest := range nestsOf(res.Module) {
 		prof, err := m.Profile(nest)
@@ -529,17 +514,21 @@ func argminFig8(pts []Fig8Point, val func(Fig8Point) float64) float64 {
 }
 
 // RenderFig8 prints the gemm-on-BDW and 2mm-on-RPL studies of the paper.
+// The two case studies run concurrently; rendering follows in case order.
 func (s *Suite) RenderFig8() error {
 	s.printf("== Fig. 8: EDP estimates, set- vs fully-associative PolyUFC-CM vs HW ==\n")
 	cases := []struct {
 		kernel string
 		plat   *hw.Platform
 	}{{"gemm-pow2", s.plats[0]}, {"2mm-pow2", s.plats[1]}}
-	for _, cs := range cases {
-		r, err := s.Fig8(cs.kernel, cs.plat)
-		if err != nil {
-			return err
-		}
+	results, err := parallel.Map(s.ctx(), len(cases), s.Concurrency,
+		func(_ context.Context, i int) (*Fig8Result, error) {
+			return s.Fig8(cases[i].kernel, cases[i].plat)
+		})
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
 		s.printf("-- %s on %s (argmin EDP: set-assoc %.1f, fully-assoc %.1f, HW %.1f GHz)\n",
 			r.Kernel, r.Platform, r.BestSetAssoc, r.BestFullAssoc, r.BestHW)
 		s.printf("   mean |EDP err| vs HW: set-assoc %.1f%%, fully-assoc %.1f%%\n",

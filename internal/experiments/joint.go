@@ -59,7 +59,7 @@ func (s *Suite) Joint(p *hw.Platform, kernels []string) ([]JointRow, error) {
 		joint := m.SearchJoint(cs, coreGrid(p), p.UncoreSteps(),
 			func(e model.Estimate) float64 { return e.EDP }, 4)
 
-		mach := hw.NewMachine(p)
+		mach := s.machine(p)
 		var base, uo, jt hw.RunResult
 		measure := func(fc, fu float64) hw.RunResult {
 			var agg hw.RunResult

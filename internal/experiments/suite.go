@@ -7,9 +7,15 @@
 // compile-time breakdown of Tab. IV, the cap-switch overhead study of
 // Sec. VII-F and the duplicate-elimination study of footnote 17. Each
 // experiment returns structured data and can render the paper-style rows.
+//
+// The sweeps fan out through the internal/parallel worker pool and share
+// one compile cache and one nest-profile cache per Suite: workers compute,
+// the renderers print from index-ordered results, so output is
+// byte-identical at any concurrency.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -17,29 +23,45 @@ import (
 	"polyufc/internal/core"
 	"polyufc/internal/hw"
 	"polyufc/internal/ir"
+	"polyufc/internal/parallel"
 	"polyufc/internal/roofline"
 	"polyufc/internal/workloads"
 )
 
 // Suite carries calibrated platforms and output configuration.
 type Suite struct {
-	Size   workloads.SizeClass
-	Out    io.Writer
-	plats  []*hw.Platform
-	consts map[string]*roofline.Constants
+	Size workloads.SizeClass
+	Out  io.Writer
+	// Concurrency bounds the evaluation engine's worker pool: 0 (the
+	// default) means GOMAXPROCS, 1 is the serial fallback.
+	Concurrency int
+	// Ctx, when set, cancels in-flight sweeps; nil means Background.
+	Ctx      context.Context
+	plats    []*hw.Platform
+	consts   map[string]*roofline.Constants
+	cache    core.Cache
+	profiles hw.ProfileCache
 }
 
 // New builds a suite over both Table-III platforms, calibrating their
-// rooflines once.
+// rooflines once — concurrently, one worker per platform.
 func New(size workloads.SizeClass, out io.Writer) (*Suite, error) {
 	s := &Suite{Size: size, Out: out, consts: map[string]*roofline.Constants{}}
-	for _, p := range hw.Platforms() {
-		c, err := roofline.Calibrate(hw.NewMachine(p))
-		if err != nil {
-			return nil, fmt.Errorf("experiments: calibrate %s: %w", p.Name, err)
-		}
+	plats := hw.Platforms()
+	consts, err := parallel.Map(context.Background(), len(plats), 0,
+		func(_ context.Context, i int) (*roofline.Constants, error) {
+			c, err := roofline.Calibrate(hw.NewMachine(plats[i]))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: calibrate %s: %w", plats[i].Name, err)
+			}
+			return c, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range plats {
 		s.plats = append(s.plats, p)
-		s.consts[p.Name] = c
+		s.consts[p.Name] = consts[i]
 	}
 	return s, nil
 }
@@ -50,24 +72,69 @@ func (s *Suite) Platforms() []*hw.Platform { return s.plats }
 // Constants returns the calibrated rooflines for a platform.
 func (s *Suite) Constants(name string) *roofline.Constants { return s.consts[name] }
 
+// CacheStats reports compile-cache hits and misses so far.
+func (s *Suite) CacheStats() (hits, misses int64) { return s.cache.Stats() }
+
+// ProfileStats reports profile-cache hits and misses so far.
+func (s *Suite) ProfileStats() (hits, misses int64) { return s.profiles.Stats() }
+
+// ResetCache drops all memoized compilations and nest profiles (used by
+// benchmarks to measure cold-sweep behaviour). The two caches reset
+// together: profiles are keyed by the nest pointers the compile cache
+// owns.
+func (s *Suite) ResetCache() {
+	s.cache.Reset()
+	s.profiles.Reset()
+}
+
+// machine boots a Machine wired to the suite's shared profile cache, so
+// every sweep worker reuses the exact-simulator profiles of the compiled
+// nests instead of re-simulating them.
+func (s *Suite) machine(p *hw.Platform) *hw.Machine {
+	m := hw.NewMachine(p)
+	m.SetProfileCache(&s.profiles)
+	return m
+}
+
+// ctx resolves the suite context.
+func (s *Suite) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
+}
+
 func (s *Suite) printf(format string, args ...interface{}) {
 	if s.Out != nil {
 		fmt.Fprintf(s.Out, format, args...)
 	}
 }
 
-// compile builds, lowers and PolyUFC-compiles one kernel for a platform.
+// compile builds, lowers and PolyUFC-compiles one kernel for a platform
+// through the suite's memo cache with the paper's default configuration.
 func (s *Suite) compile(kernelName string, p *hw.Platform) (*core.Result, error) {
+	cfg := core.DefaultConfig(p, s.consts[p.Name])
+	return s.compileCfg(kernelName, p, cfg)
+}
+
+// compileCfg is the cache-wired compile for any of the evaluation's
+// configurations; the cache key captures every config bit the sweeps vary.
+func (s *Suite) compileCfg(kernelName string, p *hw.Platform, cfg core.Config) (*core.Result, error) {
 	k, err := workloads.ByName(kernelName)
 	if err != nil {
 		return nil, err
 	}
-	mod, err := k.Build(s.Size)
-	if err != nil {
-		return nil, err
+	key := core.CacheKey{
+		Kernel:     kernelName,
+		Platform:   p.Name,
+		Size:       int(s.Size),
+		CapLevel:   cfg.CapLevel,
+		FullyAssoc: cfg.CM.FullyAssoc,
+		NoAmortize: cfg.AmortizeFactor == 0,
 	}
-	cfg := core.DefaultConfig(p, s.consts[p.Name])
-	return core.Compile(mod, cfg)
+	return s.cache.Compile(s.ctx(), key, cfg, func() (*ir.Module, error) {
+		return k.Build(s.Size)
+	})
 }
 
 // nestsOf collects the affine nests of a compiled module in order.

@@ -132,21 +132,13 @@ type OverheadResult struct {
 // inter-kernel cap overhead. The profitability gate is disabled so every
 // kernel carries its own cap, as in the paper's Sec. VII-F measurement.
 func (s *Suite) Overhead(p *hw.Platform) (*OverheadResult, error) {
-	k, err := workloads.ByName("sdpa-gemma2")
-	if err != nil {
-		return nil, err
-	}
-	mod, err := k.Build(s.Size)
-	if err != nil {
-		return nil, err
-	}
 	cfg := core.DefaultConfig(p, s.consts[p.Name])
 	cfg.AmortizeFactor = 0
-	res, err := core.Compile(mod, cfg)
+	res, err := s.compileCfg("sdpa-gemma2", p, cfg)
 	if err != nil {
 		return nil, err
 	}
-	m := hw.NewMachine(p)
+	m := s.machine(p)
 	run, err := m.RunFunc(res.Module.Funcs[0])
 	if err != nil {
 		return nil, err

@@ -45,6 +45,8 @@ type Machine struct {
 	uncoreEnergy float64
 	busyTime     float64
 	profiles     map[*ir.Nest]*CacheProfile
+	// shared, when set, backs Profile with a cross-machine profile memo.
+	shared *ProfileCache
 	// noise, when non-nil, applies seeded multiplicative jitter to each
 	// measurement — the run-to-run variation real RAPL/timing exhibits.
 	noise      *rand.Rand
@@ -154,14 +156,26 @@ func (m *Machine) RAPL() (pkgJ, uncoreJ, seconds float64) {
 	return m.pkgEnergy, u, m.busyTime
 }
 
+// SetProfileCache attaches a shared profile memo: Profile consults it
+// before simulating, so machines created per sweep worker reuse each
+// other's simulations. Pass nil to detach.
+func (m *Machine) SetProfileCache(c *ProfileCache) { m.shared = c }
+
 // Profile executes the kernel once through the exact cache simulator and
 // returns its frequency-independent profile. Profiles are memoized per
-// nest.
+// nest on the machine and, when a shared cache is attached, across
+// machines.
 func (m *Machine) Profile(nest *ir.Nest) (*CacheProfile, error) {
 	if p, ok := m.profiles[nest]; ok {
 		return p, nil
 	}
-	p, err := ProfileNest(nest, m.P.Cache)
+	var p *CacheProfile
+	var err error
+	if m.shared != nil {
+		p, err = m.shared.profile(nest, m.P)
+	} else {
+		p, err = ProfileNest(nest, m.P.Cache)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,50 @@
+package hw
+
+import (
+	"context"
+
+	"polyufc/internal/ir"
+	"polyufc/internal/parallel"
+)
+
+// profileKey identifies one memoized profile. Cache behaviour depends only
+// on the nest and the platform's cache hierarchy, so nest identity plus
+// platform name is an exact key as long as nests are not mutated after
+// compilation — which core.Compile guarantees (Results are shared
+// read-only).
+type profileKey struct {
+	nest *ir.Nest
+	plat string
+}
+
+// ProfileCache is a concurrency-safe, singleflight memo of nest profiles
+// shared across Machines. The exact cache simulation behind ProfileNest
+// dominates sweep cost, and evaluation sweeps profile the same compiled
+// nests over and over (one fresh Machine per worker), so sharing profiles
+// across machines is the difference between cold and steady-state sweeps.
+//
+// The cache keys by nest pointer and therefore keeps nests alive; reset it
+// together with whatever compile cache owns the nests. The zero value is
+// ready to use.
+type ProfileCache struct {
+	memo parallel.Memo[profileKey, *CacheProfile]
+}
+
+// profile returns the memoized profile of nest on platform p, simulating
+// it on the first request. Concurrent requests for the same nest run the
+// simulation once.
+func (c *ProfileCache) profile(nest *ir.Nest, p *Platform) (*CacheProfile, error) {
+	return c.memo.Do(context.Background(), profileKey{nest, p.Name},
+		func() (*CacheProfile, error) {
+			return ProfileNest(nest, p.Cache)
+		})
+}
+
+// Stats returns the hit and miss counts so far.
+func (c *ProfileCache) Stats() (hits, misses int64) { return c.memo.Stats() }
+
+// Len returns the number of cached profiles.
+func (c *ProfileCache) Len() int { return c.memo.Len() }
+
+// Reset drops every cached profile and zeroes the statistics.
+func (c *ProfileCache) Reset() { c.memo.Reset() }
