@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments fmt cover
+.PHONY: all build vet test race bench experiments faults fuzz fmt cover
 
 all: build vet test
 
@@ -27,6 +27,17 @@ bench:
 # Regenerate every table and figure at evaluation size.
 experiments:
 	$(GO) run ./cmd/polyufc-bench -exp all -size bench
+
+# Fault-tolerance gate: injection, cap-controller retry/restore and
+# best-effort degradation paths under the race detector.
+faults:
+	$(GO) test -race ./internal/faults
+	$(GO) test -race -run 'Fault|Degrade|CapController|BestEffort|Tolerates|Grid' \
+		./internal/hw ./internal/core ./internal/experiments ./internal/search
+
+# Short native fuzz smoke over the affine-kernel parser.
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 10s ./internal/frontend
 
 fmt:
 	gofmt -w .

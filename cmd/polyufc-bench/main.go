@@ -20,17 +20,33 @@ import (
 	"os"
 	"os/signal"
 
+	"polyufc/internal/core"
 	"polyufc/internal/experiments"
+	"polyufc/internal/faults"
 	"polyufc/internal/workloads"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment id: "+fmt.Sprint(experiments.ExperimentIDs()))
-		size = flag.String("size", "bench", "problem size class: test, bench, full")
-		jobs = flag.Int("j", 0, "worker-pool size for sweeps (0 = GOMAXPROCS, 1 = serial)")
+		exp       = flag.String("exp", "all", "experiment id: "+fmt.Sprint(experiments.ExperimentIDs()))
+		size      = flag.String("size", "bench", "problem size class: test, bench, full")
+		jobs      = flag.Int("j", 0, "worker-pool size for sweeps (0 = GOMAXPROCS, 1 = serial)")
+		degrade   = flag.String("degrade", "strict", "failure policy: strict (fail fast) or best-effort (drop failing kernels with a summary)")
+		fault     = flag.String("fault", "", `inject failures, e.g. "ufs.write.ebusy=0.3; core.cachemodel=@2"`)
+		faultSeed = flag.Int64("fault-seed", 1, "seed for probabilistic fault triggers")
 	)
 	flag.Parse()
+
+	policy, ok := core.ParseDegradePolicy(*degrade)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "polyufc-bench: unknown degrade policy %q\n", *degrade)
+		os.Exit(2)
+	}
+	reg, err := faults.Parse(*fault, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polyufc-bench:", err)
+		os.Exit(2)
+	}
 
 	var sz workloads.SizeClass
 	switch *size {
@@ -55,6 +71,8 @@ func main() {
 	}
 	s.Concurrency = *jobs
 	s.Ctx = ctx
+	s.Degrade = policy
+	s.Faults = reg
 	if err := s.Run(*exp); err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "polyufc-bench: interrupted")

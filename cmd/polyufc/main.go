@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"polyufc/internal/core"
+	"polyufc/internal/faults"
 	"polyufc/internal/frontend"
 	"polyufc/internal/hw"
 	"polyufc/internal/ir"
@@ -37,6 +38,9 @@ func main() {
 		epsilon   = flag.Float64("epsilon", 1e-3, "search threshold epsilon (Sec. VI-C)")
 		printIR   = flag.Bool("print-ir", false, "print the transformed module")
 		measure   = flag.Bool("measure", false, "execute baseline and capped program on the simulated machine")
+		degrade   = flag.String("degrade", "strict", "failure policy: strict (fail fast) or best-effort (degrade per nest)")
+		fault     = flag.String("fault", "", `inject failures, e.g. "ufs.write.ebusy=0.3; core.pluto=@2"`)
+		faultSeed = flag.Int64("fault-seed", 1, "seed for probabilistic fault triggers")
 		list      = flag.Bool("list", false, "list available kernels and exit")
 	)
 	flag.Parse()
@@ -52,16 +56,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "polyufc: -kernel or -file is required (use -list to see registry kernels)")
 		os.Exit(2)
 	}
-	if err := run(*kernel, *file, *arch, *objective, *size, *capLevel, *epsilon, *printIR, *measure); err != nil {
+	if err := run(*kernel, *file, *arch, *objective, *size, *capLevel, *degrade, *fault, *faultSeed, *epsilon, *printIR, *measure); err != nil {
 		fmt.Fprintln(os.Stderr, "polyufc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kernel, file, arch, objective, size, capLevel string, epsilon float64, printIR, measure bool) error {
+func run(kernel, file, arch, objective, size, capLevel, degrade, fault string, faultSeed int64, epsilon float64, printIR, measure bool) error {
 	p := hw.PlatformByName(arch)
 	if p == nil {
 		return fmt.Errorf("unknown platform %q (want bdw or rpl)", arch)
+	}
+	policy, ok := core.ParseDegradePolicy(degrade)
+	if !ok {
+		return fmt.Errorf("unknown degrade policy %q (want strict or best-effort)", degrade)
+	}
+	reg, err := faults.Parse(fault, faultSeed)
+	if err != nil {
+		return err
 	}
 	obj, ok := search.ParseObjective(objective)
 	if !ok {
@@ -124,6 +136,8 @@ func run(kernel, file, arch, objective, size, capLevel string, epsilon float64, 
 	cfg.Search.Objective = obj
 	cfg.Search.Epsilon = epsilon
 	cfg.CapLevel = lvl
+	cfg.Degrade = policy
+	cfg.Faults = reg
 
 	res, err := core.Compile(mod, cfg)
 	if err != nil {
@@ -135,11 +149,20 @@ func run(kernel, file, arch, objective, size, capLevel string, epsilon float64, 
 	fmt.Printf("%-28s %8s %4s %6s %7s | predicted vs default-f\n",
 		"nest", "OI(FpB)", "cls", "tiled", "cap")
 	for _, r := range res.Reports {
+		if r.Degraded && r.CM == nil {
+			fmt.Printf("%-28s %8s %4s %6v %5.1fG | degraded: %v\n",
+				r.Label, "-", "-", r.Tiled, r.CapGHz, r.Err)
+			continue
+		}
 		dT := 100 * (1 - r.Est.Seconds/r.EstDefault.Seconds)
 		dE := 100 * (1 - r.Est.Joules/r.EstDefault.Joules)
 		dEDP := 100 * (1 - r.Est.EDP/r.EstDefault.EDP)
-		fmt.Printf("%-28s %8.2f %4s %6v %5.1fG | time %+5.1f%% energy %+5.1f%% EDP %+5.1f%%\n",
-			r.Label, r.OI, r.Class, r.Tiled, r.CapGHz, dT, dE, dEDP)
+		suffix := ""
+		if r.Degraded {
+			suffix = fmt.Sprintf("  [degraded: %v]", r.Err)
+		}
+		fmt.Printf("%-28s %8.2f %4s %6v %5.1fG | time %+5.1f%% energy %+5.1f%% EDP %+5.1f%%%s\n",
+			r.Label, r.OI, r.Class, r.Tiled, r.CapGHz, dT, dE, dEDP, suffix)
 	}
 	fmt.Printf("\ncompile time: preprocess %v, pluto %v, polyufc-cm %v, steps4-6 %v\n",
 		res.Timings.Preprocess, res.Timings.Pluto, res.Timings.CM, res.Timings.Steps46)
@@ -159,6 +182,7 @@ func run(kernel, file, arch, objective, size, capLevel string, epsilon float64, 
 
 	if measure {
 		m := hw.NewMachine(p)
+		m.SetFaults(reg)
 		m.SetUncoreCap(p.UncoreMax)
 		var base hw.RunResult
 		for _, op := range res.Module.Funcs[0].Ops {
@@ -172,9 +196,30 @@ func run(kernel, file, arch, objective, size, capLevel string, epsilon float64, 
 			}
 		}
 		base.EDP = base.PkgJoules * base.Seconds
-		capped, err := m.RunFunc(res.Module.Funcs[0])
-		if err != nil {
-			return err
+		var capped hw.RunResult
+		if reg != nil {
+			// Faults armed: run through the hardened controller so cap
+			// writes retry with backoff and the default cap is restored
+			// even when the run dies.
+			opts := hw.DefaultCapControllerOptions(p)
+			opts.JitterSeed = faultSeed
+			opts.BestEffort = policy == core.BestEffort
+			ctl := hw.NewCapController(m, opts)
+			capped, err = ctl.RunFunc(res.Module.Funcs[0])
+			if err != nil {
+				return err
+			}
+			st := ctl.Stats()
+			fmt.Printf("\ncap controller: %d applies, %d writes, %d retries, %d failures, %d overrides corrected, %d restores\n",
+				st.Applies, st.Writes, st.Retries, st.Failures, st.Overrides, st.Restores)
+			if n := m.ThermalOverrides(); n > 0 {
+				fmt.Printf("thermal overrides injected: %d\n", n)
+			}
+		} else {
+			capped, err = m.RunFunc(res.Module.Funcs[0])
+			if err != nil {
+				return err
+			}
 		}
 		fmt.Printf("\nmeasured on the simulated %s:\n", p.Name)
 		fmt.Printf("  baseline (uncore %.1f GHz): %.4f ms, %.4f J, EDP %.4g\n",

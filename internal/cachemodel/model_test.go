@@ -47,8 +47,11 @@ var testCfg = cachesim.Config{Levels: []cachesim.LevelConfig{
 // simulate runs the nest through the exact simulator.
 func simulate(t *testing.T, nest *ir.Nest, cfg cachesim.Config) *cachesim.Simulator {
 	t.Helper()
-	s := cachesim.MustNew(cfg)
-	_, err := interp.RunNest(nest, interp.TracerFunc(func(a, sz int64, w bool) { s.Access(a, sz, w) }))
+	s, err := cachesim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = interp.RunNest(nest, interp.TracerFunc(func(a, sz int64, w bool) { s.Access(a, sz, w) }))
 	if err != nil {
 		t.Fatal(err)
 	}

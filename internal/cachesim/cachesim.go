@@ -186,15 +186,6 @@ func New(cfg Config) (*Simulator, error) {
 	return s, nil
 }
 
-// MustNew is New for known-good configs.
-func MustNew(cfg Config) *Simulator {
-	s, err := New(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // LineSize returns the hierarchy's cache line size in bytes.
 func (s *Simulator) LineSize() int64 { return s.lineSize }
 

@@ -13,7 +13,7 @@ func smallCfg(assoc int64) Config {
 }
 
 func TestColdMisses(t *testing.T) {
-	s := MustNew(smallCfg(2))
+	s := mustNew(t, smallCfg(2))
 	for i := int64(0); i < 8; i++ {
 		s.Access(i*64, 8, false)
 	}
@@ -32,7 +32,7 @@ func TestColdMisses(t *testing.T) {
 }
 
 func TestSameLineHits(t *testing.T) {
-	s := MustNew(smallCfg(2))
+	s := mustNew(t, smallCfg(2))
 	s.Access(0, 8, false)
 	s.Access(8, 8, false)
 	s.Access(56, 8, false)
@@ -44,7 +44,7 @@ func TestSameLineHits(t *testing.T) {
 
 func TestLRUEviction(t *testing.T) {
 	// 2-way, 8 sets. Lines 0, 8, 16 all map to set 0.
-	s := MustNew(smallCfg(2))
+	s := mustNew(t, smallCfg(2))
 	s.Access(0*64, 8, false)  // set 0: [0]
 	s.Access(8*64, 8, false)  // set 0: [8 0]
 	s.Access(0*64, 8, false)  // hit; set 0: [0 8]
@@ -60,8 +60,8 @@ func TestLRUEviction(t *testing.T) {
 func TestConflictVsFullyAssociative(t *testing.T) {
 	// Two lines that conflict in a set-associative cache but not in a
 	// fully associative one of the same size: stride = sets*line.
-	setAssoc := MustNew(Config{Levels: []LevelConfig{{Name: "L1", SizeBytes: 1024, LineSize: 64, Assoc: 1}}})
-	fullAssoc := MustNew(Config{Levels: []LevelConfig{{Name: "L1", SizeBytes: 1024, LineSize: 64, Assoc: 0}}})
+	setAssoc := mustNew(t, Config{Levels: []LevelConfig{{Name: "L1", SizeBytes: 1024, LineSize: 64, Assoc: 1}}})
+	fullAssoc := mustNew(t, Config{Levels: []LevelConfig{{Name: "L1", SizeBytes: 1024, LineSize: 64, Assoc: 0}}})
 	// 16 direct-mapped sets; lines 0 and 16 collide.
 	for rep := 0; rep < 4; rep++ {
 		for _, line := range []int64{0, 16} {
@@ -79,7 +79,7 @@ func TestConflictVsFullyAssociative(t *testing.T) {
 }
 
 func TestWriteThroughDRAMTraffic(t *testing.T) {
-	s := MustNew(smallCfg(2))
+	s := mustNew(t, smallCfg(2))
 	s.Access(0, 8, true)
 	s.Access(0, 8, true)
 	if s.DRAMWriteBytes != 128 {
@@ -101,7 +101,7 @@ func TestMultiLevelMissPropagation(t *testing.T) {
 		{Name: "L1", SizeBytes: 512, LineSize: 64, Assoc: 2},
 		{Name: "L2", SizeBytes: 4096, LineSize: 64, Assoc: 4},
 	}}
-	s := MustNew(cfg)
+	s := mustNew(t, cfg)
 	// Touch 32 lines: L1 holds 8, L2 holds 64.
 	for i := int64(0); i < 32; i++ {
 		s.Access(i*64, 8, false)
@@ -129,7 +129,7 @@ func TestMultiLevelMissPropagation(t *testing.T) {
 }
 
 func TestLineSpanningAccess(t *testing.T) {
-	s := MustNew(smallCfg(2))
+	s := mustNew(t, smallCfg(2))
 	s.Access(60, 8, false) // spans lines 0 and 1
 	st := s.LevelStats(0)
 	if st.Accesses != 2 || st.Misses != 2 {
@@ -140,7 +140,7 @@ func TestLineSpanningAccess(t *testing.T) {
 func TestNonPowerOfTwoSets(t *testing.T) {
 	// 3 sets x 2 ways x 64 B = 384 B: modulo placement path.
 	cfg := Config{Levels: []LevelConfig{{Name: "L1", SizeBytes: 384, LineSize: 64, Assoc: 2}}}
-	s := MustNew(cfg)
+	s := mustNew(t, cfg)
 	for i := int64(0); i < 12; i++ {
 		s.Access(i*64, 8, false)
 	}
@@ -172,7 +172,7 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 }
 
 func TestReset(t *testing.T) {
-	s := MustNew(smallCfg(2))
+	s := mustNew(t, smallCfg(2))
 	s.Access(0, 8, false)
 	s.Reset()
 	if s.LevelStats(0).Accesses != 0 || s.DRAMBytes() != 0 {
@@ -187,7 +187,7 @@ func TestReset(t *testing.T) {
 func TestPropertyHitsPlusMissesEqualsAccesses(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		s := MustNew(Config{Levels: []LevelConfig{
+		s := mustNew(t, Config{Levels: []LevelConfig{
 			{Name: "L1", SizeBytes: 2048, LineSize: 64, Assoc: 4},
 			{Name: "LLC", SizeBytes: 16384, LineSize: 64, Assoc: 8},
 		}})
@@ -218,8 +218,8 @@ func TestPropertyLRUInclusion(t *testing.T) {
 	// capacity never incurs more misses on the same trace.
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		small := MustNew(Config{Levels: []LevelConfig{{Name: "L1", SizeBytes: 512, LineSize: 64, Assoc: 0}}})
-		big := MustNew(Config{Levels: []LevelConfig{{Name: "L1", SizeBytes: 2048, LineSize: 64, Assoc: 0}}})
+		small := mustNew(t, Config{Levels: []LevelConfig{{Name: "L1", SizeBytes: 512, LineSize: 64, Assoc: 0}}})
+		big := mustNew(t, Config{Levels: []LevelConfig{{Name: "L1", SizeBytes: 2048, LineSize: 64, Assoc: 0}}})
 		for i := 0; i < 500; i++ {
 			addr := int64(r.Intn(64)) * 64
 			small.Access(addr, 8, false)
@@ -233,7 +233,7 @@ func TestPropertyLRUInclusion(t *testing.T) {
 }
 
 func TestAccessorHelpers(t *testing.T) {
-	s := MustNew(smallCfg(2))
+	s := mustNew(t, smallCfg(2))
 	if s.LineSize() != 64 {
 		t.Fatalf("LineSize = %d", s.LineSize())
 	}
@@ -286,4 +286,14 @@ func TestMultiCoreSharedLLCInPackage(t *testing.T) {
 	if m.PrivateStats(0, 0).Accesses != 3 {
 		t.Fatalf("spanning access accounting = %+v", m.PrivateStats(0, 0))
 	}
+}
+
+// mustNew builds a simulator from a config the test knows is valid.
+func mustNew(t *testing.T, cfg Config) *Simulator {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }

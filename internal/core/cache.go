@@ -23,6 +23,10 @@ type CacheKey struct {
 	// NoAmortize marks configurations with the profitability gate
 	// disabled (AmortizeFactor 0), as in the Sec. VII-F overhead study.
 	NoAmortize bool
+	// Degrade is the failure policy: Strict and BestEffort results differ
+	// only in the presence of stage failures, but they must not share
+	// cache entries — a degraded Result is a different artifact.
+	Degrade DegradePolicy
 }
 
 // Cache memoizes PolyUFC compilations across evaluation sweeps. It is safe

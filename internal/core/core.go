@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"polyufc/internal/cachemodel"
+	"polyufc/internal/faults"
 	"polyufc/internal/hw"
 	"polyufc/internal/ir"
 	"polyufc/internal/lower"
@@ -39,6 +40,71 @@ type Config struct {
 	// cap-switch latency (Sec. VII-F overhead discussion). 0 disables the
 	// gate.
 	AmortizeFactor float64
+	// Degrade selects the failure policy: Strict (fail-fast, the default)
+	// aborts the whole module on the first stage error; BestEffort
+	// isolates failures per nest — a failed Pluto stage falls back to the
+	// untiled nest, a failed cache-model stage leaves the nest uncapped,
+	// and the KernelReport is marked Degraded with the error recorded.
+	Degrade DegradePolicy
+	// Faults, when non-nil, arms the compiler's injection points
+	// (FaultPluto, FaultCacheModel) for robustness testing.
+	Faults *faults.Registry
+}
+
+// DegradePolicy selects how Compile reacts to a per-nest stage failure.
+type DegradePolicy int
+
+// Degradation policies.
+const (
+	// Strict aborts the compilation on the first stage error (fail-fast).
+	Strict DegradePolicy = iota
+	// BestEffort isolates the failure to the nest and degrades it:
+	// untiled on a Pluto failure, uncapped on a cache-model failure.
+	BestEffort
+)
+
+func (d DegradePolicy) String() string {
+	switch d {
+	case Strict:
+		return "strict"
+	case BestEffort:
+		return "best-effort"
+	}
+	return "degrade?"
+}
+
+// ParseDegradePolicy maps a CLI string to a policy.
+func ParseDegradePolicy(s string) (DegradePolicy, bool) {
+	switch s {
+	case "strict", "":
+		return Strict, true
+	case "best-effort", "besteffort":
+		return BestEffort, true
+	}
+	return Strict, false
+}
+
+// Named fault points of the compilation pipeline (see internal/faults).
+const (
+	// FaultPluto poisons the Pluto tiling stage of the next nest.
+	FaultPluto = "core.pluto"
+	// FaultCacheModel poisons the PolyUFC-CM stage of the next nest.
+	FaultCacheModel = "core.cachemodel"
+)
+
+// runStage invokes one per-nest compiler stage with panic isolation: a
+// panicking stage surfaces as a wrapped error carrying the stage name and
+// nest label instead of unwinding the whole sweep.
+func runStage(stage, label string, f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: %s on %s: panic: %v", stage, label, r)
+		}
+	}()
+	if err := f(); err != nil {
+		return fmt.Errorf("core: %s on %s: %w", stage, label, err)
+	}
+	return nil
 }
 
 // DefaultConfig returns the paper's evaluation configuration for a
@@ -82,6 +148,11 @@ type KernelReport struct {
 	Est, EstDefault model.Estimate
 	CM              *cachemodel.Result
 	SearchEvals     int
+	// Degraded marks a best-effort fallback: a stage failed and this nest
+	// fell back to untiled (Pluto failure) or uncapped (cache-model or
+	// search failure). Err records the stage error behind it.
+	Degraded bool
+	Err      error
 }
 
 // Result is the outcome of one PolyUFC compilation.
@@ -117,18 +188,33 @@ func Compile(mod *ir.Module, cfg Config) (*Result, error) {
 	}
 	res.Timings.Preprocess = time.Since(start)
 
-	// Stage 2: Pluto tiling + parallelization per nest.
+	// Stage 2: Pluto tiling + parallelization per nest. Stage failures are
+	// panic-isolated; under BestEffort a failed nest falls back to its
+	// untiled form and is marked degraded instead of killing the module.
 	start = time.Now()
 	tiled := map[*ir.Nest]bool{}
+	degraded := map[*ir.Nest]error{}
 	for _, f := range mod.Funcs {
 		for i, op := range f.Ops {
 			nest, ok := op.(*ir.Nest)
 			if !ok {
 				continue
 			}
-			pres, err := pluto.Optimize(nest, cfg.Pluto)
+			var pres pluto.Result
+			err := runStage("pluto", nest.Label, func() error {
+				if err := cfg.Faults.Hit(FaultPluto); err != nil {
+					return err
+				}
+				var err error
+				pres, err = pluto.Optimize(nest, cfg.Pluto)
+				return err
+			})
 			if err != nil {
-				return nil, fmt.Errorf("core: pluto on %s: %w", nest.Label, err)
+				if cfg.Degrade != BestEffort {
+					return nil, err
+				}
+				degraded[nest] = err
+				continue
 			}
 			f.Ops[i] = pres.Nest
 			tiled[pres.Nest] = pres.Tiled
@@ -136,7 +222,8 @@ func Compile(mod *ir.Module, cfg Config) (*Result, error) {
 	}
 	res.Timings.Pluto = time.Since(start)
 
-	// Stage 3: PolyUFC-CM + OI per nest.
+	// Stage 3: PolyUFC-CM + OI per nest. Under BestEffort a failed nest
+	// stays uncapped: it keeps running at whatever frequency is active.
 	start = time.Now()
 	cms := map[*ir.Nest]*cachemodel.Result{}
 	for _, f := range mod.Funcs {
@@ -145,13 +232,27 @@ func Compile(mod *ir.Module, cfg Config) (*Result, error) {
 			if !ok {
 				continue
 			}
-			cmOpts := cfg.CM
-			if nest.Root != nil && nest.Root.Parallel && cmOpts.Threads <= 1 {
-				cmOpts.Threads = cfg.Platform.Threads
-			}
-			cm, err := cachemodel.Analyze(nest, cfg.Platform.Cache, cmOpts)
+			var cm *cachemodel.Result
+			err := runStage("cache model", nest.Label, func() error {
+				if err := cfg.Faults.Hit(FaultCacheModel); err != nil {
+					return err
+				}
+				cmOpts := cfg.CM
+				if nest.Root != nil && nest.Root.Parallel && cmOpts.Threads <= 1 {
+					cmOpts.Threads = cfg.Platform.Threads
+				}
+				var err error
+				cm, err = cachemodel.Analyze(nest, cfg.Platform.Cache, cmOpts)
+				return err
+			})
 			if err != nil {
-				return nil, fmt.Errorf("core: cache model on %s: %w", nest.Label, err)
+				if cfg.Degrade != BestEffort {
+					return nil, err
+				}
+				if degraded[nest] == nil {
+					degraded[nest] = err
+				}
+				continue
 			}
 			cms[nest] = cm
 		}
@@ -175,21 +276,52 @@ func Compile(mod *ir.Module, cfg Config) (*Result, error) {
 			if nest.Root != nil && nest.Root.Parallel {
 				threads = cfg.Platform.Threads
 			}
-			m := model.New(cfg.Constants, model.FromCacheModel(cm, threads))
-			sres := search.Run(m, freqs, cfg.Search)
+			if cm == nil {
+				// Cache model degraded (BestEffort): the nest stays
+				// uncapped — it runs at whatever frequency is active.
+				res.Reports = append(res.Reports, KernelReport{
+					Label: nest.Label, Origin: nest.Origin(),
+					CapGHz: activeCap, Tiled: tiled[nest], Threads: threads,
+					Degraded: true, Err: degraded[nest],
+				})
+				out = append(out, nest)
+				continue
+			}
+			var m *model.Model
+			var sres search.Result
+			err := runStage("search", nest.Label, func() error {
+				m = model.New(cfg.Constants, model.FromCacheModel(cm, threads))
+				sres = search.Run(m, freqs, cfg.Search)
+				return nil
+			})
+			if err != nil {
+				if cfg.Degrade != BestEffort {
+					return nil, err
+				}
+				res.Reports = append(res.Reports, KernelReport{
+					Label: nest.Label, Origin: nest.Origin(),
+					OI: cm.OI, CapGHz: activeCap, Tiled: tiled[nest],
+					Threads: threads, CM: cm, Degraded: true, Err: err,
+				})
+				out = append(out, nest)
+				continue
+			}
 			rep := KernelReport{
 				Label: nest.Label, Origin: nest.Origin(),
 				OI: cm.OI, Class: sres.Class, CapGHz: sres.BestGHz,
 				Tiled: tiled[nest], Threads: threads,
 				Est: sres.Best, EstDefault: m.At(cfg.Platform.UncoreMax),
 				CM: cm, SearchEvals: sres.Evaluated,
+				Degraded: degraded[nest] != nil, Err: degraded[nest],
 			}
 			res.Reports = append(res.Reports, rep)
 			// Profitability gate (Sec. VII-F): switching the cap costs
 			// CapLatency; only worthwhile when the kernel runs long enough.
+			// A non-positive BestGHz (degenerate frequency grid) never
+			// inserts a cap.
 			profitable := cfg.AmortizeFactor <= 0 ||
 				sres.Best.Seconds >= cfg.AmortizeFactor*cfg.Platform.CapLatency
-			if profitable && sres.BestGHz != activeCap {
+			if profitable && sres.BestGHz > 0 && sres.BestGHz != activeCap {
 				out = append(out,
 					&ir.SetUncoreCap{GHz: sres.BestGHz, Level: cfg.CapLevel, From: nest.Label})
 				res.CapsInserted++

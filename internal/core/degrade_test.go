@@ -1,0 +1,160 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"polyufc/internal/faults"
+	"polyufc/internal/hw"
+	"polyufc/internal/ir"
+	"polyufc/internal/workloads"
+)
+
+func buildKernel(t *testing.T, name string) (*Config, func() *Result) {
+	t.Helper()
+	p := hw.BDW()
+	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg.AmortizeFactor = 0
+	k, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &cfg, func() *Result {
+		mod, err := k.Build(workloads.Test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Compile(mod, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+}
+
+// The acceptance scenario: with one nest's cache model poisoned,
+// BestEffort still reports every healthy nest and marks exactly one
+// report degraded, while Strict reproduces the fail-fast error.
+func TestBestEffortIsolatesPoisonedCacheModel(t *testing.T) {
+	cfg, compile := buildKernel(t, "2mm")
+	healthy := compile()
+	if len(healthy.Reports) < 2 {
+		t.Fatalf("2mm has %d nests; need >= 2", len(healthy.Reports))
+	}
+
+	// Poison the second nest's cache-model stage under BestEffort.
+	cfg.Degrade = BestEffort
+	cfg.Faults = faults.New(1)
+	cfg.Faults.Enable(FaultCacheModel, faults.Spec{On: []int64{2}})
+	res := compile()
+	if len(res.Reports) != len(healthy.Reports) {
+		t.Fatalf("reports %d, want %d", len(res.Reports), len(healthy.Reports))
+	}
+	nDegraded := 0
+	for i, r := range res.Reports {
+		if r.Degraded {
+			nDegraded++
+			if i != 1 {
+				t.Fatalf("report %d degraded, want report 1", i)
+			}
+			if !errors.Is(r.Err, faults.ErrInjected) {
+				t.Fatalf("degraded report err = %v", r.Err)
+			}
+			if r.CM != nil || r.SearchEvals != 0 {
+				t.Fatalf("degraded report still analyzed: %+v", r)
+			}
+			continue
+		}
+		// Healthy nests match the clean compilation exactly.
+		h := healthy.Reports[i]
+		if r.Label != h.Label || r.CapGHz != h.CapGHz || r.OI != h.OI || r.Class != h.Class {
+			t.Fatalf("healthy report %d diverged: %+v vs %+v", i, r, h)
+		}
+	}
+	if nDegraded != 1 {
+		t.Fatalf("degraded reports = %d, want exactly 1", nDegraded)
+	}
+	if nestsIn(res) != nestsIn(healthy) {
+		t.Fatalf("module lost nests: %d vs %d", nestsIn(res), nestsIn(healthy))
+	}
+
+	// Strict mode on the same poison reproduces today's fail-fast error.
+	cfg.Degrade = Strict
+	cfg.Faults = faults.New(1)
+	cfg.Faults.Enable(FaultCacheModel, faults.Spec{On: []int64{2}})
+	k, _ := workloads.ByName("2mm")
+	mod, err := k.Build(workloads.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Compile(mod, *cfg)
+	if err == nil || !strings.Contains(err.Error(), "cache model on") {
+		t.Fatalf("strict err = %v", err)
+	}
+}
+
+func TestBestEffortPlutoFailureFallsBackUntiled(t *testing.T) {
+	cfg, compile := buildKernel(t, "gemm")
+	cfg.Degrade = BestEffort
+	cfg.Faults = faults.New(1)
+	cfg.Faults.Enable(FaultPluto, faults.Spec{On: []int64{2}})
+	res := compile()
+	if len(res.Reports) < 2 {
+		t.Fatalf("reports = %d", len(res.Reports))
+	}
+	r := res.Reports[1]
+	if !r.Degraded || r.Tiled {
+		t.Fatalf("pluto-poisoned nest: degraded=%v tiled=%v", r.Degraded, r.Tiled)
+	}
+	// The untiled fallback is still analyzed, characterized and capped.
+	if r.CM == nil || r.CapGHz <= 0 || r.SearchEvals == 0 {
+		t.Fatalf("untiled fallback not analyzed: %+v", r)
+	}
+	if r.Err == nil || !strings.Contains(r.Err.Error(), "pluto on") {
+		t.Fatalf("recorded err = %v", r.Err)
+	}
+}
+
+func TestStagePanicBecomesWrappedError(t *testing.T) {
+	cfg, _ := buildKernel(t, "gemm")
+	cfg.Faults = faults.New(1)
+	cfg.Faults.Enable(FaultPluto, faults.Spec{On: []int64{1}, Panic: true})
+	k, _ := workloads.ByName("gemm")
+	mod, err := k.Build(workloads.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Compile(mod, *cfg) // must not panic
+	if err == nil || !strings.Contains(err.Error(), "panic") || !strings.Contains(err.Error(), "pluto") {
+		t.Fatalf("panic not converted to a stage error: %v", err)
+	}
+
+	// Under BestEffort the panicking stage degrades the nest instead.
+	cfg.Degrade = BestEffort
+	cfg.Faults = faults.New(1)
+	cfg.Faults.Enable(FaultCacheModel, faults.Spec{On: []int64{1}, Panic: true})
+	mod, err = k.Build(workloads.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(mod, *cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reports[0].Degraded {
+		t.Fatal("panicking stage did not degrade the nest")
+	}
+}
+
+func nestsIn(res *Result) int {
+	n := 0
+	for _, f := range res.Module.Funcs {
+		for _, op := range f.Ops {
+			if _, ok := op.(*ir.Nest); ok {
+				n++
+			}
+		}
+	}
+	return n
+}

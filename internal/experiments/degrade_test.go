@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"polyufc/internal/core"
+	"polyufc/internal/faults"
+	"polyufc/internal/workloads"
+)
+
+// A sweep containing one unresolvable kernel dies under Strict and yields
+// a degradation summary line under BestEffort.
+func TestFig7SweepToleratesFailingKernel(t *testing.T) {
+	s, err := New(workloads.Test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Platforms()[0]
+	kernels := []string{"gemm", "no-such-kernel", "mvt"}
+
+	if _, err := s.Fig7(p, kernels); err == nil {
+		t.Fatal("strict sweep survived an unknown kernel")
+	}
+
+	var out bytes.Buffer
+	s.Out = &out
+	s.Degrade = core.BestEffort
+	rows, err := s.Fig7(p, kernels)
+	if err != nil {
+		t.Fatalf("best-effort sweep died: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Degraded || rows[2].Degraded {
+		t.Fatal("healthy kernels degraded")
+	}
+	if !rows[1].Degraded {
+		t.Fatal("failing kernel not marked degraded")
+	}
+	if rows[0].BaselineEDP <= 0 || rows[2].BaselineEDP <= 0 {
+		t.Fatal("healthy rows not measured")
+	}
+	// The geomean skips the degraded row instead of poisoning the figure.
+	if g := GeomeanEDPGain(rows); g == 0 {
+		t.Fatal("geomean dropped the healthy rows")
+	}
+	s.renderDegraded()
+	if !strings.Contains(out.String(), "degraded (best-effort): no-such-kernel") {
+		t.Fatalf("no degradation summary in output:\n%s", out.String())
+	}
+}
+
+// A poisoned nest inside one kernel degrades that compilation per nest
+// while the sweep and the other kernels stay intact end to end.
+func TestSuiteBestEffortWithInjectedCompilerFault(t *testing.T) {
+	s, err := New(workloads.Test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Degrade = core.BestEffort
+	s.Concurrency = 1 // deterministic injection ordering
+	s.Faults = faults.New(11)
+	s.Faults.Enable(core.FaultCacheModel, faults.Spec{On: []int64{1}})
+	p := s.Platforms()[1]
+	rows, err := s.Fig7(p, []string{"gemm", "mvt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Degraded {
+			t.Fatalf("%s: whole kernel dropped; the poison hits one nest only", r.Kernel)
+		}
+		if r.BaselineEDP <= 0 {
+			t.Fatalf("%s: not measured", r.Kernel)
+		}
+	}
+	if s.Faults.Fired(core.FaultCacheModel) != 1 {
+		t.Fatalf("fault fired %d times", s.Faults.Fired(core.FaultCacheModel))
+	}
+}
+
+// With faults armed the compile cache is bypassed, so injection state
+// never leaks into memoized results.
+func TestFaultsBypassCompileCache(t *testing.T) {
+	s, err := New(workloads.Test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Faults = faults.New(1)
+	p := s.Platforms()[0]
+	if _, err := s.compile("gemm", p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.compile("gemm", p); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := s.CacheStats(); hits != 0 || misses != 0 {
+		t.Fatalf("cache touched while faults armed: %d hits, %d misses", hits, misses)
+	}
+	// Disarmed, the cache works as before.
+	s.Faults = nil
+	if _, err := s.compile("gemm", p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.compile("gemm", p); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := s.CacheStats(); hits != 1 || misses != 1 {
+		t.Fatalf("cache stats after disarm: %d hits, %d misses", hits, misses)
+	}
+}

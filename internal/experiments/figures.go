@@ -32,6 +32,9 @@ type Fig1Series struct {
 	BestTime   float64 // argmin frequencies
 	BestEnergy float64
 	BestEDP    float64
+	// Degraded marks a kernel dropped under best-effort tolerance; only
+	// Kernel and Platform are meaningful then.
+	Degraded bool
 }
 
 // Fig1Kernels are the representative kernels of Fig. 1.
@@ -47,6 +50,10 @@ func (s *Suite) Fig1(p *hw.Platform) ([]Fig1Series, error) {
 			name := Fig1Kernels[i]
 			res, err := s.compile(name, p)
 			if err != nil {
+				if s.bestEffort() {
+					s.noteDegraded(name, err)
+					return Fig1Series{Kernel: name, Platform: p.Name, Degraded: true}, nil
+				}
 				return Fig1Series{}, fmt.Errorf("fig1 %s: %w", name, err)
 			}
 			m := s.machine(p)
@@ -97,6 +104,9 @@ func (s *Suite) RenderFig1() error {
 			return err
 		}
 		for _, sr := range series {
+			if sr.Degraded {
+				continue
+			}
 			s.printf("-- %s on %s (best: time@%.1f energy@%.1f EDP@%.1f GHz)\n",
 				sr.Kernel, sr.Platform, sr.BestTime, sr.BestEnergy, sr.BestEDP)
 			s.printf("   f(GHz)   time(ms)   energy(J)    EDP(mJ*s)\n")
@@ -106,6 +116,7 @@ func (s *Suite) RenderFig1() error {
 			}
 		}
 	}
+	s.renderDegraded()
 	return nil
 }
 
@@ -180,6 +191,8 @@ type Fig6Row struct {
 	// HWClass derives from measured traffic; Correct reports agreement.
 	HWClass roofline.Class
 	Correct bool
+	// Degraded marks a kernel dropped under best-effort tolerance.
+	Degraded bool
 }
 
 // Fig6 characterizes the given kernels on a platform and validates against
@@ -195,6 +208,10 @@ func (s *Suite) Fig6(p *hw.Platform, kernels []string) ([]Fig6Row, error) {
 			}
 			res, err := s.compile(name, p)
 			if err != nil {
+				if s.bestEffort() {
+					s.noteDegraded(name, err)
+					return Fig6Row{Kernel: name, Platform: p.Name, Degraded: true}, nil
+				}
 				return Fig6Row{}, fmt.Errorf("fig6 %s: %w", name, err)
 			}
 			// Aggregate model estimates and hardware runs at max frequency.
@@ -260,13 +277,18 @@ func (s *Suite) RenderFig6() error {
 	}
 	s.printf("-- PolyBench on RPL\n")
 	s.renderFig6Rows(rows)
-	correct := 0
+	correct, total := 0, 0
 	for _, r := range rows {
+		if r.Degraded {
+			continue
+		}
+		total++
 		if r.Correct {
 			correct++
 		}
 	}
-	s.printf("   classification agreement: %d/%d\n", correct, len(rows))
+	s.printf("   classification agreement: %d/%d\n", correct, total)
+	s.renderDegraded()
 	return nil
 }
 
@@ -274,6 +296,9 @@ func (s *Suite) renderFig6Rows(rows []Fig6Row) {
 	s.printf("   %-18s %-12s %8s %4s | est %8s HW %8s | est %6s HW %6s | %s\n",
 		"kernel", "category", "OI(FpB)", "cls", "GF/s", "GF/s", "W", "W", "agree")
 	for _, r := range rows {
+		if r.Degraded {
+			continue
+		}
 		s.printf("   %-18s %-12s %8.2f %4s | %12.1f %11.1f | %10.1f %9.1f | %v\n",
 			r.Kernel, r.Category, r.OI, r.Class, r.EstGFlops, r.HWGFlops,
 			r.EstWatts, r.HWWatts, r.Correct)
@@ -292,6 +317,8 @@ type Fig7Row struct {
 	// Relative improvements (positive = better than baseline).
 	TimeGain, EnergyGain, EDPGain float64
 	BaselineEDP, PolyUFCEDP       float64
+	// Degraded marks a kernel dropped under best-effort tolerance.
+	Degraded bool
 }
 
 // Fig7 compares PolyUFC-capped execution against the Pluto + default-UFS
@@ -300,18 +327,25 @@ type Fig7Row struct {
 func (s *Suite) Fig7(p *hw.Platform, kernels []string) ([]Fig7Row, error) {
 	return parallel.Map(s.ctx(), len(kernels), s.Concurrency, func(_ context.Context, idx int) (Fig7Row, error) {
 		name := kernels[idx]
+		drop := func(err error) (Fig7Row, error) {
+			if s.bestEffort() {
+				s.noteDegraded(name, err)
+				return Fig7Row{Kernel: name, Platform: p.Name, Degraded: true}, nil
+			}
+			return Fig7Row{}, fmt.Errorf("fig7 %s: %w", name, err)
+		}
 		k, err := workloads.ByName(name)
 		if err != nil {
-			return Fig7Row{}, err
+			return drop(err)
 		}
 		res, err := s.compile(name, p)
 		if err != nil {
-			return Fig7Row{}, fmt.Errorf("fig7 %s: %w", name, err)
+			return drop(err)
 		}
 		m := s.machine(p)
 		base, err := runBaseline(m, res.Module)
 		if err != nil {
-			return Fig7Row{}, err
+			return drop(err)
 		}
 		// Repeat the program so each measurement covers at least ~20 ms of
 		// steady-state execution: small simulated problem sizes would
@@ -337,12 +371,16 @@ func (s *Suite) Fig7(p *hw.Platform, kernels []string) ([]Fig7Row, error) {
 		m.ResetCounters()
 		capped, err := m.RunFunc(repeated)
 		if err != nil {
-			return Fig7Row{}, err
+			return drop(err)
 		}
 		// Dominant nest's characterization and cap.
 		var rep core.KernelReport
 		bestFlops := int64(-1)
 		for _, r := range res.Reports {
+			// Per-nest degraded reports carry no cache model.
+			if r.CM == nil {
+				continue
+			}
 			if r.CM.Flops > bestFlops {
 				bestFlops = r.CM.Flops
 				rep = r
@@ -364,15 +402,22 @@ func GeomeanEDPGain(rows []Fig7Row) float64 {
 	if len(rows) == 0 {
 		return 0
 	}
-	logSum := 0.0
+	logSum, n := 0.0, 0
 	for _, r := range rows {
+		if r.Degraded || r.BaselineEDP <= 0 {
+			continue
+		}
+		n++
 		ratio := r.PolyUFCEDP / r.BaselineEDP
 		if ratio <= 0 {
 			ratio = 1
 		}
 		logSum += math.Log(ratio)
 	}
-	return 1 - math.Exp(logSum/float64(len(rows)))
+	if n == 0 {
+		return 0
+	}
+	return 1 - math.Exp(logSum/float64(n))
 }
 
 // RenderFig7 prints the comparison for both platforms over the full suite.
@@ -391,6 +436,9 @@ func (s *Suite) RenderFig7() error {
 		s.printf("   %-18s %4s cap(GHz) | time%% energy%% EDP%%\n", "kernel", "cls")
 		var pbRows []Fig7Row
 		for _, r := range rows {
+			if r.Degraded {
+				continue
+			}
 			s.printf("   %-18s %4s   %5.1f  | %+5.1f  %+5.1f  %+5.1f\n",
 				r.Kernel, r.Class, r.CapGHz,
 				100*r.TimeGain, 100*r.EnergyGain, 100*r.EDPGain)
@@ -399,6 +447,7 @@ func (s *Suite) RenderFig7() error {
 			}
 		}
 		s.printf("   PolyBench geomean EDP improvement: %.1f%%\n", 100*GeomeanEDPGain(pbRows))
+		s.renderDegraded()
 	}
 	return nil
 }

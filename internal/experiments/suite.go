@@ -19,8 +19,10 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"polyufc/internal/core"
+	"polyufc/internal/faults"
 	"polyufc/internal/hw"
 	"polyufc/internal/ir"
 	"polyufc/internal/parallel"
@@ -36,11 +38,22 @@ type Suite struct {
 	// default) means GOMAXPROCS, 1 is the serial fallback.
 	Concurrency int
 	// Ctx, when set, cancels in-flight sweeps; nil means Background.
-	Ctx      context.Context
+	Ctx context.Context
+	// Degrade selects sweep-level fault tolerance: under core.BestEffort
+	// a failing kernel is dropped from its figure with a degradation
+	// summary line instead of killing the whole sweep, and compilations
+	// degrade per nest.
+	Degrade core.DegradePolicy
+	// Faults, when non-nil, arms the injectable failure modes on every
+	// machine and compilation the suite runs. Injection state is mutable
+	// and call-ordered, so the compile cache is bypassed while armed.
+	Faults   *faults.Registry
 	plats    []*hw.Platform
 	consts   map[string]*roofline.Constants
 	cache    core.Cache
 	profiles hw.ProfileCache
+	mu       sync.Mutex
+	notes    []string
 }
 
 // New builds a suite over both Table-III platforms, calibrating their
@@ -93,7 +106,37 @@ func (s *Suite) ResetCache() {
 func (s *Suite) machine(p *hw.Platform) *hw.Machine {
 	m := hw.NewMachine(p)
 	m.SetProfileCache(&s.profiles)
+	m.SetFaults(s.Faults)
 	return m
+}
+
+// bestEffort reports whether sweeps tolerate per-kernel failures.
+func (s *Suite) bestEffort() bool { return s.Degrade == core.BestEffort }
+
+// noteDegraded records one tolerated per-kernel failure for the
+// experiment's degradation summary.
+func (s *Suite) noteDegraded(kernel string, err error) {
+	s.mu.Lock()
+	s.notes = append(s.notes, fmt.Sprintf("%s: %v", kernel, err))
+	s.mu.Unlock()
+}
+
+// drainNotes returns the recorded degradations sorted (workers race) and
+// clears them for the next experiment.
+func (s *Suite) drainNotes() []string {
+	s.mu.Lock()
+	out := s.notes
+	s.notes = nil
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// renderDegraded prints the degradation summary lines of one experiment.
+func (s *Suite) renderDegraded() {
+	for _, line := range s.drainNotes() {
+		s.printf("   degraded (best-effort): %s\n", line)
+	}
 }
 
 // ctx resolves the suite context.
@@ -124,6 +167,18 @@ func (s *Suite) compileCfg(kernelName string, p *hw.Platform, cfg core.Config) (
 	if err != nil {
 		return nil, err
 	}
+	cfg.Degrade = s.Degrade
+	if s.Faults != nil {
+		// Injection state advances per call: memoizing a faulted Result
+		// would replay one injection outcome across the sweep. Compile
+		// directly while armed.
+		cfg.Faults = s.Faults
+		mod, err := k.Build(s.Size)
+		if err != nil {
+			return nil, err
+		}
+		return core.Compile(mod, cfg)
+	}
 	key := core.CacheKey{
 		Kernel:     kernelName,
 		Platform:   p.Name,
@@ -131,6 +186,7 @@ func (s *Suite) compileCfg(kernelName string, p *hw.Platform, cfg core.Config) (
 		CapLevel:   cfg.CapLevel,
 		FullyAssoc: cfg.CM.FullyAssoc,
 		NoAmortize: cfg.AmortizeFactor == 0,
+		Degrade:    s.Degrade,
 	}
 	return s.cache.Compile(s.ctx(), key, cfg, func() (*ir.Module, error) {
 		return k.Build(s.Size)

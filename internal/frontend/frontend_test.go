@@ -73,7 +73,7 @@ func TestParseGemm(t *testing.T) {
 func TestParsedKernelMatchesHandBuilt(t *testing.T) {
 	// The parsed gemm update nest must execute identically to the
 	// hand-built one: same instance count, same address trace length.
-	mod := MustParse("gemm", gemmSrc)
+	mod := mustParse(t, "gemm", gemmSrc)
 	nest := mod.Funcs[0].Ops[1].(*ir.Nest)
 	st, err := interp.RunNest(nest, interp.NullTracer{})
 	if err != nil {
@@ -85,7 +85,7 @@ func TestParsedKernelMatchesHandBuilt(t *testing.T) {
 }
 
 func TestParsedKernelTiles(t *testing.T) {
-	mod := MustParse("gemm", gemmSrc)
+	mod := mustParse(t, "gemm", gemmSrc)
 	nest := mod.Funcs[0].Ops[1].(*ir.Nest)
 	res, err := pluto.Optimize(nest, pluto.DefaultOptions())
 	if err != nil {
@@ -308,4 +308,14 @@ parallel for i = 0 to N-1 {
 	if _, err := Parse("bad", "array A[4]\nparallel A[0] = 1;"); err == nil {
 		t.Fatal("expected error for 'parallel' without 'for'")
 	}
+}
+
+// mustParse parses a known-good kernel source.
+func mustParse(t *testing.T, name, src string) *ir.Module {
+	t.Helper()
+	mod, err := Parse(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
 }

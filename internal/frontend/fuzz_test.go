@@ -1,0 +1,69 @@
+package frontend
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"polyufc/internal/ir"
+)
+
+// FuzzParse drives the affine-kernel parser with arbitrary sources: any
+// input must either parse into a module whose nests survive the basic IR
+// walks, or return an error — never panic, hang, or index out of range.
+func FuzzParse(f *testing.F) {
+	f.Add(gemmSrc)
+	f.Add("")
+	f.Add("kernel k() {\n}\n")
+	f.Add("param N = 8\narray A[N]\nkernel k() {\n  for i = 0 .. N-1 {\n    A[i] = 0;\n  }\n}\n")
+	f.Add("param N = -1\narray A[N] : f64")
+	f.Add("kernel k( {")
+	f.Add("for for for")
+	f.Add("param N = 999999999999999999999\n")
+	// The shipped example kernels are known-good seeds.
+	paths, err := filepath.Glob("../../examples/kernels/*.puc")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	// A few generator outputs widen the valid-grammar surface.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 4; i++ {
+		f.Add(genKernel(r))
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			t.Skip("oversized input")
+		}
+		mod, err := Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		if mod == nil {
+			t.Fatal("Parse returned nil module and nil error")
+		}
+		// A successfully parsed module must withstand the downstream IR
+		// walks the compiler runs unconditionally.
+		for _, fn := range mod.Funcs {
+			for _, op := range fn.Ops {
+				n, ok := op.(*ir.Nest)
+				if !ok {
+					continue
+				}
+				for _, si := range n.Statements() {
+					_ = si
+				}
+				_, _ = n.TripCount()
+			}
+		}
+		_ = mod.Print()
+	})
+}

@@ -536,15 +536,6 @@ func contains(ss []string, s string) bool {
 	return false
 }
 
-// MustParse is Parse for known-good sources (tests, embedded kernels).
-func MustParse(name, src string) *ir.Module {
-	m, err := Parse(name, src)
-	if err != nil {
-		panic(err)
-	}
-	return m
-}
-
 // FormatErrors pretty-prints the first line of a source for diagnostics.
 func FormatErrors(src string) string {
 	lines := strings.Split(src, "\n")

@@ -1,11 +1,13 @@
 package hw
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"polyufc/internal/cachesim"
+	"polyufc/internal/faults"
 	"polyufc/internal/interp"
 	"polyufc/internal/ir"
 )
@@ -51,6 +53,12 @@ type Machine struct {
 	// measurement — the run-to-run variation real RAPL/timing exhibits.
 	noise      *rand.Rand
 	noiseSigma float64
+	// faults, when non-nil, arms the injectable UFS failure modes of the
+	// Fault* points below; prevCap backs the stale read-back model and
+	// thermalOverrides counts silent firmware cap raises.
+	faults           *faults.Registry
+	prevCap          float64
+	thermalOverrides int64
 }
 
 // SetNoise enables deterministic measurement jitter: each Measure result's
@@ -93,7 +101,7 @@ func (m *Machine) jitter(r *RunResult) {
 // over-provisioning the paper targets).
 func NewMachine(p *Platform) *Machine {
 	return &Machine{P: p, uncoreCap: p.UncoreMax, coreFreq: p.CoreBase,
-		profiles: map[*ir.Nest]*CacheProfile{}}
+		prevCap: p.UncoreMax, profiles: map[*ir.Nest]*CacheProfile{}}
 }
 
 // UncoreCap returns the active uncore frequency cap in GHz.
@@ -125,19 +133,89 @@ func (m *Machine) SetCoreFreq(ghz float64) float64 {
 // CapSwitches returns how many cap changes the UFS driver performed.
 func (m *Machine) CapSwitches() int64 { return m.capSwitches }
 
-// SetUncoreCap emulates the intel_uncore_frequency driver: the requested
-// cap is clamped to the platform range and 0.1 GHz granularity; changing
-// the cap costs CapLatency of wall-clock time (accounted to busyTime and
-// constant power).
+// SetUncoreCap emulates the intel_uncore_frequency driver on a healthy
+// path: the requested cap is clamped to the platform range and 0.1 GHz
+// granularity; changing the cap costs CapLatency of wall-clock time
+// (accounted to busyTime and constant power). It never fails, even with
+// faults armed — the fallible driver interface is WriteUncoreCap.
 func (m *Machine) SetUncoreCap(ghz float64) float64 {
 	f := m.P.ClampCap(ghz)
 	if f != m.uncoreCap {
+		m.prevCap = m.uncoreCap
 		m.uncoreCap = f
 		m.capSwitches++
 		m.busyTime += m.P.CapLatency
 		m.pkgEnergy += m.P.CapLatency * m.P.truth.PConstW
 	}
 	return f
+}
+
+// Named fault points of the simulated UFS driver (see internal/faults).
+const (
+	// FaultCapWriteBusy makes WriteUncoreCap fail with ErrCapBusy, the
+	// transient EBUSY a firmware-mediated MSR write returns under
+	// contention (Sec. VII-F).
+	FaultCapWriteBusy = "ufs.write.ebusy"
+	// FaultCapWriteClamp makes the firmware silently apply one CapStep
+	// below the requested value (detected only by read-back).
+	FaultCapWriteClamp = "ufs.write.clamp"
+	// FaultCapReadStale makes ReadUncoreCap return the previous cap value
+	// once, modelling a read racing the in-flight firmware update.
+	FaultCapReadStale = "ufs.read.stale"
+	// FaultThermalOverride makes a measurement end with the firmware
+	// silently raising the cap to the platform maximum (a thermal/turbo
+	// event); only a watchdog re-read can detect it.
+	FaultThermalOverride = "ufs.thermal.override"
+)
+
+// ErrCapBusy is the transient UFS driver write failure.
+var ErrCapBusy = errors.New("hw: uncore cap write: device busy")
+
+// SetFaults arms (or, with nil, disarms) the machine's injectable UFS
+// failure modes.
+func (m *Machine) SetFaults(r *faults.Registry) { m.faults = r }
+
+// Faults returns the armed registry, nil when disabled.
+func (m *Machine) Faults() *faults.Registry { return m.faults }
+
+// ThermalOverrides counts silent firmware cap raises so far.
+func (m *Machine) ThermalOverrides() int64 { return m.thermalOverrides }
+
+// WriteUncoreCap is the fallible driver write the hardened cap path uses:
+// with faults armed it can fail transiently (ErrCapBusy — the attempted
+// ioctl still pays the transition latency) or silently apply a
+// firmware-clamped value below the request. It returns the value the
+// driver claims to have applied; callers that need certainty must verify
+// through ReadUncoreCap (see CapController).
+func (m *Machine) WriteUncoreCap(ghz float64) (float64, error) {
+	if err := m.faults.Hit(FaultCapWriteBusy); err != nil {
+		m.busyTime += m.P.CapLatency
+		m.pkgEnergy += m.P.CapLatency * m.P.truth.PConstW
+		return m.uncoreCap, fmt.Errorf("%w (requested %.1f GHz): %v", ErrCapBusy, ghz, err)
+	}
+	f := m.P.ClampCap(ghz)
+	if m.faults.Hit(FaultCapWriteClamp) != nil {
+		f = m.P.ClampCap(f - m.P.CapStep)
+	}
+	return m.SetUncoreCap(f), nil
+}
+
+// ReadUncoreCap reads the active cap back through the driver interface;
+// with the stale-read fault armed it can return the previous value.
+func (m *Machine) ReadUncoreCap() float64 {
+	if m.faults.Hit(FaultCapReadStale) != nil {
+		return m.prevCap
+	}
+	return m.uncoreCap
+}
+
+// sleep models a busy backoff wait: wall-clock time at constant power.
+func (m *Machine) sleep(sec float64) {
+	if sec <= 0 {
+		return
+	}
+	m.busyTime += sec
+	m.pkgEnergy += sec * m.P.truth.PConstW
 }
 
 // ResetCounters clears the RAPL accumulators and driver statistics.
@@ -239,6 +317,14 @@ func (m *Machine) Measure(p *CacheProfile) RunResult {
 	m.pkgEnergy += r.PkgJoules
 	m.uncoreEnergy += r.UncoreJoules
 	m.busyTime += r.Seconds
+	// Thermal-override fault: the firmware silently raises the cap back to
+	// the maximum during the run. No switch is counted — the driver never
+	// saw it; only a watchdog re-read (CapController.Reassert) catches it.
+	if m.uncoreCap < m.P.UncoreMax && m.faults.Hit(FaultThermalOverride) != nil {
+		m.prevCap = m.uncoreCap
+		m.uncoreCap = m.P.UncoreMax
+		m.thermalOverrides++
+	}
 	return r
 }
 

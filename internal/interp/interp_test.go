@@ -105,12 +105,12 @@ func TestTiledExecutionSameFootprint(t *testing.T) {
 	bigCache := cachesim.Config{Levels: []cachesim.LevelConfig{
 		{Name: "L1", SizeBytes: 1 << 22, LineSize: 64, Assoc: 8},
 	}}
-	s1 := cachesim.MustNew(bigCache)
+	s1 := mustSim(t, bigCache)
 	st1, err := RunNest(nest, TracerFunc(func(a, sz int64, w bool) { s1.Access(a, sz, w) }))
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2 := cachesim.MustNew(bigCache)
+	s2 := mustSim(t, bigCache)
 	st2, err := RunNest(tiled, TracerFunc(func(a, sz int64, w bool) { s2.Access(a, sz, w) }))
 	if err != nil {
 		t.Fatal(err)
@@ -134,11 +134,11 @@ func TestTilingImprovesLocality(t *testing.T) {
 	small := cachesim.Config{Levels: []cachesim.LevelConfig{
 		{Name: "L1", SizeBytes: 16 << 10, LineSize: 64, Assoc: 8},
 	}}
-	s1 := cachesim.MustNew(small)
+	s1 := mustSim(t, small)
 	if _, err := RunNest(nest, TracerFunc(func(a, sz int64, w bool) { s1.Access(a, sz, w) })); err != nil {
 		t.Fatal(err)
 	}
-	s2 := cachesim.MustNew(small)
+	s2 := mustSim(t, small)
 	if _, err := RunNest(tiled, TracerFunc(func(a, sz int64, w bool) { s2.Access(a, sz, w) })); err != nil {
 		t.Fatal(err)
 	}
@@ -187,4 +187,14 @@ func BenchmarkInterpMatmul(b *testing.B) {
 		prog.Run(NullTracer{})
 	}
 	b.SetBytes(64 * 64 * 64 * 4 * 8)
+}
+
+// mustSim builds a cache simulator from a known-good config.
+func mustSim(t *testing.T, cfg cachesim.Config) *cachesim.Simulator {
+	t.Helper()
+	s, err := cachesim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }

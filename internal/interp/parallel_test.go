@@ -82,7 +82,7 @@ func TestSharingHeuristicAgainstMultiCoreSim(t *testing.T) {
 	}}
 	threads := 4
 
-	seqSim := cachesim.MustNew(cfg)
+	seqSim := mustSim(t, cfg)
 	if _, err := RunNest(nest, TracerFunc(func(a, sz int64, w bool) {
 		seqSim.Access(a, sz, w)
 	})); err != nil {

@@ -92,7 +92,7 @@ func TestPermuteReducesMisses(t *testing.T) {
 		{Name: "L1", SizeBytes: 16 << 10, LineSize: 64, Assoc: 8},
 	}}
 	miss := func(n *ir.Nest) int64 {
-		s := cachesim.MustNew(cfg)
+		s := mustSim(t, cfg)
 		if _, err := interp.RunNest(n, interp.TracerFunc(func(a, sz int64, w bool) {
 			s.Access(a, sz, w)
 		})); err != nil {
@@ -155,4 +155,14 @@ func TestPermuteDisabled(t *testing.T) {
 	if order[0] != "i" || order[2] != "k" {
 		t.Fatalf("order changed: %v", order)
 	}
+}
+
+// mustSim builds a cache simulator from a known-good config.
+func mustSim(t *testing.T, cfg cachesim.Config) *cachesim.Simulator {
+	t.Helper()
+	s, err := cachesim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }

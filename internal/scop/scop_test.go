@@ -25,7 +25,7 @@ for i = 0 to N-1 {
 
 func exportGemm(t *testing.T) (*SCoP, *ir.Nest) {
 	t.Helper()
-	mod := frontend.MustParse("gemm", src)
+	mod := mustParse(t, "gemm", src)
 	nest := mod.Funcs[0].Ops[0].(*ir.Nest)
 	sc, err := Export(nest)
 	if err != nil {
@@ -106,7 +106,7 @@ func TestDomainSetCardinalityPreserved(t *testing.T) {
 }
 
 func TestExportTiledNest(t *testing.T) {
-	mod := frontend.MustParse("gemm", src)
+	mod := mustParse(t, "gemm", src)
 	nest := mod.Funcs[0].Ops[0].(*ir.Nest)
 	tiled, err := pluto.TileNest(nest, 8)
 	if err != nil {
@@ -131,4 +131,14 @@ func TestExportEmptyNestFails(t *testing.T) {
 	if _, err := Export(&ir.Nest{Label: "empty"}); err == nil {
 		t.Fatal("expected error for empty nest")
 	}
+}
+
+// mustParse parses a known-good kernel source.
+func mustParse(t *testing.T, name, src string) *ir.Module {
+	t.Helper()
+	mod, err := frontend.Parse(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
 }

@@ -8,6 +8,9 @@
 package search
 
 import (
+	"math"
+	"sort"
+
 	"polyufc/internal/model"
 	"polyufc/internal/roofline"
 )
@@ -90,14 +93,50 @@ func score(e model.Estimate, o Objective) float64 {
 	}
 }
 
+// sanitizeGrid drops non-finite and non-positive frequencies and returns
+// the grid sorted ascending, copying only when the input needs repair, so
+// the bisection's ordering invariant holds for any caller-supplied slice.
+func sanitizeGrid(freqs []float64) []float64 {
+	clean := true
+	for i, f := range freqs {
+		if f <= 0 || math.IsNaN(f) || math.IsInf(f, 0) || (i > 0 && f < freqs[i-1]) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return freqs
+	}
+	out := make([]float64, 0, len(freqs))
+	for _, f := range freqs {
+		if f > 0 && !math.IsNaN(f) && !math.IsInf(f, 0) {
+			out = append(out, f)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
 // Run performs the binary search over the frequency grid for one kernel
-// model. freqs must be sorted ascending (the platform's UncoreSteps).
+// model. The grid is the platform's UncoreSteps, sorted ascending;
+// unsorted or partially invalid grids are repaired defensively, and an
+// empty (or fully invalid) grid returns the zero Result — BestGHz 0 means
+// "no cap selected", which callers treat as unprofitable.
 func Run(m *model.Model, freqs []float64, opts Options) Result {
+	freqs = sanitizeGrid(freqs)
 	if len(freqs) == 0 {
 		return Result{}
 	}
 	cls := m.Class()
 	res := Result{Class: cls}
+	if len(freqs) == 1 {
+		// Degenerate grid: the only frequency is both the driver default
+		// and the best choice; nothing to search.
+		res.Best = m.At(freqs[0])
+		res.BestGHz = freqs[0]
+		res.Evaluated = 1
+		return res
+	}
 
 	// Reference point: the driver default (maximum uncore frequency).
 	ref := m.At(freqs[len(freqs)-1])

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"math"
 	"testing"
 
 	"polyufc/internal/hw"
@@ -139,5 +140,52 @@ func TestEmptyGrid(t *testing.T) {
 	res := Run(m, nil, DefaultOptions())
 	if res.BestGHz != 0 || res.Evaluated != 0 {
 		t.Fatalf("empty grid result = %+v", res)
+	}
+	// A grid of only invalid entries degenerates to empty.
+	res = Run(m, []float64{0, -1.2, math.NaN(), math.Inf(1)}, DefaultOptions())
+	if res.BestGHz != 0 || res.Evaluated != 0 {
+		t.Fatalf("all-invalid grid result = %+v", res)
+	}
+}
+
+func TestSingleElementGrid(t *testing.T) {
+	p := hw.BDW()
+	m, _ := setup(t, p, cbStats(1))
+	res := Run(m, []float64{1.5}, DefaultOptions())
+	if res.BestGHz != 1.5 || res.Evaluated != 1 || len(res.Steps) != 0 {
+		t.Fatalf("single-element grid result = %+v", res)
+	}
+	if res.Best != m.At(1.5) {
+		t.Fatal("single-element grid did not evaluate its frequency")
+	}
+}
+
+func TestUnsortedGridIsRepaired(t *testing.T) {
+	p := hw.RPL()
+	m, freqs := setup(t, p, cbStats(p.Threads))
+	want := Run(m, freqs, DefaultOptions())
+
+	shuffled := make([]float64, len(freqs))
+	copy(shuffled, freqs)
+	for i := range shuffled { // deterministic reversal, worst-case disorder
+		j := len(shuffled) - 1 - i
+		if i >= j {
+			break
+		}
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	got := Run(m, shuffled, DefaultOptions())
+	if got.BestGHz != want.BestGHz || got.Best != want.Best {
+		t.Fatalf("unsorted grid found %.1f GHz, sorted found %.1f GHz", got.BestGHz, want.BestGHz)
+	}
+	// The caller's slice is repaired on a copy, not in place.
+	if shuffled[0] != freqs[len(freqs)-1] {
+		t.Fatal("Run mutated the caller's grid")
+	}
+	// Invalid entries mixed into a valid grid are dropped, not searched.
+	dirty := append([]float64{0, math.NaN()}, freqs...)
+	got = Run(m, dirty, DefaultOptions())
+	if got.BestGHz != want.BestGHz {
+		t.Fatalf("dirty grid found %.1f GHz, want %.1f GHz", got.BestGHz, want.BestGHz)
 	}
 }
