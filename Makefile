@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments faults fuzz fmt cover
+.PHONY: all build vet test race bench experiments faults fuzz fmt cover serve smoke
 
 all: build vet test
 
@@ -34,6 +34,20 @@ faults:
 	$(GO) test -race ./internal/faults
 	$(GO) test -race -run 'Fault|Degrade|CapController|BestEffort|Tolerates|Grid' \
 		./internal/hw ./internal/core ./internal/experiments ./internal/search
+
+# Run the capping service locally with production-shaped defaults.
+serve:
+	$(GO) run ./cmd/polyufc-serve -addr 127.0.0.1:8321
+
+# Service-robustness gate: the in-process daemon suite under the race
+# detector (admission shedding, breaker degradation, panic isolation,
+# drain, journal replay), then the real binaries end to end — concurrent
+# requests under injected faults, SIGTERM drain, and a SIGKILLed sweep
+# resumed byte-identically.
+smoke:
+	$(GO) build ./cmd/polyufc-serve
+	$(GO) test -race ./internal/server ./internal/journal
+	sh scripts/smoke.sh
 
 # Short native fuzz smoke over the affine-kernel parser.
 fuzz:

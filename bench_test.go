@@ -6,6 +6,7 @@
 package polyufc_test
 
 import (
+	"context"
 	"os"
 	"sync"
 	"testing"
@@ -402,8 +403,8 @@ func BenchmarkSearch(b *testing.B) {
 	freqs := p.UncoreSteps()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := search.Run(m, freqs, search.DefaultOptions())
-		if res.BestGHz == 0 {
+		res, err := search.Run(context.Background(), m, freqs, search.DefaultOptions())
+		if err != nil || res.BestGHz == 0 {
 			b.Fatal("search failed")
 		}
 	}

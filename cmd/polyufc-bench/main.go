@@ -10,6 +10,12 @@
 // Sweeps fan out over a worker pool (-j workers, default GOMAXPROCS) with
 // memoized compilations; output is byte-identical to -j 1. Ctrl-C cancels
 // in-flight sweeps cleanly.
+//
+// With -journal the sweep checkpoints each completed unit of work (one
+// kernel at one frequency for fig1, one comparison row for fig7) to a
+// crash-safe JSONL file; a killed run restarted with -resume replays the
+// completed entries instead of re-evaluating them, and the rendered
+// figures are byte-identical to an uninterrupted run.
 package main
 
 import (
@@ -19,10 +25,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"polyufc/internal/core"
 	"polyufc/internal/experiments"
 	"polyufc/internal/faults"
+	"polyufc/internal/journal"
 	"polyufc/internal/workloads"
 )
 
@@ -34,6 +42,8 @@ func main() {
 		degrade   = flag.String("degrade", "strict", "failure policy: strict (fail fast) or best-effort (drop failing kernels with a summary)")
 		fault     = flag.String("fault", "", `inject failures, e.g. "ufs.write.ebusy=0.3; core.cachemodel=@2"`)
 		faultSeed = flag.Int64("fault-seed", 1, "seed for probabilistic fault triggers")
+		jpath     = flag.String("journal", "", "checkpoint sweep progress to this JSONL file")
+		resume    = flag.Bool("resume", false, "replay completed entries from an existing -journal instead of truncating it")
 	)
 	flag.Parse()
 
@@ -61,7 +71,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	s, err := experiments.New(sz, os.Stdout)
@@ -73,6 +83,26 @@ func main() {
 	s.Ctx = ctx
 	s.Degrade = policy
 	s.Faults = reg
+	if *jpath != "" {
+		if !*resume {
+			if err := os.Remove(*jpath); err != nil && !os.IsNotExist(err) {
+				fmt.Fprintln(os.Stderr, "polyufc-bench:", err)
+				os.Exit(1)
+			}
+		}
+		j, err := journal.Open(*jpath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polyufc-bench:", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		if *resume {
+			st := j.Stats()
+			fmt.Fprintf(os.Stderr, "polyufc-bench: resuming from %s: %d completed entries (%d torn dropped)\n",
+				*jpath, st.Entries, st.Dropped)
+		}
+		s.Journal = j
+	}
 	if err := s.Run(*exp); err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "polyufc-bench: interrupted")

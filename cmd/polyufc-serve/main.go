@@ -1,0 +1,106 @@
+// Command polyufc-serve runs the PolyUFC compilation service: an HTTP
+// daemon exposing the compiler pipeline as /v1/compile, /v1/characterize
+// and /v1/search, hardened for long-running operation — bounded admission
+// queue (429 + Retry-After under load), per-request deadlines, a circuit
+// breaker quarantining a sick UFS driver (measured requests degrade to
+// model-only answers), LRU-bounded caches, a crash-safe response journal,
+// and graceful drain on SIGTERM/SIGINT: the listener stops accepting,
+// in-flight requests finish, and the driver-default uncore cap is
+// restored before exit.
+//
+// Usage:
+//
+//	polyufc-serve -addr :8321
+//	polyufc-serve -addr :8321 -journal serve.jsonl -resume
+//	polyufc-serve -fault "ufs.write.ebusy=0.5" -breaker-threshold 2
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"polyufc/internal/core"
+	"polyufc/internal/faults"
+	"polyufc/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8321", "listen address")
+		concurrency = flag.Int("concurrency", 0, "requests served at once (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 64, "admission queue depth before shedding load with 429")
+		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request deadline")
+		drain       = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
+		brkThresh   = flag.Int("breaker-threshold", 3, "consecutive driver failures that trip the cap breaker")
+		brkCooldown = flag.Duration("breaker-cooldown", time.Second, "how long a tripped breaker stays open before probing")
+		cacheLimit  = flag.Int("cache-limit", 1024, "LRU bound on the compile and profile caches")
+		degrade     = flag.String("degrade", "strict", "compilation failure policy: strict or best-effort")
+		fault       = flag.String("fault", "", `inject failures, e.g. "ufs.write.ebusy=0.5; core.pluto=@2"`)
+		faultSeed   = flag.Int64("fault-seed", 1, "seed for probabilistic fault triggers")
+		journalPath = flag.String("journal", "", "checkpoint deterministic responses to this JSONL journal")
+		resume      = flag.Bool("resume", false, "replay an existing journal instead of truncating it")
+	)
+	flag.Parse()
+	if err := run(*addr, *concurrency, *queue, *reqTimeout, *drain, *brkThresh, *brkCooldown,
+		*cacheLimit, *degrade, *fault, *faultSeed, *journalPath, *resume); err != nil {
+		fmt.Fprintln(os.Stderr, "polyufc-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, concurrency, queue int, reqTimeout, drain time.Duration,
+	brkThresh int, brkCooldown time.Duration, cacheLimit int,
+	degrade, fault string, faultSeed int64, journalPath string, resume bool) error {
+	policy, ok := core.ParseDegradePolicy(degrade)
+	if !ok {
+		return fmt.Errorf("unknown degrade policy %q (want strict or best-effort)", degrade)
+	}
+	reg, err := faults.Parse(fault, faultSeed)
+	if err != nil {
+		return err
+	}
+	cfg := server.DefaultConfig()
+	if concurrency <= 0 {
+		concurrency = runtime.GOMAXPROCS(0)
+	}
+	cfg.Concurrency = concurrency
+	cfg.Queue = queue
+	cfg.RequestTimeout = reqTimeout
+	cfg.DrainTimeout = drain
+	cfg.Breaker.Threshold = brkThresh
+	cfg.Breaker.Cooldown = brkCooldown
+	cfg.CacheLimit = cacheLimit
+	cfg.Degrade = policy
+	cfg.Faults = reg
+	cfg.FaultSeed = faultSeed
+	cfg.JournalPath = journalPath
+	cfg.Resume = resume
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	if journalPath != "" {
+		st := srv.JournalStats()
+		fmt.Fprintf(os.Stderr, "polyufc-serve: journal %s: %d entries loaded (%d torn dropped)\n",
+			journalPath, st.Entries, st.Dropped)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "polyufc-serve: listening on %s (concurrency %d, queue %d)\n",
+		ln.Addr(), concurrency, queue)
+	err = srv.Run(ctx, ln)
+	fmt.Fprintln(os.Stderr, "polyufc-serve: drained, caps restored, bye")
+	return err
+}

@@ -22,6 +22,7 @@ import (
 	"polyufc/internal/frontend"
 	"polyufc/internal/hw"
 	"polyufc/internal/ir"
+	"polyufc/internal/journal"
 	"polyufc/internal/roofline"
 	"polyufc/internal/search"
 	"polyufc/internal/workloads"
@@ -41,6 +42,8 @@ func main() {
 		degrade   = flag.String("degrade", "strict", "failure policy: strict (fail fast) or best-effort (degrade per nest)")
 		fault     = flag.String("fault", "", `inject failures, e.g. "ufs.write.ebusy=0.3; core.pluto=@2"`)
 		faultSeed = flag.Int64("fault-seed", 1, "seed for probabilistic fault triggers")
+		jpath     = flag.String("journal", "", "checkpoint the compile report to this JSONL file")
+		resume    = flag.Bool("resume", false, "replay a completed report from an existing -journal instead of recompiling")
 		list      = flag.Bool("list", false, "list available kernels and exit")
 	)
 	flag.Parse()
@@ -56,13 +59,57 @@ func main() {
 		fmt.Fprintln(os.Stderr, "polyufc: -kernel or -file is required (use -list to see registry kernels)")
 		os.Exit(2)
 	}
-	if err := run(*kernel, *file, *arch, *objective, *size, *capLevel, *degrade, *fault, *faultSeed, *epsilon, *printIR, *measure); err != nil {
+	if err := run(*kernel, *file, *arch, *objective, *size, *capLevel, *degrade, *fault, *jpath, *faultSeed, *epsilon, *printIR, *measure, *resume); err != nil {
 		fmt.Fprintln(os.Stderr, "polyufc:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kernel, file, arch, objective, size, capLevel, degrade, fault string, faultSeed int64, epsilon float64, printIR, measure bool) error {
+// reportRow is the journaled, printable form of one nest report.
+type reportRow struct {
+	Label    string  `json:"label"`
+	OI       float64 `json:"oi"`
+	Class    string  `json:"class"`
+	Tiled    bool    `json:"tiled"`
+	CapGHz   float64 `json:"cap_ghz"`
+	DT       float64 `json:"dt"`
+	DE       float64 `json:"de"`
+	DEDP     float64 `json:"dedp"`
+	Degraded bool    `json:"degraded,omitempty"`
+	Err      string  `json:"err,omitempty"`
+	NoCM     bool    `json:"no_cm,omitempty"`
+}
+
+// reportRecord is one journaled compile outcome.
+type reportRecord struct {
+	Rows         []reportRow `json:"rows"`
+	CapsInserted int         `json:"caps_inserted"`
+	CapsRemoved  int         `json:"caps_removed"`
+	FinalCaps    int         `json:"final_caps"`
+}
+
+// printRows renders the per-nest report table from journaled rows.
+func printRows(rec reportRecord) {
+	fmt.Printf("%-28s %8s %4s %6s %7s | predicted vs default-f\n",
+		"nest", "OI(FpB)", "cls", "tiled", "cap")
+	for _, r := range rec.Rows {
+		if r.NoCM {
+			fmt.Printf("%-28s %8s %4s %6v %5.1fG | degraded: %s\n",
+				r.Label, "-", "-", r.Tiled, r.CapGHz, r.Err)
+			continue
+		}
+		suffix := ""
+		if r.Degraded {
+			suffix = fmt.Sprintf("  [degraded: %s]", r.Err)
+		}
+		fmt.Printf("%-28s %8.2f %4s %6v %5.1fG | time %+5.1f%% energy %+5.1f%% EDP %+5.1f%%%s\n",
+			r.Label, r.OI, r.Class, r.Tiled, r.CapGHz, r.DT, r.DE, r.DEDP, suffix)
+	}
+	fmt.Printf("caps in module: %d (inserted %d, removed/merged %d)\n",
+		rec.FinalCaps, rec.CapsInserted, rec.CapsRemoved)
+}
+
+func run(kernel, file, arch, objective, size, capLevel, degrade, fault, jpath string, faultSeed int64, epsilon float64, printIR, measure, resume bool) error {
 	p := hw.PlatformByName(arch)
 	if p == nil {
 		return fmt.Errorf("unknown platform %q (want bdw or rpl)", arch)
@@ -100,6 +147,37 @@ func run(kernel, file, arch, objective, size, capLevel, degrade, fault string, f
 		lvl = ir.DialectAffine
 	default:
 		return fmt.Errorf("unknown cap level %q", capLevel)
+	}
+
+	// The journal replays a completed compile report without recompiling —
+	// or even calibrating. It only covers the deterministic registry path:
+	// -file kernels, -print-ir, -measure and fault injection all need the
+	// live compilation, so they bypass it.
+	var jrnl *journal.Journal
+	var jkey string
+	if jpath != "" && file == "" && !printIR && !measure && reg == nil {
+		if !resume {
+			if err := os.Remove(jpath); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+		j, err := journal.Open(jpath)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		jrnl = j
+		jkey = fmt.Sprintf("polyufc/%s/%s/sz%d/%s/lvl%d/eps%g/%s",
+			kernel, p.Name, int(sz), obj, int(lvl), epsilon, policy)
+		var rec reportRecord
+		if ok, err := j.Get(jkey, &rec); err != nil {
+			return err
+		} else if ok {
+			fmt.Printf("%s on %s (%s objective, %s-level caps, %s size) [replayed from journal]\n",
+				kernel, p.Name, obj, lvl, sz)
+			printRows(rec)
+			return nil
+		}
 	}
 
 	var mod *ir.Module
@@ -144,36 +222,41 @@ func run(kernel, file, arch, objective, size, capLevel, degrade, fault string, f
 		return err
 	}
 
-	fmt.Printf("\n%s on %s (%s objective, %s-level caps, %s size)\n",
-		kernel, p.Name, obj, lvl, sz)
-	fmt.Printf("%-28s %8s %4s %6s %7s | predicted vs default-f\n",
-		"nest", "OI(FpB)", "cls", "tiled", "cap")
-	for _, r := range res.Reports {
-		if r.Degraded && r.CM == nil {
-			fmt.Printf("%-28s %8s %4s %6v %5.1fG | degraded: %v\n",
-				r.Label, "-", "-", r.Tiled, r.CapGHz, r.Err)
-			continue
-		}
-		dT := 100 * (1 - r.Est.Seconds/r.EstDefault.Seconds)
-		dE := 100 * (1 - r.Est.Joules/r.EstDefault.Joules)
-		dEDP := 100 * (1 - r.Est.EDP/r.EstDefault.EDP)
-		suffix := ""
-		if r.Degraded {
-			suffix = fmt.Sprintf("  [degraded: %v]", r.Err)
-		}
-		fmt.Printf("%-28s %8.2f %4s %6v %5.1fG | time %+5.1f%% energy %+5.1f%% EDP %+5.1f%%%s\n",
-			r.Label, r.OI, r.Class, r.Tiled, r.CapGHz, dT, dE, dEDP, suffix)
-	}
-	fmt.Printf("\ncompile time: preprocess %v, pluto %v, polyufc-cm %v, steps4-6 %v\n",
-		res.Timings.Preprocess, res.Timings.Pluto, res.Timings.CM, res.Timings.Steps46)
 	finalCaps := 0
 	for _, op := range res.Module.Funcs[0].Ops {
 		if _, ok := op.(*ir.SetUncoreCap); ok {
 			finalCaps++
 		}
 	}
-	fmt.Printf("caps in module: %d (inserted %d, removed/merged %d)\n",
-		finalCaps, res.CapsInserted, res.CapsRemoved)
+	rec := reportRecord{CapsInserted: res.CapsInserted, CapsRemoved: res.CapsRemoved, FinalCaps: finalCaps}
+	for _, r := range res.Reports {
+		row := reportRow{
+			Label: r.Label, OI: r.OI, Class: r.Class.String(),
+			Tiled: r.Tiled, CapGHz: r.CapGHz, Degraded: r.Degraded,
+		}
+		if r.Err != nil {
+			row.Err = r.Err.Error()
+		}
+		if r.Degraded && r.CM == nil {
+			row.NoCM = true
+		} else {
+			row.DT = 100 * (1 - r.Est.Seconds/r.EstDefault.Seconds)
+			row.DE = 100 * (1 - r.Est.Joules/r.EstDefault.Joules)
+			row.DEDP = 100 * (1 - r.Est.EDP/r.EstDefault.EDP)
+		}
+		rec.Rows = append(rec.Rows, row)
+	}
+
+	fmt.Printf("\n%s on %s (%s objective, %s-level caps, %s size)\n",
+		kernel, p.Name, obj, lvl, sz)
+	printRows(rec)
+	fmt.Printf("\ncompile time: preprocess %v, pluto %v, polyufc-cm %v, steps4-6 %v\n",
+		res.Timings.Preprocess, res.Timings.Pluto, res.Timings.CM, res.Timings.Steps46)
+	if jrnl != nil {
+		if err := jrnl.Record(jkey, &rec); err != nil {
+			return err
+		}
+	}
 
 	if printIR {
 		fmt.Println("\n--- transformed module ---")

@@ -5,6 +5,7 @@ import (
 
 	"polyufc/internal/ir"
 	"polyufc/internal/parallel"
+	"polyufc/internal/search"
 )
 
 // CacheKey identifies one memoizable compilation: the kernel, the target
@@ -23,6 +24,11 @@ type CacheKey struct {
 	// NoAmortize marks configurations with the profitability gate
 	// disabled (AmortizeFactor 0), as in the Sec. VII-F overhead study.
 	NoAmortize bool
+	// Objective and Epsilon pin the PolyUFC-SEARCH configuration: the
+	// selected cap depends on both, so compilations that vary them (the
+	// serving daemon does, per request) must not share entries.
+	Objective search.Objective
+	Epsilon   float64
 	// Degrade is the failure policy: Strict and BestEffort results differ
 	// only in the presence of stage failures, but they must not share
 	// cache entries — a degraded Result is a different artifact.
@@ -49,12 +55,20 @@ func (c *Cache) Compile(ctx context.Context, key CacheKey, cfg Config, build fun
 		if err != nil {
 			return nil, err
 		}
-		return Compile(mod, cfg)
+		return CompileCtx(ctx, mod, cfg)
 	})
 }
 
+// SetLimit bounds the cache to n compilations with LRU eviction (n <= 0
+// restores the unbounded default). Long-running processes must set a
+// limit — an unbounded memo is a memory leak under open-ended traffic.
+func (c *Cache) SetLimit(n int) { c.memo.SetLimit(n) }
+
 // Stats returns cache hits and misses so far.
 func (c *Cache) Stats() (hits, misses int64) { return c.memo.Stats() }
+
+// Evictions returns how many compilations the LRU bound has dropped.
+func (c *Cache) Evictions() int64 { return c.memo.Evictions() }
 
 // Len returns the number of cached compilations.
 func (c *Cache) Len() int { return c.memo.Len() }

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -172,8 +173,23 @@ type Result struct {
 // wall-clock Timings). The parallel engine's memo cache (Cache) relies on
 // this property to share Results across sweeps.
 func Compile(mod *ir.Module, cfg Config) (*Result, error) {
+	return CompileCtx(context.Background(), mod, cfg)
+}
+
+// CompileCtx is Compile with a deadline: the context is checked between
+// pipeline stages and between nests, and propagated into PolyUFC-SEARCH,
+// so a serving daemon's per-request timeout bounds the whole compilation.
+// Cancellation always aborts — it is a caller decision, not a stage fault,
+// so BestEffort does not degrade around it.
+func CompileCtx(ctx context.Context, mod *ir.Module, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Platform == nil || cfg.Constants == nil {
 		return nil, fmt.Errorf("core: config needs platform and calibrated constants")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	mod = mod.Clone()
 	res := &Result{Module: mod}
@@ -199,6 +215,9 @@ func Compile(mod *ir.Module, cfg Config) (*Result, error) {
 			nest, ok := op.(*ir.Nest)
 			if !ok {
 				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
 			var pres pluto.Result
 			err := runStage("pluto", nest.Label, func() error {
@@ -231,6 +250,9 @@ func Compile(mod *ir.Module, cfg Config) (*Result, error) {
 			nest, ok := op.(*ir.Nest)
 			if !ok {
 				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
 			var cm *cachemodel.Result
 			err := runStage("cache model", nest.Label, func() error {
@@ -291,10 +313,17 @@ func Compile(mod *ir.Module, cfg Config) (*Result, error) {
 			var sres search.Result
 			err := runStage("search", nest.Label, func() error {
 				m = model.New(cfg.Constants, model.FromCacheModel(cm, threads))
-				sres = search.Run(m, freqs, cfg.Search)
-				return nil
+				var serr error
+				sres, serr = search.Run(ctx, m, freqs, cfg.Search)
+				return serr
 			})
 			if err != nil {
+				// Deadline expiry or cancellation aborts the compilation
+				// outright: the partial search result is not a stage fault
+				// BestEffort should paper over.
+				if ctx.Err() != nil {
+					return nil, err
+				}
 				if cfg.Degrade != BestEffort {
 					return nil, err
 				}

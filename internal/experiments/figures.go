@@ -43,39 +43,62 @@ var Fig1Kernels = []string{"conv2d-alexnet", "2mm", "gemver", "mvt"}
 // Fig1 sweeps each representative kernel over the platform's uncore range
 // on Pluto-optimized code, as in the paper's motivation figure. Kernels
 // sweep concurrently on the worker pool; the series come back in
-// Fig1Kernels order.
+// Fig1Kernels order. With a Journal attached, every (kernel, frequency)
+// point checkpoints as it completes and a resumed sweep replays the
+// completed points — compilation and profiling are skipped entirely for
+// kernels whose points are all journaled.
 func (s *Suite) Fig1(p *hw.Platform) ([]Fig1Series, error) {
 	return parallel.Map(s.ctx(), len(Fig1Kernels), s.Concurrency,
 		func(_ context.Context, i int) (Fig1Series, error) {
 			name := Fig1Kernels[i]
-			res, err := s.compile(name, p)
-			if err != nil {
-				if s.bestEffort() {
-					s.noteDegraded(name, err)
-					return Fig1Series{Kernel: name, Platform: p.Name, Degraded: true}, nil
-				}
-				return Fig1Series{}, fmt.Errorf("fig1 %s: %w", name, err)
-			}
-			m := s.machine(p)
 			series := Fig1Series{Kernel: name, Platform: p.Name}
+			// Compile and profile lazily: a fully journaled kernel never
+			// touches the compiler or the simulator on resume.
+			var m *hw.Machine
 			var profs []*hw.CacheProfile
-			for _, nest := range nestsOf(res.Module) {
-				prof, err := m.Profile(nest)
-				if err != nil {
-					return Fig1Series{}, err
+			ensure := func() error {
+				if m != nil {
+					return nil
 				}
-				profs = append(profs, prof)
+				res, err := s.compile(name, p)
+				if err != nil {
+					return err
+				}
+				mm := s.machine(p)
+				for _, nest := range nestsOf(res.Module) {
+					prof, err := mm.Profile(nest)
+					if err != nil {
+						return err
+					}
+					profs = append(profs, prof)
+				}
+				m = mm
+				return nil
 			}
 			for _, f := range p.UncoreSteps() {
 				var pt Fig1Point
-				pt.FGHz = f
-				m.SetUncoreCap(f)
-				for _, prof := range profs {
-					r := m.Measure(prof)
-					pt.Seconds += r.Seconds
-					pt.Joules += r.PkgJoules
+				err := s.step(fmt.Sprintf("fig1/%s/%s/f%.1f", p.Name, name, f), &pt,
+					func() error {
+						if err := ensure(); err != nil {
+							return err
+						}
+						pt.FGHz = f
+						m.SetUncoreCap(f)
+						for _, prof := range profs {
+							r := m.Measure(prof)
+							pt.Seconds += r.Seconds
+							pt.Joules += r.PkgJoules
+						}
+						pt.EDP = pt.Seconds * pt.Joules
+						return nil
+					})
+				if err != nil {
+					if s.bestEffort() {
+						s.noteDegraded(name, err)
+						return Fig1Series{Kernel: name, Platform: p.Name, Degraded: true}, nil
+					}
+					return Fig1Series{}, fmt.Errorf("fig1 %s: %w", name, err)
 				}
-				pt.EDP = pt.Seconds * pt.Joules
 				series.Points = append(series.Points, pt)
 			}
 			series.BestTime = argminF(series.Points, func(p Fig1Point) float64 { return p.Seconds })
@@ -323,78 +346,92 @@ type Fig7Row struct {
 
 // Fig7 compares PolyUFC-capped execution against the Pluto + default-UFS
 // baseline for the given kernels on one platform. Kernels run concurrently
-// on the worker pool; rows return in input order.
+// on the worker pool; rows return in input order. With a Journal attached,
+// each completed row checkpoints and a resumed sweep replays it without
+// recompiling or re-measuring the kernel.
 func (s *Suite) Fig7(p *hw.Platform, kernels []string) ([]Fig7Row, error) {
 	return parallel.Map(s.ctx(), len(kernels), s.Concurrency, func(_ context.Context, idx int) (Fig7Row, error) {
 		name := kernels[idx]
-		drop := func(err error) (Fig7Row, error) {
+		var row Fig7Row
+		err := s.step(fmt.Sprintf("fig7/%s/%s", p.Name, name), &row, func() error {
+			var err error
+			row, err = s.fig7Row(p, name)
+			return err
+		})
+		if err != nil {
 			if s.bestEffort() {
 				s.noteDegraded(name, err)
 				return Fig7Row{Kernel: name, Platform: p.Name, Degraded: true}, nil
 			}
 			return Fig7Row{}, fmt.Errorf("fig7 %s: %w", name, err)
 		}
-		k, err := workloads.ByName(name)
-		if err != nil {
-			return drop(err)
-		}
-		res, err := s.compile(name, p)
-		if err != nil {
-			return drop(err)
-		}
-		m := s.machine(p)
-		base, err := runBaseline(m, res.Module)
-		if err != nil {
-			return drop(err)
-		}
-		// Repeat the program so each measurement covers at least ~20 ms of
-		// steady-state execution: small simulated problem sizes would
-		// otherwise be dominated by the one-time cap-switch latency, which
-		// real workloads (PolyBench LARGE, model inference loops) amortize.
-		// Re-switching between per-nest caps on every repetition is still
-		// charged, as in real serving.
-		reps := 1
-		if base.Seconds > 0 {
-			reps = int(0.020/base.Seconds) + 1
-		}
-		if reps > 1000 {
-			reps = 1000
-		}
-		base.Seconds *= float64(reps)
-		base.PkgJoules *= float64(reps)
-		base.EDP = base.PkgJoules * base.Seconds
-
-		repeated := &ir.Func{Name: res.Module.Funcs[0].Name}
-		for r := 0; r < reps; r++ {
-			repeated.Ops = append(repeated.Ops, res.Module.Funcs[0].Ops...)
-		}
-		m.ResetCounters()
-		capped, err := m.RunFunc(repeated)
-		if err != nil {
-			return drop(err)
-		}
-		// Dominant nest's characterization and cap.
-		var rep core.KernelReport
-		bestFlops := int64(-1)
-		for _, r := range res.Reports {
-			// Per-nest degraded reports carry no cache model.
-			if r.CM == nil {
-				continue
-			}
-			if r.CM.Flops > bestFlops {
-				bestFlops = r.CM.Flops
-				rep = r
-			}
-		}
-		return Fig7Row{
-			Kernel: name, Suite: k.Suite, Platform: p.Name,
-			Class: rep.Class, CapGHz: rep.CapGHz,
-			TimeGain:    1 - capped.Seconds/base.Seconds,
-			EnergyGain:  1 - capped.PkgJoules/base.PkgJoules,
-			EDPGain:     1 - capped.EDP/base.EDP,
-			BaselineEDP: base.EDP, PolyUFCEDP: capped.EDP,
-		}, nil
+		return row, nil
 	})
+}
+
+// fig7Row computes one kernel's baseline-vs-capped comparison.
+func (s *Suite) fig7Row(p *hw.Platform, name string) (Fig7Row, error) {
+	drop := func(err error) (Fig7Row, error) { return Fig7Row{}, err }
+	k, err := workloads.ByName(name)
+	if err != nil {
+		return drop(err)
+	}
+	res, err := s.compile(name, p)
+	if err != nil {
+		return drop(err)
+	}
+	m := s.machine(p)
+	base, err := runBaseline(m, res.Module)
+	if err != nil {
+		return drop(err)
+	}
+	// Repeat the program so each measurement covers at least ~20 ms of
+	// steady-state execution: small simulated problem sizes would
+	// otherwise be dominated by the one-time cap-switch latency, which
+	// real workloads (PolyBench LARGE, model inference loops) amortize.
+	// Re-switching between per-nest caps on every repetition is still
+	// charged, as in real serving.
+	reps := 1
+	if base.Seconds > 0 {
+		reps = int(0.020/base.Seconds) + 1
+	}
+	if reps > 1000 {
+		reps = 1000
+	}
+	base.Seconds *= float64(reps)
+	base.PkgJoules *= float64(reps)
+	base.EDP = base.PkgJoules * base.Seconds
+
+	repeated := &ir.Func{Name: res.Module.Funcs[0].Name}
+	for r := 0; r < reps; r++ {
+		repeated.Ops = append(repeated.Ops, res.Module.Funcs[0].Ops...)
+	}
+	m.ResetCounters()
+	capped, err := m.RunFunc(repeated)
+	if err != nil {
+		return drop(err)
+	}
+	// Dominant nest's characterization and cap.
+	var rep core.KernelReport
+	bestFlops := int64(-1)
+	for _, r := range res.Reports {
+		// Per-nest degraded reports carry no cache model.
+		if r.CM == nil {
+			continue
+		}
+		if r.CM.Flops > bestFlops {
+			bestFlops = r.CM.Flops
+			rep = r
+		}
+	}
+	return Fig7Row{
+		Kernel: name, Suite: k.Suite, Platform: p.Name,
+		Class: rep.Class, CapGHz: rep.CapGHz,
+		TimeGain:    1 - capped.Seconds/base.Seconds,
+		EnergyGain:  1 - capped.PkgJoules/base.PkgJoules,
+		EDPGain:     1 - capped.EDP/base.EDP,
+		BaselineEDP: base.EDP, PolyUFCEDP: capped.EDP,
+	}, nil
 }
 
 // GeomeanEDPGain returns the geometric-mean EDP improvement of the rows.

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"polyufc/internal/journal"
+	"polyufc/internal/workloads"
+)
+
+// openJournal opens a journal for a suite, failing the test on error.
+func openJournal(t *testing.T, path string) *journal.Journal {
+	t.Helper()
+	j, err := journal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+// The acceptance scenario: a journaled sweep killed mid-run and restarted
+// with -resume replays the completed (kernel, frequency) entries instead
+// of re-evaluating them, and the rendered figures are byte-identical to an
+// uninterrupted run.
+func TestJournaledSweepResumesByteIdentical(t *testing.T) {
+	ids := []string{"fig1", "fig7"}
+	baseline, err := New(workloads.Test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(t, baseline, ids...)
+
+	// Uninterrupted journaled run: same bytes, journal fully populated.
+	dir := t.TempDir()
+	fullPath := filepath.Join(dir, "full.jsonl")
+	full, err := New(workloads.Test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.Journal = openJournal(t, fullPath)
+	if got := renderAll(t, full, ids...); !bytes.Equal(want, got) {
+		t.Fatal("journaled run differs from unjournaled run")
+	}
+	st := full.Journal.Stats()
+	if st.Entries == 0 || st.Appended != int64(st.Entries) {
+		t.Fatalf("full run journal stats %+v", st)
+	}
+
+	// Simulate the crash: keep roughly half the journal lines (plus a torn
+	// tail the reopened journal must drop) and restart from it.
+	data, err := os.ReadFile(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	half := lines[: len(lines)/2 : len(lines)/2]
+	truncated := append(bytes.Join(half, nil), []byte(`{"key":"fig1/torn`)...)
+	crashPath := filepath.Join(dir, "crash.jsonl")
+	if err := os.WriteFile(crashPath, truncated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := New(workloads.Test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.Journal = openJournal(t, crashPath)
+	preloaded := resumed.Journal.Len()
+	if preloaded == 0 || preloaded >= st.Entries {
+		t.Fatalf("truncation produced %d of %d entries", preloaded, st.Entries)
+	}
+	if resumed.Journal.Stats().Dropped != 1 {
+		t.Fatalf("torn tail not dropped: %+v", resumed.Journal.Stats())
+	}
+	if got := renderAll(t, resumed, ids...); !bytes.Equal(want, got) {
+		t.Fatal("resumed run differs from uninterrupted run")
+	}
+	rst := resumed.Journal.Stats()
+	if rst.Replayed == 0 {
+		t.Fatal("resume re-evaluated every unit: no replays")
+	}
+	if rst.Appended != int64(st.Entries-preloaded) {
+		t.Fatalf("resume recomputed %d units, want exactly the missing %d",
+			rst.Appended, st.Entries-preloaded)
+	}
+	if rst.Entries != st.Entries {
+		t.Fatalf("resumed journal holds %d entries, full run had %d", rst.Entries, st.Entries)
+	}
+}
+
+// A second run over a complete journal replays everything: zero appends,
+// same bytes — the figure renders purely from checkpoints.
+func TestJournaledSweepFullReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	first, err := New(workloads.Test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Journal = openJournal(t, path)
+	want := renderAll(t, first, "fig1")
+	entries := first.Journal.Len()
+	if entries == 0 {
+		t.Fatal("no journal entries written")
+	}
+
+	second, err := New(workloads.Test, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second.Journal = openJournal(t, path)
+	got := renderAll(t, second, "fig1")
+	if !bytes.Equal(want, got) {
+		t.Fatal("full replay differs from original run")
+	}
+	st := second.Journal.Stats()
+	if st.Appended != 0 {
+		t.Fatalf("full replay still recomputed %d units", st.Appended)
+	}
+	if st.Replayed == 0 {
+		t.Fatal("no replays counted")
+	}
+	// Replay never touched the compiler: every point came from the journal.
+	if _, misses := second.CacheStats(); misses != 0 {
+		t.Fatalf("full replay compiled %d kernels", misses)
+	}
+}

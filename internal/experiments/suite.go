@@ -25,6 +25,7 @@ import (
 	"polyufc/internal/faults"
 	"polyufc/internal/hw"
 	"polyufc/internal/ir"
+	"polyufc/internal/journal"
 	"polyufc/internal/parallel"
 	"polyufc/internal/roofline"
 	"polyufc/internal/workloads"
@@ -47,7 +48,14 @@ type Suite struct {
 	// Faults, when non-nil, arms the injectable failure modes on every
 	// machine and compilation the suite runs. Injection state is mutable
 	// and call-ordered, so the compile cache is bypassed while armed.
-	Faults   *faults.Registry
+	Faults *faults.Registry
+	// Journal, when non-nil, checkpoints sweep progress per unit of work
+	// (one kernel at one frequency for Fig. 1, one comparison row for
+	// Fig. 7) so a killed sweep resumes instead of restarting: completed
+	// entries replay from the journal and are not re-evaluated. Replayed
+	// values render byte-identically to recomputed ones — the journal
+	// stores the exact float64s the renderers print.
+	Journal  *journal.Journal
 	plats    []*hw.Platform
 	consts   map[string]*roofline.Constants
 	cache    core.Cache
@@ -112,6 +120,28 @@ func (s *Suite) machine(p *hw.Platform) *hw.Machine {
 
 // bestEffort reports whether sweeps tolerate per-kernel failures.
 func (s *Suite) bestEffort() bool { return s.Degrade == core.BestEffort }
+
+// step runs one journaled unit of sweep work: when the suite's journal
+// already holds key, the recorded value replays into out (a pointer) and
+// compute is skipped; otherwise compute fills out and the result is
+// checkpointed before step returns. Without a journal it is just compute.
+// Failed units are never checkpointed — a resume retries them.
+func (s *Suite) step(key string, out any, compute func() error) error {
+	if s.Journal != nil {
+		if ok, err := s.Journal.Get(key, out); err != nil {
+			return err
+		} else if ok {
+			return nil
+		}
+	}
+	if err := compute(); err != nil {
+		return err
+	}
+	if s.Journal != nil {
+		return s.Journal.Record(key, out)
+	}
+	return nil
+}
 
 // noteDegraded records one tolerated per-kernel failure for the
 // experiment's degradation summary.
@@ -186,6 +216,8 @@ func (s *Suite) compileCfg(kernelName string, p *hw.Platform, cfg core.Config) (
 		CapLevel:   cfg.CapLevel,
 		FullyAssoc: cfg.CM.FullyAssoc,
 		NoAmortize: cfg.AmortizeFactor == 0,
+		Objective:  cfg.Search.Objective,
+		Epsilon:    cfg.Search.Epsilon,
 		Degrade:    s.Degrade,
 	}
 	return s.cache.Compile(s.ctx(), key, cfg, func() (*ir.Module, error) {

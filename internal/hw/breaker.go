@@ -1,0 +1,242 @@
+package hw
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"polyufc/internal/ir"
+)
+
+// ErrBreakerOpen is returned by CapBreaker operations while the wrapped
+// driver is quarantined: callers should degrade to model-only answers
+// instead of queueing behind a sick driver.
+var ErrBreakerOpen = errors.New("hw: cap breaker open: driver quarantined")
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int
+
+// The classic three breaker states.
+const (
+	// BreakerClosed passes every operation through to the driver.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fast-fails every operation with ErrBreakerOpen.
+	BreakerOpen
+	// BreakerHalfOpen lets one probe operation through after the
+	// cooldown; its outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "state?"
+}
+
+// BreakerOptions tunes the circuit breaker.
+type BreakerOptions struct {
+	// Threshold is the number of consecutive verified-write failures
+	// (Apply calls that exhaust their retry budget) that trips the
+	// breaker open.
+	Threshold int
+	// Cooldown is how long the breaker stays open before letting one
+	// half-open probe reach the driver again.
+	Cooldown time.Duration
+	// Clock overrides time.Now, for deterministic tests.
+	Clock func() time.Time
+}
+
+// DefaultBreakerOptions mirrors a production driver quarantine: trip
+// after 3 consecutive exhausted Applies, probe again after a second.
+func DefaultBreakerOptions() BreakerOptions {
+	return BreakerOptions{Threshold: 3, Cooldown: time.Second}
+}
+
+// BreakerStats are the breaker's reliability counters.
+type BreakerStats struct {
+	// Trips counts closed/half-open -> open transitions, Probes the
+	// half-open attempts, Rejected the operations fast-failed while
+	// open, Recovered the open -> closed transitions.
+	Trips, Probes, Rejected, Recovered int64
+	// ConsecutiveFailures is the current failure streak.
+	ConsecutiveFailures int
+	// State is the breaker position at snapshot time.
+	State BreakerState
+}
+
+// CapBreaker wraps a CapController in a circuit breaker and a mutex: it
+// is the concurrency-safe front door the serving daemon drives the UFS
+// driver through. Consecutive verified-write failures trip it open;
+// while open every operation fast-fails with ErrBreakerOpen (so request
+// workers degrade to model-only answers instead of hanging in retry
+// loops); after the cooldown a single probe decides recovery. Restore
+// bypasses the breaker — the machine must never stay capped because the
+// driver was quarantined mid-shutdown.
+type CapBreaker struct {
+	mu       sync.Mutex
+	ctl      *CapController
+	opts     BreakerOptions
+	state    BreakerState
+	consec   int
+	openedAt time.Time
+	stats    BreakerStats
+}
+
+// NewCapBreaker wraps a controller. Zero options fall back to defaults.
+func NewCapBreaker(ctl *CapController, opts BreakerOptions) *CapBreaker {
+	def := DefaultBreakerOptions()
+	if opts.Threshold <= 0 {
+		opts.Threshold = def.Threshold
+	}
+	if opts.Cooldown <= 0 {
+		opts.Cooldown = def.Cooldown
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	return &CapBreaker{ctl: ctl, opts: opts}
+}
+
+// allowLocked decides whether an operation may reach the driver,
+// advancing open -> half-open when the cooldown has elapsed.
+func (b *CapBreaker) allowLocked() error {
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerOpen:
+		if b.opts.Clock().Sub(b.openedAt) < b.opts.Cooldown {
+			b.stats.Rejected++
+			return ErrBreakerOpen
+		}
+		b.state = BreakerHalfOpen
+		fallthrough
+	default: // BreakerHalfOpen: this caller is the probe.
+		b.stats.Probes++
+		return nil
+	}
+}
+
+// recordLocked feeds one driver outcome into the trip logic.
+func (b *CapBreaker) recordLocked(failed bool) {
+	if !failed {
+		b.consec = 0
+		if b.state != BreakerClosed {
+			b.state = BreakerClosed
+			b.stats.Recovered++
+		}
+		return
+	}
+	b.consec++
+	if b.state == BreakerHalfOpen || b.consec >= b.opts.Threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.opts.Clock()
+		b.stats.Trips++
+		b.consec = 0
+	}
+}
+
+// SetCap requests a cap through the hardened Apply path, gated by the
+// breaker. It returns ErrBreakerOpen without touching the driver while
+// the breaker is open.
+func (b *CapBreaker) SetCap(ghz float64) (float64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.allowLocked(); err != nil {
+		return b.ctl.Machine().UncoreCap(), err
+	}
+	got, err := b.ctl.Apply(ghz)
+	b.recordLocked(err != nil)
+	return got, err
+}
+
+// Reassert runs the watchdog through the breaker: quarantined drivers
+// are not hammered with reasserts either.
+func (b *CapBreaker) Reassert() (bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.allowLocked(); err != nil {
+		return false, err
+	}
+	fixed, err := b.ctl.Reassert()
+	b.recordLocked(err != nil)
+	return fixed, err
+}
+
+// RunFunc executes a compiled function through the hardened controller,
+// gated by the breaker. Verified-write failures during the run — even
+// ones BestEffort degraded around — feed the trip logic.
+func (b *CapBreaker) RunFunc(f *ir.Func) (RunResult, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.allowLocked(); err != nil {
+		return RunResult{}, err
+	}
+	before := b.ctl.Stats().Failures
+	r, err := b.ctl.RunFunc(f)
+	b.recordLocked(err != nil || b.ctl.Stats().Failures > before)
+	return r, err
+}
+
+// Restore puts the driver-default cap back, bypassing the breaker state:
+// shutdown must never leave the machine capped, and the controller's own
+// fallback to the infallible driver reset guarantees it. A successful
+// restore is evidence of recovery and closes the breaker.
+func (b *CapBreaker) Restore() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	err := b.ctl.Restore()
+	if err == nil {
+		b.recordLocked(false)
+	} else if m := b.ctl.Machine(); m.UncoreCap() == m.P.UncoreMax {
+		// The verified-write path failed but the infallible driver reset
+		// landed: the machine is uncapped, which is all Restore promises.
+		// The driver itself is still sick, so this is not recovery
+		// evidence — the breaker state is left alone.
+		err = nil
+	}
+	return err
+}
+
+// WithMachine runs f with exclusive access to the wrapped machine,
+// serialized against the breaker's own driver operations. The serving
+// daemon uses it for baseline (uncapped) measurements on the shared
+// machine.
+func (b *CapBreaker) WithMachine(f func(*Machine) error) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return f(b.ctl.Machine())
+}
+
+// State returns the breaker position, reporting half-open once an open
+// breaker's cooldown has elapsed (the next operation will probe).
+func (b *CapBreaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.opts.Clock().Sub(b.openedAt) >= b.opts.Cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Stats returns the breaker's counters.
+func (b *CapBreaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.stats
+	st.ConsecutiveFailures = b.consec
+	st.State = b.state
+	return st
+}
+
+// ControllerStats returns the wrapped controller's reliability counters.
+func (b *CapBreaker) ControllerStats() CapStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ctl.Stats()
+}

@@ -40,8 +40,16 @@ func (c *ProfileCache) profile(nest *ir.Nest, p *Platform) (*CacheProfile, error
 		})
 }
 
+// SetLimit bounds the cache to n profiles with LRU eviction (n <= 0
+// restores the unbounded default). Long-running processes must set a
+// limit — an unbounded memo is a memory leak under open-ended traffic.
+func (c *ProfileCache) SetLimit(n int) { c.memo.SetLimit(n) }
+
 // Stats returns the hit and miss counts so far.
 func (c *ProfileCache) Stats() (hits, misses int64) { return c.memo.Stats() }
+
+// Evictions returns how many profiles the LRU bound has dropped.
+func (c *ProfileCache) Evictions() int64 { return c.memo.Evictions() }
 
 // Len returns the number of cached profiles.
 func (c *ProfileCache) Len() int { return c.memo.Len() }

@@ -1,0 +1,238 @@
+// Package journal is the crash-safe progress log behind resumable sweeps:
+// an append-only JSONL file of keyed checkpoint entries. Every completed
+// unit of work (one kernel at one frequency, one rendered row, one served
+// request) is recorded as soon as it finishes and synced to disk, so a
+// process killed mid-sweep — including kill -9 — loses at most the entry
+// it was writing. Reopening the file replays the completed entries; the
+// caller skips them and continues where the dead run stopped.
+//
+// Torn tails are expected: a line cut short by the crash fails to parse
+// and is dropped. When Open finds such damage it compacts the file — the
+// valid entries are rewritten to a temporary file which atomically renames
+// over the original — so the journal on disk is always a clean prefix of
+// valid JSONL.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Entry is one checkpoint line: a key identifying the unit of work and
+// the recorded result.
+type Entry struct {
+	Key  string          `json:"key"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Stats are the journal's replay and append counters.
+type Stats struct {
+	// Entries is the number of distinct completed keys known.
+	Entries int
+	// Replayed counts Get hits served from the reopened file, Appended
+	// the entries recorded by this process, Dropped the torn or invalid
+	// lines discarded at Open.
+	Replayed, Appended, Dropped int64
+}
+
+// Journal is a keyed, append-only JSONL checkpoint log. It is safe for
+// concurrent use — sweep workers record from pool goroutines.
+type Journal struct {
+	mu       sync.Mutex
+	path     string
+	f        *os.File
+	done     map[string]json.RawMessage
+	replayed int64
+	appended int64
+	dropped  int64
+}
+
+// Open loads the journal at path (creating it when absent), replaying
+// every valid entry and dropping a torn tail. When damage is found the
+// file is compacted in place via atomic rename before appending resumes.
+func Open(path string) (*Journal, error) {
+	j := &Journal{path: path, done: map[string]json.RawMessage{}}
+	var keys []string // first-seen order, for compaction
+	if data, err := os.ReadFile(path); err == nil {
+		r := bufio.NewReader(bytes.NewReader(data))
+		for {
+			line, err := r.ReadBytes('\n')
+			if len(line) > 0 {
+				var e Entry
+				if uerr := json.Unmarshal(line, &e); uerr != nil || e.Key == "" {
+					// Torn or invalid line: everything from here on is
+					// untrustworthy — a crash only damages the tail.
+					j.dropped++
+					break
+				}
+				if _, seen := j.done[e.Key]; !seen {
+					keys = append(keys, e.Key)
+				}
+				j.done[e.Key] = e.Data
+			}
+			if err != nil {
+				break
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	if j.dropped > 0 {
+		if err := j.compact(keys); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j.f = f
+	return j, nil
+}
+
+// compact rewrites the valid entries to path.tmp and atomically renames
+// it over the journal, dropping the damaged tail from disk.
+func (j *Journal) compact(keys []string) error {
+	tmp := j.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, k := range keys {
+		line, err := json.Marshal(Entry{Key: k, Data: j.done[k]})
+		if err != nil {
+			f.Close()
+			return err
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, j.path)
+}
+
+// Record checkpoints one completed unit of work: v is marshalled,
+// appended as one JSONL line and synced to disk before Record returns,
+// so a crash after Record never loses the entry.
+func (j *Journal) Record(key string, v any) error {
+	if j == nil {
+		return nil
+	}
+	if key == "" {
+		return fmt.Errorf("journal: empty key")
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("journal: marshal %q: %w", key, err)
+	}
+	line, err := json.Marshal(Entry{Key: key, Data: data})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("journal: append %q: %w", key, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync %q: %w", key, err)
+	}
+	j.done[key] = data
+	j.appended++
+	return nil
+}
+
+// Get replays a completed entry into out (a pointer), reporting whether
+// the key was found. A nil journal never has entries.
+func (j *Journal) Get(key string, out any) (bool, error) {
+	if j == nil {
+		return false, nil
+	}
+	j.mu.Lock()
+	data, ok := j.done[key]
+	if ok {
+		j.replayed++
+	}
+	j.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return false, fmt.Errorf("journal: replay %q: %w", key, err)
+		}
+	}
+	return true, nil
+}
+
+// Has reports whether a key is already checkpointed, without counting a
+// replay.
+func (j *Journal) Has(key string) bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.done[key]
+	return ok
+}
+
+// Len returns the number of distinct completed keys known.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Stats returns the journal's counters.
+func (j *Journal) Stats() Stats {
+	if j == nil {
+		return Stats{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{
+		Entries: len(j.done), Replayed: j.replayed,
+		Appended: j.appended, Dropped: j.dropped,
+	}
+}
+
+// Close syncs and closes the underlying file. Further Records fail;
+// Get/Has keep serving the in-memory entries. Close is idempotent.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

@@ -1,0 +1,229 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type point struct {
+	F float64 `json:"f"`
+	E float64 `json:"e"`
+}
+
+// Record then reopen: every entry replays with the exact values written.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]point{}
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("k%d", i)
+		p := point{F: 1.0 + float64(i)*0.137, E: 1e-7 * float64(i)}
+		want[k] = p
+		if err := j.Record(k, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 10 {
+		t.Fatalf("len = %d, want 10", r.Len())
+	}
+	for k, w := range want {
+		var got point
+		ok, err := r.Get(k, &got)
+		if err != nil || !ok {
+			t.Fatalf("Get(%s) = %v, %v", k, ok, err)
+		}
+		// Byte-identical replay: encoding/json round-trips float64 exactly.
+		if got != w {
+			t.Fatalf("Get(%s) = %+v, want %+v", k, got, w)
+		}
+	}
+	if st := r.Stats(); st.Replayed != 10 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if r.Has("missing") {
+		t.Fatal("Has on unknown key")
+	}
+}
+
+// A crash-torn tail is dropped, the valid prefix survives, and Open
+// compacts the file on disk so the damage does not persist.
+func TestJournalTornTailDroppedAndCompacted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Record(fmt.Sprintf("k%d", i), point{F: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	// Simulate kill -9 mid-write: append half a line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"k5","data":{"f":5`)
+	f.Close()
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 5 || r.Stats().Dropped != 1 {
+		t.Fatalf("after torn tail: len %d, stats %+v", r.Len(), r.Stats())
+	}
+	if r.Has("k5") {
+		t.Fatal("torn entry replayed")
+	}
+	// The damaged unit re-records cleanly on the same handle.
+	if err := r.Record("k5", point{F: 5}); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	// Compaction rewrote the file: a third open sees a clean journal.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data[:len(data)-1]), `{"f":5`+"\n") {
+		t.Fatal("compacted file still contains the torn line")
+	}
+	r2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Len() != 6 || r2.Stats().Dropped != 0 {
+		t.Fatalf("after compaction: len %d, stats %+v", r2.Len(), r2.Stats())
+	}
+}
+
+// Garbage in the middle truncates trust at that point: only the clean
+// prefix replays (everything after the first bad line is suspect).
+func TestJournalStopsAtFirstBadLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	lines := []string{
+		`{"key":"a","data":{"f":1}}`,
+		`not json at all`,
+		`{"key":"b","data":{"f":2}}`,
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if !j.Has("a") || j.Has("b") || j.Len() != 1 {
+		t.Fatalf("len %d, has(a)=%v has(b)=%v", j.Len(), j.Has("a"), j.Has("b"))
+	}
+}
+
+// Duplicate keys: last record wins, and Len counts distinct keys.
+func TestJournalLastWriteWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Record("k", point{F: 1})
+	j.Record("k", point{F: 2})
+	j.Close()
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var got point
+	if ok, _ := r.Get("k", &got); !ok || got.F != 2 {
+		t.Fatalf("Get = %v %+v, want f=2", ok, got)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+// Concurrent Records from pool workers interleave without corrupting the
+// file: a reopen sees every entry.
+func TestJournalConcurrentRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				k := fmt.Sprintf("w%d/%d", w, i)
+				if err := j.Record(k, point{F: float64(w), E: float64(i)}); err != nil {
+					t.Errorf("Record(%s): %v", k, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	j.Close()
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 200 || r.Stats().Dropped != 0 {
+		t.Fatalf("len %d, stats %+v", r.Len(), r.Stats())
+	}
+}
+
+// Nil journals and closed journals degrade cleanly.
+func TestJournalNilAndClosed(t *testing.T) {
+	var j *Journal
+	if err := j.Record("k", 1); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := j.Get("k", nil); ok || err != nil {
+		t.Fatal("nil journal has entries")
+	}
+	if j.Len() != 0 || j.Has("k") || j.Close() != nil {
+		t.Fatal("nil journal misbehaves")
+	}
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	real, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real.Record("k", point{F: 1})
+	real.Close()
+	if real.Close() != nil {
+		t.Fatal("Close not idempotent")
+	}
+	if err := real.Record("x", 1); err == nil {
+		t.Fatal("Record after Close succeeded")
+	}
+	// In-memory reads keep working after Close.
+	if !real.Has("k") {
+		t.Fatal("closed journal lost entries")
+	}
+}

@@ -1,0 +1,124 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// A full gate (slots busy, queue full) sheds load with ErrSaturated
+// instead of queueing unboundedly.
+func TestGateShedsLoadWhenSaturated(t *testing.T) {
+	g := NewGate(1, 1)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Second caller waits in the queue; park it on a goroutine.
+	queued := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err := g.Acquire(ctx)
+		queued <- err
+		if err == nil {
+			g.Release()
+		}
+	}()
+	// Wait until the goroutine occupies the queue slot.
+	for g.Stats().Waiting == 0 {
+		runtime.Gosched()
+	}
+	// Third caller: slots busy, queue full -> shed.
+	if err := g.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	st := g.Stats()
+	if st.Rejected != 1 || st.Active != 1 || st.Waiting != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Releasing the slot admits the queued caller.
+	g.Release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	wg.Wait()
+	if st := g.Stats(); st.Admitted != 2 {
+		t.Fatalf("admitted = %d, want 2", st.Admitted)
+	}
+}
+
+// A caller cancelled while queued gets its context error and frees the
+// queue slot.
+func TestGateCancelWhileQueued(t *testing.T) {
+	g := NewGate(1, 4)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- g.Acquire(ctx)
+	}()
+	for g.Stats().Waiting == 0 {
+		runtime.Gosched()
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	st := g.Stats()
+	if st.Waiting != 0 || st.Cancelled != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	g.Release()
+	// The gate is fully usable afterwards.
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	g.Release()
+}
+
+// Unpaired Release is a programming error, not silent corruption.
+func TestGateReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewGate(2, 2).Release()
+}
+
+// Hammer the gate from many goroutines under -race: every admission is
+// eventually released, rejections only happen beyond slots+queue, and the
+// final state is idle.
+func TestGateConcurrentStress(t *testing.T) {
+	g := NewGate(3, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if err := g.Acquire(context.Background()); err == nil {
+					g.Release()
+				} else if !errors.Is(err, ErrSaturated) {
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := g.Stats()
+	if st.Active != 0 || st.Waiting != 0 {
+		t.Fatalf("gate not idle after stress: %+v", st)
+	}
+	if st.Admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+}

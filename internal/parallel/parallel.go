@@ -11,6 +11,7 @@
 package parallel
 
 import (
+	"container/list"
 	"context"
 	"errors"
 	"runtime"
@@ -138,17 +139,26 @@ type memoEntry[V any] struct {
 	done chan struct{}
 	val  V
 	err  error
+	// elem is the entry's position in the LRU order once settled; nil
+	// while the computation is in flight (in-flight entries are never
+	// evicted — singleflight waiters hold them).
+	elem *list.Element
 }
 
 // Memo is a concurrency-safe, singleflight result cache: concurrent Do
 // calls for the same key run the function once and share its result.
 // Failed computations are not cached — the next Do for that key retries.
+// The cache is unbounded by default; SetLimit caps it with LRU eviction
+// so long-running processes (the serving daemon) don't leak memory.
 // The zero value is ready to use.
 type Memo[K comparable, V any] struct {
-	mu      sync.Mutex
-	entries map[K]*memoEntry[V]
-	hits    int64
-	misses  int64
+	mu        sync.Mutex
+	entries   map[K]*memoEntry[V]
+	order     *list.List // settled keys, front = most recently used
+	limit     int
+	hits      int64
+	misses    int64
+	evictions int64
 }
 
 // Do returns the cached value for key, computing it with fn on the first
@@ -162,8 +172,14 @@ func (m *Memo[K, V]) Do(ctx context.Context, key K, fn func() (V, error)) (V, er
 	if m.entries == nil {
 		m.entries = map[K]*memoEntry[V]{}
 	}
+	if m.order == nil {
+		m.order = list.New()
+	}
 	if e, ok := m.entries[key]; ok {
 		m.hits++
+		if e.elem != nil {
+			m.order.MoveToFront(e.elem)
+		}
 		m.mu.Unlock()
 		select {
 		case <-e.done:
@@ -179,13 +195,42 @@ func (m *Memo[K, V]) Do(ctx context.Context, key K, fn func() (V, error)) (V, er
 	m.mu.Unlock()
 
 	e.val, e.err = fn()
-	if e.err != nil {
-		m.mu.Lock()
-		delete(m.entries, key)
-		m.mu.Unlock()
+	m.mu.Lock()
+	if m.entries[key] == e { // still registered (Reset may have dropped us)
+		if e.err != nil {
+			delete(m.entries, key)
+		} else {
+			e.elem = m.order.PushFront(key)
+			m.evictLocked()
+		}
 	}
+	m.mu.Unlock()
 	close(e.done)
 	return e.val, e.err
+}
+
+// evictLocked drops least-recently-used settled entries until the cache
+// fits the limit. In-flight entries carry no list element and survive.
+func (m *Memo[K, V]) evictLocked() {
+	if m.limit <= 0 || m.order == nil {
+		return
+	}
+	for m.order.Len() > m.limit {
+		back := m.order.Back()
+		key := back.Value.(K)
+		m.order.Remove(back)
+		delete(m.entries, key)
+		m.evictions++
+	}
+}
+
+// SetLimit bounds the cache to at most n settled entries, evicting the
+// least recently used beyond it. n <= 0 restores the unbounded default.
+func (m *Memo[K, V]) SetLimit(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.limit = n
+	m.evictLocked()
 }
 
 // Stats returns the hit and miss counts so far.
@@ -193,6 +238,13 @@ func (m *Memo[K, V]) Stats() (hits, misses int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.hits, m.misses
+}
+
+// Evictions returns how many settled entries the LRU bound has dropped.
+func (m *Memo[K, V]) Evictions() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.evictions
 }
 
 // Len returns the number of cached (settled or in-flight) entries.
@@ -203,10 +255,11 @@ func (m *Memo[K, V]) Len() int {
 }
 
 // Reset drops every cached entry and zeroes the statistics. In-flight
-// computations finish but are not re-registered.
+// computations finish but are not re-registered. The limit persists.
 func (m *Memo[K, V]) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.entries = nil
-	m.hits, m.misses = 0, 0
+	m.order = nil
+	m.hits, m.misses, m.evictions = 0, 0, 0
 }

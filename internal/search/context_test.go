@@ -1,0 +1,88 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"polyufc/internal/hw"
+)
+
+// countdownCtx cancels itself after n Err checks, so tests can stop the
+// bisection deterministically mid-loop without timing games.
+type countdownCtx struct {
+	context.Context
+	cancel context.CancelFunc
+	n      int
+}
+
+func newCountdownCtx(n int) *countdownCtx {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &countdownCtx{Context: ctx, cancel: cancel, n: n}
+}
+
+func (c *countdownCtx) Err() error {
+	c.n--
+	if c.n <= 0 {
+		c.cancel()
+	}
+	return c.Context.Err()
+}
+
+// An already-cancelled context aborts before any evaluation.
+func TestRunCancelledBeforeStart(t *testing.T) {
+	p := hw.RPL()
+	m, freqs := setup(t, p, cbStats(p.Threads))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, m, freqs, DefaultOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Evaluated != 0 {
+		t.Fatalf("evaluated %d points after cancellation", res.Evaluated)
+	}
+}
+
+// Cancellation mid-bisection returns the best frequency seen so far with
+// ctx.Err(): a timed-out request still gets a usable partial answer.
+func TestRunCancelledMidSearchReturnsPartialBest(t *testing.T) {
+	p := hw.RPL()
+	m, freqs := setup(t, p, cbStats(p.Threads))
+	full := mustRun(t, m, freqs, DefaultOptions())
+
+	ctx := newCountdownCtx(3) // survives the entry checks, dies in the loop
+	res, err := Run(ctx, m, freqs, DefaultOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.BestGHz <= 0 {
+		t.Fatalf("no partial best returned: %+v", res)
+	}
+	if res.Evaluated == 0 || res.Evaluated >= full.Evaluated {
+		t.Fatalf("evaluated %d, want partial progress below the full run's %d",
+			res.Evaluated, full.Evaluated)
+	}
+	// The partial best is a real point of the grid, never worse than the
+	// reference at the driver default.
+	def := m.At(p.UncoreMax)
+	if res.Best.EDP > def.EDP {
+		t.Fatalf("partial best EDP %.3g worse than default %.3g", res.Best.EDP, def.EDP)
+	}
+	if res.Class != full.Class {
+		t.Fatalf("class %v, want %v", res.Class, full.Class)
+	}
+}
+
+// A nil context behaves like Background: the full search completes.
+func TestRunNilContext(t *testing.T) {
+	p := hw.BDW()
+	m, freqs := setup(t, p, bbStats(p.Threads))
+	res, err := Run(nil, m, freqs, DefaultOptions()) //nolint:staticcheck
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestGHz == 0 {
+		t.Fatal("nil-ctx search found nothing")
+	}
+}

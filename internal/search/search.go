@@ -8,6 +8,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -122,25 +123,46 @@ func sanitizeGrid(freqs []float64) []float64 {
 // unsorted or partially invalid grids are repaired defensively, and an
 // empty (or fully invalid) grid returns the zero Result — BestGHz 0 means
 // "no cap selected", which callers treat as unprofitable.
-func Run(m *model.Model, freqs []float64, opts Options) Result {
+//
+// Run honors ctx between binary-search steps: when the context is
+// cancelled or its deadline expires, the partial best-so-far over the
+// frequencies evaluated up to that point is returned together with
+// ctx.Err(), so a deadline-bounded request still gets a usable (if
+// coarser) cap instead of nothing. A nil ctx means Background.
+func Run(ctx context.Context, m *model.Model, freqs []float64, opts Options) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	freqs = sanitizeGrid(freqs)
 	if len(freqs) == 0 {
-		return Result{}
+		return Result{}, ctx.Err()
 	}
 	cls := m.Class()
 	res := Result{Class: cls}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	if len(freqs) == 1 {
 		// Degenerate grid: the only frequency is both the driver default
 		// and the best choice; nothing to search.
 		res.Best = m.At(freqs[0])
 		res.BestGHz = freqs[0]
 		res.Evaluated = 1
-		return res
+		return res, nil
 	}
 
 	// Reference point: the driver default (maximum uncore frequency).
 	ref := m.At(freqs[len(freqs)-1])
 	res.Evaluated++
+
+	// Best-so-far over everything evaluated, so cancellation mid-search
+	// can return a meaningful partial answer.
+	bestF, bestE := freqs[len(freqs)-1], ref
+	note := func(f float64, e model.Estimate) {
+		if score(e, opts.Objective) < score(bestE, opts.Objective) {
+			bestF, bestE = f, e
+		}
+	}
 
 	// Directional binary search on the grid. The model's objective is
 	// unimodal in f for both classes (Sec. VI-C notes the space is
@@ -150,9 +172,15 @@ func Run(m *model.Model, freqs []float64, opts Options) Result {
 	lo, hi := 0, len(freqs)-1
 	eval := func(i int) model.Estimate {
 		res.Evaluated++
-		return m.At(freqs[i])
+		e := m.At(freqs[i])
+		note(freqs[i], e)
+		return e
 	}
 	for hi-lo > 1 {
+		if err := ctx.Err(); err != nil {
+			res.BestGHz, res.Best = bestF, bestE
+			return res, err
+		}
 		mid := (lo + hi) / 2
 		em := eval(mid)
 		en := eval(mid + 1)
@@ -193,5 +221,5 @@ func Run(m *model.Model, freqs []float64, opts Options) Result {
 	} else {
 		res.BestGHz, res.Best = freqs[hi], eh
 	}
-	return res
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -8,6 +9,15 @@ import (
 	"polyufc/internal/model"
 	"polyufc/internal/roofline"
 )
+
+func mustRun(t *testing.T, m *model.Model, freqs []float64, opts Options) Result {
+	t.Helper()
+	res, err := Run(context.Background(), m, freqs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
 
 func setup(t *testing.T, p *hw.Platform, ks model.KernelStats) (*model.Model, []float64) {
 	t.Helper()
@@ -39,7 +49,7 @@ func bbStats(threads int) model.KernelStats {
 func TestCBSearchGoesLow(t *testing.T) {
 	for _, p := range hw.Platforms() {
 		m, freqs := setup(t, p, cbStats(p.Threads))
-		res := Run(m, freqs, DefaultOptions())
+		res := mustRun(t, m, freqs, DefaultOptions())
 		if res.Class != roofline.ComputeBound {
 			t.Fatalf("%s: class = %v", p.Name, res.Class)
 		}
@@ -58,7 +68,7 @@ func TestCBSearchGoesLow(t *testing.T) {
 func TestBBSearchGoesHighButNotMax(t *testing.T) {
 	for _, p := range hw.Platforms() {
 		m, freqs := setup(t, p, bbStats(p.Threads))
-		res := Run(m, freqs, DefaultOptions())
+		res := mustRun(t, m, freqs, DefaultOptions())
 		if res.Class != roofline.BandwidthBound {
 			t.Fatalf("%s: class = %v", p.Name, res.Class)
 		}
@@ -79,7 +89,7 @@ func TestSearchFindsGridOptimum(t *testing.T) {
 	for _, mk := range []func(int) model.KernelStats{cbStats, bbStats} {
 		p := hw.RPL()
 		m, freqs := setup(t, p, mk(p.Threads))
-		res := Run(m, freqs, DefaultOptions())
+		res := mustRun(t, m, freqs, DefaultOptions())
 		bestF, bestEDP := 0.0, 0.0
 		for _, f := range freqs {
 			e := m.At(f)
@@ -97,7 +107,7 @@ func TestSearchFindsGridOptimum(t *testing.T) {
 func TestSearchLogarithmicEvaluations(t *testing.T) {
 	p := hw.RPL() // 39 grid points
 	m, freqs := setup(t, p, cbStats(p.Threads))
-	res := Run(m, freqs, DefaultOptions())
+	res := mustRun(t, m, freqs, DefaultOptions())
 	if res.Evaluated > 16 {
 		t.Fatalf("search evaluated %d points on a 39-point grid", res.Evaluated)
 	}
@@ -109,8 +119,8 @@ func TestSearchLogarithmicEvaluations(t *testing.T) {
 func TestObjectives(t *testing.T) {
 	p := hw.BDW()
 	m, freqs := setup(t, p, bbStats(p.Threads))
-	perfRes := Run(m, freqs, Options{Objective: ObjectivePerformance, Epsilon: 1e-3})
-	energyRes := Run(m, freqs, Options{Objective: ObjectiveEnergy, Epsilon: 1e-3})
+	perfRes := mustRun(t, m, freqs, Options{Objective: ObjectivePerformance, Epsilon: 1e-3})
+	energyRes := mustRun(t, m, freqs, Options{Objective: ObjectiveEnergy, Epsilon: 1e-3})
 	// Performance-only must choose a frequency at least as high as
 	// energy-only for a BB kernel.
 	if perfRes.BestGHz < energyRes.BestGHz {
@@ -137,12 +147,12 @@ func TestParseObjective(t *testing.T) {
 func TestEmptyGrid(t *testing.T) {
 	p := hw.BDW()
 	m, _ := setup(t, p, cbStats(1))
-	res := Run(m, nil, DefaultOptions())
+	res := mustRun(t, m, nil, DefaultOptions())
 	if res.BestGHz != 0 || res.Evaluated != 0 {
 		t.Fatalf("empty grid result = %+v", res)
 	}
 	// A grid of only invalid entries degenerates to empty.
-	res = Run(m, []float64{0, -1.2, math.NaN(), math.Inf(1)}, DefaultOptions())
+	res = mustRun(t, m, []float64{0, -1.2, math.NaN(), math.Inf(1)}, DefaultOptions())
 	if res.BestGHz != 0 || res.Evaluated != 0 {
 		t.Fatalf("all-invalid grid result = %+v", res)
 	}
@@ -151,7 +161,7 @@ func TestEmptyGrid(t *testing.T) {
 func TestSingleElementGrid(t *testing.T) {
 	p := hw.BDW()
 	m, _ := setup(t, p, cbStats(1))
-	res := Run(m, []float64{1.5}, DefaultOptions())
+	res := mustRun(t, m, []float64{1.5}, DefaultOptions())
 	if res.BestGHz != 1.5 || res.Evaluated != 1 || len(res.Steps) != 0 {
 		t.Fatalf("single-element grid result = %+v", res)
 	}
@@ -163,7 +173,7 @@ func TestSingleElementGrid(t *testing.T) {
 func TestUnsortedGridIsRepaired(t *testing.T) {
 	p := hw.RPL()
 	m, freqs := setup(t, p, cbStats(p.Threads))
-	want := Run(m, freqs, DefaultOptions())
+	want := mustRun(t, m, freqs, DefaultOptions())
 
 	shuffled := make([]float64, len(freqs))
 	copy(shuffled, freqs)
@@ -174,7 +184,7 @@ func TestUnsortedGridIsRepaired(t *testing.T) {
 		}
 		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
 	}
-	got := Run(m, shuffled, DefaultOptions())
+	got := mustRun(t, m, shuffled, DefaultOptions())
 	if got.BestGHz != want.BestGHz || got.Best != want.Best {
 		t.Fatalf("unsorted grid found %.1f GHz, sorted found %.1f GHz", got.BestGHz, want.BestGHz)
 	}
@@ -184,7 +194,7 @@ func TestUnsortedGridIsRepaired(t *testing.T) {
 	}
 	// Invalid entries mixed into a valid grid are dropped, not searched.
 	dirty := append([]float64{0, math.NaN()}, freqs...)
-	got = Run(m, dirty, DefaultOptions())
+	got = mustRun(t, m, dirty, DefaultOptions())
 	if got.BestGHz != want.BestGHz {
 		t.Fatalf("dirty grid found %.1f GHz, want %.1f GHz", got.BestGHz, want.BestGHz)
 	}

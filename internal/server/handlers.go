@@ -1,0 +1,510 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"polyufc/internal/core"
+	"polyufc/internal/hw"
+	"polyufc/internal/ir"
+	"polyufc/internal/parallel"
+	"polyufc/internal/search"
+	"polyufc/internal/workloads"
+)
+
+// Request is the body of the three POST endpoints. Zero fields fall back
+// to the paper's defaults (rpl, bench size, EDP objective, linalg caps).
+type Request struct {
+	Kernel    string  `json:"kernel"`
+	Arch      string  `json:"arch"`
+	Size      string  `json:"size"`
+	Objective string  `json:"objective"`
+	CapLevel  string  `json:"cap_level"`
+	Epsilon   float64 `json:"epsilon"`
+	// Measure asks /v1/search to also run the baseline and capped program
+	// on the platform's shared machine, through the circuit breaker. When
+	// the breaker is open the response degrades to model-only instead of
+	// erroring — see DegradedTo.
+	Measure bool `json:"measure"`
+}
+
+// NestResponse is one nest's analysis in a response.
+type NestResponse struct {
+	Label          string  `json:"label"`
+	OI             float64 `json:"oi"`
+	Class          string  `json:"class"`
+	Tiled          bool    `json:"tiled"`
+	CapGHz         float64 `json:"cap_ghz"`
+	Threads        int     `json:"threads"`
+	PredSeconds    float64 `json:"pred_seconds"`
+	PredJoules     float64 `json:"pred_joules"`
+	PredEDP        float64 `json:"pred_edp"`
+	DefaultSeconds float64 `json:"default_seconds"`
+	DefaultJoules  float64 `json:"default_joules"`
+	DefaultEDP     float64 `json:"default_edp"`
+	Degraded       bool    `json:"degraded,omitempty"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// CompileResponse is the /v1/compile payload.
+type CompileResponse struct {
+	Kernel       string         `json:"kernel"`
+	Arch         string         `json:"arch"`
+	Objective    string         `json:"objective"`
+	CapLevel     string         `json:"cap_level"`
+	CapsInserted int            `json:"caps_inserted"`
+	CapsRemoved  int            `json:"caps_removed"`
+	Nests        []NestResponse `json:"nests"`
+}
+
+// CharacterizeResponse is the /v1/characterize payload: the calibrated
+// roofline plus each nest's operational-intensity classification.
+type CharacterizeResponse struct {
+	Kernel     string         `json:"kernel"`
+	Arch       string         `json:"arch"`
+	PeakGFlops float64        `json:"peak_gflops"`
+	PeakGBs    float64        `json:"peak_gbs"`
+	BtDRAM     float64        `json:"bt_dram"`
+	Nests      []NestResponse `json:"nests"`
+}
+
+// MeasuredResponse is the hardware half of a measured /v1/search answer.
+type MeasuredResponse struct {
+	BaselineSeconds float64 `json:"baseline_seconds"`
+	BaselineJoules  float64 `json:"baseline_joules"`
+	BaselineEDP     float64 `json:"baseline_edp"`
+	CappedSeconds   float64 `json:"capped_seconds"`
+	CappedJoules    float64 `json:"capped_joules"`
+	CappedEDP       float64 `json:"capped_edp"`
+	EDPGainPct      float64 `json:"edp_gain_pct"`
+}
+
+// SearchResponse is the /v1/search payload. DegradedTo is set when a
+// measured request fell back to the model answer (breaker open or driver
+// error); the model half is always present.
+type SearchResponse struct {
+	Kernel     string            `json:"kernel"`
+	Arch       string            `json:"arch"`
+	Objective  string            `json:"objective"`
+	Nests      []NestResponse    `json:"nests"`
+	Measured   *MeasuredResponse `json:"measured,omitempty"`
+	DegradedTo string            `json:"degraded_to,omitempty"`
+}
+
+// httpError carries a status code out of a handler.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errBody struct {
+	Error string `json:"error"`
+}
+
+// Handler builds the daemon's routing table. The three compute endpoints
+// run behind the full middleware chain (panic isolation, admission gate,
+// per-request deadline); the observability endpoints bypass the gate so
+// health checks still answer while the daemon sheds load.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/v1/compile", s.wrap(s.handleCompile))
+	mux.HandleFunc("/v1/characterize", s.wrap(s.handleCharacterize))
+	mux.HandleFunc("/v1/search", s.wrap(s.handleSearch))
+	return mux
+}
+
+// wrap is the middleware chain of one compute endpoint: recover panics to
+// a 500 without killing the daemon, acquire an admission slot (429 +
+// Retry-After on saturation), bound the request with RequestTimeout, and
+// translate handler errors to statuses.
+func (s *Server) wrap(h func(ctx context.Context, req Request) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				writeJSON(w, http.StatusInternalServerError, errBody{fmt.Sprintf("internal panic: %v", rec)})
+			}
+		}()
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errBody{"POST required"})
+			return
+		}
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errBody{"bad request body: " + err.Error()})
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		if err := s.gate.Acquire(ctx); err != nil {
+			s.rejected.Add(1)
+			if errors.Is(err, parallel.ErrSaturated) {
+				w.Header().Set("Retry-After", "1")
+				writeJSON(w, http.StatusTooManyRequests, errBody{"server saturated, retry later"})
+				return
+			}
+			writeJSON(w, http.StatusServiceUnavailable, errBody{"cancelled while queued: " + err.Error()})
+			return
+		}
+		defer s.gate.Release()
+		if s.testHook != nil {
+			s.testHook()
+		}
+		out, err := h(ctx, req)
+		if err != nil {
+			var he *httpError
+			switch {
+			case errors.As(err, &he):
+				writeJSON(w, he.status, errBody{he.msg})
+			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+				writeJSON(w, http.StatusGatewayTimeout, errBody{"deadline exceeded: " + err.Error()})
+			default:
+				writeJSON(w, http.StatusInternalServerError, errBody{err.Error()})
+			}
+			return
+		}
+		s.served.Add(1)
+		writeJSON(w, http.StatusOK, out)
+	}
+}
+
+// resolved is a validated Request.
+type resolved struct {
+	p   *hw.Platform
+	sz  workloads.SizeClass
+	obj search.Objective
+	lvl ir.Dialect
+	eps float64
+}
+
+func (s *Server) resolve(req Request) (resolved, error) {
+	var r resolved
+	if req.Kernel == "" {
+		return r, badRequest("kernel is required")
+	}
+	arch := req.Arch
+	if arch == "" {
+		arch = "rpl"
+	}
+	r.p = hw.PlatformByName(arch)
+	if r.p == nil {
+		return r, badRequest("unknown arch %q (want bdw or rpl)", arch)
+	}
+	switch req.Size {
+	case "test":
+		r.sz = workloads.Test
+	case "bench", "":
+		r.sz = workloads.Bench
+	case "full":
+		r.sz = workloads.Full
+	default:
+		return r, badRequest("unknown size class %q", req.Size)
+	}
+	obj, ok := search.ParseObjective(req.Objective)
+	if !ok {
+		return r, badRequest("unknown objective %q", req.Objective)
+	}
+	r.obj = obj
+	switch req.CapLevel {
+	case "torch":
+		r.lvl = ir.DialectTorch
+	case "linalg", "":
+		r.lvl = ir.DialectLinalg
+	case "affine":
+		r.lvl = ir.DialectAffine
+	default:
+		return r, badRequest("unknown cap level %q", req.CapLevel)
+	}
+	r.eps = req.Epsilon
+	if r.eps <= 0 {
+		r.eps = 1e-3
+	}
+	return r, nil
+}
+
+// compile runs one request through the shared bounded cache (or directly
+// while faults are armed — injection state is call-ordered, memoizing a
+// faulted Result would replay one injection outcome across requests).
+func (s *Server) compile(ctx context.Context, req Request, r resolved) (*core.Result, error) {
+	cfg := core.DefaultConfig(r.p, s.consts[r.p.Name])
+	cfg.Search.Objective = r.obj
+	cfg.Search.Epsilon = r.eps
+	cfg.CapLevel = r.lvl
+	cfg.Degrade = s.cfg.Degrade
+	k, err := workloads.ByName(req.Kernel)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if s.cfg.Faults != nil {
+		cfg.Faults = s.cfg.Faults
+		mod, err := k.Build(r.sz)
+		if err != nil {
+			return nil, err
+		}
+		return core.CompileCtx(ctx, mod, cfg)
+	}
+	key := core.CacheKey{
+		Kernel:    req.Kernel,
+		Platform:  r.p.Name,
+		Size:      int(r.sz),
+		CapLevel:  cfg.CapLevel,
+		Objective: r.obj,
+		Epsilon:   r.eps,
+		Degrade:   s.cfg.Degrade,
+	}
+	return s.cache.Compile(ctx, key, cfg, func() (*ir.Module, error) {
+		return k.Build(r.sz)
+	})
+}
+
+func nestResponses(res *core.Result) []NestResponse {
+	out := make([]NestResponse, 0, len(res.Reports))
+	for _, r := range res.Reports {
+		n := NestResponse{
+			Label:   r.Label,
+			OI:      r.OI,
+			Class:   r.Class.String(),
+			Tiled:   r.Tiled,
+			CapGHz:  r.CapGHz,
+			Threads: r.Threads,
+		}
+		if r.Degraded {
+			n.Degraded = true
+			if r.Err != nil {
+				n.Error = r.Err.Error()
+			}
+		}
+		if r.CM != nil || !r.Degraded {
+			n.PredSeconds = r.Est.Seconds
+			n.PredJoules = r.Est.Joules
+			n.PredEDP = r.Est.EDP
+			n.DefaultSeconds = r.EstDefault.Seconds
+			n.DefaultJoules = r.EstDefault.Joules
+			n.DefaultEDP = r.EstDefault.EDP
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// journalKey canonicalizes the deterministic parameters of a request.
+func journalKey(endpoint string, req Request, r resolved) string {
+	return strings.Join([]string{
+		endpoint, r.p.Name, req.Kernel,
+		fmt.Sprintf("sz%d", int(r.sz)), r.obj.String(),
+		fmt.Sprintf("lvl%d", int(r.lvl)), fmt.Sprintf("eps%g", r.eps),
+	}, "/")
+}
+
+// journaled serves one deterministic response through the crash-safe
+// journal: a hit replays the recorded bytes (byte-identical across daemon
+// restarts), a miss computes, records, then serves. Fault-armed daemons
+// bypass the journal — injected outcomes are not deterministic.
+func (s *Server) journaled(key string, out any, compute func() error) error {
+	if s.jrnl == nil || s.cfg.Faults != nil {
+		return compute()
+	}
+	if ok, err := s.jrnl.Get(key, out); err != nil {
+		return err
+	} else if ok {
+		return nil
+	}
+	if err := compute(); err != nil {
+		return err
+	}
+	return s.jrnl.Record(key, out)
+}
+
+func (s *Server) handleCompile(ctx context.Context, req Request) (any, error) {
+	r, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	var resp CompileResponse
+	err = s.journaled(journalKey("v1/compile", req, r), &resp, func() error {
+		res, err := s.compile(ctx, req, r)
+		if err != nil {
+			return err
+		}
+		resp = CompileResponse{
+			Kernel:       req.Kernel,
+			Arch:         r.p.Name,
+			Objective:    r.obj.String(),
+			CapLevel:     r.lvl.String(),
+			CapsInserted: res.CapsInserted,
+			CapsRemoved:  res.CapsRemoved,
+			Nests:        nestResponses(res),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (s *Server) handleCharacterize(ctx context.Context, req Request) (any, error) {
+	r, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	var resp CharacterizeResponse
+	err = s.journaled(journalKey("v1/characterize", req, r), &resp, func() error {
+		res, err := s.compile(ctx, req, r)
+		if err != nil {
+			return err
+		}
+		c := s.consts[r.p.Name]
+		resp = CharacterizeResponse{
+			Kernel:     req.Kernel,
+			Arch:       r.p.Name,
+			PeakGFlops: c.PeakGFlops,
+			PeakGBs:    c.PeakGBs,
+			BtDRAM:     c.BtDRAM,
+			Nests:      nestResponses(res),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (s *Server) handleSearch(ctx context.Context, req Request) (any, error) {
+	r, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	// The model half is deterministic and journaled; the measured half
+	// never is — it exercises the live driver every time.
+	var resp SearchResponse
+	var res *core.Result
+	err = s.journaled(journalKey("v1/search", req, r), &resp, func() error {
+		var cerr error
+		res, cerr = s.compile(ctx, req, r)
+		if cerr != nil {
+			return cerr
+		}
+		resp = SearchResponse{
+			Kernel:    req.Kernel,
+			Arch:      r.p.Name,
+			Objective: r.obj.String(),
+			Nests:     nestResponses(res),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !req.Measure {
+		return resp, nil
+	}
+	// A journal replay skipped the compile; the measured path needs the
+	// compiled module regardless.
+	if res == nil {
+		if res, err = s.compile(ctx, req, r); err != nil {
+			return nil, err
+		}
+	}
+	s.measure(res, r, &resp)
+	return resp, nil
+}
+
+// measure runs the baseline and the capped program on the platform's
+// shared machine through its circuit breaker. Any driver-path failure —
+// breaker open, verified-write exhaustion, run error — degrades the
+// response to the model-only answer with DegradedTo set, never an error:
+// a sick driver must not make the endpoint unavailable.
+func (s *Server) measure(res *core.Result, r resolved, resp *SearchResponse) {
+	b := s.breakers[r.p.Name]
+	var base hw.RunResult
+	err := b.WithMachine(func(m *hw.Machine) error {
+		m.SetUncoreCap(r.p.UncoreMax)
+		for _, f := range res.Module.Funcs {
+			for _, op := range f.Ops {
+				nest, ok := op.(*ir.Nest)
+				if !ok {
+					continue
+				}
+				rr, err := m.RunNest(nest)
+				if err != nil {
+					return err
+				}
+				base.Seconds += rr.Seconds
+				base.PkgJoules += rr.PkgJoules
+			}
+		}
+		base.EDP = base.PkgJoules * base.Seconds
+		return nil
+	})
+	if err != nil {
+		s.degraded.Add(1)
+		resp.DegradedTo = "model-only: baseline measurement failed: " + err.Error()
+		return
+	}
+	capped, err := b.RunFunc(res.Module.Funcs[0])
+	if err != nil {
+		s.degraded.Add(1)
+		if errors.Is(err, hw.ErrBreakerOpen) {
+			resp.DegradedTo = "model-only: " + err.Error()
+		} else {
+			resp.DegradedTo = "model-only: capped run failed: " + err.Error()
+		}
+		return
+	}
+	m := &MeasuredResponse{
+		BaselineSeconds: base.Seconds,
+		BaselineJoules:  base.PkgJoules,
+		BaselineEDP:     base.EDP,
+		CappedSeconds:   capped.Seconds,
+		CappedJoules:    capped.PkgJoules,
+		CappedEDP:       capped.EDP,
+	}
+	if base.EDP > 0 {
+		m.EDPGainPct = 100 * (1 - capped.EDP/base.EDP)
+	}
+	resp.Measured = m
+}
+
+// HealthzResponse is the /healthz payload.
+type HealthzResponse struct {
+	Status   string            `json:"status"`
+	Breakers map[string]string `json:"breakers"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthzResponse{Status: "ok", Breakers: map[string]string{}}
+	for name, b := range s.breakers {
+		st := b.State()
+		resp.Breakers[name] = st.String()
+		if st != hw.BreakerClosed {
+			resp.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsz())
+}

@@ -1,0 +1,273 @@
+// Package server is the PolyUFC serving daemon: an HTTP front end over
+// the compilation pipeline (compile / characterize / search endpoints)
+// hardened for long-running operation. Requests pass an admission gate (a
+// bounded queue that sheds load with 429 + Retry-After when full), carry
+// per-request deadlines propagated through core and search via context,
+// and measure hardware through a circuit breaker wrapping hw.CapController
+// — a sick UFS driver degrades answers to model-only instead of hanging
+// the pool. Deterministic responses checkpoint to a crash-safe journal so
+// a restarted daemon replays them, caches are LRU-bounded, panics are
+// isolated per request, and shutdown drains in-flight work before
+// guaranteeing the driver-default cap is restored.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polyufc/internal/core"
+	"polyufc/internal/faults"
+	"polyufc/internal/hw"
+	"polyufc/internal/journal"
+	"polyufc/internal/parallel"
+	"polyufc/internal/roofline"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Concurrency is the number of requests served at once (0 means
+	// GOMAXPROCS); Queue bounds how many more may wait for a slot before
+	// the gate sheds load with 429.
+	Concurrency int
+	Queue       int
+	// RequestTimeout is the per-request deadline propagated through the
+	// compilation pipeline; DrainTimeout bounds how long shutdown waits
+	// for in-flight requests.
+	RequestTimeout time.Duration
+	DrainTimeout   time.Duration
+	// Breaker tunes the per-platform circuit breaker quarantining the
+	// UFS driver after consecutive verified-write failures.
+	Breaker hw.BreakerOptions
+	// CacheLimit is the LRU bound on the compile and profile caches —
+	// mandatory hygiene for a process meant to run forever.
+	CacheLimit int
+	// Degrade is the compilation failure policy for served requests.
+	Degrade core.DegradePolicy
+	// Faults, when non-nil, arms the injectable failure modes on every
+	// machine and compilation the daemon runs (smoke tests, chaos runs).
+	Faults *faults.Registry
+	// FaultSeed seeds the cap controllers' backoff jitter.
+	FaultSeed int64
+	// JournalPath, when set, checkpoints deterministic responses to a
+	// crash-safe JSONL journal; with Resume the journal is replayed on
+	// startup (otherwise it is truncated).
+	JournalPath string
+	Resume      bool
+}
+
+// DefaultConfig returns production-shaped defaults.
+func DefaultConfig() Config {
+	return Config{
+		Queue:          64,
+		RequestTimeout: 30 * time.Second,
+		DrainTimeout:   10 * time.Second,
+		Breaker:        hw.DefaultBreakerOptions(),
+		CacheLimit:     1024,
+	}
+}
+
+// Server is the daemon state: calibrated platforms, shared bounded
+// caches, per-platform breaker-guarded machines, the admission gate and
+// the response journal.
+type Server struct {
+	cfg      Config
+	gate     *parallel.Gate
+	plats    []*hw.Platform
+	consts   map[string]*roofline.Constants
+	cache    core.Cache
+	profiles hw.ProfileCache
+	breakers map[string]*hw.CapBreaker
+	jrnl     *journal.Journal
+	start    time.Time
+
+	served   atomic.Int64
+	rejected atomic.Int64
+	panics   atomic.Int64
+	degraded atomic.Int64
+
+	closeOnce sync.Once
+	closeErr  error
+
+	// testHook, when non-nil, runs inside every request after admission —
+	// the deterministic way tests hold a slot or inject a handler panic.
+	testHook func()
+}
+
+// New builds a daemon: platforms calibrate concurrently, caches are
+// bounded, one breaker-guarded cap controller boots per platform, and the
+// journal (if configured) is opened or truncated per cfg.Resume.
+func New(cfg Config) (*Server, error) {
+	def := DefaultConfig()
+	if cfg.Queue <= 0 {
+		cfg.Queue = def.Queue
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = def.RequestTimeout
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = def.DrainTimeout
+	}
+	if cfg.CacheLimit <= 0 {
+		cfg.CacheLimit = def.CacheLimit
+	}
+	s := &Server{
+		cfg:      cfg,
+		gate:     parallel.NewGate(parallel.Workers(cfg.Concurrency), cfg.Queue),
+		consts:   map[string]*roofline.Constants{},
+		breakers: map[string]*hw.CapBreaker{},
+		start:    time.Now(),
+	}
+	s.cache.SetLimit(cfg.CacheLimit)
+	s.profiles.SetLimit(cfg.CacheLimit)
+
+	plats := hw.Platforms()
+	consts, err := parallel.Map(context.Background(), len(plats), 0,
+		func(_ context.Context, i int) (*roofline.Constants, error) {
+			c, err := roofline.Calibrate(hw.NewMachine(plats[i]))
+			if err != nil {
+				return nil, fmt.Errorf("server: calibrate %s: %w", plats[i].Name, err)
+			}
+			return c, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range plats {
+		s.plats = append(s.plats, p)
+		s.consts[p.Name] = consts[i]
+		m := hw.NewMachine(p)
+		m.SetProfileCache(&s.profiles)
+		m.SetFaults(cfg.Faults)
+		opts := hw.DefaultCapControllerOptions(p)
+		opts.JitterSeed = cfg.FaultSeed
+		s.breakers[p.Name] = hw.NewCapBreaker(hw.NewCapController(m, opts), cfg.Breaker)
+	}
+
+	if cfg.JournalPath != "" {
+		if !cfg.Resume {
+			if err := os.Remove(cfg.JournalPath); err != nil && !os.IsNotExist(err) {
+				return nil, err
+			}
+		}
+		j, err := journal.Open(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		s.jrnl = j
+	}
+	return s, nil
+}
+
+// Run serves on ln until ctx is cancelled (SIGTERM in main), then drains:
+// the listener stops accepting, in-flight requests finish (bounded by
+// DrainTimeout), and Close guarantees the driver-default caps are back.
+func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	var err error
+	select {
+	case <-ctx.Done():
+		dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		err = hs.Shutdown(dctx)
+	case err = <-errc:
+	}
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	if cerr := s.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Close restores the driver-default cap on every platform (bypassing open
+// breakers — the machine must never stay capped) and closes the journal.
+// It is idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		for _, p := range s.plats {
+			if err := s.breakers[p.Name].Restore(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+		if err := s.jrnl.Close(); err != nil && s.closeErr == nil {
+			s.closeErr = err
+		}
+	})
+	return s.closeErr
+}
+
+// breaker returns the platform's breaker (tests reach through this).
+func (s *Server) breaker(plat string) *hw.CapBreaker { return s.breakers[plat] }
+
+// JournalStats reports the response journal's counters (zeros when no
+// journal is configured).
+func (s *Server) JournalStats() journal.Stats { return s.jrnl.Stats() }
+
+// CacheStatsz is one bounded cache's counters.
+type CacheStatsz struct {
+	Hits, Misses, Evictions int64
+	Len                     int
+}
+
+// BreakerStatsz is one platform breaker's observable state.
+type BreakerStatsz struct {
+	State                              string
+	Trips, Probes, Rejected, Recovered int64
+	ConsecutiveFailures                int
+	Applies, Writes, Retries, Failures int64
+	Restores                           int64
+}
+
+// Statsz is the /statsz payload.
+type Statsz struct {
+	UptimeSeconds float64
+	Served        int64
+	Rejected      int64
+	Panics        int64
+	Degraded      int64
+	Gate          parallel.GateStats
+	Breakers      map[string]BreakerStatsz
+	CompileCache  CacheStatsz
+	ProfileCache  CacheStatsz
+	Journal       journal.Stats
+}
+
+// statsz snapshots the daemon counters.
+func (s *Server) statsz() Statsz {
+	out := Statsz{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Served:        s.served.Load(),
+		Rejected:      s.rejected.Load(),
+		Panics:        s.panics.Load(),
+		Degraded:      s.degraded.Load(),
+		Gate:          s.gate.Stats(),
+		Breakers:      map[string]BreakerStatsz{},
+		Journal:       s.jrnl.Stats(),
+	}
+	ch, cm := s.cache.Stats()
+	out.CompileCache = CacheStatsz{Hits: ch, Misses: cm, Evictions: s.cache.Evictions(), Len: s.cache.Len()}
+	ph, pm := s.profiles.Stats()
+	out.ProfileCache = CacheStatsz{Hits: ph, Misses: pm, Evictions: s.profiles.Evictions(), Len: s.profiles.Len()}
+	for name, b := range s.breakers {
+		bs := b.Stats()
+		cs := b.ControllerStats()
+		out.Breakers[name] = BreakerStatsz{
+			State: b.State().String(),
+			Trips: bs.Trips, Probes: bs.Probes, Rejected: bs.Rejected, Recovered: bs.Recovered,
+			ConsecutiveFailures: bs.ConsecutiveFailures,
+			Applies:             cs.Applies, Writes: cs.Writes, Retries: cs.Retries,
+			Failures: cs.Failures, Restores: cs.Restores,
+		}
+	}
+	return out
+}
