@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments faults fuzz fmt cover serve smoke
+.PHONY: all build vet test race bench experiments faults fuzz fmt cover serve smoke pipeline
 
 all: build vet test
 
@@ -34,6 +34,14 @@ faults:
 	$(GO) test -race ./internal/faults
 	$(GO) test -race -run 'Fault|Degrade|CapController|BestEffort|Tolerates|Grid' \
 		./internal/hw ./internal/core ./internal/experiments ./internal/search
+
+# Staged-pipeline gate: the stage runner unit suite plus the equivalence
+# properties (memo on vs. off byte-identical Results, prefix runs seeding
+# full compiles, server stage reuse) under the race detector.
+pipeline:
+	$(GO) test -race ./internal/pipeline
+	$(GO) test -race -run 'Pipeline|Stage|Memo|Prefix|Timings' \
+		./internal/core ./internal/server ./internal/parallel ./internal/ir
 
 # Run the capping service locally with production-shaped defaults.
 serve:

@@ -26,6 +26,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"polyufc/internal/core"
 	"polyufc/internal/experiments"
@@ -44,6 +45,7 @@ func main() {
 		faultSeed = flag.Int64("fault-seed", 1, "seed for probabilistic fault triggers")
 		jpath     = flag.String("journal", "", "checkpoint sweep progress to this JSONL file")
 		resume    = flag.Bool("resume", false, "replay completed entries from an existing -journal instead of truncating it")
+		stageInfo = flag.Bool("stage-stats", false, "print per-stage pipeline aggregates and stage-cache reuse to stderr after the run")
 	)
 	flag.Parse()
 
@@ -110,5 +112,22 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, "polyufc-bench:", err)
 		os.Exit(1)
+	}
+	if *stageInfo {
+		printStageStats(s)
+	}
+}
+
+// printStageStats renders the sweep's per-stage pipeline aggregates on
+// stderr (stdout stays byte-identical for figure diffing).
+func printStageStats(s *experiments.Suite) {
+	sh, sm := s.StageCacheStats()
+	fmt.Fprintf(os.Stderr, "polyufc-bench: stage cache: %d hits, %d misses\n", sh, sm)
+	stats := s.StageStats()
+	for _, name := range s.StageNames() {
+		st := stats[name]
+		fmt.Fprintf(os.Stderr, "  %-16s %4d runs %4d memoized %3d errors %10.2fms\n",
+			name, st.Runs, st.CacheHits, st.Errors,
+			float64(st.Total)/float64(time.Millisecond))
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"polyufc/internal/core"
 	"polyufc/internal/faults"
@@ -80,12 +81,21 @@ type reportRow struct {
 	NoCM     bool    `json:"no_cm,omitempty"`
 }
 
+// stageRow is one journaled pipeline stage event: which stage ran, for
+// how long, and whether a memoized snapshot satisfied it.
+type stageRow struct {
+	Name     string  `json:"name"`
+	MS       float64 `json:"ms"`
+	CacheHit bool    `json:"cache_hit,omitempty"`
+}
+
 // reportRecord is one journaled compile outcome.
 type reportRecord struct {
 	Rows         []reportRow `json:"rows"`
 	CapsInserted int         `json:"caps_inserted"`
 	CapsRemoved  int         `json:"caps_removed"`
 	FinalCaps    int         `json:"final_caps"`
+	Stages       []stageRow  `json:"stages,omitempty"`
 }
 
 // printRows renders the per-nest report table from journaled rows.
@@ -107,6 +117,22 @@ func printRows(rec reportRecord) {
 	}
 	fmt.Printf("caps in module: %d (inserted %d, removed/merged %d)\n",
 		rec.FinalCaps, rec.CapsInserted, rec.CapsRemoved)
+	if len(rec.Stages) > 0 {
+		memoized := false
+		fmt.Printf("stages:")
+		for _, st := range rec.Stages {
+			mark := ""
+			if st.CacheHit {
+				mark = "*"
+				memoized = true
+			}
+			fmt.Printf(" %s%s %.2fms", st.Name, mark, st.MS)
+		}
+		if memoized {
+			fmt.Printf(" (* = memoized)")
+		}
+		fmt.Println()
+	}
 }
 
 func run(kernel, file, arch, objective, size, capLevel, degrade, fault, jpath string, faultSeed int64, epsilon float64, printIR, measure, resume bool) error {
@@ -229,6 +255,13 @@ func run(kernel, file, arch, objective, size, capLevel, degrade, fault, jpath st
 		}
 	}
 	rec := reportRecord{CapsInserted: res.CapsInserted, CapsRemoved: res.CapsRemoved, FinalCaps: finalCaps}
+	for _, st := range res.Timings.Stages {
+		rec.Stages = append(rec.Stages, stageRow{
+			Name:     st.Stage,
+			MS:       float64(st.Duration) / float64(time.Millisecond),
+			CacheHit: st.CacheHit,
+		})
+	}
 	for _, r := range res.Reports {
 		row := reportRow{
 			Label: r.Label, OI: r.OI, Class: r.Class.String(),

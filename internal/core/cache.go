@@ -50,12 +50,21 @@ type Cache struct {
 // cache miss, so repeated sweeps skip both module construction and the
 // whole polyhedral pipeline.
 func (c *Cache) Compile(ctx context.Context, key CacheKey, cfg Config, build func() (*ir.Module, error)) (*Result, error) {
+	return c.CompileStaged(ctx, key, cfg, PipelineOptions{}, build)
+}
+
+// CompileStaged is Compile with staged-execution controls threaded to
+// the pipeline: a whole-result miss still reuses memoized per-stage
+// snapshots (opts.Stages) and reports stage events (opts.Observe), so
+// e.g. a search request after a characterize request on the same kernel
+// skips preprocess, tile and the cache model.
+func (c *Cache) CompileStaged(ctx context.Context, key CacheKey, cfg Config, opts PipelineOptions, build func() (*ir.Module, error)) (*Result, error) {
 	return c.memo.Do(ctx, key, func() (*Result, error) {
 		mod, err := build()
 		if err != nil {
 			return nil, err
 		}
-		return CompileCtx(ctx, mod, cfg)
+		return CompilePipeline(ctx, mod, cfg, opts)
 	})
 }
 

@@ -18,8 +18,8 @@ import (
 	"polyufc/internal/faults"
 	"polyufc/internal/hw"
 	"polyufc/internal/ir"
-	"polyufc/internal/lower"
 	"polyufc/internal/model"
+	"polyufc/internal/pipeline"
 	"polyufc/internal/pluto"
 	"polyufc/internal/roofline"
 	"polyufc/internal/search"
@@ -93,21 +93,6 @@ const (
 	FaultCacheModel = "core.cachemodel"
 )
 
-// runStage invokes one per-nest compiler stage with panic isolation: a
-// panicking stage surfaces as a wrapped error carrying the stage name and
-// nest label instead of unwinding the whole sweep.
-func runStage(stage, label string, f func() error) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("core: %s on %s: panic: %v", stage, label, r)
-		}
-	}()
-	if err := f(); err != nil {
-		return fmt.Errorf("core: %s on %s: %w", stage, label, err)
-	}
-	return nil
-}
-
 // DefaultConfig returns the paper's evaluation configuration for a
 // calibrated platform.
 func DefaultConfig(p *hw.Platform, c *roofline.Constants) Config {
@@ -122,16 +107,31 @@ func DefaultConfig(p *hw.Platform, c *roofline.Constants) Config {
 	}
 }
 
-// Timings is the Table-IV compile-time breakdown.
+// Timings is the Table-IV compile-time breakdown. The legacy fields
+// aggregate the recorded stage events into the paper's four buckets;
+// Stages keeps the full per-stage record.
 type Timings struct {
-	Preprocess time.Duration // statement extraction / lowering (stage 2 prep)
-	Pluto      time.Duration // stage 2 optimizer
-	CM         time.Duration // stages 3a-3b (PolyUFC-CM + OI)
-	Steps46    time.Duration // stages 4-6 (characterize, estimate, search, insert)
+	Preprocess time.Duration // "preprocess": lowering (stage 2 prep)
+	Pluto      time.Duration // "tile": stage 2 optimizer
+	CM         time.Duration // "cachemodel": stages 3a-3b (PolyUFC-CM + OI)
+	Steps46    time.Duration // remaining stages 4-6 (characterize through cleanup)
+	// Stages records every executed pipeline stage in order, including
+	// stages added after the four buckets above were named.
+	Stages []StageTiming
 }
 
-// Total returns the end-to-end compile time.
+// Total returns the end-to-end compile time. It derives from the
+// recorded stage events when present, so a stage added to the pipeline
+// can never silently under-report the Table-IV breakdown; the field sum
+// is the fallback for hand-built values.
 func (t Timings) Total() time.Duration {
+	if len(t.Stages) > 0 {
+		var sum time.Duration
+		for _, s := range t.Stages {
+			sum += s.Duration
+		}
+		return sum
+	}
 	return t.Preprocess + t.Pluto + t.CM + t.Steps46
 }
 
@@ -181,199 +181,12 @@ func Compile(mod *ir.Module, cfg Config) (*Result, error) {
 // so a serving daemon's per-request timeout bounds the whole compilation.
 // Cancellation always aborts — it is a caller decision, not a stage fault,
 // so BestEffort does not degrade around it.
+//
+// The body is the declared stage list of stages.go run by
+// internal/pipeline (see CompilePipeline for the staged-execution
+// controls: stage memoization, prefix runs, event observers).
 func CompileCtx(ctx context.Context, mod *ir.Module, cfg Config) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if cfg.Platform == nil || cfg.Constants == nil {
-		return nil, fmt.Errorf("core: config needs platform and calibrated constants")
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	mod = mod.Clone()
-	res := &Result{Module: mod}
-
-	// Stage 1-2 prep: lower to affine.
-	start := time.Now()
-	if err := lower.TorchToLinalg(mod); err != nil {
-		return nil, err
-	}
-	if err := lower.LinalgToAffine(mod); err != nil {
-		return nil, err
-	}
-	res.Timings.Preprocess = time.Since(start)
-
-	// Stage 2: Pluto tiling + parallelization per nest. Stage failures are
-	// panic-isolated; under BestEffort a failed nest falls back to its
-	// untiled form and is marked degraded instead of killing the module.
-	start = time.Now()
-	tiled := map[*ir.Nest]bool{}
-	degraded := map[*ir.Nest]error{}
-	for _, f := range mod.Funcs {
-		for i, op := range f.Ops {
-			nest, ok := op.(*ir.Nest)
-			if !ok {
-				continue
-			}
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			var pres pluto.Result
-			err := runStage("pluto", nest.Label, func() error {
-				if err := cfg.Faults.Hit(FaultPluto); err != nil {
-					return err
-				}
-				var err error
-				pres, err = pluto.Optimize(nest, cfg.Pluto)
-				return err
-			})
-			if err != nil {
-				if cfg.Degrade != BestEffort {
-					return nil, err
-				}
-				degraded[nest] = err
-				continue
-			}
-			f.Ops[i] = pres.Nest
-			tiled[pres.Nest] = pres.Tiled
-		}
-	}
-	res.Timings.Pluto = time.Since(start)
-
-	// Stage 3: PolyUFC-CM + OI per nest. Under BestEffort a failed nest
-	// stays uncapped: it keeps running at whatever frequency is active.
-	start = time.Now()
-	cms := map[*ir.Nest]*cachemodel.Result{}
-	for _, f := range mod.Funcs {
-		for _, op := range f.Ops {
-			nest, ok := op.(*ir.Nest)
-			if !ok {
-				continue
-			}
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			var cm *cachemodel.Result
-			err := runStage("cache model", nest.Label, func() error {
-				if err := cfg.Faults.Hit(FaultCacheModel); err != nil {
-					return err
-				}
-				cmOpts := cfg.CM
-				if nest.Root != nil && nest.Root.Parallel && cmOpts.Threads <= 1 {
-					cmOpts.Threads = cfg.Platform.Threads
-				}
-				var err error
-				cm, err = cachemodel.Analyze(nest, cfg.Platform.Cache, cmOpts)
-				return err
-			})
-			if err != nil {
-				if cfg.Degrade != BestEffort {
-					return nil, err
-				}
-				if degraded[nest] == nil {
-					degraded[nest] = err
-				}
-				continue
-			}
-			cms[nest] = cm
-		}
-	}
-	res.Timings.CM = time.Since(start)
-
-	// Stages 4-6: characterize, estimate, search, insert caps.
-	start = time.Now()
-	freqs := cfg.Platform.UncoreSteps()
-	for _, f := range mod.Funcs {
-		var out []ir.Op
-		activeCap := cfg.Platform.UncoreMax // the driver default
-		for _, op := range f.Ops {
-			nest, ok := op.(*ir.Nest)
-			if !ok {
-				out = append(out, op)
-				continue
-			}
-			cm := cms[nest]
-			threads := 1
-			if nest.Root != nil && nest.Root.Parallel {
-				threads = cfg.Platform.Threads
-			}
-			if cm == nil {
-				// Cache model degraded (BestEffort): the nest stays
-				// uncapped — it runs at whatever frequency is active.
-				res.Reports = append(res.Reports, KernelReport{
-					Label: nest.Label, Origin: nest.Origin(),
-					CapGHz: activeCap, Tiled: tiled[nest], Threads: threads,
-					Degraded: true, Err: degraded[nest],
-				})
-				out = append(out, nest)
-				continue
-			}
-			var m *model.Model
-			var sres search.Result
-			err := runStage("search", nest.Label, func() error {
-				m = model.New(cfg.Constants, model.FromCacheModel(cm, threads))
-				var serr error
-				sres, serr = search.Run(ctx, m, freqs, cfg.Search)
-				return serr
-			})
-			if err != nil {
-				// Deadline expiry or cancellation aborts the compilation
-				// outright: the partial search result is not a stage fault
-				// BestEffort should paper over.
-				if ctx.Err() != nil {
-					return nil, err
-				}
-				if cfg.Degrade != BestEffort {
-					return nil, err
-				}
-				res.Reports = append(res.Reports, KernelReport{
-					Label: nest.Label, Origin: nest.Origin(),
-					OI: cm.OI, CapGHz: activeCap, Tiled: tiled[nest],
-					Threads: threads, CM: cm, Degraded: true, Err: err,
-				})
-				out = append(out, nest)
-				continue
-			}
-			rep := KernelReport{
-				Label: nest.Label, Origin: nest.Origin(),
-				OI: cm.OI, Class: sres.Class, CapGHz: sres.BestGHz,
-				Tiled: tiled[nest], Threads: threads,
-				Est: sres.Best, EstDefault: m.At(cfg.Platform.UncoreMax),
-				CM: cm, SearchEvals: sres.Evaluated,
-				Degraded: degraded[nest] != nil, Err: degraded[nest],
-			}
-			res.Reports = append(res.Reports, rep)
-			// Profitability gate (Sec. VII-F): switching the cap costs
-			// CapLatency; only worthwhile when the kernel runs long enough.
-			// A non-positive BestGHz (degenerate frequency grid) never
-			// inserts a cap.
-			profitable := cfg.AmortizeFactor <= 0 ||
-				sres.Best.Seconds >= cfg.AmortizeFactor*cfg.Platform.CapLatency
-			if profitable && sres.BestGHz > 0 && sres.BestGHz != activeCap {
-				out = append(out,
-					&ir.SetUncoreCap{GHz: sres.BestGHz, Level: cfg.CapLevel, From: nest.Label})
-				res.CapsInserted++
-				activeCap = sres.BestGHz
-			}
-			out = append(out, nest)
-		}
-		f.Ops = out
-	}
-
-	// Granularity merging (Sec. VI-B): at torch granularity, consecutive
-	// nests sharing a torch-level origin get one cap — min of member caps
-	// when all members are CB, max otherwise (the safe direction for BB).
-	if cfg.CapLevel == ir.DialectTorch {
-		minSec := cfg.AmortizeFactor * cfg.Platform.CapLatency
-		res.CapsRemoved += mergeTorchCaps(mod, res.Reports, minSec)
-	}
-
-	// Rewrite patterns: drop shadowed and equal caps.
-	res.CapsRemoved += ir.ApplyPatterns(mod,
-		ir.RedundantCapPattern{}, ir.EqualCapPattern{})
-	res.Timings.Steps46 = time.Since(start)
-	return res, nil
+	return CompilePipeline(ctx, mod, cfg, PipelineOptions{})
 }
 
 // torchOrigin extracts the torch-level ancestor from an origin chain like
@@ -482,76 +295,18 @@ type Phase struct {
 // aggregates all lowered pieces of each torch op, the linalg view
 // characterizes each structured op, and the affine view each nest (after
 // Pluto). It returns the per-level phase sequences.
+//
+// The study is a declared pipeline sharing the compile flow's
+// preprocess/tile/cachemodel stages (stages.go), followed by the
+// study-specific phase classification. Like Compile, it is pure: it
+// lowers a private clone.
 func PhaseStudy(mod *ir.Module, cfg Config) (map[ir.Dialect][]Phase, error) {
-	// Like Compile, the study is pure: it lowers a private clone.
-	mod = mod.Clone()
-	if err := lower.TorchToLinalg(mod); err != nil {
+	if cfg.Platform == nil || cfg.Constants == nil {
+		return nil, fmt.Errorf("core: config needs platform and calibrated constants")
+	}
+	st := newCompileState(mod.Clone(), cfg)
+	if _, err := pipeline.New("core", phaseStages()...).Run(context.Background(), st, pipeline.RunOptions{}); err != nil {
 		return nil, err
 	}
-	if err := lower.LinalgToAffine(mod); err != nil {
-		return nil, err
-	}
-	out := map[ir.Dialect][]Phase{}
-	type agg struct {
-		name  string
-		flops int64
-		qdram int64
-	}
-	var torchAggs []agg
-	for _, f := range mod.Funcs {
-		for _, op := range f.Ops {
-			nest, ok := op.(*ir.Nest)
-			if !ok {
-				continue
-			}
-			pres, err := pluto.Optimize(nest, cfg.Pluto)
-			if err != nil {
-				return nil, err
-			}
-			cmOpts := cfg.CM
-			if pres.Nest.Root != nil && pres.Nest.Root.Parallel && cmOpts.Threads <= 1 {
-				cmOpts.Threads = cfg.Platform.Threads
-			}
-			cm, err := cachemodel.Analyze(pres.Nest, cfg.Platform.Cache, cmOpts)
-			if err != nil {
-				return nil, err
-			}
-			// Linalg view: one phase per nest (our linalg ops lower 1:1 to
-			// nests).
-			ph := Phase{Op: nest.Origin(), Class: cfg.Constants.Classify(cm.OI), OI: cm.OI}
-			out[ir.DialectLinalg] = append(out[ir.DialectLinalg],
-				Phase{Level: ir.DialectLinalg, Op: ph.Op, Class: ph.Class, OI: ph.OI})
-			// Affine view: one phase per polyhedral statement — the finest
-			// granularity (Sec. VI-B notes its control overhead).
-			stRes, err := cachemodel.AnalyzeStatements(pres.Nest, cfg.Platform.Cache, cmOpts)
-			if err != nil {
-				return nil, err
-			}
-			for _, sr := range stRes {
-				out[ir.DialectAffine] = append(out[ir.DialectAffine], Phase{
-					Level: ir.DialectAffine,
-					Op:    nest.Label + "/" + sr.Name,
-					Class: cfg.Constants.Classify(sr.OI), OI: sr.OI,
-				})
-			}
-			// Torch aggregation by origin.
-			root := torchOrigin(nest.Origin())
-			if len(torchAggs) == 0 || torchAggs[len(torchAggs)-1].name != root {
-				torchAggs = append(torchAggs, agg{name: root})
-			}
-			torchAggs[len(torchAggs)-1].flops += cm.Flops
-			torchAggs[len(torchAggs)-1].qdram += cm.QDRAM
-		}
-	}
-	for _, a := range torchAggs {
-		oi := 0.0
-		if a.qdram > 0 {
-			oi = float64(a.flops) / float64(a.qdram)
-		}
-		out[ir.DialectTorch] = append(out[ir.DialectTorch], Phase{
-			Level: ir.DialectTorch, Op: a.name,
-			Class: cfg.Constants.Classify(oi), OI: oi,
-		})
-	}
-	return out, nil
+	return st.phases, nil
 }

@@ -79,7 +79,8 @@ func TestBestEffortIsolatesPoisonedCacheModel(t *testing.T) {
 		t.Fatalf("module lost nests: %d vs %d", nestsIn(res), nestsIn(healthy))
 	}
 
-	// Strict mode on the same poison reproduces today's fail-fast error.
+	// Strict mode on the same poison reproduces today's fail-fast error,
+	// named after the stable pipeline stage ("cachemodel").
 	cfg.Degrade = Strict
 	cfg.Faults = faults.New(1)
 	cfg.Faults.Enable(FaultCacheModel, faults.Spec{On: []int64{2}})
@@ -89,7 +90,7 @@ func TestBestEffortIsolatesPoisonedCacheModel(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err = Compile(mod, *cfg)
-	if err == nil || !strings.Contains(err.Error(), "cache model on") {
+	if err == nil || !strings.Contains(err.Error(), StageCacheModel+" on") {
 		t.Fatalf("strict err = %v", err)
 	}
 }
@@ -111,7 +112,7 @@ func TestBestEffortPlutoFailureFallsBackUntiled(t *testing.T) {
 	if r.CM == nil || r.CapGHz <= 0 || r.SearchEvals == 0 {
 		t.Fatalf("untiled fallback not analyzed: %+v", r)
 	}
-	if r.Err == nil || !strings.Contains(r.Err.Error(), "pluto on") {
+	if r.Err == nil || !strings.Contains(r.Err.Error(), StageTile+" on") {
 		t.Fatalf("recorded err = %v", r.Err)
 	}
 }
@@ -126,7 +127,7 @@ func TestStagePanicBecomesWrappedError(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, err = Compile(mod, *cfg) // must not panic
-	if err == nil || !strings.Contains(err.Error(), "panic") || !strings.Contains(err.Error(), "pluto") {
+	if err == nil || !strings.Contains(err.Error(), "panic") || !strings.Contains(err.Error(), StageTile) {
 		t.Fatalf("panic not converted to a stage error: %v", err)
 	}
 

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"polyufc/internal/faults"
+	"polyufc/internal/hw"
+	"polyufc/internal/ir"
+	"polyufc/internal/pipeline"
+	"polyufc/internal/workloads"
+)
+
+func buildModule(t *testing.T, name string, size workloads.SizeClass) *ir.Module {
+	t.Helper()
+	k, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := k.Build(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+// The memo-equivalence property: per-stage memoization on vs. off yields
+// deep-equal Results (modulo wall-clock Timings), both on a cold cache
+// and when every memoizable stage is served from a snapshot.
+func TestStageMemoOnVsOffIdenticalResults(t *testing.T) {
+	p := hw.BDW()
+	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg.AmortizeFactor = 0
+	for _, name := range []string{"gemm", "2mm", "sdpa-bert"} {
+		mod := buildModule(t, name, workloads.Test)
+		plain, err := CompileCtx(context.Background(), mod, cfg)
+		if err != nil {
+			t.Fatalf("%s plain: %v", name, err)
+		}
+		cache := &pipeline.Cache{}
+		cold, err := CompilePipeline(context.Background(), mod, cfg, PipelineOptions{Stages: cache})
+		if err != nil {
+			t.Fatalf("%s cold: %v", name, err)
+		}
+		warm, err := CompilePipeline(context.Background(), mod, cfg, PipelineOptions{Stages: cache})
+		if err != nil {
+			t.Fatalf("%s warm: %v", name, err)
+		}
+		hits := 0
+		for _, s := range warm.Timings.Stages {
+			if s.CacheHit {
+				hits++
+			}
+		}
+		if hits == 0 {
+			t.Fatalf("%s: warm run recorded no stage-cache hits", name)
+		}
+		if !reflect.DeepEqual(zeroTimings(plain), zeroTimings(cold)) {
+			t.Fatalf("%s: memo-off vs cold-cache Results diverge", name)
+		}
+		if !reflect.DeepEqual(zeroTimings(plain), zeroTimings(warm)) {
+			t.Fatalf("%s: memo-off vs warm-cache Results diverge", name)
+		}
+	}
+}
+
+// A characterize prefix followed by a full compile on the same cache must
+// not redo preprocess, tile or cachemodel.
+func TestPrefixRunSeedsFullCompile(t *testing.T) {
+	p := hw.BDW()
+	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg.AmortizeFactor = 0
+	mod := buildModule(t, "gemm", workloads.Test)
+	cache := &pipeline.Cache{}
+
+	pre, err := CompilePipeline(context.Background(), mod, cfg, PipelineOptions{
+		Stages: cache, Until: StageCharacterize,
+	})
+	if err != nil {
+		t.Fatalf("prefix: %v", err)
+	}
+	if pre.CapsInserted != 0 || len(pre.Reports) == 0 {
+		t.Fatalf("prefix result: caps=%d reports=%d", pre.CapsInserted, len(pre.Reports))
+	}
+	for _, r := range pre.Reports {
+		if r.OI <= 0 || r.CapGHz != 0 {
+			t.Fatalf("prefix report not analysis-only: %+v", r)
+		}
+	}
+	want := []string{StagePreprocess, StageTile, StageCacheModel, StageCharacterize}
+	if got := len(pre.Timings.Stages); got != len(want) {
+		t.Fatalf("prefix ran %d stages, want %d", got, len(want))
+	}
+	for i, name := range want {
+		if pre.Timings.Stages[i].Stage != name {
+			t.Fatalf("prefix stage %d = %s, want %s", i, pre.Timings.Stages[i].Stage, name)
+		}
+	}
+
+	full, err := CompilePipeline(context.Background(), mod, cfg, PipelineOptions{Stages: cache})
+	if err != nil {
+		t.Fatalf("full: %v", err)
+	}
+	hit := map[string]bool{}
+	for _, s := range full.Timings.Stages {
+		if s.CacheHit {
+			hit[s.Stage] = true
+		}
+	}
+	for _, name := range want {
+		if !hit[name] {
+			t.Fatalf("full compile re-ran %s instead of hitting the prefix snapshot (hits: %v)", name, hit)
+		}
+	}
+	// And the seeded full compile equals a from-scratch one.
+	plain, err := CompileCtx(context.Background(), mod, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(zeroTimings(plain), zeroTimings(full)) {
+		t.Fatal("prefix-seeded full compile diverged from the direct one")
+	}
+}
+
+// Configs differing only in what downstream stages read share the
+// upstream snapshots: a search-objective change must still hit
+// preprocess/tile/cachemodel.
+func TestSearchConfigChangeKeepsPrefixSnapshots(t *testing.T) {
+	p := hw.BDW()
+	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg.AmortizeFactor = 0
+	mod := buildModule(t, "gemm", workloads.Test)
+	cache := &pipeline.Cache{}
+	if _, err := CompilePipeline(context.Background(), mod, cfg, PipelineOptions{Stages: cache}); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Search.Epsilon = cfg.Search.Epsilon * 10
+	res, err := CompilePipeline(context.Background(), mod, cfg2, PipelineOptions{Stages: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := map[string]bool{}
+	for _, s := range res.Timings.Stages {
+		hit[s.Stage] = s.CacheHit
+	}
+	for _, name := range []string{StagePreprocess, StageTile, StageCacheModel, StageCharacterize, StageModelFit} {
+		if !hit[name] {
+			t.Fatalf("stage %s missed after a search-only config change (hits: %v)", name, hit)
+		}
+	}
+	if hit[StageSearch] {
+		t.Fatal("search stage hit despite a changed epsilon")
+	}
+}
+
+// Armed fault injection disables stage memoization: injection points are
+// call-ordered state a replayed snapshot would skip.
+func TestFaultsDisableStageMemo(t *testing.T) {
+	p := hw.BDW()
+	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg.AmortizeFactor = 0
+	cfg.Degrade = BestEffort
+	cfg.Faults = faults.New(1)
+	cfg.Faults.Enable(FaultPluto, faults.Spec{On: []int64{1}})
+	mod := buildModule(t, "gemm", workloads.Test)
+	cache := &pipeline.Cache{}
+	res, err := CompilePipeline(context.Background(), mod, cfg, PipelineOptions{Stages: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reports[0].Degraded {
+		t.Fatal("fault did not fire")
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("stage cache holds %d snapshots from a fault-armed run, want 0", cache.Len())
+	}
+}
+
+// Timings.Total must derive from the recorded stage events, covering
+// every declared stage, so adding a stage can never silently
+// under-report the Table-IV breakdown.
+func TestTimingsTotalDerivesFromStageEvents(t *testing.T) {
+	res := compileKernel(t, "gemm", workloads.Test, hw.BDW())
+	names := StageNames(DefaultConfig(hw.BDW(), constsFor(t, hw.BDW())))
+	if len(res.Timings.Stages) != len(names) {
+		t.Fatalf("recorded %d stage events, want %d", len(res.Timings.Stages), len(names))
+	}
+	var sum int64
+	for i, s := range res.Timings.Stages {
+		if s.Stage != names[i] {
+			t.Fatalf("stage %d = %s, want %s", i, s.Stage, names[i])
+		}
+		sum += int64(s.Duration)
+	}
+	if got := int64(res.Timings.Total()); got != sum {
+		t.Fatalf("Total() = %d, want event sum %d", got, sum)
+	}
+	// The legacy four-bucket fields still partition the same total.
+	tm := res.Timings
+	if bucket := tm.Preprocess + tm.Pluto + tm.CM + tm.Steps46; int64(bucket) != sum {
+		t.Fatalf("bucket sum %d != event sum %d", bucket, sum)
+	}
+}

@@ -1,0 +1,687 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"time"
+
+	"polyufc/internal/cachemodel"
+	"polyufc/internal/ir"
+	"polyufc/internal/lower"
+	"polyufc/internal/model"
+	"polyufc/internal/pipeline"
+	"polyufc/internal/pluto"
+	"polyufc/internal/roofline"
+	"polyufc/internal/search"
+)
+
+// Stable stage names of the compile pipeline. These strings are the
+// shared vocabulary across Timings.Stages, statsz counters, degrade
+// reports and the journal — changing one is a wire-format change.
+const (
+	// StagePreprocess lowers torch -> linalg -> affine (Fig. 3 prep).
+	StagePreprocess = "preprocess"
+	// StageTile is Pluto tiling + parallelization (stage 2).
+	StageTile = "tile"
+	// StageCacheModel is PolyUFC-CM + OI (stages 3a-3b).
+	StageCacheModel = "cachemodel"
+	// StageCharacterize is the roofline CB/BB classification (stage 4).
+	StageCharacterize = "characterize"
+	// StageModelFit builds the Sec. V analytic model per nest (stage 5a).
+	StageModelFit = "model-fit"
+	// StageSearch is PolyUFC-SEARCH frequency-cap selection (stage 5b).
+	StageSearch = "search"
+	// StageCapInsert emits reports and inserts profitable caps (stage 6).
+	StageCapInsert = "cap-insert"
+	// StageCapMerge re-places caps at torch granularity (Sec. VI-B); it
+	// runs only when Config.CapLevel is DialectTorch.
+	StageCapMerge = "cap-merge"
+	// StageRewriteCleanup drops shadowed and equal caps.
+	StageRewriteCleanup = "rewrite-cleanup"
+	// StagePhases is the PhaseStudy-specific per-dialect classification
+	// (Fig. 5); it replaces the capping suffix in the phase pipeline.
+	StagePhases = "phases"
+)
+
+// compileState is the shared state the compile pipeline's stages operate
+// on: the module under transformation plus per-nest artifacts, indexed by
+// nest position in module order (stable across tiling, which replaces
+// nests in place).
+type compileState struct {
+	cfg Config
+	res *Result
+
+	// nests lists the module's loop nests in walk order; tile updates
+	// entries in place as it swaps optimized nests into the module.
+	nests []*ir.Nest
+	// tiled marks nests Pluto actually tiled.
+	tiled []bool
+	// nerr records the first BestEffort stage error per nest (tile or
+	// cachemodel); such nests are compiled degraded.
+	nerr []error
+	// cms holds the PolyUFC-CM result per nest (nil when degraded).
+	cms []*cachemodel.Result
+	// class is the roofline CB/BB classification per nest.
+	class []roofline.Class
+	// threads is the per-nest thread count reported and modeled.
+	threads []int
+	// models and defEst hold the fitted Sec. V model and its estimate at
+	// the driver-default (maximum) uncore frequency.
+	models []*model.Model
+	defEst []model.Estimate
+	// sres and serr hold the PolyUFC-SEARCH outcome or its BestEffort
+	// failure per nest.
+	sres []search.Result
+	serr []error
+
+	// phases is the PhaseStudy output (phase pipeline only).
+	phases map[ir.Dialect][]Phase
+}
+
+func newCompileState(mod *ir.Module, cfg Config) *compileState {
+	return &compileState{cfg: cfg, res: &Result{Module: mod}}
+}
+
+// refreshNests rebuilds the nest index from the module in walk order.
+func (st *compileState) refreshNests() {
+	st.nests = st.nests[:0]
+	for _, f := range st.res.Module.Funcs {
+		for _, op := range f.Ops {
+			if n, ok := op.(*ir.Nest); ok {
+				st.nests = append(st.nests, n)
+			}
+		}
+	}
+}
+
+// alloc sizes every per-nest artifact slice to the nest count.
+func (st *compileState) alloc() {
+	n := len(st.nests)
+	st.tiled = make([]bool, n)
+	st.nerr = make([]error, n)
+	st.cms = make([]*cachemodel.Result, n)
+	st.class = make([]roofline.Class, n)
+	st.threads = make([]int, n)
+	st.models = make([]*model.Model, n)
+	st.defEst = make([]model.Estimate, n)
+	st.sres = make([]search.Result, n)
+	st.serr = make([]error, n)
+}
+
+// stageSnap is the memoized snapshot of a stage's outputs: the module as
+// of the stage plus every per-nest artifact slice. One snapshot type
+// serves all memoizable stages — slices a stage has not reached yet are
+// zero-valued. Pointered artifacts (cache-model results, models, errors)
+// are immutable once produced, so snapshots share them.
+type stageSnap struct {
+	mod     *ir.Module
+	tiled   []bool
+	nerr    []error
+	cms     []*cachemodel.Result
+	class   []roofline.Class
+	threads []int
+	models  []*model.Model
+	defEst  []model.Estimate
+	sres    []search.Result
+	serr    []error
+}
+
+func snapSave(st *compileState) any {
+	return &stageSnap{
+		mod:     st.res.Module.Clone(),
+		tiled:   append([]bool(nil), st.tiled...),
+		nerr:    append([]error(nil), st.nerr...),
+		cms:     append([]*cachemodel.Result(nil), st.cms...),
+		class:   append([]roofline.Class(nil), st.class...),
+		threads: append([]int(nil), st.threads...),
+		models:  append([]*model.Model(nil), st.models...),
+		defEst:  append([]model.Estimate(nil), st.defEst...),
+		sres:    append([]search.Result(nil), st.sres...),
+		serr:    append([]error(nil), st.serr...),
+	}
+}
+
+func snapLoad(st *compileState, v any) {
+	snap := v.(*stageSnap)
+	st.res.Module = snap.mod.Clone()
+	st.refreshNests()
+	st.tiled = append([]bool(nil), snap.tiled...)
+	st.nerr = append([]error(nil), snap.nerr...)
+	st.cms = append([]*cachemodel.Result(nil), snap.cms...)
+	st.class = append([]roofline.Class(nil), snap.class...)
+	st.threads = append([]int(nil), snap.threads...)
+	st.models = append([]*model.Model(nil), snap.models...)
+	st.defEst = append([]model.Estimate(nil), snap.defEst...)
+	st.sres = append([]search.Result(nil), snap.sres...)
+	st.serr = append([]error(nil), snap.serr...)
+}
+
+// stageBaseKey is the content hash anchoring the stage memo key chain:
+// the module text plus everything every stage reads from the config.
+// Fault-injection runs return "" — injection points are call-ordered
+// state, so replaying a snapshot would silently skip them.
+func stageBaseKey(mod *ir.Module, cfg Config) string {
+	if cfg.Faults != nil {
+		return ""
+	}
+	h := sha256.New()
+	io.WriteString(h, mod.Print())
+	fmt.Fprintf(h, "|platform=%s", cfg.Platform.Name)
+	fmt.Fprintf(h, "|consts=%+v", *cfg.Constants)
+	fmt.Fprintf(h, "|degrade=%d", cfg.Degrade)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// cmOptions applies the OpenMP sharing heuristic: a parallel nest's
+// sequential miss counts are divided across the platform's threads.
+func cmOptions(cfg Config, nest *ir.Nest) cachemodel.Options {
+	o := cfg.CM
+	if nest.Root != nil && nest.Root.Parallel && o.Threads <= 1 {
+		o.Threads = cfg.Platform.Threads
+	}
+	return o
+}
+
+// nestThreads is the thread count a nest runs (and is modeled) with.
+func nestThreads(cfg Config, nest *ir.Nest) int {
+	if nest.Root != nil && nest.Root.Parallel {
+		return cfg.Platform.Threads
+	}
+	return 1
+}
+
+func stagePreprocess() pipeline.Stage[*compileState] {
+	return pipeline.Stage[*compileState]{
+		Name: StagePreprocess,
+		Save: snapSave, Load: snapLoad,
+		Run: func(_ context.Context, st *compileState) error {
+			if err := lower.TorchToLinalg(st.res.Module); err != nil {
+				return err
+			}
+			if err := lower.LinalgToAffine(st.res.Module); err != nil {
+				return err
+			}
+			st.refreshNests()
+			st.alloc()
+			return nil
+		},
+	}
+}
+
+func stageTile() pipeline.Stage[*compileState] {
+	return pipeline.Stage[*compileState]{
+		Name: StageTile,
+		Salt: func(st *compileState) string { return fmt.Sprintf("%+v", st.cfg.Pluto) },
+		Save: snapSave, Load: snapLoad,
+		Run: func(ctx context.Context, st *compileState) error {
+			idx := 0
+			for _, f := range st.res.Module.Funcs {
+				for i, op := range f.Ops {
+					nest, ok := op.(*ir.Nest)
+					if !ok {
+						continue
+					}
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					var pres pluto.Result
+					err := pipeline.Unit(StageTile, nest.Label, func() error {
+						if err := st.cfg.Faults.Hit(FaultPluto); err != nil {
+							return err
+						}
+						var err error
+						pres, err = pluto.Optimize(nest, st.cfg.Pluto)
+						return err
+					})
+					if err != nil {
+						if st.cfg.Degrade != BestEffort {
+							return err
+						}
+						st.nerr[idx] = err
+						idx++
+						continue
+					}
+					f.Ops[i] = pres.Nest
+					st.nests[idx] = pres.Nest
+					st.tiled[idx] = pres.Tiled
+					idx++
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func stageCacheModel() pipeline.Stage[*compileState] {
+	return pipeline.Stage[*compileState]{
+		Name: StageCacheModel,
+		Salt: func(st *compileState) string { return fmt.Sprintf("%+v", st.cfg.CM) },
+		Save: snapSave, Load: snapLoad,
+		Run: func(ctx context.Context, st *compileState) error {
+			// Pluto-degraded nests are analyzed too: they fell back to the
+			// untiled form but can still be characterized and capped.
+			for idx, nest := range st.nests {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				var cm *cachemodel.Result
+				err := pipeline.Unit(StageCacheModel, nest.Label, func() error {
+					if err := st.cfg.Faults.Hit(FaultCacheModel); err != nil {
+						return err
+					}
+					var err error
+					cm, err = cachemodel.Analyze(nest, st.cfg.Platform.Cache, cmOptions(st.cfg, nest))
+					return err
+				})
+				if err != nil {
+					if st.cfg.Degrade != BestEffort {
+						return err
+					}
+					if st.nerr[idx] == nil {
+						st.nerr[idx] = err
+					}
+					continue
+				}
+				st.cms[idx] = cm
+			}
+			return nil
+		},
+	}
+}
+
+func stageCharacterize() pipeline.Stage[*compileState] {
+	return pipeline.Stage[*compileState]{
+		Name: StageCharacterize,
+		Save: snapSave, Load: snapLoad,
+		Run: func(_ context.Context, st *compileState) error {
+			for idx, nest := range st.nests {
+				st.threads[idx] = nestThreads(st.cfg, nest)
+				if cm := st.cms[idx]; cm != nil {
+					st.class[idx] = st.cfg.Constants.Classify(cm.OI)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func stageModelFit() pipeline.Stage[*compileState] {
+	return pipeline.Stage[*compileState]{
+		Name: StageModelFit,
+		Save: snapSave, Load: snapLoad,
+		Run: func(ctx context.Context, st *compileState) error {
+			for idx, nest := range st.nests {
+				cm := st.cms[idx]
+				if cm == nil {
+					continue
+				}
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				err := pipeline.Unit(StageModelFit, nest.Label, func() error {
+					m := model.New(st.cfg.Constants, model.FromCacheModel(cm, st.threads[idx]))
+					st.models[idx] = m
+					st.defEst[idx] = m.At(st.cfg.Platform.UncoreMax)
+					return nil
+				})
+				if err != nil {
+					if st.cfg.Degrade != BestEffort {
+						return err
+					}
+					st.models[idx] = nil
+					st.serr[idx] = err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func stageSearch() pipeline.Stage[*compileState] {
+	return pipeline.Stage[*compileState]{
+		Name: StageSearch,
+		Salt: func(st *compileState) string { return st.cfg.Search.Fingerprint() },
+		Save: snapSave, Load: snapLoad,
+		Run: func(ctx context.Context, st *compileState) error {
+			freqs := st.cfg.Platform.UncoreSteps()
+			for idx, nest := range st.nests {
+				m := st.models[idx]
+				if m == nil {
+					continue
+				}
+				err := pipeline.Unit(StageSearch, nest.Label, func() error {
+					var serr error
+					st.sres[idx], serr = search.Run(ctx, m, freqs, st.cfg.Search)
+					return serr
+				})
+				if err != nil {
+					// Deadline expiry or cancellation aborts the compilation
+					// outright: the partial search result is not a stage
+					// fault BestEffort should paper over.
+					if ctx.Err() != nil {
+						return err
+					}
+					if st.cfg.Degrade != BestEffort {
+						return err
+					}
+					st.serr[idx] = err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+func stageCapInsert() pipeline.Stage[*compileState] {
+	return pipeline.Stage[*compileState]{
+		Name: StageCapInsert,
+		Run: func(_ context.Context, st *compileState) error {
+			cfg := st.cfg
+			idx := 0
+			for _, f := range st.res.Module.Funcs {
+				var out []ir.Op
+				activeCap := cfg.Platform.UncoreMax // the driver default
+				for _, op := range f.Ops {
+					nest, ok := op.(*ir.Nest)
+					if !ok {
+						out = append(out, op)
+						continue
+					}
+					i := idx
+					idx++
+					cm := st.cms[i]
+					if cm == nil {
+						// Cache model degraded (BestEffort): the nest stays
+						// uncapped — it runs at whatever frequency is active.
+						st.res.Reports = append(st.res.Reports, KernelReport{
+							Label: nest.Label, Origin: nest.Origin(),
+							CapGHz: activeCap, Tiled: st.tiled[i], Threads: st.threads[i],
+							Degraded: true, Err: st.nerr[i],
+						})
+						out = append(out, nest)
+						continue
+					}
+					if st.serr[i] != nil || st.models[i] == nil {
+						// Model fit or search degraded: characterized but
+						// uncapped.
+						st.res.Reports = append(st.res.Reports, KernelReport{
+							Label: nest.Label, Origin: nest.Origin(),
+							OI: cm.OI, CapGHz: activeCap, Tiled: st.tiled[i],
+							Threads: st.threads[i], CM: cm, Degraded: true, Err: st.serr[i],
+						})
+						out = append(out, nest)
+						continue
+					}
+					sres := st.sres[i]
+					st.res.Reports = append(st.res.Reports, KernelReport{
+						Label: nest.Label, Origin: nest.Origin(),
+						OI: cm.OI, Class: sres.Class, CapGHz: sres.BestGHz,
+						Tiled: st.tiled[i], Threads: st.threads[i],
+						Est: sres.Best, EstDefault: st.defEst[i],
+						CM: cm, SearchEvals: sres.Evaluated,
+						Degraded: st.nerr[i] != nil, Err: st.nerr[i],
+					})
+					// Profitability gate (Sec. VII-F): switching the cap costs
+					// CapLatency; only worthwhile when the kernel runs long
+					// enough. A non-positive BestGHz (degenerate frequency
+					// grid) never inserts a cap.
+					profitable := cfg.AmortizeFactor <= 0 ||
+						sres.Best.Seconds >= cfg.AmortizeFactor*cfg.Platform.CapLatency
+					if profitable && sres.BestGHz > 0 && sres.BestGHz != activeCap {
+						out = append(out,
+							&ir.SetUncoreCap{GHz: sres.BestGHz, Level: cfg.CapLevel, From: nest.Label})
+						st.res.CapsInserted++
+						activeCap = sres.BestGHz
+					}
+					out = append(out, nest)
+				}
+				f.Ops = out
+			}
+			return nil
+		},
+	}
+}
+
+func stageCapMerge() pipeline.Stage[*compileState] {
+	return pipeline.Stage[*compileState]{
+		Name: StageCapMerge,
+		Run: func(_ context.Context, st *compileState) error {
+			minSec := st.cfg.AmortizeFactor * st.cfg.Platform.CapLatency
+			st.res.CapsRemoved += mergeTorchCaps(st.res.Module, st.res.Reports, minSec)
+			return nil
+		},
+	}
+}
+
+func stageRewriteCleanup() pipeline.Stage[*compileState] {
+	return pipeline.Stage[*compileState]{
+		Name: StageRewriteCleanup,
+		Run: func(_ context.Context, st *compileState) error {
+			st.res.CapsRemoved += ir.ApplyPatterns(st.res.Module,
+				ir.RedundantCapPattern{}, ir.EqualCapPattern{})
+			return nil
+		},
+	}
+}
+
+// stagePhases is the PhaseStudy tail: per-dialect phase sequences from
+// the shared preprocess/tile/cachemodel artifacts (Fig. 5).
+func stagePhases() pipeline.Stage[*compileState] {
+	return pipeline.Stage[*compileState]{
+		Name: StagePhases,
+		Run: func(ctx context.Context, st *compileState) error {
+			cfg := st.cfg
+			out := map[ir.Dialect][]Phase{}
+			type agg struct {
+				name  string
+				flops int64
+				qdram int64
+			}
+			var torchAggs []agg
+			for i, nest := range st.nests {
+				cm := st.cms[i]
+				if cm == nil {
+					continue // degraded under BestEffort: no phase entry
+				}
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				// Linalg view: one phase per nest (our linalg ops lower 1:1
+				// to nests).
+				out[ir.DialectLinalg] = append(out[ir.DialectLinalg], Phase{
+					Level: ir.DialectLinalg, Op: nest.Origin(),
+					Class: cfg.Constants.Classify(cm.OI), OI: cm.OI,
+				})
+				// Affine view: one phase per polyhedral statement — the
+				// finest granularity (Sec. VI-B notes its control overhead).
+				stRes, err := cachemodel.AnalyzeStatements(nest, cfg.Platform.Cache, cmOptions(cfg, nest))
+				if err != nil {
+					return err
+				}
+				for _, sr := range stRes {
+					out[ir.DialectAffine] = append(out[ir.DialectAffine], Phase{
+						Level: ir.DialectAffine,
+						Op:    nest.Label + "/" + sr.Name,
+						Class: cfg.Constants.Classify(sr.OI), OI: sr.OI,
+					})
+				}
+				// Torch aggregation by origin.
+				root := torchOrigin(nest.Origin())
+				if len(torchAggs) == 0 || torchAggs[len(torchAggs)-1].name != root {
+					torchAggs = append(torchAggs, agg{name: root})
+				}
+				torchAggs[len(torchAggs)-1].flops += cm.Flops
+				torchAggs[len(torchAggs)-1].qdram += cm.QDRAM
+			}
+			for _, a := range torchAggs {
+				oi := 0.0
+				if a.qdram > 0 {
+					oi = float64(a.flops) / float64(a.qdram)
+				}
+				out[ir.DialectTorch] = append(out[ir.DialectTorch], Phase{
+					Level: ir.DialectTorch, Op: a.name,
+					Class: cfg.Constants.Classify(oi), OI: oi,
+				})
+			}
+			st.phases = out
+			return nil
+		},
+	}
+}
+
+// compileStages declares the compile pipeline for a configuration. The
+// torch cap-merge stage is present only at torch cap granularity.
+func compileStages(cfg Config) []pipeline.Stage[*compileState] {
+	stages := []pipeline.Stage[*compileState]{
+		stagePreprocess(),
+		stageTile(),
+		stageCacheModel(),
+		stageCharacterize(),
+		stageModelFit(),
+		stageSearch(),
+		stageCapInsert(),
+	}
+	if cfg.CapLevel == ir.DialectTorch {
+		stages = append(stages, stageCapMerge())
+	}
+	return append(stages, stageRewriteCleanup())
+}
+
+// phaseStages declares the PhaseStudy pipeline: the shared analysis
+// prefix followed by the per-dialect phase classification.
+func phaseStages() []pipeline.Stage[*compileState] {
+	return []pipeline.Stage[*compileState]{
+		stagePreprocess(),
+		stageTile(),
+		stageCacheModel(),
+		stagePhases(),
+	}
+}
+
+// StageNames returns the compile pipeline's stage names in declared
+// order for a configuration — the vocabulary shared by Timings.Stages,
+// statsz and degrade reports.
+func StageNames(cfg Config) []string {
+	stages := compileStages(cfg)
+	out := make([]string, len(stages))
+	for i, st := range stages {
+		out[i] = st.Name
+	}
+	return out
+}
+
+// stagePos returns the position of a stage name in the declared order,
+// or -1.
+func stagePos(stages []pipeline.Stage[*compileState], name string) int {
+	for i, st := range stages {
+		if st.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// partialReports synthesizes per-nest reports for a prefix run that
+// stopped before cap insertion: label, tiling, threads, OI and class as
+// far as the executed stages computed them, with zero cap fields.
+func (st *compileState) partialReports() {
+	for i, nest := range st.nests {
+		rep := KernelReport{
+			Label: nest.Label, Origin: nest.Origin(),
+			Tiled: st.tiled[i], Threads: st.threads[i],
+		}
+		if cm := st.cms[i]; cm != nil {
+			rep.OI = cm.OI
+			rep.Class = st.class[i]
+			rep.CM = cm
+		}
+		if st.nerr[i] != nil {
+			rep.Degraded = true
+			rep.Err = st.nerr[i]
+		}
+		st.res.Reports = append(st.res.Reports, rep)
+	}
+}
+
+// StageTiming is one recorded stage event of a compilation.
+type StageTiming struct {
+	Stage    string
+	Duration time.Duration
+	// CacheHit marks a stage satisfied from the per-stage memo.
+	CacheHit bool
+}
+
+// timingsFromEvents maps the pipeline event stream onto the Table-IV
+// breakdown: the legacy fields aggregate their stages, Stages keeps the
+// full record.
+func timingsFromEvents(evs []pipeline.Event) Timings {
+	t := Timings{Stages: make([]StageTiming, 0, len(evs))}
+	for _, e := range evs {
+		t.Stages = append(t.Stages, StageTiming{Stage: e.Stage, Duration: e.Duration, CacheHit: e.CacheHit})
+		switch e.Stage {
+		case StagePreprocess:
+			t.Preprocess += e.Duration
+		case StageTile:
+			t.Pluto += e.Duration
+		case StageCacheModel:
+			t.CM += e.Duration
+		default:
+			t.Steps46 += e.Duration
+		}
+	}
+	return t
+}
+
+// PipelineOptions parameterizes CompilePipeline beyond the Config.
+type PipelineOptions struct {
+	// Stages enables per-stage memoization across compilations sharing
+	// the cache. Snapshots are keyed by a content hash chained over the
+	// module text and every upstream stage's configuration, so e.g. two
+	// configs differing only in search objective share preprocess, tile
+	// and cachemodel snapshots. nil disables stage memoization.
+	Stages *pipeline.Cache
+	// Until stops the pipeline after the named stage (a Stage* constant)
+	// — the daemon's characterize endpoint stops at StageCharacterize.
+	// Empty runs the full pipeline.
+	Until string
+	// Observe receives every stage event (timing, cache hit, error).
+	Observe func(pipeline.Event)
+}
+
+// CompilePipeline is CompileCtx with staged-execution controls: an
+// optional shared stage cache, a prefix bound, and an event observer.
+// A prefix run (Until set before cap insertion) returns a Result whose
+// Reports carry the analysis computed so far and whose module is the
+// (lowered, tiled) input without caps.
+func CompilePipeline(ctx context.Context, mod *ir.Module, cfg Config, opts PipelineOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Platform == nil || cfg.Constants == nil {
+		return nil, fmt.Errorf("core: config needs platform and calibrated constants")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	stages := compileStages(cfg)
+	st := newCompileState(mod.Clone(), cfg)
+	ro := pipeline.RunOptions{Until: opts.Until, Observe: opts.Observe}
+	if opts.Stages != nil {
+		ro.Cache = opts.Stages
+		ro.BaseKey = stageBaseKey(mod, cfg)
+	}
+	events, err := pipeline.New("core", stages...).Run(ctx, st, ro)
+	if err != nil {
+		return nil, err
+	}
+	st.res.Timings = timingsFromEvents(events)
+	if opts.Until != "" {
+		if p := stagePos(stages, opts.Until); p >= 0 && p < stagePos(stages, StageCapInsert) {
+			st.partialReports()
+		}
+	}
+	return st.res, nil
+}

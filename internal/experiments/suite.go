@@ -27,6 +27,7 @@ import (
 	"polyufc/internal/ir"
 	"polyufc/internal/journal"
 	"polyufc/internal/parallel"
+	"polyufc/internal/pipeline"
 	"polyufc/internal/roofline"
 	"polyufc/internal/workloads"
 )
@@ -55,13 +56,19 @@ type Suite struct {
 	// entries replay from the journal and are not re-evaluated. Replayed
 	// values render byte-identically to recomputed ones — the journal
 	// stores the exact float64s the renderers print.
-	Journal  *journal.Journal
-	plats    []*hw.Platform
-	consts   map[string]*roofline.Constants
-	cache    core.Cache
-	profiles hw.ProfileCache
-	mu       sync.Mutex
-	notes    []string
+	Journal *journal.Journal
+	plats   []*hw.Platform
+	consts  map[string]*roofline.Constants
+	cache   core.Cache
+	// stages memoizes per-stage compile snapshots across the sweep's
+	// configurations: ablation runs that only vary downstream knobs
+	// (objective, amortize factor) reuse the analysis prefix of the
+	// default configuration. stageStats aggregates the stage events.
+	stages     pipeline.Cache
+	stageStats pipeline.Metrics
+	profiles   hw.ProfileCache
+	mu         sync.Mutex
+	notes      []string
 }
 
 // New builds a suite over both Table-III platforms, calibrating their
@@ -99,12 +106,23 @@ func (s *Suite) CacheStats() (hits, misses int64) { return s.cache.Stats() }
 // ProfileStats reports profile-cache hits and misses so far.
 func (s *Suite) ProfileStats() (hits, misses int64) { return s.profiles.Stats() }
 
-// ResetCache drops all memoized compilations and nest profiles (used by
-// benchmarks to measure cold-sweep behaviour). The two caches reset
-// together: profiles are keyed by the nest pointers the compile cache
-// owns.
+// StageCacheStats reports per-stage snapshot hits and misses so far.
+func (s *Suite) StageCacheStats() (hits, misses int64) { return s.stages.Stats() }
+
+// StageStats returns the aggregated pipeline stage events of the sweep:
+// runs, snapshot hits, errors and total time per stage name.
+func (s *Suite) StageStats() map[string]pipeline.StageStats { return s.stageStats.Snapshot() }
+
+// StageNames returns the observed stage names sorted.
+func (s *Suite) StageNames() []string { return s.stageStats.StageNames() }
+
+// ResetCache drops all memoized compilations, stage snapshots and nest
+// profiles (used by benchmarks to measure cold-sweep behaviour). The
+// caches reset together: profiles are keyed by the nest pointers the
+// compile cache owns, and stage snapshots feed the compilations.
 func (s *Suite) ResetCache() {
 	s.cache.Reset()
+	s.stages.Reset()
 	s.profiles.Reset()
 }
 
@@ -198,16 +216,17 @@ func (s *Suite) compileCfg(kernelName string, p *hw.Platform, cfg core.Config) (
 		return nil, err
 	}
 	cfg.Degrade = s.Degrade
+	opts := core.PipelineOptions{Stages: &s.stages, Observe: s.stageStats.Observe}
 	if s.Faults != nil {
 		// Injection state advances per call: memoizing a faulted Result
 		// would replay one injection outcome across the sweep. Compile
-		// directly while armed.
+		// directly while armed (stage memoization disarms itself too).
 		cfg.Faults = s.Faults
 		mod, err := k.Build(s.Size)
 		if err != nil {
 			return nil, err
 		}
-		return core.Compile(mod, cfg)
+		return core.CompilePipeline(s.ctx(), mod, cfg, opts)
 	}
 	key := core.CacheKey{
 		Kernel:     kernelName,
@@ -220,7 +239,7 @@ func (s *Suite) compileCfg(kernelName string, p *hw.Platform, cfg core.Config) (
 		Epsilon:    cfg.Search.Epsilon,
 		Degrade:    s.Degrade,
 	}
-	return s.cache.Compile(s.ctx(), key, cfg, func() (*ir.Module, error) {
+	return s.cache.CompileStaged(s.ctx(), key, cfg, opts, func() (*ir.Module, error) {
 		return k.Build(s.Size)
 	})
 }

@@ -1,8 +1,10 @@
 package ir
 
 import (
-	"fmt"
+	"context"
 	"time"
+
+	"polyufc/internal/pipeline"
 )
 
 // Pass is a module transformation or analysis.
@@ -32,7 +34,9 @@ type PassTiming struct {
 }
 
 // PassManager runs a pipeline of passes and records per-pass timings (the
-// paper's Table IV compile-time breakdown).
+// paper's Table IV compile-time breakdown). It is a thin declaration
+// layer over internal/pipeline, which supplies the shared stage runner:
+// context checks, per-pass panic recovery and the timing events.
 type PassManager struct {
 	passes  []Pass
 	Timings []PassTiming
@@ -41,17 +45,22 @@ type PassManager struct {
 // AddPass appends a pass to the pipeline.
 func (pm *PassManager) AddPass(p Pass) { pm.passes = append(pm.passes, p) }
 
-// Run executes the pipeline on the module.
+// Run executes the pipeline on the module. The failing pass's timing is
+// still recorded.
 func (pm *PassManager) Run(m *Module) error {
-	for _, p := range pm.passes {
-		start := time.Now()
-		err := p.Run(m)
-		pm.Timings = append(pm.Timings, PassTiming{Pass: p.Name(), Duration: time.Since(start)})
-		if err != nil {
-			return fmt.Errorf("pass %s: %w", p.Name(), err)
+	stages := make([]pipeline.Stage[*Module], len(pm.passes))
+	for i, p := range pm.passes {
+		p := p
+		stages[i] = pipeline.Stage[*Module]{
+			Name: p.Name(),
+			Run:  func(_ context.Context, mod *Module) error { return p.Run(mod) },
 		}
 	}
-	return nil
+	events, err := pipeline.New("pass", stages...).Run(context.Background(), m, pipeline.RunOptions{})
+	for _, e := range events {
+		pm.Timings = append(pm.Timings, PassTiming{Pass: e.Stage, Duration: e.Duration})
+	}
+	return err
 }
 
 // RewritePattern is a local rewrite applied greedily over a function's op

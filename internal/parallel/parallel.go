@@ -165,6 +165,15 @@ type Memo[K comparable, V any] struct {
 // call. Waiters whose ctx is cancelled while another goroutine computes
 // return ctx.Err() without discarding the in-flight computation.
 func (m *Memo[K, V]) Do(ctx context.Context, key K, fn func() (V, error)) (V, error) {
+	v, _, err := m.DoShared(ctx, key, fn)
+	return v, err
+}
+
+// DoShared is Do plus provenance: shared reports whether the value came
+// from the cache (a settled entry or another goroutine's in-flight
+// computation) rather than this call's own fn. The pipeline stage cache
+// uses it to tell cache-hit events from cold runs.
+func (m *Memo[K, V]) DoShared(ctx context.Context, key K, fn func() (V, error)) (v V, shared bool, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -183,10 +192,10 @@ func (m *Memo[K, V]) Do(ctx context.Context, key K, fn func() (V, error)) (V, er
 		m.mu.Unlock()
 		select {
 		case <-e.done:
-			return e.val, e.err
+			return e.val, true, e.err
 		case <-ctx.Done():
 			var zero V
-			return zero, ctx.Err()
+			return zero, true, ctx.Err()
 		}
 	}
 	e := &memoEntry[V]{done: make(chan struct{})}
@@ -206,7 +215,7 @@ func (m *Memo[K, V]) Do(ctx context.Context, key K, fn func() (V, error)) (V, er
 	}
 	m.mu.Unlock()
 	close(e.done)
-	return e.val, e.err
+	return e.val, false, e.err
 }
 
 // evictLocked drops least-recently-used settled entries until the cache

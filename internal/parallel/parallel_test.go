@@ -188,6 +188,48 @@ func TestMemoComputesOncePerKey(t *testing.T) {
 	}
 }
 
+func TestMemoDoSharedReportsProvenance(t *testing.T) {
+	var m Memo[string, int]
+	v, shared, err := m.DoShared(context.Background(), "k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 || shared {
+		t.Fatalf("cold DoShared = %d, shared=%v, %v; want 7, false, nil", v, shared, err)
+	}
+	v, shared, err = m.DoShared(context.Background(), "k", func() (int, error) {
+		t.Error("fn must not run on a settled entry")
+		return 0, nil
+	})
+	if err != nil || v != 7 || !shared {
+		t.Fatalf("warm DoShared = %d, shared=%v, %v; want 7, true, nil", v, shared, err)
+	}
+
+	// A waiter on an in-flight computation is shared too.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, shared, _ := m.DoShared(context.Background(), "slow", func() (int, error) {
+			close(started)
+			<-block
+			return 1, nil
+		})
+		if shared {
+			t.Error("computing call must report shared=false")
+		}
+	}()
+	<-started
+	waiter := make(chan bool, 1)
+	go func() {
+		_, shared, _ := m.DoShared(context.Background(), "slow", func() (int, error) { return 2, nil })
+		waiter <- shared
+	}()
+	close(block)
+	if !<-waiter {
+		t.Fatal("in-flight waiter must report shared=true")
+	}
+	<-done
+}
+
 func TestMemoDoesNotCacheErrors(t *testing.T) {
 	var m Memo[int, string]
 	errBoom := errors.New("boom")

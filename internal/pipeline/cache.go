@@ -1,0 +1,32 @@
+package pipeline
+
+import "polyufc/internal/parallel"
+
+// Cache memoizes stage snapshots across pipeline runs. Keys are the
+// chained content hashes computed by Run, values the opaque snapshots
+// returned by Stage.Save. It is singleflight: two pipelines reaching the
+// same stage key concurrently compute once and share the snapshot — the
+// daemon relies on this when a characterize request and a search request
+// for the same kernel race through the shared prefix.
+//
+// The zero value is ready to use. Long-running processes must SetLimit —
+// an unbounded snapshot cache is a memory leak under open-ended traffic.
+type Cache struct {
+	memo parallel.Memo[string, any]
+}
+
+// SetLimit bounds the cache to n snapshots with LRU eviction (n <= 0
+// restores the unbounded default).
+func (c *Cache) SetLimit(n int) { c.memo.SetLimit(n) }
+
+// Stats returns snapshot hits and misses so far.
+func (c *Cache) Stats() (hits, misses int64) { return c.memo.Stats() }
+
+// Evictions returns how many snapshots the LRU bound has dropped.
+func (c *Cache) Evictions() int64 { return c.memo.Evictions() }
+
+// Len returns the number of cached snapshots.
+func (c *Cache) Len() int { return c.memo.Len() }
+
+// Reset drops every snapshot and zeroes the statistics.
+func (c *Cache) Reset() { c.memo.Reset() }

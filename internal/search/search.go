@@ -9,6 +9,7 @@ package search
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sort"
 
@@ -80,6 +81,14 @@ type Options struct {
 // DefaultOptions returns the paper's evaluation settings.
 func DefaultOptions() Options {
 	return Options{Objective: ObjectiveEDP, Epsilon: 1e-3}
+}
+
+// Fingerprint canonicalizes the options for content-addressed stage
+// memoization (internal/pipeline): two search stages with equal
+// fingerprints over the same model and frequency grid produce identical
+// Results, so their snapshots may be shared.
+func (o Options) Fingerprint() string {
+	return fmt.Sprintf("obj=%d,eps=%g", o.Objective, o.Epsilon)
 }
 
 // score returns the value to minimize.

@@ -242,15 +242,30 @@ func (s *Server) resolve(req Request) (resolved, error) {
 	return r, nil
 }
 
-// compile runs one request through the shared bounded cache (or directly
-// while faults are armed — injection state is call-ordered, memoizing a
-// faulted Result would replay one injection outcome across requests).
-func (s *Server) compile(ctx context.Context, req Request, r resolved) (*core.Result, error) {
+// requestConfig maps a resolved request onto a compile Config.
+func (s *Server) requestConfig(r resolved) core.Config {
 	cfg := core.DefaultConfig(r.p, s.consts[r.p.Name])
 	cfg.Search.Objective = r.obj
 	cfg.Search.Epsilon = r.eps
 	cfg.CapLevel = r.lvl
 	cfg.Degrade = s.cfg.Degrade
+	return cfg
+}
+
+// pipelineOpts wires a compilation to the daemon's shared stage cache
+// and stage-event aggregation. until, when set, bounds the run to the
+// pipeline prefix ending at that stage.
+func (s *Server) pipelineOpts(until string) core.PipelineOptions {
+	return core.PipelineOptions{Stages: &s.stages, Until: until, Observe: s.stageStats.Observe}
+}
+
+// compile runs one request through the shared bounded cache (or directly
+// while faults are armed — injection state is call-ordered, memoizing a
+// faulted Result would replay one injection outcome across requests).
+// Whole-result misses still reuse memoized stage snapshots, so a compile
+// after a characterize of the same kernel skips the analysis prefix.
+func (s *Server) compile(ctx context.Context, req Request, r resolved) (*core.Result, error) {
+	cfg := s.requestConfig(r)
 	k, err := workloads.ByName(req.Kernel)
 	if err != nil {
 		return nil, badRequest("%v", err)
@@ -261,7 +276,8 @@ func (s *Server) compile(ctx context.Context, req Request, r resolved) (*core.Re
 		if err != nil {
 			return nil, err
 		}
-		return core.CompileCtx(ctx, mod, cfg)
+		// Stage memoization disarms itself under faults; events still flow.
+		return core.CompilePipeline(ctx, mod, cfg, s.pipelineOpts(""))
 	}
 	key := core.CacheKey{
 		Kernel:    req.Kernel,
@@ -272,9 +288,31 @@ func (s *Server) compile(ctx context.Context, req Request, r resolved) (*core.Re
 		Epsilon:   r.eps,
 		Degrade:   s.cfg.Degrade,
 	}
-	return s.cache.Compile(ctx, key, cfg, func() (*ir.Module, error) {
+	return s.cache.CompileStaged(ctx, key, cfg, s.pipelineOpts(""), func() (*ir.Module, error) {
 		return k.Build(r.sz)
 	})
+}
+
+// characterize runs the analysis prefix of the pipeline — preprocess,
+// tile, cachemodel, characterize — and stops before model fitting and
+// search. It bypasses the whole-result cache (a prefix Result is a
+// different artifact than a full compile under the same key) and leans
+// on the stage cache instead: the heavy stages memoize per snapshot, and
+// a later full compile of the same kernel/config resumes from them.
+func (s *Server) characterize(ctx context.Context, req Request, r resolved) (*core.Result, error) {
+	cfg := s.requestConfig(r)
+	if s.cfg.Faults != nil {
+		cfg.Faults = s.cfg.Faults
+	}
+	k, err := workloads.ByName(req.Kernel)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	mod, err := k.Build(r.sz)
+	if err != nil {
+		return nil, err
+	}
+	return core.CompilePipeline(ctx, mod, cfg, s.pipelineOpts(core.StageCharacterize))
 }
 
 func nestResponses(res *core.Result) []NestResponse {
@@ -370,7 +408,7 @@ func (s *Server) handleCharacterize(ctx context.Context, req Request) (any, erro
 	}
 	var resp CharacterizeResponse
 	err = s.journaled(journalKey("v1/characterize", req, r), &resp, func() error {
-		res, err := s.compile(ctx, req, r)
+		res, err := s.characterize(ctx, req, r)
 		if err != nil {
 			return err
 		}

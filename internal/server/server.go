@@ -27,6 +27,7 @@ import (
 	"polyufc/internal/hw"
 	"polyufc/internal/journal"
 	"polyufc/internal/parallel"
+	"polyufc/internal/pipeline"
 	"polyufc/internal/roofline"
 )
 
@@ -87,6 +88,13 @@ type Server struct {
 	jrnl     *journal.Journal
 	start    time.Time
 
+	// stages memoizes per-stage compile snapshots across endpoints: a
+	// characterize followed by a search on the same kernel/config reuses
+	// preprocess, tile and cachemodel instead of redoing them.
+	// stageStats aggregates every pipeline stage event for statsz.
+	stages     pipeline.Cache
+	stageStats pipeline.Metrics
+
 	served   atomic.Int64
 	rejected atomic.Int64
 	panics   atomic.Int64
@@ -126,6 +134,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.cache.SetLimit(cfg.CacheLimit)
 	s.profiles.SetLimit(cfg.CacheLimit)
+	s.stages.SetLimit(cfg.CacheLimit)
 
 	plats := hw.Platforms()
 	consts, err := parallel.Map(context.Background(), len(plats), 0,
@@ -228,6 +237,16 @@ type BreakerStatsz struct {
 	Restores                           int64
 }
 
+// StageStatsz is one pipeline stage's aggregated events: how often it
+// ran, how often a memoized snapshot satisfied it, failures, and total
+// wall-clock time.
+type StageStatsz struct {
+	Runs      int64
+	CacheHits int64
+	Errors    int64
+	TotalMS   float64
+}
+
 // Statsz is the /statsz payload.
 type Statsz struct {
 	UptimeSeconds float64
@@ -239,7 +258,11 @@ type Statsz struct {
 	Breakers      map[string]BreakerStatsz
 	CompileCache  CacheStatsz
 	ProfileCache  CacheStatsz
-	Journal       journal.Stats
+	// StageCache counts per-stage snapshot reuse; Stages breaks the
+	// pipeline down by stage name (core.Stage* constants).
+	StageCache CacheStatsz
+	Stages     map[string]StageStatsz
+	Journal    journal.Stats
 }
 
 // statsz snapshots the daemon counters.
@@ -258,6 +281,15 @@ func (s *Server) statsz() Statsz {
 	out.CompileCache = CacheStatsz{Hits: ch, Misses: cm, Evictions: s.cache.Evictions(), Len: s.cache.Len()}
 	ph, pm := s.profiles.Stats()
 	out.ProfileCache = CacheStatsz{Hits: ph, Misses: pm, Evictions: s.profiles.Evictions(), Len: s.profiles.Len()}
+	sh, sm := s.stages.Stats()
+	out.StageCache = CacheStatsz{Hits: sh, Misses: sm, Evictions: s.stages.Evictions(), Len: s.stages.Len()}
+	out.Stages = map[string]StageStatsz{}
+	for name, st := range s.stageStats.Snapshot() {
+		out.Stages[name] = StageStatsz{
+			Runs: st.Runs, CacheHits: st.CacheHits, Errors: st.Errors,
+			TotalMS: float64(st.Total) / float64(time.Millisecond),
+		}
+	}
 	for name, b := range s.breakers {
 		bs := b.Stats()
 		cs := b.ControllerStats()
