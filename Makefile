@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments faults fuzz fmt cover serve smoke pipeline
+.PHONY: all build vet test race bench experiments faults fuzz fmt cover serve smoke pipeline platforms
 
 all: build vet test
 
@@ -42,6 +42,16 @@ pipeline:
 	$(GO) test -race ./internal/pipeline
 	$(GO) test -race -run 'Pipeline|Stage|Memo|Prefix|Timings' \
 		./internal/core ./internal/server ./internal/parallel ./internal/ir
+
+# Platform-backend gate: schema-validate the embedded and platforms/*.json
+# descriptions (round-trip, registry, calibration artifacts), prove the
+# registry-built BDW/RPL platforms equivalent to the legacy constructors,
+# run a JSON-only backend end to end, and re-check the golden figures
+# through the registry path.
+platforms:
+	$(GO) test ./internal/platform
+	$(GO) test -run 'Backend|Grid|Clamp|Platform' ./internal/hw ./internal/server ./internal/experiments
+	$(GO) test -run 'Golden' ./internal/experiments
 
 # Run the capping service locally with production-shaped defaults.
 serve:

@@ -269,7 +269,7 @@ func BenchmarkCapGranularity(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			cfg := core.DefaultConfig(p, s.Constants(p.Name))
+			cfg := core.DefaultConfig(s.Target(p.Name))
 			cfg.CapLevel = lvl
 			cfg.AmortizeFactor = 0
 			res, err := core.Compile(mod, cfg)
@@ -304,7 +304,7 @@ func BenchmarkEpsilonSweep(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			cfg := core.DefaultConfig(p, s.Constants(p.Name))
+			cfg := core.DefaultConfig(s.Target(p.Name))
 			cfg.Search = search.Options{Objective: search.ObjectiveEDP, Epsilon: eps}
 			if _, err := core.Compile(mod, cfg); err != nil {
 				b.Fatal(err)

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -32,6 +33,7 @@ import (
 	"polyufc/internal/experiments"
 	"polyufc/internal/faults"
 	"polyufc/internal/journal"
+	"polyufc/internal/platform"
 	"polyufc/internal/workloads"
 )
 
@@ -46,6 +48,8 @@ func main() {
 		jpath     = flag.String("journal", "", "checkpoint sweep progress to this JSONL file")
 		resume    = flag.Bool("resume", false, "replay completed entries from an existing -journal instead of truncating it")
 		stageInfo = flag.Bool("stage-stats", false, "print per-stage pipeline aggregates and stage-cache reuse to stderr after the run")
+		platSet   = flag.String("platforms", "paper", `backend set to sweep: "paper" (the two Table-III machines) or "all" registered backends`)
+		platFiles = flag.String("platform-file", "", "comma-separated backend description files (platforms/*.json) to register before the sweep")
 	)
 	flag.Parse()
 
@@ -73,10 +77,30 @@ func main() {
 		os.Exit(2)
 	}
 
+	for _, f := range strings.Split(*platFiles, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		if _, err := platform.LoadFile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "polyufc-bench:", err)
+			os.Exit(1)
+		}
+	}
+	var backends []*platform.Backend
+	switch *platSet {
+	case "paper", "":
+		backends = platform.Paper()
+	case "all":
+		backends = platform.All()
+	default:
+		fmt.Fprintf(os.Stderr, "polyufc-bench: unknown platform set %q (want paper or all)\n", *platSet)
+		os.Exit(2)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	s, err := experiments.New(sz, os.Stdout)
+	s, err := experiments.NewBackends(sz, os.Stdout, backends)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "polyufc-bench:", err)
 		os.Exit(1)

@@ -13,10 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"polyufc/internal/cachemodel"
 	"polyufc/internal/hw"
 	"polyufc/internal/ir"
+	"polyufc/internal/platform"
 	"polyufc/internal/pluto"
 	"polyufc/internal/roofline"
 	"polyufc/internal/scop"
@@ -26,7 +28,9 @@ import (
 func main() {
 	var (
 		kernel     = flag.String("kernel", "", "kernel name (see polyufc -list)")
-		arch       = flag.String("arch", "bdw", "platform: bdw or rpl")
+		platName   = flag.String("platform", "", "platform backend name or alias from the registry")
+		arch       = flag.String("arch", "bdw", "legacy spelling of -platform")
+		platFiles  = flag.String("platform-file", "", "comma-separated backend description files (platforms/*.json) to register before lookup")
 		size       = flag.String("size", "test", "size class: test, bench, full")
 		fullyAssoc = flag.Bool("fully-assoc", false, "use the fully-associative model (Fig. 8 ablation)")
 		noTile     = flag.Bool("no-tile", false, "skip Pluto tiling")
@@ -38,16 +42,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "polyufc-cm: -kernel is required")
 		os.Exit(2)
 	}
-	if err := run(*kernel, *arch, *size, *fullyAssoc, *noTile, *validate, *dumpScop); err != nil {
+	name := *platName
+	if name == "" {
+		name = *arch
+	}
+	if err := run(*kernel, name, *platFiles, *size, *fullyAssoc, *noTile, *validate, *dumpScop); err != nil {
 		fmt.Fprintln(os.Stderr, "polyufc-cm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kernel, arch, size string, fullyAssoc, noTile, validate, dumpScop bool) error {
-	p := hw.PlatformByName(arch)
-	if p == nil {
-		return fmt.Errorf("unknown platform %q", arch)
+func run(kernel, platName, platFiles, size string, fullyAssoc, noTile, validate, dumpScop bool) error {
+	for _, f := range strings.Split(platFiles, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		if _, err := platform.LoadFile(f); err != nil {
+			return err
+		}
+	}
+	p, err := hw.PlatformByName(platName)
+	if err != nil {
+		return err
 	}
 	var sz workloads.SizeClass
 	switch size {

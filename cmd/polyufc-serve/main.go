@@ -23,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,10 +47,11 @@ func main() {
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for probabilistic fault triggers")
 		journalPath = flag.String("journal", "", "checkpoint deterministic responses to this JSONL journal")
 		resume      = flag.Bool("resume", false, "replay an existing journal instead of truncating it")
+		platFiles   = flag.String("platform-file", "", "comma-separated backend description files (platforms/*.json); the daemon serves every registered backend")
 	)
 	flag.Parse()
 	if err := run(*addr, *concurrency, *queue, *reqTimeout, *drain, *brkThresh, *brkCooldown,
-		*cacheLimit, *degrade, *fault, *faultSeed, *journalPath, *resume); err != nil {
+		*cacheLimit, *degrade, *fault, *platFiles, *faultSeed, *journalPath, *resume); err != nil {
 		fmt.Fprintln(os.Stderr, "polyufc-serve:", err)
 		os.Exit(1)
 	}
@@ -57,7 +59,7 @@ func main() {
 
 func run(addr string, concurrency, queue int, reqTimeout, drain time.Duration,
 	brkThresh int, brkCooldown time.Duration, cacheLimit int,
-	degrade, fault string, faultSeed int64, journalPath string, resume bool) error {
+	degrade, fault, platFiles string, faultSeed int64, journalPath string, resume bool) error {
 	policy, ok := core.ParseDegradePolicy(degrade)
 	if !ok {
 		return fmt.Errorf("unknown degrade policy %q (want strict or best-effort)", degrade)
@@ -82,6 +84,11 @@ func run(addr string, concurrency, queue int, reqTimeout, drain time.Duration,
 	cfg.FaultSeed = faultSeed
 	cfg.JournalPath = journalPath
 	cfg.Resume = resume
+	for _, f := range strings.Split(platFiles, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			cfg.PlatformFiles = append(cfg.PlatformFiles, f)
+		}
+	}
 
 	srv, err := server.New(cfg)
 	if err != nil {

@@ -24,6 +24,7 @@ import (
 	"polyufc/internal/hw"
 	"polyufc/internal/ir"
 	"polyufc/internal/journal"
+	"polyufc/internal/platform"
 	"polyufc/internal/roofline"
 	"polyufc/internal/search"
 	"polyufc/internal/workloads"
@@ -33,7 +34,12 @@ func main() {
 	var (
 		kernel    = flag.String("kernel", "", "kernel name from the registry (see -list)")
 		file      = flag.String("file", "", "compile an affine kernel source file instead of a registry kernel")
-		arch      = flag.String("arch", "rpl", "platform: bdw or rpl")
+		platName  = flag.String("platform", "", "platform backend name or alias from the registry (see -list-platforms)")
+		arch      = flag.String("arch", "rpl", "legacy spelling of -platform")
+		platFiles = flag.String("platform-file", "", "comma-separated backend description files (platforms/*.json) to register before lookup")
+		calPath   = flag.String("calibration", "", "load a persisted calibration artifact instead of re-running the roofline fit")
+		saveCal   = flag.String("save-calibration", "", "write the calibration artifact (constants + fit provenance) to this file")
+		listPlats = flag.Bool("list-platforms", false, "list registered platform backends and exit")
 		objective = flag.String("objective", "edp", "objective: edp, energy, performance")
 		size      = flag.String("size", "bench", "problem size class: test, bench, full")
 		capLevel  = flag.String("cap-level", "linalg", "cap granularity: torch, linalg, affine")
@@ -56,14 +62,43 @@ func main() {
 		}
 		return
 	}
+	if err := loadPlatformFiles(*platFiles); err != nil {
+		fmt.Fprintln(os.Stderr, "polyufc:", err)
+		os.Exit(1)
+	}
+	if *listPlats {
+		fmt.Printf("%-10s %-34s %-7s %s\n", "platform", "cpu", "paper", "aliases")
+		for _, b := range platform.All() {
+			fmt.Printf("%-10s %-34s %-7v %s\n", b.Name, b.CPU, b.Paper, strings.Join(b.Aliases, ", "))
+		}
+		return
+	}
 	if *kernel == "" && *file == "" {
 		fmt.Fprintln(os.Stderr, "polyufc: -kernel or -file is required (use -list to see registry kernels)")
 		os.Exit(2)
 	}
-	if err := run(*kernel, *file, *arch, *objective, *size, *capLevel, *degrade, *fault, *jpath, *faultSeed, *epsilon, *printIR, *measure, *resume); err != nil {
+	name := *platName
+	if name == "" {
+		name = *arch
+	}
+	if err := run(*kernel, *file, name, *objective, *size, *capLevel, *degrade, *fault, *jpath, *calPath, *saveCal, *faultSeed, *epsilon, *printIR, *measure, *resume); err != nil {
 		fmt.Fprintln(os.Stderr, "polyufc:", err)
 		os.Exit(1)
 	}
+}
+
+// loadPlatformFiles registers extra backend descriptions given as a
+// comma-separated file list.
+func loadPlatformFiles(list string) error {
+	for _, f := range strings.Split(list, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		if _, err := platform.LoadFile(f); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // reportRow is the journaled, printable form of one nest report.
@@ -135,10 +170,10 @@ func printRows(rec reportRecord) {
 	}
 }
 
-func run(kernel, file, arch, objective, size, capLevel, degrade, fault, jpath string, faultSeed int64, epsilon float64, printIR, measure, resume bool) error {
-	p := hw.PlatformByName(arch)
-	if p == nil {
-		return fmt.Errorf("unknown platform %q (want bdw or rpl)", arch)
+func run(kernel, file, platName, objective, size, capLevel, degrade, fault, jpath, calPath, saveCal string, faultSeed int64, epsilon float64, printIR, measure, resume bool) error {
+	b, err := platform.Lookup(platName)
+	if err != nil {
+		return err
 	}
 	policy, ok := core.ParseDegradePolicy(degrade)
 	if !ok {
@@ -194,13 +229,13 @@ func run(kernel, file, arch, objective, size, capLevel, degrade, fault, jpath st
 		defer j.Close()
 		jrnl = j
 		jkey = fmt.Sprintf("polyufc/%s/%s/sz%d/%s/lvl%d/eps%g/%s",
-			kernel, p.Name, int(sz), obj, int(lvl), epsilon, policy)
+			kernel, b.Name, int(sz), obj, int(lvl), epsilon, policy)
 		var rec reportRecord
 		if ok, err := j.Get(jkey, &rec); err != nil {
 			return err
 		} else if ok {
 			fmt.Printf("%s on %s (%s objective, %s-level caps, %s size) [replayed from journal]\n",
-				kernel, p.Name, obj, lvl, sz)
+				kernel, b.Name, obj, lvl, sz)
 			printRows(rec)
 			return nil
 		}
@@ -228,15 +263,37 @@ func run(kernel, file, arch, objective, size, capLevel, degrade, fault, jpath st
 		}
 	}
 
-	fmt.Printf("calibrating rooflines for %s (one-time microbenchmarks)...\n", p.Name)
-	consts, err := roofline.Calibrate(hw.NewMachine(p))
-	if err != nil {
-		return err
+	var target *roofline.Target
+	if calPath != "" {
+		cal, err := platform.LoadCalibration(calPath)
+		if err != nil {
+			return err
+		}
+		if target, err = roofline.FromCalibration(b, cal); err != nil {
+			return err
+		}
+		fmt.Printf("loaded calibration for %s (fitted %s by %s)\n",
+			b.Name, cal.Provenance.FitDate, cal.Provenance.Tool)
+	} else {
+		fmt.Printf("calibrating rooflines for %s (one-time microbenchmarks)...\n", b.Name)
+		if target, err = roofline.Resolve(b); err != nil {
+			return err
+		}
 	}
+	consts, p := target.Constants, target.Platform
 	fmt.Printf("  compute roof %.1f GF/s, memory roof %.1f GB/s, balance %.1f FpB\n",
 		consts.PeakGFlops, consts.PeakGBs, consts.BtDRAM)
+	if saveCal != "" {
+		if target.Calibration == nil {
+			return fmt.Errorf("nothing to save: target carries no calibration artifact")
+		}
+		if err := target.Calibration.Save(saveCal); err != nil {
+			return err
+		}
+		fmt.Printf("calibration artifact saved to %s\n", saveCal)
+	}
 
-	cfg := core.DefaultConfig(p, consts)
+	cfg := core.DefaultConfig(target)
 	cfg.Search.Objective = obj
 	cfg.Search.Epsilon = epsilon
 	cfg.CapLevel = lvl

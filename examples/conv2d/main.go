@@ -11,18 +11,19 @@ import (
 	"log"
 
 	"polyufc/internal/core"
-	"polyufc/internal/hw"
+	"polyufc/internal/platform"
 	"polyufc/internal/roofline"
 	"polyufc/internal/workloads"
 )
 
 func main() {
 	kernels := []string{"conv2d-alexnet", "conv2d-convnext", "conv2d-wideresnet"}
-	for _, plat := range hw.Platforms() {
-		consts, err := roofline.Calibrate(hw.NewMachine(plat))
+	for _, b := range platform.Paper() {
+		target, err := roofline.Resolve(b)
 		if err != nil {
 			log.Fatal(err)
 		}
+		plat := target.Platform
 		fmt.Printf("== %s (%s) ==\n", plat.Name, plat.CPU)
 		for _, name := range kernels {
 			k, err := workloads.ByName(name)
@@ -33,7 +34,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := core.Compile(mod, core.DefaultConfig(plat, consts))
+			res, err := core.Compile(mod, core.DefaultConfig(target))
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -60,15 +60,12 @@ func main() {
 	}
 	fmt.Printf("parsed %s: %d loop nests\n", name, len(mod.Funcs[0].Ops))
 
-	plat := hw.PlatformByName(*arch)
-	if plat == nil {
-		log.Fatalf("unknown platform %q", *arch)
-	}
-	consts, err := roofline.Calibrate(hw.NewMachine(plat))
+	target, err := roofline.ResolveName(*arch)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := core.Compile(mod, core.DefaultConfig(plat, consts))
+	plat := target.Platform
+	res, err := core.Compile(mod, core.DefaultConfig(target))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -37,11 +37,11 @@ func main() {
 
 	// 2. Pick a platform and calibrate its performance/power rooflines
 	// (the one-time microbenchmarking of Tab. I).
-	plat := hw.RPL()
-	consts, err := roofline.Calibrate(hw.NewMachine(plat))
+	target, err := roofline.ResolveName("rpl")
 	if err != nil {
 		log.Fatal(err)
 	}
+	plat, consts := target.Platform, target.Constants
 	fmt.Printf("platform %s: compute roof %.0f GF/s, memory roof %.0f GB/s, balance %.1f FpB\n",
 		plat.Name, consts.PeakGFlops, consts.PeakGBs, consts.BtDRAM)
 
@@ -49,7 +49,7 @@ func main() {
 	// The kernel will run in a steady-state loop (step 4), so the one-time
 	// cap-switch cost amortizes: disable the single-invocation
 	// profitability gate.
-	cfg := core.DefaultConfig(plat, consts)
+	cfg := core.DefaultConfig(target)
 	cfg.AmortizeFactor = 0
 	res, err := core.Compile(mod, cfg)
 	if err != nil {

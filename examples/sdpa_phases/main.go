@@ -12,15 +12,13 @@ import (
 	"log"
 
 	"polyufc/internal/core"
-	"polyufc/internal/hw"
 	"polyufc/internal/ir"
 	"polyufc/internal/roofline"
 	"polyufc/internal/workloads"
 )
 
 func main() {
-	plat := hw.RPL()
-	consts, err := roofline.Calibrate(hw.NewMachine(plat))
+	target, err := roofline.ResolveName("rpl")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,7 +30,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := core.DefaultConfig(plat, consts)
+	cfg := core.DefaultConfig(target)
 	phases, err := core.PhaseStudy(mod, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -54,7 +52,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cfg := core.DefaultConfig(plat, consts)
+		cfg := core.DefaultConfig(target)
 		cfg.CapLevel = lvl
 		res, err := core.Compile(mod, cfg)
 		if err != nil {

@@ -12,7 +12,7 @@ import (
 // An already-cancelled context aborts CompileCtx before any stage runs.
 func TestCompileCtxCancelledBeforeStart(t *testing.T) {
 	p := hw.RPL()
-	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg := DefaultConfig(targetFor(t, p))
 	k, err := workloads.ByName("gemm")
 	if err != nil {
 		t.Fatal(err)
@@ -32,7 +32,7 @@ func TestCompileCtxCancelledBeforeStart(t *testing.T) {
 // a stage fault to degrade around.
 func TestCompileCtxCancellationBeatsBestEffort(t *testing.T) {
 	p := hw.BDW()
-	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg := DefaultConfig(targetFor(t, p))
 	cfg.Degrade = BestEffort
 	k, err := workloads.ByName("gemm")
 	if err != nil {
@@ -57,7 +57,7 @@ func TestCompileCtxCancellationBeatsBestEffort(t *testing.T) {
 // Background.
 func TestCompileMatchesCompileCtxBackground(t *testing.T) {
 	p := hw.RPL()
-	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg := DefaultConfig(targetFor(t, p))
 	k, err := workloads.ByName("atax")
 	if err != nil {
 		t.Fatal(err)

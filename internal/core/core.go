@@ -27,11 +27,13 @@ import (
 
 // Config parameterizes one compilation.
 type Config struct {
-	Platform  *hw.Platform
-	Constants *roofline.Constants
-	Pluto     pluto.Options
-	CM        cachemodel.Options
-	Search    search.Options
+	// Target is the resolved backend handle: the registry description,
+	// the platform built from it and the calibrated roofline constants,
+	// as one value (roofline.Resolve / ResolveName produce it).
+	Target *roofline.Target
+	Pluto  pluto.Options
+	CM     cachemodel.Options
+	Search search.Options
 	// CapLevel selects the granularity caps are applied at (Sec. VI-B);
 	// linalg is the paper's choice.
 	CapLevel ir.Dialect
@@ -93,12 +95,28 @@ const (
 	FaultCacheModel = "core.cachemodel"
 )
 
+// Platform returns the target's platform (nil without a target).
+func (c Config) Platform() *hw.Platform {
+	if c.Target == nil {
+		return nil
+	}
+	return c.Target.Platform
+}
+
+// Constants returns the target's calibrated roofline constants (nil
+// without a target).
+func (c Config) Constants() *roofline.Constants {
+	if c.Target == nil {
+		return nil
+	}
+	return c.Target.Constants
+}
+
 // DefaultConfig returns the paper's evaluation configuration for a
-// calibrated platform.
-func DefaultConfig(p *hw.Platform, c *roofline.Constants) Config {
+// resolved backend target.
+func DefaultConfig(t *roofline.Target) Config {
 	return Config{
-		Platform:       p,
-		Constants:      c,
+		Target:         t,
 		Pluto:          pluto.DefaultOptions(),
 		CM:             cachemodel.DefaultOptions(),
 		Search:         search.DefaultOptions(),
@@ -301,8 +319,8 @@ type Phase struct {
 // study-specific phase classification. Like Compile, it is pure: it
 // lowers a private clone.
 func PhaseStudy(mod *ir.Module, cfg Config) (map[ir.Dialect][]Phase, error) {
-	if cfg.Platform == nil || cfg.Constants == nil {
-		return nil, fmt.Errorf("core: config needs platform and calibrated constants")
+	if cfg.Platform() == nil || cfg.Constants() == nil {
+		return nil, fmt.Errorf("core: config needs a resolved backend target (platform and calibrated constants)")
 	}
 	st := newCompileState(mod.Clone(), cfg)
 	if _, err := pipeline.New("core", phaseStages()...).Run(context.Background(), st, pipeline.RunOptions{}); err != nil {

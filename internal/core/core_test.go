@@ -9,38 +9,27 @@ import (
 	"polyufc/internal/workloads"
 )
 
-var (
-	bdwConsts *roofline.Constants
-	rplConsts *roofline.Constants
-)
+var testTargets = map[string]*roofline.Target{}
 
-func constsFor(t *testing.T, p *hw.Platform) *roofline.Constants {
+// targetFor calibrates each platform once per test binary and hands out
+// the resolved backend handle configs are built from.
+func targetFor(t *testing.T, p *hw.Platform) *roofline.Target {
 	t.Helper()
-	switch p.Name {
-	case "BDW":
-		if bdwConsts == nil {
-			c, err := roofline.Calibrate(hw.NewMachine(p))
-			if err != nil {
-				t.Fatal(err)
-			}
-			bdwConsts = c
-		}
-		return bdwConsts
-	default:
-		if rplConsts == nil {
-			c, err := roofline.Calibrate(hw.NewMachine(p))
-			if err != nil {
-				t.Fatal(err)
-			}
-			rplConsts = c
-		}
-		return rplConsts
+	if tg, ok := testTargets[p.Name]; ok {
+		return tg
 	}
+	c, err := roofline.Calibrate(hw.NewMachine(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := roofline.NewTarget(p, c)
+	testTargets[p.Name] = tg
+	return tg
 }
 
 func compileKernel(t *testing.T, name string, size workloads.SizeClass, p *hw.Platform) *Result {
 	t.Helper()
-	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg := DefaultConfig(targetFor(t, p))
 	if size == workloads.Test {
 		// Test-size kernels run for microseconds; disable the cap
 		// profitability gate so insertion behaviour stays observable.
@@ -181,7 +170,7 @@ func TestSDPAPhasesCBBBCB(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg := DefaultConfig(targetFor(t, p))
 	phases, err := PhaseStudy(mod, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -215,7 +204,7 @@ func TestTorchGranularityMergesCaps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg := DefaultConfig(targetFor(t, p))
 	cfg.CapLevel = ir.DialectTorch
 	cfg.AmortizeFactor = 0
 	res, err := Compile(mod, cfg)
@@ -263,12 +252,12 @@ func TestProfitabilityGate(t *testing.T) {
 	// With the default gate, microsecond-scale test-size kernels get no
 	// caps (a switch would dominate); with the gate disabled they do.
 	p := hw.BDW()
-	cfgGated := DefaultConfig(p, constsFor(t, p))
+	cfgGated := DefaultConfig(targetFor(t, p))
 	gated := compileKernelCfg(t, "gemm", workloads.Test, cfgGated)
 	if gated.CapsInserted != 0 {
 		t.Fatalf("gate off? %d caps inserted for a microsecond kernel", gated.CapsInserted)
 	}
-	cfgOpen := DefaultConfig(p, constsFor(t, p))
+	cfgOpen := DefaultConfig(targetFor(t, p))
 	cfgOpen.AmortizeFactor = 0
 	open := compileKernelCfg(t, "gemm", workloads.Test, cfgOpen)
 	if open.CapsInserted == 0 {
@@ -283,7 +272,7 @@ func TestProfitabilityGate(t *testing.T) {
 
 func TestCompileAllKernelsTestSize(t *testing.T) {
 	p := hw.BDW()
-	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg := DefaultConfig(targetFor(t, p))
 	for _, k := range workloads.All() {
 		mod, err := k.Build(workloads.Test)
 		if err != nil {

@@ -14,7 +14,7 @@ import (
 func buildKernel(t *testing.T, name string) (*Config, func() *Result) {
 	t.Helper()
 	p := hw.BDW()
-	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg := DefaultConfig(targetFor(t, p))
 	cfg.AmortizeFactor = 0
 	k, err := workloads.ByName(name)
 	if err != nil {

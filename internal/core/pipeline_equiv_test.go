@@ -30,7 +30,7 @@ func buildModule(t *testing.T, name string, size workloads.SizeClass) *ir.Module
 // and when every memoizable stage is served from a snapshot.
 func TestStageMemoOnVsOffIdenticalResults(t *testing.T) {
 	p := hw.BDW()
-	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg := DefaultConfig(targetFor(t, p))
 	cfg.AmortizeFactor = 0
 	for _, name := range []string{"gemm", "2mm", "sdpa-bert"} {
 		mod := buildModule(t, name, workloads.Test)
@@ -69,7 +69,7 @@ func TestStageMemoOnVsOffIdenticalResults(t *testing.T) {
 // not redo preprocess, tile or cachemodel.
 func TestPrefixRunSeedsFullCompile(t *testing.T) {
 	p := hw.BDW()
-	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg := DefaultConfig(targetFor(t, p))
 	cfg.AmortizeFactor = 0
 	mod := buildModule(t, "gemm", workloads.Test)
 	cache := &pipeline.Cache{}
@@ -128,7 +128,7 @@ func TestPrefixRunSeedsFullCompile(t *testing.T) {
 // preprocess/tile/cachemodel.
 func TestSearchConfigChangeKeepsPrefixSnapshots(t *testing.T) {
 	p := hw.BDW()
-	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg := DefaultConfig(targetFor(t, p))
 	cfg.AmortizeFactor = 0
 	mod := buildModule(t, "gemm", workloads.Test)
 	cache := &pipeline.Cache{}
@@ -159,7 +159,7 @@ func TestSearchConfigChangeKeepsPrefixSnapshots(t *testing.T) {
 // call-ordered state a replayed snapshot would skip.
 func TestFaultsDisableStageMemo(t *testing.T) {
 	p := hw.BDW()
-	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg := DefaultConfig(targetFor(t, p))
 	cfg.AmortizeFactor = 0
 	cfg.Degrade = BestEffort
 	cfg.Faults = faults.New(1)
@@ -183,7 +183,7 @@ func TestFaultsDisableStageMemo(t *testing.T) {
 // under-report the Table-IV breakdown.
 func TestTimingsTotalDerivesFromStageEvents(t *testing.T) {
 	res := compileKernel(t, "gemm", workloads.Test, hw.BDW())
-	names := StageNames(DefaultConfig(hw.BDW(), constsFor(t, hw.BDW())))
+	names := StageNames(DefaultConfig(targetFor(t, hw.BDW())))
 	if len(res.Timings.Stages) != len(names) {
 		t.Fatalf("recorded %d stage events, want %d", len(res.Timings.Stages), len(names))
 	}

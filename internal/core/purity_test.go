@@ -27,7 +27,7 @@ func zeroTimings(r *Result) *Result {
 // module must be byte-identical before and after Compile.
 func TestCompileDoesNotMutateInput(t *testing.T) {
 	p := hw.BDW()
-	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg := DefaultConfig(targetFor(t, p))
 	for _, name := range purityKernels {
 		k, err := workloads.ByName(name)
 		if err != nil {
@@ -55,7 +55,7 @@ func TestCompileDoesNotMutateInput(t *testing.T) {
 // two Compile calls over the same module yield deep-equal Results.
 func TestCompilePureForFixedInput(t *testing.T) {
 	for _, p := range hw.Platforms() {
-		cfg := DefaultConfig(p, constsFor(t, p))
+		cfg := DefaultConfig(targetFor(t, p))
 		for _, name := range purityKernels {
 			k, err := workloads.ByName(name)
 			if err != nil {
@@ -84,7 +84,7 @@ func TestCompilePureForFixedInput(t *testing.T) {
 // module matches compiling the module twice.
 func TestCompilePureAcrossClones(t *testing.T) {
 	p := hw.RPL()
-	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg := DefaultConfig(targetFor(t, p))
 	k, err := workloads.ByName("2mm")
 	if err != nil {
 		t.Fatal(err)
@@ -110,7 +110,7 @@ func TestCompilePureAcrossClones(t *testing.T) {
 // TestPhaseStudyDoesNotMutateInput covers the other pipeline entry point.
 func TestPhaseStudyDoesNotMutateInput(t *testing.T) {
 	p := hw.RPL()
-	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg := DefaultConfig(targetFor(t, p))
 	k, err := workloads.ByName("sdpa-bert")
 	if err != nil {
 		t.Fatal(err)
@@ -132,7 +132,7 @@ func TestPhaseStudyDoesNotMutateInput(t *testing.T) {
 // memoized Results are deep-equal to fresh compilations.
 func TestCacheResultsMatchFreshCompiles(t *testing.T) {
 	p := hw.BDW()
-	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg := DefaultConfig(targetFor(t, p))
 	var cache Cache
 	ctx := context.Background()
 	for _, name := range purityKernels {
@@ -184,7 +184,7 @@ func TestCacheKeyDistinguishesConfigs(t *testing.T) {
 	}
 	build := func() (*ir.Module, error) { return k.Build(workloads.Test) }
 	p := hw.BDW()
-	cfgSA := DefaultConfig(p, constsFor(t, p))
+	cfgSA := DefaultConfig(targetFor(t, p))
 	cfgFA := cfgSA
 	cfgFA.CM.FullyAssoc = true
 	keySA := CacheKey{Kernel: "gemm-pow2", Platform: p.Name, Size: int(workloads.Test), CapLevel: cfgSA.CapLevel}
@@ -214,7 +214,7 @@ func TestCacheKeyDistinguishesConfigs(t *testing.T) {
 // identical shared Result, built once.
 func TestCacheConcurrentSameKey(t *testing.T) {
 	p := hw.RPL()
-	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg := DefaultConfig(targetFor(t, p))
 	k, err := workloads.ByName("mvt")
 	if err != nil {
 		t.Fatal(err)
@@ -256,7 +256,7 @@ func TestCacheConcurrentSameKey(t *testing.T) {
 func TestCacheBuildErrorNotCached(t *testing.T) {
 	var cache Cache
 	p := hw.BDW()
-	cfg := DefaultConfig(p, constsFor(t, p))
+	cfg := DefaultConfig(targetFor(t, p))
 	key := CacheKey{Kernel: "broken", Platform: p.Name}
 	boom := errors.New("build failed")
 	if _, err := cache.Compile(context.Background(), key, cfg, func() (*ir.Module, error) {

@@ -169,8 +169,13 @@ func stageBaseKey(mod *ir.Module, cfg Config) string {
 	}
 	h := sha256.New()
 	io.WriteString(h, mod.Print())
-	fmt.Fprintf(h, "|platform=%s", cfg.Platform.Name)
-	fmt.Fprintf(h, "|consts=%+v", *cfg.Constants)
+	fmt.Fprintf(h, "|platform=%s", cfg.Platform().Name)
+	if b := cfg.Platform().Backend; b != nil {
+		// Platform fields outside the constants (CapLatency, the cap
+		// grid) feed stages too: key on the exact description.
+		fmt.Fprintf(h, "|backend=%s", b.Hash())
+	}
+	fmt.Fprintf(h, "|consts=%+v", *cfg.Constants())
 	fmt.Fprintf(h, "|degrade=%d", cfg.Degrade)
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
@@ -180,7 +185,7 @@ func stageBaseKey(mod *ir.Module, cfg Config) string {
 func cmOptions(cfg Config, nest *ir.Nest) cachemodel.Options {
 	o := cfg.CM
 	if nest.Root != nil && nest.Root.Parallel && o.Threads <= 1 {
-		o.Threads = cfg.Platform.Threads
+		o.Threads = cfg.Platform().Threads
 	}
 	return o
 }
@@ -188,7 +193,7 @@ func cmOptions(cfg Config, nest *ir.Nest) cachemodel.Options {
 // nestThreads is the thread count a nest runs (and is modeled) with.
 func nestThreads(cfg Config, nest *ir.Nest) int {
 	if nest.Root != nil && nest.Root.Parallel {
-		return cfg.Platform.Threads
+		return cfg.Platform().Threads
 	}
 	return 1
 }
@@ -273,7 +278,7 @@ func stageCacheModel() pipeline.Stage[*compileState] {
 						return err
 					}
 					var err error
-					cm, err = cachemodel.Analyze(nest, st.cfg.Platform.Cache, cmOptions(st.cfg, nest))
+					cm, err = cachemodel.Analyze(nest, st.cfg.Platform().Cache, cmOptions(st.cfg, nest))
 					return err
 				})
 				if err != nil {
@@ -300,7 +305,7 @@ func stageCharacterize() pipeline.Stage[*compileState] {
 			for idx, nest := range st.nests {
 				st.threads[idx] = nestThreads(st.cfg, nest)
 				if cm := st.cms[idx]; cm != nil {
-					st.class[idx] = st.cfg.Constants.Classify(cm.OI)
+					st.class[idx] = st.cfg.Constants().Classify(cm.OI)
 				}
 			}
 			return nil
@@ -322,9 +327,9 @@ func stageModelFit() pipeline.Stage[*compileState] {
 					return err
 				}
 				err := pipeline.Unit(StageModelFit, nest.Label, func() error {
-					m := model.New(st.cfg.Constants, model.FromCacheModel(cm, st.threads[idx]))
+					m := model.New(st.cfg.Constants(), model.FromCacheModel(cm, st.threads[idx]))
 					st.models[idx] = m
-					st.defEst[idx] = m.At(st.cfg.Platform.UncoreMax)
+					st.defEst[idx] = m.At(st.cfg.Platform().UncoreMax)
 					return nil
 				})
 				if err != nil {
@@ -346,7 +351,7 @@ func stageSearch() pipeline.Stage[*compileState] {
 		Salt: func(st *compileState) string { return st.cfg.Search.Fingerprint() },
 		Save: snapSave, Load: snapLoad,
 		Run: func(ctx context.Context, st *compileState) error {
-			freqs := st.cfg.Platform.UncoreSteps()
+			freqs := st.cfg.Platform().UncoreSteps()
 			for idx, nest := range st.nests {
 				m := st.models[idx]
 				if m == nil {
@@ -383,7 +388,7 @@ func stageCapInsert() pipeline.Stage[*compileState] {
 			idx := 0
 			for _, f := range st.res.Module.Funcs {
 				var out []ir.Op
-				activeCap := cfg.Platform.UncoreMax // the driver default
+				activeCap := cfg.Platform().UncoreMax // the driver default
 				for _, op := range f.Ops {
 					nest, ok := op.(*ir.Nest)
 					if !ok {
@@ -429,7 +434,7 @@ func stageCapInsert() pipeline.Stage[*compileState] {
 					// enough. A non-positive BestGHz (degenerate frequency
 					// grid) never inserts a cap.
 					profitable := cfg.AmortizeFactor <= 0 ||
-						sres.Best.Seconds >= cfg.AmortizeFactor*cfg.Platform.CapLatency
+						sres.Best.Seconds >= cfg.AmortizeFactor*cfg.Platform().CapLatency
 					if profitable && sres.BestGHz > 0 && sres.BestGHz != activeCap {
 						out = append(out,
 							&ir.SetUncoreCap{GHz: sres.BestGHz, Level: cfg.CapLevel, From: nest.Label})
@@ -449,7 +454,7 @@ func stageCapMerge() pipeline.Stage[*compileState] {
 	return pipeline.Stage[*compileState]{
 		Name: StageCapMerge,
 		Run: func(_ context.Context, st *compileState) error {
-			minSec := st.cfg.AmortizeFactor * st.cfg.Platform.CapLatency
+			minSec := st.cfg.AmortizeFactor * st.cfg.Platform().CapLatency
 			st.res.CapsRemoved += mergeTorchCaps(st.res.Module, st.res.Reports, minSec)
 			return nil
 		},
@@ -493,11 +498,11 @@ func stagePhases() pipeline.Stage[*compileState] {
 				// to nests).
 				out[ir.DialectLinalg] = append(out[ir.DialectLinalg], Phase{
 					Level: ir.DialectLinalg, Op: nest.Origin(),
-					Class: cfg.Constants.Classify(cm.OI), OI: cm.OI,
+					Class: cfg.Constants().Classify(cm.OI), OI: cm.OI,
 				})
 				// Affine view: one phase per polyhedral statement — the
 				// finest granularity (Sec. VI-B notes its control overhead).
-				stRes, err := cachemodel.AnalyzeStatements(nest, cfg.Platform.Cache, cmOptions(cfg, nest))
+				stRes, err := cachemodel.AnalyzeStatements(nest, cfg.Platform().Cache, cmOptions(cfg, nest))
 				if err != nil {
 					return err
 				}
@@ -505,7 +510,7 @@ func stagePhases() pipeline.Stage[*compileState] {
 					out[ir.DialectAffine] = append(out[ir.DialectAffine], Phase{
 						Level: ir.DialectAffine,
 						Op:    nest.Label + "/" + sr.Name,
-						Class: cfg.Constants.Classify(sr.OI), OI: sr.OI,
+						Class: cfg.Constants().Classify(sr.OI), OI: sr.OI,
 					})
 				}
 				// Torch aggregation by origin.
@@ -523,7 +528,7 @@ func stagePhases() pipeline.Stage[*compileState] {
 				}
 				out[ir.DialectTorch] = append(out[ir.DialectTorch], Phase{
 					Level: ir.DialectTorch, Op: a.name,
-					Class: cfg.Constants.Classify(oi), OI: oi,
+					Class: cfg.Constants().Classify(oi), OI: oi,
 				})
 			}
 			st.phases = out
@@ -660,7 +665,7 @@ func CompilePipeline(ctx context.Context, mod *ir.Module, cfg Config, opts Pipel
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if cfg.Platform == nil || cfg.Constants == nil {
+	if cfg.Platform() == nil || cfg.Constants() == nil {
 		return nil, fmt.Errorf("core: config needs platform and calibrated constants")
 	}
 	if err := ctx.Err(); err != nil {

@@ -33,7 +33,7 @@ func (s *Suite) TileSizeSweep(p *hw.Platform, kernelName string, sizes []int64) 
 		if err != nil {
 			return nil, err
 		}
-		cfg := core.DefaultConfig(p, s.consts[p.Name])
+		cfg := core.DefaultConfig(s.targets[p.Name])
 		cfg.Pluto.TileSize = ts
 		res, err := core.Compile(mod, cfg)
 		if err != nil {

@@ -156,7 +156,7 @@ func (s *Suite) RenderFig5() error {
 	if err != nil {
 		return err
 	}
-	cfg := core.DefaultConfig(p, s.consts[p.Name])
+	cfg := core.DefaultConfig(s.targets[p.Name])
 	phases, err := core.PhaseStudy(mod, cfg)
 	if err != nil {
 		return err
@@ -183,7 +183,7 @@ func (s *Suite) Fig5Pattern() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	cfg := core.DefaultConfig(p, s.consts[p.Name])
+	cfg := core.DefaultConfig(s.targets[p.Name])
 	phases, err := core.PhaseStudy(mod, cfg)
 	if err != nil {
 		return "", err
@@ -221,7 +221,7 @@ type Fig6Row struct {
 // Fig6 characterizes the given kernels on a platform and validates against
 // hardware measurements. One worker per kernel; rows return in input order.
 func (s *Suite) Fig6(p *hw.Platform, kernels []string) ([]Fig6Row, error) {
-	c := s.consts[p.Name]
+	c := s.Constants(p.Name)
 	return parallel.Map(s.ctx(), len(kernels), s.Concurrency,
 		func(_ context.Context, idx int) (Fig6Row, error) {
 			name := kernels[idx]
@@ -515,7 +515,7 @@ type Fig8Result struct {
 // range.
 func (s *Suite) Fig8(kernelName string, p *hw.Platform) (*Fig8Result, error) {
 	build := func(fullyAssoc bool) ([]*model.Model, error) {
-		cfg := core.DefaultConfig(p, s.consts[p.Name])
+		cfg := core.DefaultConfig(s.targets[p.Name])
 		cfg.CM.FullyAssoc = fullyAssoc
 		res, err := s.compileCfg(kernelName, p, cfg)
 		if err != nil {
@@ -523,7 +523,7 @@ func (s *Suite) Fig8(kernelName string, p *hw.Platform) (*Fig8Result, error) {
 		}
 		var ms []*model.Model
 		for _, rep := range res.Reports {
-			ms = append(ms, model.New(s.consts[p.Name], model.FromCacheModel(rep.CM, rep.Threads)))
+			ms = append(ms, model.New(s.Constants(p.Name), model.FromCacheModel(rep.CM, rep.Threads)))
 		}
 		return ms, nil
 	}

@@ -37,7 +37,7 @@ func coreGrid(p *hw.Platform) []float64 {
 
 // Joint runs the comparison for the given kernels on one platform.
 func (s *Suite) Joint(p *hw.Platform, kernels []string) ([]JointRow, error) {
-	consts := s.consts[p.Name]
+	consts := s.Constants(p.Name)
 	cs := model.DefaultCoreScaling(p.CoreBase)
 	var out []JointRow
 	for _, name := range kernels {

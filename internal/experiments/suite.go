@@ -28,6 +28,7 @@ import (
 	"polyufc/internal/journal"
 	"polyufc/internal/parallel"
 	"polyufc/internal/pipeline"
+	"polyufc/internal/platform"
 	"polyufc/internal/roofline"
 	"polyufc/internal/workloads"
 )
@@ -58,7 +59,7 @@ type Suite struct {
 	// stores the exact float64s the renderers print.
 	Journal *journal.Journal
 	plats   []*hw.Platform
-	consts  map[string]*roofline.Constants
+	targets map[string]*roofline.Target
 	cache   core.Cache
 	// stages memoizes per-stage compile snapshots across the sweep's
 	// configurations: ablation runs that only vary downstream knobs
@@ -74,22 +75,32 @@ type Suite struct {
 // New builds a suite over both Table-III platforms, calibrating their
 // rooflines once — concurrently, one worker per platform.
 func New(size workloads.SizeClass, out io.Writer) (*Suite, error) {
-	s := &Suite{Size: size, Out: out, consts: map[string]*roofline.Constants{}}
-	plats := hw.Platforms()
-	consts, err := parallel.Map(context.Background(), len(plats), 0,
-		func(_ context.Context, i int) (*roofline.Constants, error) {
-			c, err := roofline.Calibrate(hw.NewMachine(plats[i]))
+	return NewBackends(size, out, platform.Paper())
+}
+
+// NewBackends builds a suite over an explicit backend set — any mix of
+// embedded descriptions and registry entries loaded from platforms/*.json
+// files — calibrating each one concurrently through the suite's stage
+// cache.
+func NewBackends(size workloads.SizeClass, out io.Writer, backends []*platform.Backend) (*Suite, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("experiments: no backends to evaluate")
+	}
+	s := &Suite{Size: size, Out: out, targets: map[string]*roofline.Target{}}
+	targets, err := parallel.Map(context.Background(), len(backends), 0,
+		func(ctx context.Context, i int) (*roofline.Target, error) {
+			t, err := roofline.ResolveCached(ctx, &s.stages, backends[i])
 			if err != nil {
-				return nil, fmt.Errorf("experiments: calibrate %s: %w", plats[i].Name, err)
+				return nil, fmt.Errorf("experiments: calibrate %s: %w", backends[i].Name, err)
 			}
-			return c, nil
+			return t, nil
 		})
 	if err != nil {
 		return nil, err
 	}
-	for i, p := range plats {
-		s.plats = append(s.plats, p)
-		s.consts[p.Name] = consts[i]
+	for _, t := range targets {
+		s.plats = append(s.plats, t.Platform)
+		s.targets[t.Platform.Name] = t
 	}
 	return s, nil
 }
@@ -97,8 +108,16 @@ func New(size workloads.SizeClass, out io.Writer) (*Suite, error) {
 // Platforms returns the suite's platforms.
 func (s *Suite) Platforms() []*hw.Platform { return s.plats }
 
+// Target returns the resolved backend handle for a platform.
+func (s *Suite) Target(name string) *roofline.Target { return s.targets[name] }
+
 // Constants returns the calibrated rooflines for a platform.
-func (s *Suite) Constants(name string) *roofline.Constants { return s.consts[name] }
+func (s *Suite) Constants(name string) *roofline.Constants {
+	if t := s.targets[name]; t != nil {
+		return t.Constants
+	}
+	return nil
+}
 
 // CacheStats reports compile-cache hits and misses so far.
 func (s *Suite) CacheStats() (hits, misses int64) { return s.cache.Stats() }
@@ -204,7 +223,7 @@ func (s *Suite) printf(format string, args ...interface{}) {
 // compile builds, lowers and PolyUFC-compiles one kernel for a platform
 // through the suite's memo cache with the paper's default configuration.
 func (s *Suite) compile(kernelName string, p *hw.Platform) (*core.Result, error) {
-	cfg := core.DefaultConfig(p, s.consts[p.Name])
+	cfg := core.DefaultConfig(s.targets[p.Name])
 	return s.compileCfg(kernelName, p, cfg)
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"polyufc/internal/cachemodel"
@@ -17,7 +18,7 @@ import (
 func (s *Suite) RenderTab1() error {
 	s.printf("== Tab. I: performance/power roofline constants (one-time microbenchmarks) ==\n")
 	for _, p := range s.plats {
-		c := s.consts[p.Name]
+		c := s.Constants(p.Name)
 		s.printf("-- %s\n", p.Name)
 		s.printf("   t_FPU       %.4g s/flop  (peak %.1f GF/s)\n", c.TFpu, c.PeakGFlops)
 		s.printf("   t_byte      %.4g s/B     (peak %.1f GB/s at f_max)\n", c.TByteMax, c.PeakGBs)
@@ -51,8 +52,10 @@ func (s *Suite) RenderTab3() error {
 	s.printf("   %-5s %-26s %9s %11s %13s %10s\n",
 		"arch", "CPU", "released", "core (GHz)", "uncore (GHz)", "cap step")
 	for _, p := range s.plats {
-		s.printf("   %-5s %-26s %9d %5.1f-%-5.1f %6.1f-%-6.1f %7.1f GHz\n",
-			p.Name, p.CPU, p.Released, p.CoreMin, p.CoreMax, p.UncoreMin, p.UncoreMax, p.CapStep)
+		// Shortest representation so sub-0.1 grids (0.05) don't round to 0.1.
+		step := strconv.FormatFloat(p.CapStep, 'f', -1, 64)
+		s.printf("   %-5s %-26s %9d %5.1f-%-5.1f %6.1f-%-6.1f %7s GHz\n",
+			p.Name, p.CPU, p.Released, p.CoreMin, p.CoreMax, p.UncoreMin, p.UncoreMax, step)
 	}
 	for _, p := range s.plats {
 		s.printf("   %s caches:", p.Name)
@@ -84,7 +87,7 @@ func (s *Suite) Tab4(kernels []string) ([]Tab4Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfg := core.DefaultConfig(p, s.consts[p.Name])
+		cfg := core.DefaultConfig(s.targets[p.Name])
 		res, err := core.Compile(mod, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("tab4 %s: %w", name, err)
@@ -132,7 +135,7 @@ type OverheadResult struct {
 // inter-kernel cap overhead. The profitability gate is disabled so every
 // kernel carries its own cap, as in the paper's Sec. VII-F measurement.
 func (s *Suite) Overhead(p *hw.Platform) (*OverheadResult, error) {
-	cfg := core.DefaultConfig(p, s.consts[p.Name])
+	cfg := core.DefaultConfig(s.targets[p.Name])
 	cfg.AmortizeFactor = 0
 	res, err := s.compileCfg("sdpa-gemma2", p, cfg)
 	if err != nil {

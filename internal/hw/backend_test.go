@@ -1,0 +1,227 @@
+package hw
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"polyufc/internal/cachesim"
+	"polyufc/internal/platform"
+)
+
+// legacyBDW and legacyRPL are the pre-registry hardcoded constructors,
+// kept verbatim as the equivalence oracle: the embedded descriptions
+// must reconstruct them field for field.
+func legacyBDW() *Platform {
+	return &Platform{
+		Name: "BDW", CPU: "Xeon E5-1650 v4 (6C/12T)", Released: 2015,
+		Cores: 6, Threads: 12,
+		CoreMin: 1.2, CoreMax: 4.0, CoreBase: 3.6,
+		UncoreMin: 1.2, UncoreMax: 2.8,
+		CapStep: 0.1, CapLatency: 35e-6,
+		HasUncoreRAPL: false,
+		Cache: cachesim.Config{Levels: []cachesim.LevelConfig{
+			{Name: "L1", SizeBytes: 32 << 10, LineSize: 64, Assoc: 8},
+			{Name: "L2", SizeBytes: 256 << 10, LineSize: 64, Assoc: 8},
+			{Name: "LLC", SizeBytes: 15 << 20, LineSize: 64, Assoc: 20},
+		}},
+		truth: Truth{
+			FlopsPerCycle:    16,
+			HitLatencyNs:     []float64{1.1, 3.3, 13.0},
+			DRAMLatCoefNsGHz: 42, DRAMLatBaseNs: 52,
+			BWPeakGBs: 55, BWKneeGHz: 0.55,
+			MLP: 10, MLPSystem: 48, ILP: 4, Overlap: 0.2,
+			PConstW: 30, CoreIdleWPerGHz: 2.2, CoreJPerFlop: 1.6e-10,
+			UncoreIdleWPerGHz: 4.2, UncoreActWPerGHz: 8.5, UncoreActBaseW: 2.0,
+		},
+	}
+}
+
+func legacyRPL() *Platform {
+	return &Platform{
+		Name: "RPL", CPU: "Intel i5-13600 (14C/20T)", Released: 2023,
+		Cores: 14, Threads: 20,
+		CoreMin: 0.8, CoreMax: 5.0, CoreBase: 3.9,
+		UncoreMin: 0.8, UncoreMax: 4.6,
+		CapStep: 0.1, CapLatency: 21e-6,
+		HasUncoreRAPL: true,
+		Cache: cachesim.Config{Levels: []cachesim.LevelConfig{
+			{Name: "L1", SizeBytes: 48 << 10, LineSize: 64, Assoc: 12},
+			{Name: "L2", SizeBytes: 2 << 20, LineSize: 64, Assoc: 16},
+			{Name: "LLC", SizeBytes: 24 << 20, LineSize: 64, Assoc: 12},
+		}},
+		truth: Truth{
+			FlopsPerCycle:    16,
+			HitLatencyNs:     []float64{0.9, 2.8, 15.0},
+			DRAMLatCoefNsGHz: 30, DRAMLatBaseNs: 46,
+			BWPeakGBs: 75, BWKneeGHz: 1.3,
+			MLP: 14, MLPSystem: 64, ILP: 4, Overlap: 0.2,
+			PConstW: 18, CoreIdleWPerGHz: 2.6, CoreJPerFlop: 1.1e-10,
+			UncoreIdleWPerGHz: 2.6, UncoreActWPerGHz: 5.5, UncoreActBaseW: 1.8,
+		},
+	}
+}
+
+func TestBackendEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want *Platform
+	}{
+		{"BDW", legacyBDW()},
+		{"RPL", legacyRPL()},
+	} {
+		got, err := PlatformByName(tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got.Backend == nil {
+			t.Fatalf("%s: registry platform should carry its backend description", tc.name)
+		}
+		// The description pointer is new by construction; equivalence is
+		// about every value the simulator and drivers read.
+		tc.want.Backend = got.Backend
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: registry platform differs from legacy constructor:\n got %+v\nwant %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// grid builds a bare platform for frequency-grid edge cases.
+func grid(min, max, step float64) *Platform {
+	return &Platform{UncoreMin: min, UncoreMax: max, CapStep: step}
+}
+
+func TestUncoreStepsGrid(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    *Platform
+		want []float64
+	}{
+		{"bdw-0.1", grid(1.2, 2.8, 0.1),
+			[]float64{1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0, 2.1, 2.2, 2.3, 2.4, 2.5, 2.6, 2.7, 2.8}},
+		{"half-step-0.05", grid(1.25, 1.5, 0.05),
+			[]float64{1.25, 1.3, 1.35, 1.4, 1.45, 1.5}},
+		{"uneven-range", grid(1.0, 1.25, 0.1),
+			[]float64{1.0, 1.1, 1.2}},
+		{"step-wider-than-range", grid(2.0, 2.05, 0.1),
+			[]float64{2.0}},
+		{"degenerate-range", grid(2.0, 2.0, 0.1),
+			[]float64{2.0}},
+	} {
+		got := tc.p.UncoreSteps()
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: UncoreSteps = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestClampCapGrid(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    *Platform
+		in   float64
+		want float64
+	}{
+		{"round-down", grid(1.2, 2.8, 0.1), 2.04, 2.0},
+		{"round-up", grid(1.2, 2.8, 0.1), 2.06, 2.1},
+		{"below-min", grid(1.2, 2.8, 0.1), 0.5, 1.2},
+		{"above-max", grid(1.2, 2.8, 0.1), 9.9, 2.8},
+		// A 0.05 grid anchored off the 0.1 lattice: 1.25 is a valid point.
+		{"half-step-min", grid(1.25, 1.5, 0.05), 0.0, 1.25},
+		{"half-step-near-min", grid(1.25, 1.5, 0.05), 1.27, 1.25},
+		{"half-step-round-up", grid(1.25, 1.5, 0.05), 1.28, 1.3},
+		{"half-step-max", grid(1.25, 1.5, 0.05), 7.0, 1.5},
+		// Step does not divide the range: the max itself is off-grid and
+		// must clamp to the last grid point, not an out-of-grid value.
+		{"uneven-clamp-at-max", grid(1.0, 1.25, 0.1), 1.25, 1.2},
+		{"uneven-clamp-above", grid(1.0, 1.25, 0.1), 9.0, 1.2},
+		{"single-point", grid(2.0, 2.05, 0.1), 9.0, 2.0},
+	} {
+		got := tc.p.ClampCap(tc.in)
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: ClampCap(%v) = %v, want %v", tc.name, tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestClampCapOnGrid is the invariant the old implementation violated:
+// every clamped value must be an element of UncoreSteps, including for
+// grids whose step does not divide the range.
+func TestClampCapOnGrid(t *testing.T) {
+	for _, p := range []*Platform{
+		grid(1.2, 2.8, 0.1), grid(0.8, 4.6, 0.1),
+		grid(1.25, 1.5, 0.05), grid(1.0, 1.25, 0.1), grid(0.7, 3.14, 0.15),
+	} {
+		steps := p.UncoreSteps()
+		on := map[float64]bool{}
+		for _, f := range steps {
+			on[f] = true
+		}
+		for f := 0.0; f < p.UncoreMax+1; f += 0.01 {
+			if got := p.ClampCap(f); !on[got] {
+				t.Fatalf("grid [%g,%g]@%g: ClampCap(%v) = %v is not in UncoreSteps %v",
+					p.UncoreMin, p.UncoreMax, p.CapStep, f, got, steps)
+			}
+		}
+	}
+}
+
+// TestHalfStepBackendViaRegistry registers a 0.05 GHz-step backend as a
+// description (no code changes) and checks the machine path honours its
+// grid.
+func TestHalfStepBackendViaRegistry(t *testing.T) {
+	b, err := platform.Parse([]byte(`{
+		"schema": 1, "name": "HALFSTEP-TEST", "cpu": "synthetic", "released": 2026,
+		"cores": 4, "threads": 8,
+		"core_min_ghz": 1.0, "core_max_ghz": 3.0, "core_base_ghz": 2.5,
+		"uncore_min_ghz": 1.25, "uncore_max_ghz": 2.8, "cap_step_ghz": 0.05,
+		"cap_latency_sec": 20e-6, "has_uncore_rapl": true,
+		"cache": [
+			{"name": "L1", "size_bytes": 32768, "line_size": 64, "assoc": 8},
+			{"name": "LLC", "size_bytes": 4194304, "line_size": 64, "assoc": 16}
+		],
+		"truth": {
+			"flops_per_cycle": 8, "hit_latency_ns": [1.0, 10.0],
+			"dram_lat_coef_ns_ghz": 40, "dram_lat_base_ns": 50,
+			"bw_peak_gbs": 40, "bw_knee_ghz": 0.8,
+			"mlp": 8, "mlp_system": 32, "ilp": 4, "overlap": 0.2,
+			"p_const_w": 20, "core_idle_w_per_ghz": 2.0, "core_j_per_flop": 2e-10,
+			"uncore_idle_w_per_ghz": 3.0, "uncore_act_w_per_ghz": 6.0, "uncore_act_base_w": 1.5
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := FromBackend(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := p.UncoreSteps()
+	if len(steps) != 32 { // 1.25..2.80 in 0.05 steps
+		t.Fatalf("steps = %d, want 32", len(steps))
+	}
+	if steps[0] != 1.25 || steps[len(steps)-1] != 2.8 {
+		t.Fatalf("grid bounds = [%v, %v]", steps[0], steps[len(steps)-1])
+	}
+	m := NewMachine(p)
+	if got := m.SetUncoreCap(1.26); got != 1.25 {
+		t.Fatalf("SetUncoreCap(1.26) = %v, want 1.25", got)
+	}
+	if got := m.SetUncoreCap(0.2); got != 1.25 {
+		t.Fatalf("SetUncoreCap(0.2) = %v, want 1.25", got)
+	}
+}
+
+func TestFromBackendRejectsInvalid(t *testing.T) {
+	good := *BDW().Backend
+	bad := good
+	bad.CapStepGHz = 0
+	if _, err := FromBackend(&bad); err == nil {
+		t.Fatal("zero cap step should be rejected")
+	}
+	bad = good
+	bad.Truth.HitLatencyNs = []float64{1.0}
+	if _, err := FromBackend(&bad); err == nil {
+		t.Fatal("hit-latency/cache-level mismatch should be rejected")
+	}
+}

@@ -2,6 +2,7 @@ package hw
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"polyufc/internal/ir"
@@ -212,11 +213,20 @@ func TestParallelSpeedsUp(t *testing.T) {
 }
 
 func TestPlatformLookup(t *testing.T) {
-	if PlatformByName("BDW") == nil || PlatformByName("rpl") == nil {
-		t.Fatal("lookup failed")
+	for _, name := range []string{"BDW", "bdw", "broadwell", "RPL", "rpl", "Rpl"} {
+		if _, err := PlatformByName(name); err != nil {
+			t.Fatalf("lookup %q: %v", name, err)
+		}
 	}
-	if PlatformByName("xyz") != nil {
-		t.Fatal("unknown platform should be nil")
+	p, err := PlatformByName("xyz")
+	if err == nil {
+		t.Fatal("unknown platform should return an error")
+	}
+	if p != nil {
+		t.Fatal("unknown platform should not return a platform")
+	}
+	if !strings.Contains(err.Error(), "BDW") || !strings.Contains(err.Error(), "RPL") {
+		t.Fatalf("lookup error should list registered backends, got %v", err)
 	}
 }
 

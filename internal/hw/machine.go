@@ -110,17 +110,12 @@ func (m *Machine) UncoreCap() float64 { return m.uncoreCap }
 // CoreFreq returns the active core frequency in GHz.
 func (m *Machine) CoreFreq() float64 { return m.coreFreq }
 
-// SetCoreFreq emulates the intel_pstate driver: the requested frequency is
-// clamped to the platform's core range at 0.1 GHz granularity; a change
-// costs the same transition latency as an uncore cap.
+// SetCoreFreq emulates the intel_pstate driver: the requested frequency
+// is rounded to the core grid (anchored at CoreMin, CapStep apart) and
+// clamped to the platform's core range; a change costs the same
+// transition latency as an uncore cap.
 func (m *Machine) SetCoreFreq(ghz float64) float64 {
-	f := roundStep(ghz, m.P.CapStep)
-	if f < m.P.CoreMin {
-		f = m.P.CoreMin
-	}
-	if f > m.P.CoreMax {
-		f = m.P.CoreMax
-	}
+	f := clampToGrid(m.P.CoreMin, m.P.CoreMax, m.P.CapStep, ghz)
 	if f != m.coreFreq {
 		m.coreFreq = f
 		m.capSwitches++

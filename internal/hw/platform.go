@@ -1,64 +1,33 @@
-// Package hw simulates the paper's hardware substrate: the two Intel
-// microarchitectures of Table III (Broadwell Xeon E5-1650v4 and Raptor
-// Lake i5-13600), their uncore (UFS) and core (P-state) frequency drivers,
-// and RAPL-style energy counters. A Machine executes affine kernels
-// through the exact cache simulator and converts the resulting event
-// counts into time and power with a hidden "ground truth" model — distinct
-// in structure and constants from the analytic Sec. V model PolyUFC
-// derives, so the compiler's predictions are genuinely tested against
-// measurement, as on real silicon.
+// Package hw simulates the paper's hardware substrate: the evaluation
+// machines of Table III (Broadwell Xeon E5-1650v4 and Raptor Lake
+// i5-13600) plus any backend registered as a description file, their
+// uncore (UFS) and core (P-state) frequency drivers, and RAPL-style
+// energy counters. A Machine executes affine kernels through the exact
+// cache simulator and converts the resulting event counts into time and
+// power with a hidden "ground truth" model — distinct in structure and
+// constants from the analytic Sec. V model PolyUFC derives, so the
+// compiler's predictions are genuinely tested against measurement, as on
+// real silicon.
+//
+// Platforms are constructed from internal/platform backend descriptions:
+// the registry (not code) decides which machines exist.
 package hw
 
 import (
 	"math"
 
 	"polyufc/internal/cachesim"
+	"polyufc/internal/platform"
 )
 
 // Truth holds the hidden machine constants the hardware model uses. They
-// are not exported to the analytic model; PolyUFC must recover equivalent
+// live in the backend description (the simulator's silicon) and are not
+// exported to the analytic model; PolyUFC must recover equivalent
 // information through roofline micro-benchmarking.
-type Truth struct {
-	// FlopsPerCycle is the per-core FPU throughput (AVX FMA lanes).
-	FlopsPerCycle float64
-	// HitLatencyNs is the load-to-use latency per cache level.
-	HitLatencyNs []float64
-	// DRAMLatCoefNsGHz and DRAMLatBaseNs give the per-miss DRAM service
-	// latency a/f + b (ns, f in GHz): the uncore clock gates the path.
-	DRAMLatCoefNsGHz float64
-	DRAMLatBaseNs    float64
-	// Sustained DRAM bandwidth follows the saturating interconnect curve
-	// bw(f) = BWPeakGBs * f / (f + BWKneeGHz): per-byte service time is
-	// then exactly hyperbolic in f (a/f + b), the shape the paper observes
-	// and fits on real uncore hardware; beyond the knee, extra uncore
-	// frequency is over-provisioning (Sec. II-F).
-	BWPeakGBs float64
-	BWKneeGHz float64
-	// MLP is the per-core memory-level parallelism (outstanding misses);
-	// MLPSystem caps the whole-chip total.
-	MLP       float64
-	MLPSystem float64
-	// ILP overlaps cache-hit latencies with computation.
-	ILP float64
-	// Overlap is the fraction of the smaller of compute/memory time not
-	// hidden under the larger.
-	Overlap float64
-	// PConstW is constant (static + board) power.
-	PConstW float64
-	// CoreIdleWPerGHz is core clock-tree power per GHz (paid whenever the
-	// cores are clocked, even when stalled on memory).
-	CoreIdleWPerGHz float64
-	// CoreJPerFlop is dynamic core energy per arithmetic operation.
-	CoreJPerFlop float64
-	// UncoreIdleWPerGHz is uncore clock-tree power per GHz, always paid.
-	UncoreIdleWPerGHz float64
-	// UncoreActWPerGHz and UncoreActBaseW scale with memory utilization:
-	// P_uncore_dyn = (act*f + base) * utilization.
-	UncoreActWPerGHz float64
-	UncoreActBaseW   float64
-}
+type Truth = platform.Truth
 
-// Platform describes one evaluation machine (Table III).
+// Platform describes one evaluation machine, constructed from a registry
+// backend description.
 type Platform struct {
 	Name      string
 	CPU       string
@@ -79,100 +48,126 @@ type Platform struct {
 	// (false on BDW, footnote 15).
 	HasUncoreRAPL bool
 	Cache         cachesim.Config
-	truth         Truth
+	// Backend is the description this platform was constructed from.
+	Backend *platform.Backend
+	truth   Truth
+}
+
+// FromBackend constructs a Platform from a validated backend description.
+func FromBackend(b *platform.Backend) (*Platform, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	levels := make([]cachesim.LevelConfig, len(b.Cache))
+	for i, lv := range b.Cache {
+		levels[i] = cachesim.LevelConfig{
+			Name: lv.Name, SizeBytes: lv.SizeBytes, LineSize: lv.LineSize, Assoc: lv.Assoc,
+		}
+	}
+	return &Platform{
+		Name: b.Name, CPU: b.CPU, Released: b.Released,
+		Cores: b.Cores, Threads: b.Threads,
+		CoreMin: b.CoreMinGHz, CoreMax: b.CoreMaxGHz, CoreBase: b.CoreBaseGHz,
+		UncoreMin: b.UncoreMinGHz, UncoreMax: b.UncoreMaxGHz,
+		CapStep: b.CapStepGHz, CapLatency: b.CapLatencySec,
+		HasUncoreRAPL: b.HasUncoreRAPL,
+		Cache:         cachesim.Config{Levels: levels},
+		Backend:       b,
+		truth:         b.Truth,
+	}, nil
+}
+
+// mustByName resolves a registry backend that is known to be embedded.
+func mustByName(name string) *Platform {
+	p, err := PlatformByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 // BDW returns the Broadwell platform (Xeon E5-1650 v4, 6C/12T,
-// core 1.2-4.0 GHz, uncore 1.2-2.8 GHz).
-func BDW() *Platform {
-	return &Platform{
-		Name: "BDW", CPU: "Xeon E5-1650 v4 (6C/12T)", Released: 2015,
-		Cores: 6, Threads: 12,
-		CoreMin: 1.2, CoreMax: 4.0, CoreBase: 3.6,
-		UncoreMin: 1.2, UncoreMax: 2.8,
-		CapStep: 0.1, CapLatency: 35e-6,
-		HasUncoreRAPL: false,
-		Cache: cachesim.Config{Levels: []cachesim.LevelConfig{
-			{Name: "L1", SizeBytes: 32 << 10, LineSize: 64, Assoc: 8},
-			{Name: "L2", SizeBytes: 256 << 10, LineSize: 64, Assoc: 8},
-			{Name: "LLC", SizeBytes: 15 << 20, LineSize: 64, Assoc: 20},
-		}},
-		truth: Truth{
-			FlopsPerCycle:    16,
-			HitLatencyNs:     []float64{1.1, 3.3, 13.0},
-			DRAMLatCoefNsGHz: 42, DRAMLatBaseNs: 52,
-			BWPeakGBs: 55, BWKneeGHz: 0.55,
-			MLP: 10, MLPSystem: 48, ILP: 4, Overlap: 0.2,
-			PConstW: 30, CoreIdleWPerGHz: 2.2, CoreJPerFlop: 1.6e-10,
-			UncoreIdleWPerGHz: 4.2, UncoreActWPerGHz: 8.5, UncoreActBaseW: 2.0,
-		},
-	}
-}
+// core 1.2-4.0 GHz, uncore 1.2-2.8 GHz) from its embedded description.
+func BDW() *Platform { return mustByName("BDW") }
 
 // RPL returns the Raptor Lake platform (i5-13600, 14C/20T,
-// core 0.8-5.0 GHz, uncore 0.8-4.6 GHz).
-func RPL() *Platform {
-	return &Platform{
-		Name: "RPL", CPU: "Intel i5-13600 (14C/20T)", Released: 2023,
-		Cores: 14, Threads: 20,
-		CoreMin: 0.8, CoreMax: 5.0, CoreBase: 3.9,
-		UncoreMin: 0.8, UncoreMax: 4.6,
-		CapStep: 0.1, CapLatency: 21e-6,
-		HasUncoreRAPL: true,
-		Cache: cachesim.Config{Levels: []cachesim.LevelConfig{
-			{Name: "L1", SizeBytes: 48 << 10, LineSize: 64, Assoc: 12},
-			{Name: "L2", SizeBytes: 2 << 20, LineSize: 64, Assoc: 16},
-			{Name: "LLC", SizeBytes: 24 << 20, LineSize: 64, Assoc: 12},
-		}},
-		truth: Truth{
-			FlopsPerCycle:    16,
-			HitLatencyNs:     []float64{0.9, 2.8, 15.0},
-			DRAMLatCoefNsGHz: 30, DRAMLatBaseNs: 46,
-			BWPeakGBs: 75, BWKneeGHz: 1.3,
-			MLP: 14, MLPSystem: 64, ILP: 4, Overlap: 0.2,
-			PConstW: 18, CoreIdleWPerGHz: 2.6, CoreJPerFlop: 1.1e-10,
-			UncoreIdleWPerGHz: 2.6, UncoreActWPerGHz: 5.5, UncoreActBaseW: 1.8,
-		},
-	}
-}
+// core 0.8-5.0 GHz, uncore 0.8-4.6 GHz) from its embedded description.
+func RPL() *Platform { return mustByName("RPL") }
 
-// Platforms returns the two evaluation machines of Table III.
-func Platforms() []*Platform { return []*Platform{BDW(), RPL()} }
-
-// PlatformByName returns the named platform or nil.
-func PlatformByName(name string) *Platform {
-	switch name {
-	case "BDW", "bdw":
-		return BDW()
-	case "RPL", "rpl":
-		return RPL()
-	}
-	return nil
-}
-
-// UncoreSteps returns the allowed uncore cap frequencies, CapStep apart.
-func (p *Platform) UncoreSteps() []float64 {
-	var out []float64
-	for f := p.UncoreMin; f <= p.UncoreMax+1e-9; f += p.CapStep {
-		out = append(out, roundStep(f, p.CapStep))
+// Platforms returns the paper's evaluation machines of Table III — the
+// registered backends marked paper, which the golden experiments sweep.
+func Platforms() []*Platform {
+	var out []*Platform
+	for _, b := range platform.Paper() {
+		p, err := FromBackend(b)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, p)
 	}
 	return out
 }
 
-func roundStep(f, step float64) float64 {
-	n := int(f/step + 0.5)
-	// Snap to 3 decimals so 0.1 GHz grids render exactly.
-	return math.Round(float64(n)*step*1000) / 1000
+// PlatformByName resolves a platform through the backend registry by
+// canonical name or alias (case-insensitive). Unknown names return an
+// error listing the registered backends, never a nil platform.
+func PlatformByName(name string) (*Platform, error) {
+	b, err := platform.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return FromBackend(b)
 }
 
-// ClampCap rounds a requested cap to the platform's step and range.
+// UncoreSteps returns the allowed uncore cap frequencies: the grid
+// anchored at UncoreMin, CapStep apart, up to the largest point that
+// still fits in the range. Steps that do not divide the range evenly
+// leave UncoreMax off the grid rather than emitting an out-of-range
+// point.
+func (p *Platform) UncoreSteps() []float64 {
+	n := gridSize(p.UncoreMin, p.UncoreMax, p.CapStep)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = gridPoint(p.UncoreMin, p.CapStep, i)
+	}
+	return out
+}
+
+// gridSize counts the grid points min, min+step, ... that fit in
+// [min, max]; degenerate ranges or steps yield the single point min.
+func gridSize(min, max, step float64) int {
+	if step <= 0 || max < min {
+		return 1
+	}
+	return int((max-min)/step+1e-9) + 1
+}
+
+// gridPoint returns min + i*step snapped to 3 decimals, so 0.1 and
+// 0.05 GHz grids render exactly.
+func gridPoint(min, step float64, i int) float64 {
+	return math.Round((min+float64(i)*step)*1000) / 1000
+}
+
+// clampToGrid rounds f to the nearest grid point anchored at min and
+// clamps to the grid's range — the returned value is always an element
+// of the grid, even when step does not divide max-min evenly.
+func clampToGrid(min, max, step, f float64) float64 {
+	n := gridSize(min, max, step)
+	i := int(math.Round((f - min) / step))
+	if i < 0 {
+		i = 0
+	}
+	if i > n-1 {
+		i = n - 1
+	}
+	return gridPoint(min, step, i)
+}
+
+// ClampCap rounds a requested cap to the platform's step grid and range;
+// the result is always one of UncoreSteps.
 func (p *Platform) ClampCap(f float64) float64 {
-	f = roundStep(f, p.CapStep)
-	if f < p.UncoreMin {
-		f = p.UncoreMin
+	if p.CapStep <= 0 {
+		return math.Min(math.Max(f, p.UncoreMin), p.UncoreMax)
 	}
-	if f > p.UncoreMax {
-		f = p.UncoreMax
-	}
-	return f
+	return clampToGrid(p.UncoreMin, p.UncoreMax, p.CapStep, f)
 }

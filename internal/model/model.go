@@ -154,14 +154,12 @@ func (m *Model) At(f float64) Estimate {
 }
 
 // threadsOfPeak reports how many threads the calibrated peak assumed: the
-// calibration benches run fully parallel, so TFpu is whole-machine.
+// calibration benches run fully parallel, so TFpu is whole-machine. The
+// count is recorded by the calibration from the backend description —
+// hand-built Constants without it are treated as single-thread peaks.
 func threadsOfPeak(c *roofline.Constants) int {
-	// The platform thread count is public information (Table III).
-	switch c.Platform {
-	case "BDW":
-		return 12
-	case "RPL":
-		return 20
+	if c.CalibThreads > 0 {
+		return c.CalibThreads
 	}
 	return 1
 }

@@ -1,6 +1,10 @@
 package pipeline
 
-import "polyufc/internal/parallel"
+import (
+	"context"
+
+	"polyufc/internal/parallel"
+)
 
 // Cache memoizes stage snapshots across pipeline runs. Keys are the
 // chained content hashes computed by Run, values the opaque snapshots
@@ -30,3 +34,12 @@ func (c *Cache) Len() int { return c.memo.Len() }
 
 // Reset drops every snapshot and zeroes the statistics.
 func (c *Cache) Reset() { c.memo.Reset() }
+
+// Do memoizes an arbitrary computation under the same singleflight store
+// the stage snapshots use: concurrent callers with the same key compute
+// once and share the value. Callers outside the stage runner (backend
+// calibration, for one) key their entries by content hash so they
+// coexist with chained stage keys.
+func (c *Cache) Do(ctx context.Context, key string, compute func() (any, error)) (any, error) {
+	return c.memo.Do(ctx, key, func() (any, error) { return compute() })
+}

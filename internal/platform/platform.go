@@ -1,0 +1,234 @@
+// Package platform is the registry of machine descriptions PolyUFC can
+// target. A Backend is a declarative, schema-versioned description of one
+// machine — topology, cache hierarchy, uncore frequency range and cap
+// step, and the hidden truth/simulator parameters — serializable to JSON
+// (platforms/*.json) so new machines are added as data, not code
+// (Kerncraft-style machine files). A Calibration is the persisted result
+// of the one-time roofline micro-benchmark fit over a Backend: the
+// Table-I Constants plus Sec. V curve fits, stamped with provenance (fit
+// date, seed, fit residuals) so operators can tell which machine model
+// served a request.
+//
+// The package is a leaf: hw constructs Platforms/Machines from a Backend,
+// roofline calibrates one and resolves the (Backend, Platform, Constants)
+// triple into a Target, and everything above consumes that handle.
+package platform
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// SchemaVersion is the current backend-description schema. Files carrying
+// a different "schema" value are rejected at parse time.
+const SchemaVersion = 1
+
+// Truth holds the hidden machine constants the hardware simulator uses.
+// They are not exported to the analytic model; PolyUFC must recover
+// equivalent information through roofline micro-benchmarking. In a
+// backend description they play the role of the simulator's silicon.
+type Truth struct {
+	// FlopsPerCycle is the per-core FPU throughput (AVX FMA lanes).
+	FlopsPerCycle float64 `json:"flops_per_cycle"`
+	// HitLatencyNs is the load-to-use latency per cache level.
+	HitLatencyNs []float64 `json:"hit_latency_ns"`
+	// DRAMLatCoefNsGHz and DRAMLatBaseNs give the per-miss DRAM service
+	// latency a/f + b (ns, f in GHz): the uncore clock gates the path.
+	DRAMLatCoefNsGHz float64 `json:"dram_lat_coef_ns_ghz"`
+	DRAMLatBaseNs    float64 `json:"dram_lat_base_ns"`
+	// Sustained DRAM bandwidth follows the saturating interconnect curve
+	// bw(f) = BWPeakGBs * f / (f + BWKneeGHz): per-byte service time is
+	// then exactly hyperbolic in f (a/f + b), the shape the paper observes
+	// and fits on real uncore hardware; beyond the knee, extra uncore
+	// frequency is over-provisioning (Sec. II-F).
+	BWPeakGBs float64 `json:"bw_peak_gbs"`
+	BWKneeGHz float64 `json:"bw_knee_ghz"`
+	// MLP is the per-core memory-level parallelism (outstanding misses);
+	// MLPSystem caps the whole-chip total.
+	MLP       float64 `json:"mlp"`
+	MLPSystem float64 `json:"mlp_system"`
+	// ILP overlaps cache-hit latencies with computation.
+	ILP float64 `json:"ilp"`
+	// Overlap is the fraction of the smaller of compute/memory time not
+	// hidden under the larger.
+	Overlap float64 `json:"overlap"`
+	// PConstW is constant (static + board) power.
+	PConstW float64 `json:"p_const_w"`
+	// CoreIdleWPerGHz is core clock-tree power per GHz (paid whenever the
+	// cores are clocked, even when stalled on memory).
+	CoreIdleWPerGHz float64 `json:"core_idle_w_per_ghz"`
+	// CoreJPerFlop is dynamic core energy per arithmetic operation.
+	CoreJPerFlop float64 `json:"core_j_per_flop"`
+	// UncoreIdleWPerGHz is uncore clock-tree power per GHz, always paid.
+	UncoreIdleWPerGHz float64 `json:"uncore_idle_w_per_ghz"`
+	// UncoreActWPerGHz and UncoreActBaseW scale with memory utilization:
+	// P_uncore_dyn = (act*f + base) * utilization.
+	UncoreActWPerGHz float64 `json:"uncore_act_w_per_ghz"`
+	UncoreActBaseW   float64 `json:"uncore_act_base_w"`
+}
+
+// CacheLevel describes one level of the cache hierarchy.
+type CacheLevel struct {
+	Name      string `json:"name"`
+	SizeBytes int64  `json:"size_bytes"`
+	LineSize  int64  `json:"line_size"`
+	Assoc     int64  `json:"assoc"`
+}
+
+// Backend is the declarative description of one machine: everything the
+// constructors in hw hardcoded, as data.
+type Backend struct {
+	// Schema is the description format version (SchemaVersion).
+	Schema int `json:"schema"`
+	// Name is the canonical registry name ("BDW"); Aliases resolve too
+	// (lookups are case-insensitive either way).
+	Name    string   `json:"name"`
+	Aliases []string `json:"aliases,omitempty"`
+	CPU     string   `json:"cpu"`
+	// Released is the launch year (Table III).
+	Released int `json:"released"`
+	// Paper marks the two Table-III evaluation machines; golden outputs
+	// sweep exactly the paper set.
+	Paper   bool `json:"paper,omitempty"`
+	Cores   int  `json:"cores"`
+	Threads int  `json:"threads"`
+	// Core and uncore frequency ranges in GHz.
+	CoreMinGHz   float64 `json:"core_min_ghz"`
+	CoreMaxGHz   float64 `json:"core_max_ghz"`
+	CoreBaseGHz  float64 `json:"core_base_ghz"`
+	UncoreMinGHz float64 `json:"uncore_min_ghz"`
+	UncoreMaxGHz float64 `json:"uncore_max_ghz"`
+	// CapStepGHz is the uncore cap granularity; the cap grid is anchored
+	// at UncoreMinGHz and need not divide the range evenly.
+	CapStepGHz float64 `json:"cap_step_ghz"`
+	// CapLatencySec is the cost of one cap change (Sec. VII-F).
+	CapLatencySec float64 `json:"cap_latency_sec"`
+	// HasUncoreRAPL reports whether the uncore energy zone is readable
+	// (false on BDW, footnote 15).
+	HasUncoreRAPL bool         `json:"has_uncore_rapl"`
+	Cache         []CacheLevel `json:"cache"`
+	Truth         Truth        `json:"truth"`
+}
+
+// Validate checks a description for internal consistency and returns a
+// field-level error naming the first violation.
+func (b *Backend) Validate() error {
+	if b == nil {
+		return fmt.Errorf("platform: nil backend")
+	}
+	bad := func(field, format string, args ...interface{}) error {
+		return fmt.Errorf("platform: backend %q: %s: %s", b.Name, field, fmt.Sprintf(format, args...))
+	}
+	if b.Schema != SchemaVersion {
+		return fmt.Errorf("platform: backend %q: schema: got version %d, this build reads version %d (re-export the description or upgrade)",
+			b.Name, b.Schema, SchemaVersion)
+	}
+	if b.Name == "" {
+		return fmt.Errorf("platform: backend description: name: must be non-empty")
+	}
+	if b.Cores <= 0 {
+		return bad("cores", "must be > 0, got %d", b.Cores)
+	}
+	if b.Threads < b.Cores {
+		return bad("threads", "must be >= cores (%d), got %d", b.Cores, b.Threads)
+	}
+	if b.CoreMinGHz <= 0 || b.CoreMaxGHz < b.CoreMinGHz {
+		return bad("core_min_ghz/core_max_ghz", "need 0 < min <= max, got [%g, %g]", b.CoreMinGHz, b.CoreMaxGHz)
+	}
+	if b.CoreBaseGHz < b.CoreMinGHz || b.CoreBaseGHz > b.CoreMaxGHz {
+		return bad("core_base_ghz", "must lie in [%g, %g], got %g", b.CoreMinGHz, b.CoreMaxGHz, b.CoreBaseGHz)
+	}
+	if b.UncoreMinGHz <= 0 || b.UncoreMaxGHz < b.UncoreMinGHz {
+		return bad("uncore_min_ghz/uncore_max_ghz", "need 0 < min <= max, got [%g, %g]", b.UncoreMinGHz, b.UncoreMaxGHz)
+	}
+	if b.CapStepGHz <= 0 {
+		return bad("cap_step_ghz", "must be > 0, got %g", b.CapStepGHz)
+	}
+	if b.CapLatencySec < 0 {
+		return bad("cap_latency_sec", "must be >= 0, got %g", b.CapLatencySec)
+	}
+	if len(b.Cache) == 0 {
+		return bad("cache", "need at least one level")
+	}
+	for i, lv := range b.Cache {
+		if lv.Name == "" {
+			return bad("cache", "level %d: name must be non-empty", i)
+		}
+		if lv.SizeBytes <= 0 || lv.LineSize <= 0 || lv.Assoc <= 0 {
+			return bad("cache", "level %s: size_bytes, line_size and assoc must be > 0", lv.Name)
+		}
+		if lv.SizeBytes%(lv.LineSize*lv.Assoc) != 0 {
+			return bad("cache", "level %s: size %d is not a whole number of sets (line %d x assoc %d)",
+				lv.Name, lv.SizeBytes, lv.LineSize, lv.Assoc)
+		}
+		if i > 0 && lv.SizeBytes < b.Cache[i-1].SizeBytes {
+			return bad("cache", "level %s: smaller than inner level %s", lv.Name, b.Cache[i-1].Name)
+		}
+	}
+	t := &b.Truth
+	if t.FlopsPerCycle <= 0 {
+		return bad("truth.flops_per_cycle", "must be > 0, got %g", t.FlopsPerCycle)
+	}
+	if len(t.HitLatencyNs) != len(b.Cache) {
+		return bad("truth.hit_latency_ns", "need one latency per cache level (%d), got %d", len(b.Cache), len(t.HitLatencyNs))
+	}
+	for i, h := range t.HitLatencyNs {
+		if h <= 0 {
+			return bad("truth.hit_latency_ns", "level %d: must be > 0, got %g", i, h)
+		}
+	}
+	if t.BWPeakGBs <= 0 || t.BWKneeGHz <= 0 {
+		return bad("truth.bw_peak_gbs/bw_knee_ghz", "must be > 0, got %g / %g", t.BWPeakGBs, t.BWKneeGHz)
+	}
+	if t.MLP < 1 || t.MLPSystem < t.MLP {
+		return bad("truth.mlp/mlp_system", "need 1 <= mlp <= mlp_system, got %g / %g", t.MLP, t.MLPSystem)
+	}
+	if t.ILP < 1 {
+		return bad("truth.ilp", "must be >= 1, got %g", t.ILP)
+	}
+	if t.Overlap < 0 || t.Overlap > 1 {
+		return bad("truth.overlap", "must be in [0, 1], got %g", t.Overlap)
+	}
+	return nil
+}
+
+// Parse decodes one backend description, rejecting unknown fields (typos
+// in hand-written files surface as errors, not silent zeros) and
+// validating the result.
+func Parse(data []byte) (*Backend, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var b Backend
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("platform: parse backend description: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// Marshal renders the description as indented, field-stable JSON.
+func (b *Backend) Marshal() ([]byte, error) {
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("platform: marshal backend %q: %w", b.Name, err)
+	}
+	return append(out, '\n'), nil
+}
+
+// Hash is a content hash of the canonical (compact JSON) description,
+// used to key memoized calibrations and to pin a Calibration artifact to
+// the exact description it was fitted against.
+func (b *Backend) Hash() string {
+	data, err := json.Marshal(b)
+	if err != nil {
+		// Backend has no unmarshalable fields; keep the signature clean.
+		panic(fmt.Sprintf("platform: hash backend %q: %v", b.Name, err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}

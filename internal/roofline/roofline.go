@@ -3,6 +3,11 @@
 // against, together with the one-time micro-benchmark calibration that
 // derives the Table-I constants from a machine (footnote 3: both
 // performance and power rooflines are measured, not vendor-supplied).
+//
+// The constant types live in internal/platform so calibrations persist
+// as artifacts next to the backend descriptions; this package re-exports
+// them and owns the fitting itself, plus the Target handle that bundles
+// one resolved backend (description, simulated platform, constants).
 package roofline
 
 import (
@@ -11,112 +16,22 @@ import (
 
 	"polyufc/internal/fit"
 	"polyufc/internal/hw"
+	"polyufc/internal/platform"
 )
 
 // Constants are the calibrated roofline constants of Table I, plus the
-// frequency-parametric fits of Sec. V.
-type Constants struct {
-	Platform string
-
-	// TFpu is seconds per flop at full machine throughput (all threads at
-	// the base core clock): 1/peak.
-	TFpu float64
-	// PeakGFlops is the compute roof.
-	PeakGFlops float64
-	// TByteMax is seconds per DRAM byte at the maximum uncore frequency.
-	TByteMax float64
-	// PeakGBs is the memory roof at the maximum uncore frequency.
-	PeakGBs float64
-	// BtDRAM is the time balance: PeakFlops/PeakBW (flop per byte); the
-	// CB/BB boundary of Sec. IV-D.
-	BtDRAM float64
-	// BeDRAM is the energy balance: EByte/EFpu.
-	BeDRAM float64
-
-	// EFpu is dynamic energy per flop (J); PFpuHat the peak flop-engine
-	// power (W).
-	EFpu    float64
-	PFpuHat float64
-	// EByte is energy per DRAM byte at max uncore frequency (J); PByteHat
-	// the peak memory-path power (W).
-	EByte    float64
-	PByteHat float64
-	// PCon is constant power (W).
-	PCon float64
-
-	// HitLatency[i] is the derived per-access service time of cache level
-	// i (seconds), used as H_ci in Eqn. 4.
-	HitLatency []float64
-
-	// Per-byte DRAM service time M^t(f) = MissLatA/f + MissLatB
-	// (seconds per byte, f in GHz) — the hyperbolic fit of Sec. V-A.
-	MissLatA, MissLatB float64
-	MissLatR2          float64
-
-	// Uncore power model: P_uncore(f, bw) = IdleWPerGHz*f +
-	// (AlphaP*f + GammaP) * bw, with bw in bytes/s — the linear fits of
-	// Eqn. 10 (alpha_P, gamma_P) plus the idle clock-tree term.
-	IdleWPerGHz    float64
-	AlphaP, GammaP float64 // W per (byte/s), linear in f
-	PowerR2        float64
-
-	// PhatAlpha/PhatGamma fit the peak DRAM power roof
-	// P̂_{f,DRAM} = PhatAlpha*f + PhatGamma (W) of Eqn. 8.
-	PhatAlpha, PhatGamma float64
-
-	// Core-domain constants for the coordinated core+uncore extension:
-	// CoreIdleWPerGHz is the fitted core clock-tree power slope and
-	// CoreBaseGHz the clock all other constants were calibrated at. PCon
-	// includes CoreIdleWPerGHz*CoreBaseGHz (the share paid at base).
-	CoreIdleWPerGHz float64
-	CoreBaseGHz     float64
-}
+// frequency-parametric fits of Sec. V (alias of the serializable
+// platform.Constants).
+type Constants = platform.Constants
 
 // Class is the bound-and-bottleneck characterization.
-type Class int
+type Class = platform.Class
 
 // Characterization outcomes.
 const (
-	ComputeBound Class = iota
-	BandwidthBound
+	ComputeBound   = platform.ComputeBound
+	BandwidthBound = platform.BandwidthBound
 )
-
-func (c Class) String() string {
-	if c == ComputeBound {
-		return "CB"
-	}
-	return "BB"
-}
-
-// Classify applies Sec. IV-D: CB iff OI >= B^t_DRAM.
-func (c *Constants) Classify(oi float64) Class {
-	if oi >= c.BtDRAM {
-		return ComputeBound
-	}
-	return BandwidthBound
-}
-
-// MissLat returns M^t(f): seconds per DRAM byte at uncore frequency f.
-func (c *Constants) MissLat(f float64) float64 {
-	return c.MissLatA/f + c.MissLatB
-}
-
-// UncorePower returns the modeled uncore power at frequency f with the
-// given achieved DRAM bandwidth (bytes/s).
-func (c *Constants) UncorePower(f, bw float64) float64 {
-	return c.IdleWPerGHz*f + (c.AlphaP*f+c.GammaP)*bw
-}
-
-// PeakDRAMPower returns P̂_{f,DRAM} of Eqn. 8.
-func (c *Constants) PeakDRAMPower(f float64) float64 {
-	return c.PhatAlpha*f + c.PhatGamma
-}
-
-// AttainableGFlops returns the classic roofline ceiling
-// min(peak, OI * peakBW) at the maximum uncore frequency.
-func (c *Constants) AttainableGFlops(oi float64) float64 {
-	return math.Min(c.PeakGFlops, oi*c.PeakGBs)
-}
 
 // Calibrate runs the one-time micro-benchmark suite on a machine and fits
 // the Table-I constants. The machine is exercised only through its public
@@ -124,7 +39,7 @@ func (c *Constants) AttainableGFlops(oi float64) float64 {
 // read.
 func Calibrate(m *hw.Machine) (*Constants, error) {
 	p := m.P
-	c := &Constants{Platform: p.Name}
+	c := &Constants{Platform: p.Name, CalibThreads: p.Threads}
 
 	// --- compute roof: a flop-only kernel (OI -> infinity). ---
 	flopProf := &hw.CacheProfile{

@@ -1,0 +1,106 @@
+package roofline
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"polyufc/internal/hw"
+	"polyufc/internal/pipeline"
+	"polyufc/internal/platform"
+)
+
+// Target is one resolved backend: the registry description, the
+// simulated platform built from it, and the calibrated roofline
+// constants — everything a compilation needs to know about its machine,
+// as a single handle. Constants points into Calibration so the fit and
+// its provenance travel together.
+type Target struct {
+	// Backend is the source description; nil for hand-built targets
+	// (tests that construct Constants directly).
+	Backend   *platform.Backend
+	Platform  *hw.Platform
+	Constants *Constants
+	// Calibration carries the fit provenance; nil when the constants
+	// were not produced by Resolve or loaded from an artifact.
+	Calibration *platform.Calibration
+}
+
+// NewTarget wraps an already-built platform and constants pair (the
+// hand-calibrated path tests use).
+func NewTarget(p *hw.Platform, c *Constants) *Target {
+	t := &Target{Platform: p, Constants: c}
+	if p != nil {
+		t.Backend = p.Backend
+	}
+	return t
+}
+
+// Resolve builds the platform for a backend description and runs the
+// one-time roofline calibration, stamping the artifact with provenance.
+func Resolve(b *platform.Backend) (*Target, error) {
+	p, err := hw.FromBackend(b)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Calibrate(hw.NewMachine(p))
+	if err != nil {
+		return nil, fmt.Errorf("roofline: resolve %s: %w", b.Name, err)
+	}
+	cal := &platform.Calibration{
+		Schema:      platform.CalibrationSchemaVersion,
+		Backend:     b.Name,
+		BackendHash: b.Hash(),
+		Constants:   *c,
+		Provenance: platform.Provenance{
+			FitDate: time.Now().UTC().Format(time.RFC3339),
+			Seed:    0, // the calibration machine runs noiseless
+			Residuals: map[string]float64{
+				"miss_latency": c.MissLatR2,
+				"uncore_power": c.PowerR2,
+			},
+			Tool: "polyufc/roofline",
+		},
+	}
+	return &Target{Backend: b, Platform: p, Constants: &cal.Constants, Calibration: cal}, nil
+}
+
+// ResolveName resolves a backend by registry name and calibrates it.
+func ResolveName(name string) (*Target, error) {
+	b, err := platform.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return Resolve(b)
+}
+
+// ResolveCached memoizes Resolve through a pipeline stage cache, keyed
+// by the description's content hash: sweeps over many configurations of
+// one backend calibrate once, and an edited description re-calibrates
+// instead of reusing a stale fit.
+func ResolveCached(ctx context.Context, cache *pipeline.Cache, b *platform.Backend) (*Target, error) {
+	if cache == nil {
+		return Resolve(b)
+	}
+	v, err := cache.Do(ctx, "calibrate/"+b.Name+"/"+b.Hash(), func() (any, error) {
+		return Resolve(b)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Target), nil
+}
+
+// FromCalibration builds a target from a persisted calibration artifact
+// instead of re-running the micro-benchmarks. The artifact must match
+// the description (name and, when recorded, content hash).
+func FromCalibration(b *platform.Backend, cal *platform.Calibration) (*Target, error) {
+	if err := cal.Matches(b); err != nil {
+		return nil, err
+	}
+	p, err := hw.FromBackend(b)
+	if err != nil {
+		return nil, err
+	}
+	return &Target{Backend: b, Platform: p, Constants: &cal.Constants, Calibration: cal}, nil
+}

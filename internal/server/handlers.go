@@ -12,6 +12,8 @@ import (
 	"polyufc/internal/hw"
 	"polyufc/internal/ir"
 	"polyufc/internal/parallel"
+	"polyufc/internal/platform"
+	"polyufc/internal/roofline"
 	"polyufc/internal/search"
 	"polyufc/internal/workloads"
 )
@@ -19,7 +21,11 @@ import (
 // Request is the body of the three POST endpoints. Zero fields fall back
 // to the paper's defaults (rpl, bench size, EDP objective, linalg caps).
 type Request struct {
-	Kernel    string  `json:"kernel"`
+	Kernel string `json:"kernel"`
+	// Platform selects the backend by registry name or alias; Arch is
+	// the legacy spelling of the same field and is honoured when
+	// Platform is empty.
+	Platform  string  `json:"platform"`
 	Arch      string  `json:"arch"`
 	Size      string  `json:"size"`
 	Objective string  `json:"objective"`
@@ -127,6 +133,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/v1/platforms", s.handlePlatforms)
 	mux.HandleFunc("/v1/compile", s.wrap(s.handleCompile))
 	mux.HandleFunc("/v1/characterize", s.wrap(s.handleCharacterize))
 	mux.HandleFunc("/v1/search", s.wrap(s.handleSearch))
@@ -190,11 +197,21 @@ func (s *Server) wrap(h func(ctx context.Context, req Request) (any, error)) htt
 
 // resolved is a validated Request.
 type resolved struct {
-	p   *hw.Platform
-	sz  workloads.SizeClass
-	obj search.Objective
-	lvl ir.Dialect
-	eps float64
+	target *roofline.Target
+	p      *hw.Platform
+	sz     workloads.SizeClass
+	obj    search.Objective
+	lvl    ir.Dialect
+	eps    float64
+}
+
+// servedNames lists the backends this daemon calibrated, in boot order.
+func (s *Server) servedNames() []string {
+	var names []string
+	for _, p := range s.plats {
+		names = append(names, p.Name)
+	}
+	return names
 }
 
 func (s *Server) resolve(req Request) (resolved, error) {
@@ -202,14 +219,24 @@ func (s *Server) resolve(req Request) (resolved, error) {
 	if req.Kernel == "" {
 		return r, badRequest("kernel is required")
 	}
-	arch := req.Arch
-	if arch == "" {
-		arch = "rpl"
+	name := req.Platform
+	if name == "" {
+		name = req.Arch
 	}
-	r.p = hw.PlatformByName(arch)
-	if r.p == nil {
-		return r, badRequest("unknown arch %q (want bdw or rpl)", arch)
+	if name == "" {
+		name = "rpl"
 	}
+	b, err := platform.Lookup(name)
+	if err != nil {
+		return r, badRequest("unknown platform %q (serving: %s)", name, strings.Join(s.servedNames(), ", "))
+	}
+	t, ok := s.targets[b.Name]
+	if !ok {
+		return r, badRequest("platform %q is registered but not served by this daemon (serving: %s)",
+			b.Name, strings.Join(s.servedNames(), ", "))
+	}
+	r.target = t
+	r.p = t.Platform
 	switch req.Size {
 	case "test":
 		r.sz = workloads.Test
@@ -244,7 +271,7 @@ func (s *Server) resolve(req Request) (resolved, error) {
 
 // requestConfig maps a resolved request onto a compile Config.
 func (s *Server) requestConfig(r resolved) core.Config {
-	cfg := core.DefaultConfig(r.p, s.consts[r.p.Name])
+	cfg := core.DefaultConfig(r.target)
 	cfg.Search.Objective = r.obj
 	cfg.Search.Epsilon = r.eps
 	cfg.CapLevel = r.lvl
@@ -398,6 +425,7 @@ func (s *Server) handleCompile(ctx context.Context, req Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.markServed(r.p.Name)
 	return resp, nil
 }
 
@@ -412,7 +440,7 @@ func (s *Server) handleCharacterize(ctx context.Context, req Request) (any, erro
 		if err != nil {
 			return err
 		}
-		c := s.consts[r.p.Name]
+		c := r.target.Constants
 		resp = CharacterizeResponse{
 			Kernel:     req.Kernel,
 			Arch:       r.p.Name,
@@ -426,6 +454,7 @@ func (s *Server) handleCharacterize(ctx context.Context, req Request) (any, erro
 	if err != nil {
 		return nil, err
 	}
+	s.markServed(r.p.Name)
 	return resp, nil
 }
 
@@ -455,6 +484,7 @@ func (s *Server) handleSearch(ctx context.Context, req Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.markServed(r.p.Name)
 	if !req.Measure {
 		return resp, nil
 	}
@@ -523,6 +553,73 @@ func (s *Server) measure(res *core.Result, r resolved, resp *SearchResponse) {
 		m.EDPGainPct = 100 * (1 - capped.EDP/base.EDP)
 	}
 	resp.Measured = m
+}
+
+// PlatformResponse is one entry of the /v1/platforms payload: the
+// backend's identity plus the provenance of the calibration serving it.
+type PlatformResponse struct {
+	Name         string             `json:"name"`
+	Aliases      []string           `json:"aliases,omitempty"`
+	CPU          string             `json:"cpu"`
+	Cores        int                `json:"cores"`
+	Threads      int                `json:"threads"`
+	UncoreMinGHz float64            `json:"uncore_min_ghz"`
+	UncoreMaxGHz float64            `json:"uncore_max_ghz"`
+	CapStepGHz   float64            `json:"cap_step_ghz"`
+	Paper        bool               `json:"paper,omitempty"`
+	BackendHash  string             `json:"backend_hash"`
+	PeakGFlops   float64            `json:"peak_gflops"`
+	PeakGBs      float64            `json:"peak_gbs"`
+	BtDRAM       float64            `json:"bt_dram"`
+	FitDate      string             `json:"fit_date,omitempty"`
+	FitSeed      int64              `json:"fit_seed"`
+	FitTool      string             `json:"fit_tool,omitempty"`
+	FitResiduals map[string]float64 `json:"fit_residuals,omitempty"`
+}
+
+// PlatformsResponse is the /v1/platforms payload.
+type PlatformsResponse struct {
+	Platforms []PlatformResponse `json:"platforms"`
+}
+
+// handlePlatforms lists the served backends with calibration provenance.
+// Like the other observability endpoints it bypasses the admission gate:
+// discovering which machines a shedding daemon serves must still work.
+func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errBody{"GET required"})
+		return
+	}
+	resp := PlatformsResponse{Platforms: []PlatformResponse{}}
+	for _, p := range s.plats {
+		resp.Platforms = append(resp.Platforms, platformResponse(s.targets[p.Name]))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func platformResponse(t *roofline.Target) PlatformResponse {
+	p := t.Platform
+	out := PlatformResponse{
+		Name: p.Name, CPU: p.CPU, Cores: p.Cores, Threads: p.Threads,
+		UncoreMinGHz: p.UncoreMin, UncoreMaxGHz: p.UncoreMax, CapStepGHz: p.CapStep,
+	}
+	if c := t.Constants; c != nil {
+		out.PeakGFlops = c.PeakGFlops
+		out.PeakGBs = c.PeakGBs
+		out.BtDRAM = c.BtDRAM
+	}
+	if b := t.Backend; b != nil {
+		out.Aliases = b.Aliases
+		out.Paper = b.Paper
+		out.BackendHash = b.Hash()
+	}
+	if cal := t.Calibration; cal != nil {
+		out.FitDate = cal.Provenance.FitDate
+		out.FitSeed = cal.Provenance.Seed
+		out.FitTool = cal.Provenance.Tool
+		out.FitResiduals = cal.Provenance.Residuals
+	}
+	return out
 }
 
 // HealthzResponse is the /healthz payload.

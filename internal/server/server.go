@@ -28,6 +28,7 @@ import (
 	"polyufc/internal/journal"
 	"polyufc/internal/parallel"
 	"polyufc/internal/pipeline"
+	"polyufc/internal/platform"
 	"polyufc/internal/roofline"
 )
 
@@ -61,6 +62,11 @@ type Config struct {
 	// startup (otherwise it is truncated).
 	JournalPath string
 	Resume      bool
+	// PlatformFiles are extra backend descriptions (platforms/*.json) to
+	// register before calibration: the daemon serves every registered
+	// backend, so a machine added purely as JSON is served with zero code
+	// changes.
+	PlatformFiles []string
 }
 
 // DefaultConfig returns production-shaped defaults.
@@ -81,12 +87,16 @@ type Server struct {
 	cfg      Config
 	gate     *parallel.Gate
 	plats    []*hw.Platform
-	consts   map[string]*roofline.Constants
+	targets  map[string]*roofline.Target
 	cache    core.Cache
 	profiles hw.ProfileCache
 	breakers map[string]*hw.CapBreaker
 	jrnl     *journal.Journal
 	start    time.Time
+
+	// platServed counts requests served per backend (prefilled at boot,
+	// so handlers update without locking).
+	platServed map[string]*atomic.Int64
 
 	// stages memoizes per-stage compile snapshots across endpoints: a
 	// characterize followed by a search on the same kernel/config reuses
@@ -126,31 +136,39 @@ func New(cfg Config) (*Server, error) {
 		cfg.CacheLimit = def.CacheLimit
 	}
 	s := &Server{
-		cfg:      cfg,
-		gate:     parallel.NewGate(parallel.Workers(cfg.Concurrency), cfg.Queue),
-		consts:   map[string]*roofline.Constants{},
-		breakers: map[string]*hw.CapBreaker{},
-		start:    time.Now(),
+		cfg:        cfg,
+		gate:       parallel.NewGate(parallel.Workers(cfg.Concurrency), cfg.Queue),
+		targets:    map[string]*roofline.Target{},
+		breakers:   map[string]*hw.CapBreaker{},
+		platServed: map[string]*atomic.Int64{},
+		start:      time.Now(),
 	}
 	s.cache.SetLimit(cfg.CacheLimit)
 	s.profiles.SetLimit(cfg.CacheLimit)
 	s.stages.SetLimit(cfg.CacheLimit)
 
-	plats := hw.Platforms()
-	consts, err := parallel.Map(context.Background(), len(plats), 0,
-		func(_ context.Context, i int) (*roofline.Constants, error) {
-			c, err := roofline.Calibrate(hw.NewMachine(plats[i]))
+	for _, path := range cfg.PlatformFiles {
+		if _, err := platform.LoadFile(path); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
+	backends := platform.All()
+	targets, err := parallel.Map(context.Background(), len(backends), 0,
+		func(ctx context.Context, i int) (*roofline.Target, error) {
+			t, err := roofline.ResolveCached(ctx, &s.stages, backends[i])
 			if err != nil {
-				return nil, fmt.Errorf("server: calibrate %s: %w", plats[i].Name, err)
+				return nil, fmt.Errorf("server: calibrate %s: %w", backends[i].Name, err)
 			}
-			return c, nil
+			return t, nil
 		})
 	if err != nil {
 		return nil, err
 	}
-	for i, p := range plats {
+	for _, t := range targets {
+		p := t.Platform
 		s.plats = append(s.plats, p)
-		s.consts[p.Name] = consts[i]
+		s.targets[p.Name] = t
+		s.platServed[p.Name] = &atomic.Int64{}
 		m := hw.NewMachine(p)
 		m.SetProfileCache(&s.profiles)
 		m.SetFaults(cfg.Faults)
@@ -218,6 +236,13 @@ func (s *Server) Close() error {
 // breaker returns the platform's breaker (tests reach through this).
 func (s *Server) breaker(plat string) *hw.CapBreaker { return s.breakers[plat] }
 
+// markServed bumps the per-backend served counter.
+func (s *Server) markServed(name string) {
+	if c, ok := s.platServed[name]; ok {
+		c.Add(1)
+	}
+}
+
 // JournalStats reports the response journal's counters (zeros when no
 // journal is configured).
 func (s *Server) JournalStats() journal.Stats { return s.jrnl.Stats() }
@@ -247,6 +272,20 @@ type StageStatsz struct {
 	TotalMS   float64
 }
 
+// PlatformStatsz is one served backend's identity and calibration
+// provenance: which machine model answered, fitted when, from which
+// description, how well the curves fit.
+type PlatformStatsz struct {
+	CPU         string
+	Paper       bool
+	Served      int64
+	BackendHash string
+	FitDate     string
+	FitSeed     int64
+	FitTool     string
+	Residuals   map[string]float64
+}
+
 // Statsz is the /statsz payload.
 type Statsz struct {
 	UptimeSeconds float64
@@ -263,6 +302,9 @@ type Statsz struct {
 	StageCache CacheStatsz
 	Stages     map[string]StageStatsz
 	Journal    journal.Stats
+	// Platforms maps each served backend to its calibration provenance
+	// and per-backend served count.
+	Platforms map[string]PlatformStatsz
 }
 
 // statsz snapshots the daemon counters.
@@ -300,6 +342,22 @@ func (s *Server) statsz() Statsz {
 			Applies:             cs.Applies, Writes: cs.Writes, Retries: cs.Retries,
 			Failures: cs.Failures, Restores: cs.Restores,
 		}
+	}
+	out.Platforms = map[string]PlatformStatsz{}
+	for name, t := range s.targets {
+		ps := PlatformStatsz{Served: s.platServed[name].Load()}
+		if b := t.Backend; b != nil {
+			ps.CPU = b.CPU
+			ps.Paper = b.Paper
+			ps.BackendHash = b.Hash()
+		}
+		if cal := t.Calibration; cal != nil {
+			ps.FitDate = cal.Provenance.FitDate
+			ps.FitSeed = cal.Provenance.Seed
+			ps.FitTool = cal.Provenance.Tool
+			ps.Residuals = cal.Provenance.Residuals
+		}
+		out.Platforms[name] = ps
 	}
 	return out
 }

@@ -135,7 +135,8 @@ func TestServerRejectsBadRequests(t *testing.T) {
 	}{
 		{Request{}, "kernel is required"},
 		{Request{Kernel: "nope", Size: "test"}, "unknown kernel"},
-		{Request{Kernel: "gemm", Arch: "arm"}, "unknown arch"},
+		{Request{Kernel: "gemm", Arch: "arm"}, "unknown platform"},
+		{Request{Kernel: "gemm", Platform: "sparc"}, "unknown platform"},
 		{Request{Kernel: "gemm", Size: "huge"}, "unknown size"},
 		{Request{Kernel: "gemm", Objective: "joules"}, "unknown objective"},
 		{Request{Kernel: "gemm", CapLevel: "llvm"}, "unknown cap level"},
@@ -374,6 +375,68 @@ func TestServerJournalReplayAcrossRestart(t *testing.T) {
 	s3 := newServer(t, cfg3)
 	if s3.JournalStats().Entries != 0 {
 		t.Fatalf("truncating open kept %d entries", s3.JournalStats().Entries)
+	}
+}
+
+// The /v1/platforms endpoint lists every served backend with calibration
+// provenance, a backend loaded purely from a JSON description file is
+// served like the built-ins, and statsz carries per-backend counters.
+func TestServerPlatformsEndpointAndFileBackend(t *testing.T) {
+	cfg := testConfig()
+	cfg.PlatformFiles = []string{filepath.Join("..", "..", "platforms", "wide-uncore.json")}
+	s := newServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/platforms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr PlatformsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	byName := map[string]PlatformResponse{}
+	for _, p := range pr.Platforms {
+		byName[p.Name] = p
+	}
+	for _, name := range []string{"BDW", "RPL", "WIDE"} {
+		p, ok := byName[name]
+		if !ok {
+			t.Fatalf("%s missing from /v1/platforms: %+v", name, pr)
+		}
+		if p.BackendHash == "" || p.PeakGFlops <= 0 || p.FitDate == "" || p.FitTool == "" {
+			t.Fatalf("%s: incomplete calibration provenance: %+v", name, p)
+		}
+		if len(p.FitResiduals) == 0 {
+			t.Fatalf("%s: no fit residuals: %+v", name, p)
+		}
+	}
+	if !byName["BDW"].Paper || !byName["RPL"].Paper || byName["WIDE"].Paper {
+		t.Fatalf("paper flags wrong: %+v", pr.Platforms)
+	}
+
+	// The file-loaded backend answers compile requests by alias.
+	cresp, data := post(t, ts, "/v1/compile", Request{Kernel: "gemm", Size: "test", Platform: "wide-uncore"})
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("compile on WIDE: %d %s", cresp.StatusCode, data)
+	}
+	var comp CompileResponse
+	if err := json.Unmarshal(data, &comp); err != nil {
+		t.Fatal(err)
+	}
+	if comp.Arch != "WIDE" || len(comp.Nests) == 0 {
+		t.Fatalf("compile response %+v", comp)
+	}
+
+	st := s.statsz()
+	ws, ok := st.Platforms["WIDE"]
+	if !ok || ws.BackendHash == "" || ws.FitDate == "" || len(ws.Residuals) == 0 {
+		t.Fatalf("statsz WIDE provenance %+v", st.Platforms)
+	}
+	if ws.Served != 1 || st.Platforms["BDW"].Served != 0 {
+		t.Fatalf("per-platform served counts %+v", st.Platforms)
 	}
 }
 
