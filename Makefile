@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments faults fuzz fmt cover serve smoke pipeline platforms
+.PHONY: all build vet test race bench experiments faults fuzz fmt cover serve smoke pipeline platforms plantable
 
 all: build vet test
 
@@ -52,6 +52,17 @@ platforms:
 	$(GO) test ./internal/platform
 	$(GO) test -run 'Backend|Grid|Clamp|Platform' ./internal/hw ./internal/server ./internal/experiments
 	$(GO) test -run 'Golden' ./internal/experiments
+
+# Plan-table gate: the table-vs-search equivalence suite, staleness and
+# fractional-grid regressions under the race detector, the pipeline and
+# serve-path integration tests, a short deserializer fuzz session, and
+# the end-to-end smoke script (kill -9 mid-sweep, journal resume, serve
+# boot with /statsz counters — on the fractional-grid backend).
+plantable:
+	$(GO) test -race ./internal/plantable
+	$(GO) test -race -run 'Plan' ./internal/core ./internal/server
+	$(GO) test -fuzz FuzzParsePlanTable -fuzztime 5s ./internal/plantable
+	sh scripts/plantable_smoke.sh
 
 # Run the capping service locally with production-shaped defaults.
 serve:

@@ -48,10 +48,11 @@ func main() {
 		journalPath = flag.String("journal", "", "checkpoint deterministic responses to this JSONL journal")
 		resume      = flag.Bool("resume", false, "replay an existing journal instead of truncating it")
 		platFiles   = flag.String("platform-file", "", "comma-separated backend description files (platforms/*.json); the daemon serves every registered backend")
+		planTables  = flag.String("plan-table", "", "comma-separated precomputed capping-plan tables (polyufc -build-plan-table); a table whose backend or calibration hash is stale fails boot")
 	)
 	flag.Parse()
 	if err := run(*addr, *concurrency, *queue, *reqTimeout, *drain, *brkThresh, *brkCooldown,
-		*cacheLimit, *degrade, *fault, *platFiles, *faultSeed, *journalPath, *resume); err != nil {
+		*cacheLimit, *degrade, *fault, *platFiles, *planTables, *faultSeed, *journalPath, *resume); err != nil {
 		fmt.Fprintln(os.Stderr, "polyufc-serve:", err)
 		os.Exit(1)
 	}
@@ -59,7 +60,7 @@ func main() {
 
 func run(addr string, concurrency, queue int, reqTimeout, drain time.Duration,
 	brkThresh int, brkCooldown time.Duration, cacheLimit int,
-	degrade, fault, platFiles string, faultSeed int64, journalPath string, resume bool) error {
+	degrade, fault, platFiles, planTables string, faultSeed int64, journalPath string, resume bool) error {
 	policy, ok := core.ParseDegradePolicy(degrade)
 	if !ok {
 		return fmt.Errorf("unknown degrade policy %q (want strict or best-effort)", degrade)
@@ -89,10 +90,19 @@ func run(addr string, concurrency, queue int, reqTimeout, drain time.Duration,
 			cfg.PlatformFiles = append(cfg.PlatformFiles, f)
 		}
 	}
+	for _, f := range strings.Split(planTables, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			cfg.PlanTables = append(cfg.PlanTables, f)
+		}
+	}
 
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
+	}
+	if len(cfg.PlanTables) > 0 {
+		fmt.Fprintf(os.Stderr, "polyufc-serve: %d capping-plan table(s) loaded and pinned to the live calibration\n",
+			len(cfg.PlanTables))
 	}
 	if journalPath != "" {
 		st := srv.JournalStats()

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"polyufc/internal/hw"
 	"polyufc/internal/ir"
 	"polyufc/internal/journal"
+	"polyufc/internal/plantable"
 	"polyufc/internal/platform"
 	"polyufc/internal/roofline"
 	"polyufc/internal/search"
@@ -49,8 +51,10 @@ func main() {
 		degrade   = flag.String("degrade", "strict", "failure policy: strict (fail fast) or best-effort (degrade per nest)")
 		fault     = flag.String("fault", "", `inject failures, e.g. "ufs.write.ebusy=0.3; core.pluto=@2"`)
 		faultSeed = flag.Int64("fault-seed", 1, "seed for probabilistic fault triggers")
-		jpath     = flag.String("journal", "", "checkpoint the compile report to this JSONL file")
-		resume    = flag.Bool("resume", false, "replay a completed report from an existing -journal instead of recompiling")
+		jpath     = flag.String("journal", "", "checkpoint the compile report (or plan-table sweep cells) to this JSONL file")
+		resume    = flag.Bool("resume", false, "replay a completed report (or resume an interrupted plan-table sweep) from an existing -journal")
+		buildPlan = flag.String("build-plan-table", "", "sweep the resolved platform's capping-plan table and write it to this file (atomic rename), then exit")
+		planFiles = flag.String("plan-table", "", "comma-separated plan-table files; caps are answered from matching tables, falling back to live search")
 		list      = flag.Bool("list", false, "list available kernels and exit")
 	)
 	flag.Parse()
@@ -73,18 +77,89 @@ func main() {
 		}
 		return
 	}
-	if *kernel == "" && *file == "" {
-		fmt.Fprintln(os.Stderr, "polyufc: -kernel or -file is required (use -list to see registry kernels)")
-		os.Exit(2)
-	}
 	name := *platName
 	if name == "" {
 		name = *arch
 	}
-	if err := run(*kernel, *file, name, *objective, *size, *capLevel, *degrade, *fault, *jpath, *calPath, *saveCal, *faultSeed, *epsilon, *printIR, *measure, *resume); err != nil {
+	if *buildPlan != "" {
+		if err := buildPlanTable(*buildPlan, name, *objective, *calPath, *jpath, *epsilon, *resume); err != nil {
+			fmt.Fprintln(os.Stderr, "polyufc:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *kernel == "" && *file == "" {
+		fmt.Fprintln(os.Stderr, "polyufc: -kernel or -file is required (use -list to see registry kernels)")
+		os.Exit(2)
+	}
+	if err := run(*kernel, *file, name, *objective, *size, *capLevel, *degrade, *fault, *jpath, *calPath, *saveCal, *planFiles, *faultSeed, *epsilon, *printIR, *measure, *resume); err != nil {
 		fmt.Fprintln(os.Stderr, "polyufc:", err)
 		os.Exit(1)
 	}
+}
+
+// buildPlanTable sweeps one backend's capping-plan table offline: every
+// (class, OI, memory-ratio) cell is answered by live PolyUFC-SEARCH over
+// the platform's uncore grid and the table is written atomically (temp
+// file + rename — a kill mid-build leaves no table, never a torn one).
+// With -journal, each solved cell checkpoints so -resume completes an
+// interrupted sweep instead of restarting it.
+func buildPlanTable(out, platName, objective, calPath, jpath string, epsilon float64, resume bool) error {
+	b, err := platform.Lookup(platName)
+	if err != nil {
+		return err
+	}
+	obj, ok := search.ParseObjective(objective)
+	if !ok {
+		return fmt.Errorf("unknown objective %q", objective)
+	}
+	var target *roofline.Target
+	if calPath != "" {
+		cal, err := platform.LoadCalibration(calPath)
+		if err != nil {
+			return err
+		}
+		if target, err = roofline.FromCalibration(b, cal); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("calibrating rooflines for %s (one-time microbenchmarks)...\n", b.Name)
+		if target, err = roofline.Resolve(b); err != nil {
+			return err
+		}
+	}
+	opts := plantable.BuildOptions{Search: search.Options{Objective: obj, Epsilon: epsilon}}
+	if jpath != "" {
+		if !resume {
+			if err := os.Remove(jpath); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+		j, err := journal.Open(jpath)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		opts.Journal = j
+		if st := j.Stats(); st.Entries > 0 {
+			fmt.Printf("resuming sweep: %d solved cells replayed from %s\n", st.Entries, jpath)
+		}
+	}
+	start := time.Now()
+	tb, err := plantable.Build(context.Background(), target, opts)
+	if err != nil {
+		return err
+	}
+	if err := tb.Save(out); err != nil {
+		return err
+	}
+	fmt.Printf("plan table for %s: %d cells (%dx%d per class) over %d cap steps, swept in %v\n",
+		tb.Backend, tb.Cells(), len(tb.OIAxis), len(tb.MemAxis), tb.GridSize(),
+		time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  pinned to description %s, calibration %s (%s objective, eps %g)\n",
+		tb.BackendHash, tb.CalHash, tb.Objective, tb.Epsilon)
+	fmt.Printf("  written atomically to %s\n", out)
+	return nil
 }
 
 // loadPlatformFiles registers extra backend descriptions given as a
@@ -114,6 +189,8 @@ type reportRow struct {
 	Degraded bool    `json:"degraded,omitempty"`
 	Err      string  `json:"err,omitempty"`
 	NoCM     bool    `json:"no_cm,omitempty"`
+	// Plan marks a cap answered from a precomputed plan table.
+	Plan bool `json:"plan,omitempty"`
 }
 
 // stageRow is one journaled pipeline stage event: which stage ran, for
@@ -144,6 +221,9 @@ func printRows(rec reportRecord) {
 			continue
 		}
 		suffix := ""
+		if r.Plan {
+			suffix = "  [plan table]"
+		}
 		if r.Degraded {
 			suffix = fmt.Sprintf("  [degraded: %s]", r.Err)
 		}
@@ -170,10 +250,26 @@ func printRows(rec reportRecord) {
 	}
 }
 
-func run(kernel, file, platName, objective, size, capLevel, degrade, fault, jpath, calPath, saveCal string, faultSeed int64, epsilon float64, printIR, measure, resume bool) error {
+func run(kernel, file, platName, objective, size, capLevel, degrade, fault, jpath, calPath, saveCal, planFiles string, faultSeed int64, epsilon float64, printIR, measure, resume bool) error {
 	b, err := platform.Lookup(platName)
 	if err != nil {
 		return err
+	}
+	var plans *plantable.Set
+	for _, f := range strings.Split(planFiles, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		tb, err := plantable.Load(f)
+		if err != nil {
+			return err
+		}
+		if plans == nil {
+			plans = plantable.NewSet()
+		}
+		if err := plans.Add(tb); err != nil {
+			return err
+		}
 	}
 	policy, ok := core.ParseDegradePolicy(degrade)
 	if !ok {
@@ -230,6 +326,11 @@ func run(kernel, file, platName, objective, size, capLevel, degrade, fault, jpat
 		jrnl = j
 		jkey = fmt.Sprintf("polyufc/%s/%s/sz%d/%s/lvl%d/eps%g/%s",
 			kernel, b.Name, int(sz), obj, int(lvl), epsilon, policy)
+		if plans != nil {
+			// Table-served caps may differ from live bisection within the
+			// interpolation tolerance: different tables, different record.
+			jkey += "/plans:" + plans.Fingerprint()
+		}
 		var rec reportRecord
 		if ok, err := j.Get(jkey, &rec); err != nil {
 			return err
@@ -293,12 +394,26 @@ func run(kernel, file, platName, objective, size, capLevel, degrade, fault, jpat
 		fmt.Printf("calibration artifact saved to %s\n", saveCal)
 	}
 
+	if plans != nil {
+		// A loaded table must match this exact description and calibration;
+		// staleness is a hard error (rebuild the table), never silent reuse.
+		for _, tb := range plans.Tables() {
+			if tb.Backend != b.Name {
+				continue
+			}
+			if err := tb.Matches(target); err != nil {
+				return err
+			}
+		}
+	}
+
 	cfg := core.DefaultConfig(target)
 	cfg.Search.Objective = obj
 	cfg.Search.Epsilon = epsilon
 	cfg.CapLevel = lvl
 	cfg.Degrade = policy
 	cfg.Faults = reg
+	cfg.Plans = plans
 
 	res, err := core.Compile(mod, cfg)
 	if err != nil {
@@ -323,6 +438,7 @@ func run(kernel, file, platName, objective, size, capLevel, degrade, fault, jpat
 		row := reportRow{
 			Label: r.Label, OI: r.OI, Class: r.Class.String(),
 			Tiled: r.Tiled, CapGHz: r.CapGHz, Degraded: r.Degraded,
+			Plan: r.PlanHit,
 		}
 		if r.Err != nil {
 			row.Err = r.Err.Error()
@@ -340,6 +456,11 @@ func run(kernel, file, platName, objective, size, capLevel, degrade, fault, jpat
 	fmt.Printf("\n%s on %s (%s objective, %s-level caps, %s size)\n",
 		kernel, p.Name, obj, lvl, sz)
 	printRows(rec)
+	if plans != nil {
+		st := plans.Stats()
+		fmt.Printf("plan tables: %d loaded, %d hits, %d fallbacks to live search, %d stale\n",
+			st.Loaded, st.Hits, st.Fallbacks, st.Stale)
+	}
 	fmt.Printf("\ncompile time: preprocess %v, pluto %v, polyufc-cm %v, steps4-6 %v\n",
 		res.Timings.Preprocess, res.Timings.Pluto, res.Timings.CM, res.Timings.Steps46)
 	if jrnl != nil {

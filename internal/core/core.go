@@ -20,6 +20,7 @@ import (
 	"polyufc/internal/ir"
 	"polyufc/internal/model"
 	"polyufc/internal/pipeline"
+	"polyufc/internal/plantable"
 	"polyufc/internal/pluto"
 	"polyufc/internal/roofline"
 	"polyufc/internal/search"
@@ -37,6 +38,11 @@ type Config struct {
 	// CapLevel selects the granularity caps are applied at (Sec. VI-B);
 	// linalg is the paper's choice.
 	CapLevel ir.Dialect
+	// Plans, when non-nil, enables the plan-lookup stage: nests whose
+	// fitted model lands on a loaded plan table get their cap from the
+	// precomputed surface instead of a live PolyUFC-SEARCH bisection.
+	// Off-table kernels (and stale tables) fall back to live search.
+	Plans *plantable.Set
 	// AmortizeFactor gates cap insertion on profitability: a cap that
 	// changes the active frequency is only inserted when the kernel's
 	// predicted runtime is at least AmortizeFactor x the platform's
@@ -167,6 +173,9 @@ type KernelReport struct {
 	Est, EstDefault model.Estimate
 	CM              *cachemodel.Result
 	SearchEvals     int
+	// PlanHit marks a cap answered from a precomputed plan table rather
+	// than a live PolyUFC-SEARCH bisection (SearchEvals is 0 then).
+	PlanHit bool
 	// Degraded marks a best-effort fallback: a stage failed and this nest
 	// fell back to untiled (Pluto failure) or uncapped (cache-model or
 	// search failure). Err records the stage error behind it.

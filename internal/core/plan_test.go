@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"polyufc/internal/hw"
+	"polyufc/internal/plantable"
+	"polyufc/internal/workloads"
+)
+
+// planSetFor sweeps a plan table for the test target and wraps it in a
+// serve-ready Set.
+func planSetFor(t *testing.T, cfg Config) *plantable.Set {
+	t.Helper()
+	tb, err := plantable.Build(nil, cfg.Target, plantable.BuildOptions{Search: cfg.Search})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := plantable.NewSet()
+	if err := set.Add(tb); err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestPlanLookupStagePresence: the plan-lookup stage exists exactly when
+// a plan set is configured, so table-less pipelines keep their stage
+// list (and memo key chain) bit-identical to previous releases.
+func TestPlanLookupStagePresence(t *testing.T) {
+	cfg := DefaultConfig(targetFor(t, hw.BDW()))
+	for _, name := range StageNames(cfg) {
+		if name == StagePlanLookup {
+			t.Fatal("plan-lookup stage present without a plan set")
+		}
+	}
+	cfg.Plans = plantable.NewSet()
+	found := false
+	for _, name := range StageNames(cfg) {
+		if name == StagePlanLookup {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("plan-lookup stage missing with a plan set configured")
+	}
+}
+
+// TestPlanLookupCompile is the end-to-end pipeline property: compiling
+// with a plan table answers caps from the table (PlanHit, zero search
+// evaluations) and lands within one cap-grid step of the live-search
+// compile of the same module.
+func TestPlanLookupCompile(t *testing.T) {
+	p := hw.BDW()
+	cfg := DefaultConfig(targetFor(t, p))
+	cfg.AmortizeFactor = 0 // test-size kernels: keep cap insertion observable
+
+	for _, kernel := range []string{"gemm", "mvt", "atax"} {
+		t.Run(kernel, func(t *testing.T) {
+			live := compileKernelCfg(t, kernel, workloads.Test, cfg)
+
+			planned := cfg
+			planned.Plans = planSetFor(t, cfg)
+			got := compileKernelCfg(t, kernel, workloads.Test, planned)
+
+			if len(got.Reports) != len(live.Reports) {
+				t.Fatalf("report count changed: %d with table, %d live", len(got.Reports), len(live.Reports))
+			}
+			hits := 0
+			for i, r := range got.Reports {
+				base := live.Reports[i]
+				if r.Label != base.Label {
+					t.Fatalf("report %d label %q != live %q", i, r.Label, base.Label)
+				}
+				if !r.PlanHit {
+					continue // honest fallback to live search
+				}
+				hits++
+				if r.SearchEvals != 0 {
+					t.Errorf("%s: plan hit ran %d live search evaluations", r.Label, r.SearchEvals)
+				}
+				di := hw.GridIndex(p.UncoreMin, p.UncoreMax, p.CapStep, r.CapGHz) -
+					hw.GridIndex(p.UncoreMin, p.UncoreMax, p.CapStep, base.CapGHz)
+				if di < -1 || di > 1 {
+					t.Errorf("%s: table cap %.2f vs live %.2f — %d grid steps apart", r.Label, r.CapGHz, base.CapGHz, di)
+				}
+				if r.Class != base.Class {
+					t.Errorf("%s: class %v with table, %v live", r.Label, r.Class, base.Class)
+				}
+			}
+			if hits == 0 {
+				t.Fatal("no report was answered from the plan table")
+			}
+		})
+	}
+}
+
+// TestPlanLookupStaleSetFallsBack: a set whose only table is for another
+// backend serves nothing — every nest falls back to live search and the
+// compile result is unchanged.
+func TestPlanLookupStaleSetFallsBack(t *testing.T) {
+	cfg := DefaultConfig(targetFor(t, hw.BDW()))
+	cfg.AmortizeFactor = 0
+	live := compileKernelCfg(t, "gemm", workloads.Test, cfg)
+
+	rplCfg := DefaultConfig(targetFor(t, hw.RPL()))
+	planned := cfg
+	planned.Plans = planSetFor(t, rplCfg)
+	got := compileKernelCfg(t, "gemm", workloads.Test, planned)
+
+	for i, r := range got.Reports {
+		if r.PlanHit {
+			t.Fatalf("%s: answered from a foreign backend's table", r.Label)
+		}
+		if r.CapGHz != live.Reports[i].CapGHz {
+			t.Fatalf("%s: fallback cap %.2f differs from live %.2f", r.Label, r.CapGHz, live.Reports[i].CapGHz)
+		}
+	}
+}

@@ -32,6 +32,11 @@ const (
 	StageCharacterize = "characterize"
 	// StageModelFit builds the Sec. V analytic model per nest (stage 5a).
 	StageModelFit = "model-fit"
+	// StagePlanLookup answers the cap question from a precomputed plan
+	// table (internal/plantable) where possible; it runs only when
+	// Config.Plans is set, and nests it cannot answer fall through to
+	// the live search stage.
+	StagePlanLookup = "plan-lookup"
 	// StageSearch is PolyUFC-SEARCH frequency-cap selection (stage 5b).
 	StageSearch = "search"
 	// StageCapInsert emits reports and inserts profitable caps (stage 6).
@@ -76,6 +81,9 @@ type compileState struct {
 	// failure per nest.
 	sres []search.Result
 	serr []error
+	// plan marks nests whose sres was answered from a plan table; the
+	// search stage skips them and the report records the hit.
+	plan []bool
 
 	// phases is the PhaseStudy output (phase pipeline only).
 	phases map[ir.Dialect][]Phase
@@ -109,6 +117,7 @@ func (st *compileState) alloc() {
 	st.defEst = make([]model.Estimate, n)
 	st.sres = make([]search.Result, n)
 	st.serr = make([]error, n)
+	st.plan = make([]bool, n)
 }
 
 // stageSnap is the memoized snapshot of a stage's outputs: the module as
@@ -127,6 +136,7 @@ type stageSnap struct {
 	defEst  []model.Estimate
 	sres    []search.Result
 	serr    []error
+	plan    []bool
 }
 
 func snapSave(st *compileState) any {
@@ -141,6 +151,7 @@ func snapSave(st *compileState) any {
 		defEst:  append([]model.Estimate(nil), st.defEst...),
 		sres:    append([]search.Result(nil), st.sres...),
 		serr:    append([]error(nil), st.serr...),
+		plan:    append([]bool(nil), st.plan...),
 	}
 }
 
@@ -157,6 +168,7 @@ func snapLoad(st *compileState, v any) {
 	st.defEst = append([]model.Estimate(nil), snap.defEst...)
 	st.sres = append([]search.Result(nil), snap.sres...)
 	st.serr = append([]error(nil), snap.serr...)
+	st.plan = append([]bool(nil), snap.plan...)
 }
 
 // stageBaseKey is the content hash anchoring the stage memo key chain:
@@ -345,6 +357,48 @@ func stageModelFit() pipeline.Stage[*compileState] {
 	}
 }
 
+// stagePlanLookup answers nests from the configured plan-table set. A
+// table hit synthesizes the search.Result live bisection would have
+// produced — the cap from the precomputed surface, the model evaluated
+// there, zero search evaluations — and flags the nest so the search
+// stage skips it. Misses (no table for the target or options, stale
+// table, off-axis kernel, steep cell) leave the nest to live search.
+func stagePlanLookup() pipeline.Stage[*compileState] {
+	return pipeline.Stage[*compileState]{
+		Name: StagePlanLookup,
+		Salt: func(st *compileState) string {
+			return st.cfg.Plans.Fingerprint() + "|" + st.cfg.Search.Fingerprint()
+		},
+		Save: snapSave, Load: snapLoad,
+		Run: func(ctx context.Context, st *compileState) error {
+			for idx, nest := range st.nests {
+				m := st.models[idx]
+				if m == nil {
+					continue
+				}
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				err := pipeline.Unit(StagePlanLookup, nest.Label, func() error {
+					f, ok := st.cfg.Plans.Lookup(st.cfg.Target, st.cfg.Search, m)
+					if !ok {
+						return nil
+					}
+					st.sres[idx] = search.Result{
+						BestGHz: f, Best: m.At(f), Class: m.Class(),
+					}
+					st.plan[idx] = true
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
 func stageSearch() pipeline.Stage[*compileState] {
 	return pipeline.Stage[*compileState]{
 		Name: StageSearch,
@@ -354,7 +408,7 @@ func stageSearch() pipeline.Stage[*compileState] {
 			freqs := st.cfg.Platform().UncoreSteps()
 			for idx, nest := range st.nests {
 				m := st.models[idx]
-				if m == nil {
+				if m == nil || st.plan[idx] {
 					continue
 				}
 				err := pipeline.Unit(StageSearch, nest.Label, func() error {
@@ -426,7 +480,7 @@ func stageCapInsert() pipeline.Stage[*compileState] {
 						OI: cm.OI, Class: sres.Class, CapGHz: sres.BestGHz,
 						Tiled: st.tiled[i], Threads: st.threads[i],
 						Est: sres.Best, EstDefault: st.defEst[i],
-						CM: cm, SearchEvals: sres.Evaluated,
+						CM: cm, SearchEvals: sres.Evaluated, PlanHit: st.plan[i],
 						Degraded: st.nerr[i] != nil, Err: st.nerr[i],
 					})
 					// Profitability gate (Sec. VII-F): switching the cap costs
@@ -546,9 +600,17 @@ func compileStages(cfg Config) []pipeline.Stage[*compileState] {
 		stageCacheModel(),
 		stageCharacterize(),
 		stageModelFit(),
+	}
+	if cfg.Plans != nil {
+		// The plan-lookup stage exists only when tables are configured,
+		// so table-less pipelines keep their exact stage list (and memo
+		// key chain) from before plan tables existed.
+		stages = append(stages, stagePlanLookup())
+	}
+	stages = append(stages,
 		stageSearch(),
 		stageCapInsert(),
-	}
+	)
 	if cfg.CapLevel == ir.DialectTorch {
 		stages = append(stages, stageCapMerge())
 	}

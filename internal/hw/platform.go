@@ -125,34 +125,41 @@ func PlatformByName(name string) (*Platform, error) {
 // leave UncoreMax off the grid rather than emitting an out-of-range
 // point.
 func (p *Platform) UncoreSteps() []float64 {
-	n := gridSize(p.UncoreMin, p.UncoreMax, p.CapStep)
+	n := GridSize(p.UncoreMin, p.UncoreMax, p.CapStep)
 	out := make([]float64, n)
 	for i := range out {
-		out[i] = gridPoint(p.UncoreMin, p.CapStep, i)
+		out[i] = GridPoint(p.UncoreMin, p.CapStep, i)
 	}
 	return out
 }
 
-// gridSize counts the grid points min, min+step, ... that fit in
+// GridSize counts the grid points min, min+step, ... that fit in
 // [min, max]; degenerate ranges or steps yield the single point min.
-func gridSize(min, max, step float64) int {
+// It is exported because serialized artifacts (plan tables) regenerate
+// cap grids from (min, max, step) and must agree with UncoreSteps.
+func GridSize(min, max, step float64) int {
 	if step <= 0 || max < min {
 		return 1
 	}
 	return int((max-min)/step+1e-9) + 1
 }
 
-// gridPoint returns min + i*step snapped to 3 decimals, so 0.1 and
-// 0.05 GHz grids render exactly.
-func gridPoint(min, step float64, i int) float64 {
+// GridPoint returns min + i*step snapped to 3 decimals, so 0.1 and
+// 0.05 GHz grids render exactly. The index-based anchoring (rather than
+// accumulating additions) is what keeps fractional steps float-drift
+// free; every cap-grid consumer must derive points through it.
+func GridPoint(min, step float64, i int) float64 {
 	return math.Round((min+float64(i)*step)*1000) / 1000
 }
 
-// clampToGrid rounds f to the nearest grid point anchored at min and
-// clamps to the grid's range — the returned value is always an element
-// of the grid, even when step does not divide max-min evenly.
-func clampToGrid(min, max, step, f float64) float64 {
-	n := gridSize(min, max, step)
+// GridIndex returns the index of the grid point nearest f, clamped into
+// the grid anchored at min: GridPoint(min, step, GridIndex(...)) is
+// always an element of the grid.
+func GridIndex(min, max, step, f float64) int {
+	n := GridSize(min, max, step)
+	if step <= 0 {
+		return 0
+	}
 	i := int(math.Round((f - min) / step))
 	if i < 0 {
 		i = 0
@@ -160,7 +167,14 @@ func clampToGrid(min, max, step, f float64) float64 {
 	if i > n-1 {
 		i = n - 1
 	}
-	return gridPoint(min, step, i)
+	return i
+}
+
+// clampToGrid rounds f to the nearest grid point anchored at min and
+// clamps to the grid's range — the returned value is always an element
+// of the grid, even when step does not divide max-min evenly.
+func clampToGrid(min, max, step, f float64) float64 {
+	return GridPoint(min, step, GridIndex(min, max, step, f))
 }
 
 // ClampCap rounds a requested cap to the platform's step grid and range;

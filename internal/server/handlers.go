@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -276,6 +278,7 @@ func (s *Server) requestConfig(r resolved) core.Config {
 	cfg.Search.Epsilon = r.eps
 	cfg.CapLevel = r.lvl
 	cfg.Degrade = s.cfg.Degrade
+	cfg.Plans = s.plans // nil when no tables are loaded
 	return cfg
 }
 
@@ -373,12 +376,20 @@ func nestResponses(res *core.Result) []NestResponse {
 }
 
 // journalKey canonicalizes the deterministic parameters of a request.
-func journalKey(endpoint string, req Request, r resolved) string {
-	return strings.Join([]string{
+// Loaded plan tables are part of them: a table-served cap can differ
+// from live bisection within the interpolation tolerance, so a daemon
+// rebooted with different tables must recompute, not replay.
+func (s *Server) journalKey(endpoint string, req Request, r resolved) string {
+	key := strings.Join([]string{
 		endpoint, r.p.Name, req.Kernel,
 		fmt.Sprintf("sz%d", int(r.sz)), r.obj.String(),
 		fmt.Sprintf("lvl%d", int(r.lvl)), fmt.Sprintf("eps%g", r.eps),
 	}, "/")
+	if s.plans != nil {
+		sum := sha256.Sum256([]byte(s.plans.Fingerprint()))
+		key += "/plans" + hex.EncodeToString(sum[:8])
+	}
+	return key
 }
 
 // journaled serves one deterministic response through the crash-safe
@@ -406,7 +417,7 @@ func (s *Server) handleCompile(ctx context.Context, req Request) (any, error) {
 		return nil, err
 	}
 	var resp CompileResponse
-	err = s.journaled(journalKey("v1/compile", req, r), &resp, func() error {
+	err = s.journaled(s.journalKey("v1/compile", req, r), &resp, func() error {
 		res, err := s.compile(ctx, req, r)
 		if err != nil {
 			return err
@@ -435,7 +446,7 @@ func (s *Server) handleCharacterize(ctx context.Context, req Request) (any, erro
 		return nil, err
 	}
 	var resp CharacterizeResponse
-	err = s.journaled(journalKey("v1/characterize", req, r), &resp, func() error {
+	err = s.journaled(s.journalKey("v1/characterize", req, r), &resp, func() error {
 		res, err := s.characterize(ctx, req, r)
 		if err != nil {
 			return err
@@ -467,7 +478,7 @@ func (s *Server) handleSearch(ctx context.Context, req Request) (any, error) {
 	// never is — it exercises the live driver every time.
 	var resp SearchResponse
 	var res *core.Result
-	err = s.journaled(journalKey("v1/search", req, r), &resp, func() error {
+	err = s.journaled(s.journalKey("v1/search", req, r), &resp, func() error {
 		var cerr error
 		res, cerr = s.compile(ctx, req, r)
 		if cerr != nil {

@@ -28,6 +28,7 @@ import (
 	"polyufc/internal/journal"
 	"polyufc/internal/parallel"
 	"polyufc/internal/pipeline"
+	"polyufc/internal/plantable"
 	"polyufc/internal/platform"
 	"polyufc/internal/roofline"
 )
@@ -67,6 +68,13 @@ type Config struct {
 	// backend, so a machine added purely as JSON is served with zero code
 	// changes.
 	PlatformFiles []string
+	// PlanTables are precomputed capping-plan tables (internal/plantable)
+	// to load at boot. Each table must match a served backend's exact
+	// description and calibration hash — a stale table fails boot (so it
+	// gets rebuilt) rather than silently serving wrong caps. Loaded
+	// tables answer the search stage on the serve path; /statsz reports
+	// hit/fallback/staleness counters.
+	PlanTables []string
 }
 
 // DefaultConfig returns production-shaped defaults.
@@ -92,7 +100,11 @@ type Server struct {
 	profiles hw.ProfileCache
 	breakers map[string]*hw.CapBreaker
 	jrnl     *journal.Journal
-	start    time.Time
+	// plans holds the boot-loaded plan tables; nil when none are
+	// configured, which keeps the compile pipeline's stage list (and
+	// memo keys) exactly as without plan tables.
+	plans *plantable.Set
+	start time.Time
 
 	// platServed counts requests served per backend (prefilled at boot,
 	// so handlers update without locking).
@@ -175,6 +187,26 @@ func New(cfg Config) (*Server, error) {
 		opts := hw.DefaultCapControllerOptions(p)
 		opts.JitterSeed = cfg.FaultSeed
 		s.breakers[p.Name] = hw.NewCapBreaker(hw.NewCapController(m, opts), cfg.Breaker)
+	}
+
+	if len(cfg.PlanTables) > 0 {
+		s.plans = plantable.NewSet()
+		for _, path := range cfg.PlanTables {
+			tb, err := plantable.Load(path)
+			if err != nil {
+				return nil, fmt.Errorf("server: %w", err)
+			}
+			t, ok := s.targets[tb.Backend]
+			if !ok {
+				return nil, fmt.Errorf("server: plan table %s is for backend %q, which this daemon does not serve", path, tb.Backend)
+			}
+			if err := tb.Matches(t); err != nil {
+				return nil, fmt.Errorf("server: plan table %s: %w", path, err)
+			}
+			if err := s.plans.Add(tb); err != nil {
+				return nil, fmt.Errorf("server: plan table %s: %w", path, err)
+			}
+		}
 	}
 
 	if cfg.JournalPath != "" {
@@ -301,6 +333,10 @@ type Statsz struct {
 	// pipeline down by stage name (core.Stage* constants).
 	StageCache CacheStatsz
 	Stages     map[string]StageStatsz
+	// PlanTables reports the loaded capping-plan tables and their
+	// serve-path hit/fallback/staleness counters (all zero when no
+	// tables are configured).
+	PlanTables plantable.Stats
 	Journal    journal.Stats
 	// Platforms maps each served backend to its calibration provenance
 	// and per-backend served count.
@@ -325,6 +361,9 @@ func (s *Server) statsz() Statsz {
 	out.ProfileCache = CacheStatsz{Hits: ph, Misses: pm, Evictions: s.profiles.Evictions(), Len: s.profiles.Len()}
 	sh, sm := s.stages.Stats()
 	out.StageCache = CacheStatsz{Hits: sh, Misses: sm, Evictions: s.stages.Evictions(), Len: s.stages.Len()}
+	if s.plans != nil {
+		out.PlanTables = s.plans.Stats()
+	}
 	out.Stages = map[string]StageStatsz{}
 	for name, st := range s.stageStats.Snapshot() {
 		out.Stages[name] = StageStatsz{
