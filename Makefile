@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments faults fuzz fmt cover serve smoke pipeline platforms plantable
+.PHONY: all build vet test race bench experiments faults fuzz fmt cover serve smoke pipeline platforms plantable jobs
 
 all: build vet test
 
@@ -63,6 +63,16 @@ plantable:
 	$(GO) test -race -run 'Plan' ./internal/core ./internal/server
 	$(GO) test -fuzz FuzzParsePlanTable -fuzztime 5s ./internal/plantable
 	sh scripts/plantable_smoke.sh
+
+# Async-job and drift-watchdog gate: the journal-backed job tier and
+# leak checker under the race detector, the daemon's job/drift suites,
+# then the real binary end to end — SIGKILL mid-job with byte-identical
+# resume, and injected calibration drift triggering an automatic re-fit
+# visible in /statsz.
+jobs:
+	$(GO) test -race ./internal/jobs ./internal/leakcheck
+	$(GO) test -race -run 'Job|Drift|Refit|Quarantine' ./internal/server ./internal/roofline ./internal/journal
+	sh scripts/jobs_smoke.sh
 
 # Run the capping service locally with production-shaped defaults.
 serve:

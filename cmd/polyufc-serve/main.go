@@ -5,13 +5,20 @@
 // breaker quarantining a sick UFS driver (measured requests degrade to
 // model-only answers), LRU-bounded caches, a crash-safe response journal,
 // and graceful drain on SIGTERM/SIGINT: the listener stops accepting,
-// in-flight requests finish, and the driver-default uncore cap is
-// restored before exit.
+// in-flight requests finish, running jobs checkpoint, and the
+// driver-default uncore cap is restored before exit.
+//
+// With -jobs-dir the daemon also runs the async job tier (POST /v1/jobs):
+// journal-backed sweep/characterize/plan-table/refit jobs that survive
+// kill -9 and resume byte-identically, plus the calibration-drift
+// watchdog that auto-enqueues a re-fit when measured runs disagree with
+// the calibrated model.
 //
 // Usage:
 //
 //	polyufc-serve -addr :8321
 //	polyufc-serve -addr :8321 -journal serve.jsonl -resume
+//	polyufc-serve -addr :8321 -jobs-dir /var/lib/polyufc/jobs
 //	polyufc-serve -fault "ufs.write.ebusy=0.5" -breaker-threshold 2
 package main
 
@@ -49,53 +56,60 @@ func main() {
 		resume      = flag.Bool("resume", false, "replay an existing journal instead of truncating it")
 		platFiles   = flag.String("platform-file", "", "comma-separated backend description files (platforms/*.json); the daemon serves every registered backend")
 		planTables  = flag.String("plan-table", "", "comma-separated precomputed capping-plan tables (polyufc -build-plan-table); a table whose backend or calibration hash is stale fails boot")
+		jobsDir     = flag.String("jobs-dir", "", "enable the async job tier, journaling jobs (and built plan tables) under this directory")
+		jobWorkers  = flag.Int("job-workers", 2, "concurrent job executors (with -jobs-dir)")
+		driftThresh = flag.Float64("drift-threshold", 0, "model-vs-measured EWMA residual that marks a backend's calibration degraded (0 = default 0.25)")
+		driftMin    = flag.Int64("drift-min-samples", 0, "measured samples before the drift threshold applies (0 = default 3)")
 	)
 	flag.Parse()
-	if err := run(*addr, *concurrency, *queue, *reqTimeout, *drain, *brkThresh, *brkCooldown,
-		*cacheLimit, *degrade, *fault, *platFiles, *planTables, *faultSeed, *journalPath, *resume); err != nil {
+
+	policy, ok := core.ParseDegradePolicy(*degrade)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "polyufc-serve: unknown degrade policy %q (want strict or best-effort)\n", *degrade)
+		os.Exit(1)
+	}
+	reg, err := faults.Parse(*fault, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polyufc-serve:", err)
+		os.Exit(1)
+	}
+	cfg := server.DefaultConfig()
+	if *concurrency <= 0 {
+		*concurrency = runtime.GOMAXPROCS(0)
+	}
+	cfg.Concurrency = *concurrency
+	cfg.Queue = *queue
+	cfg.RequestTimeout = *reqTimeout
+	cfg.DrainTimeout = *drain
+	cfg.Breaker.Threshold = *brkThresh
+	cfg.Breaker.Cooldown = *brkCooldown
+	cfg.CacheLimit = *cacheLimit
+	cfg.Degrade = policy
+	cfg.Faults = reg
+	cfg.FaultSeed = *faultSeed
+	cfg.JournalPath = *journalPath
+	cfg.Resume = *resume
+	cfg.JobsDir = *jobsDir
+	cfg.JobWorkers = *jobWorkers
+	cfg.Drift.Threshold = *driftThresh
+	cfg.Drift.MinSamples = *driftMin
+	for _, f := range strings.Split(*platFiles, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			cfg.PlatformFiles = append(cfg.PlatformFiles, f)
+		}
+	}
+	for _, f := range strings.Split(*planTables, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			cfg.PlanTables = append(cfg.PlanTables, f)
+		}
+	}
+	if err := run(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "polyufc-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, concurrency, queue int, reqTimeout, drain time.Duration,
-	brkThresh int, brkCooldown time.Duration, cacheLimit int,
-	degrade, fault, platFiles, planTables string, faultSeed int64, journalPath string, resume bool) error {
-	policy, ok := core.ParseDegradePolicy(degrade)
-	if !ok {
-		return fmt.Errorf("unknown degrade policy %q (want strict or best-effort)", degrade)
-	}
-	reg, err := faults.Parse(fault, faultSeed)
-	if err != nil {
-		return err
-	}
-	cfg := server.DefaultConfig()
-	if concurrency <= 0 {
-		concurrency = runtime.GOMAXPROCS(0)
-	}
-	cfg.Concurrency = concurrency
-	cfg.Queue = queue
-	cfg.RequestTimeout = reqTimeout
-	cfg.DrainTimeout = drain
-	cfg.Breaker.Threshold = brkThresh
-	cfg.Breaker.Cooldown = brkCooldown
-	cfg.CacheLimit = cacheLimit
-	cfg.Degrade = policy
-	cfg.Faults = reg
-	cfg.FaultSeed = faultSeed
-	cfg.JournalPath = journalPath
-	cfg.Resume = resume
-	for _, f := range strings.Split(platFiles, ",") {
-		if f = strings.TrimSpace(f); f != "" {
-			cfg.PlatformFiles = append(cfg.PlatformFiles, f)
-		}
-	}
-	for _, f := range strings.Split(planTables, ",") {
-		if f = strings.TrimSpace(f); f != "" {
-			cfg.PlanTables = append(cfg.PlanTables, f)
-		}
-	}
-
+func run(addr string, cfg server.Config) error {
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
@@ -104,10 +118,15 @@ func run(addr string, concurrency, queue int, reqTimeout, drain time.Duration,
 		fmt.Fprintf(os.Stderr, "polyufc-serve: %d capping-plan table(s) loaded and pinned to the live calibration\n",
 			len(cfg.PlanTables))
 	}
-	if journalPath != "" {
+	if cfg.JournalPath != "" {
 		st := srv.JournalStats()
 		fmt.Fprintf(os.Stderr, "polyufc-serve: journal %s: %d entries loaded (%d torn dropped)\n",
-			journalPath, st.Entries, st.Dropped)
+			cfg.JournalPath, st.Entries, st.Dropped)
+	}
+	if cfg.JobsDir != "" {
+		st := srv.JobStats()
+		fmt.Fprintf(os.Stderr, "polyufc-serve: job tier on %s: %d job(s) journaled, %d resumed\n",
+			cfg.JobsDir, st.Jobs, st.ByState["queued"])
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -116,8 +135,8 @@ func run(addr string, concurrency, queue int, reqTimeout, drain time.Duration,
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Fprintf(os.Stderr, "polyufc-serve: listening on %s (concurrency %d, queue %d)\n",
-		ln.Addr(), concurrency, queue)
+		ln.Addr(), cfg.Concurrency, cfg.Queue)
 	err = srv.Run(ctx, ln)
-	fmt.Fprintln(os.Stderr, "polyufc-serve: drained, caps restored, bye")
+	fmt.Fprintln(os.Stderr, "polyufc-serve: drained, jobs checkpointed, caps restored, bye")
 	return err
 }

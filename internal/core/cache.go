@@ -16,6 +16,11 @@ import (
 type CacheKey struct {
 	Kernel   string
 	Platform string
+	// CalHash pins the calibrated constants (platform.Constants.Hash) the
+	// compilation ran against. A daemon that re-fits a drifted backend
+	// swaps its target; compilations against the new fit must not share
+	// entries with the stale one.
+	CalHash string
 	// Size is the workloads.SizeClass ordinal (kept as int to avoid a
 	// core -> workloads dependency).
 	Size       int

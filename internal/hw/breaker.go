@@ -64,6 +64,12 @@ type BreakerStats struct {
 	// half-open attempts, Rejected the operations fast-failed while
 	// open, Recovered the open -> closed transitions.
 	Trips, Probes, Rejected, Recovered int64
+	// HalfOpens counts open -> half-open transitions (cooldown expiries
+	// that let a probe through); ProbeSuccesses and ProbeFailures split
+	// the probe outcomes, so operators — and the smoke gate — can assert
+	// the breaker actually recovered through a probe rather than merely
+	// cooled down.
+	HalfOpens, ProbeSuccesses, ProbeFailures int64
 	// ConsecutiveFailures is the current failure streak.
 	ConsecutiveFailures int
 	// State is the breaker position at snapshot time.
@@ -115,6 +121,7 @@ func (b *CapBreaker) allowLocked() error {
 			return ErrBreakerOpen
 		}
 		b.state = BreakerHalfOpen
+		b.stats.HalfOpens++
 		fallthrough
 	default: // BreakerHalfOpen: this caller is the probe.
 		b.stats.Probes++
@@ -124,6 +131,14 @@ func (b *CapBreaker) allowLocked() error {
 
 // recordLocked feeds one driver outcome into the trip logic.
 func (b *CapBreaker) recordLocked(failed bool) {
+	if b.state == BreakerHalfOpen {
+		// This outcome is the probe's verdict.
+		if failed {
+			b.stats.ProbeFailures++
+		} else {
+			b.stats.ProbeSuccesses++
+		}
+	}
 	if !failed {
 		b.consec = 0
 		if b.state != BreakerClosed {

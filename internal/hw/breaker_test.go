@@ -84,6 +84,9 @@ func TestCapBreakerTripsDegradesAndRecovers(t *testing.T) {
 	if st := b.Stats(); st.State != BreakerOpen || st.Trips != 2 || st.Probes != 1 {
 		t.Fatalf("after failed probe: %+v", st)
 	}
+	if st := b.Stats(); st.HalfOpens != 1 || st.ProbeFailures != 1 || st.ProbeSuccesses != 0 {
+		t.Fatalf("probe counters after failed probe: %+v", st)
+	}
 
 	// Driver recovers; the next probe closes the breaker.
 	reg.Disable(FaultCapWriteBusy)
@@ -94,6 +97,9 @@ func TestCapBreakerTripsDegradesAndRecovers(t *testing.T) {
 	}
 	if st := b.Stats(); st.State != BreakerClosed || st.Recovered != 1 || st.Probes != 2 {
 		t.Fatalf("after recovery: %+v", st)
+	}
+	if st := b.Stats(); st.HalfOpens != 2 || st.ProbeSuccesses != 1 || st.ProbeFailures != 1 {
+		t.Fatalf("probe counters after recovery: %+v", st)
 	}
 }
 

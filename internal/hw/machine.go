@@ -161,7 +161,21 @@ const (
 	// silently raising the cap to the platform maximum (a thermal/turbo
 	// event); only a watchdog re-read can detect it.
 	FaultThermalOverride = "ufs.thermal.override"
+	// FaultMeasureDrift makes the hidden hardware model run slower than
+	// the calibrated constants predict (DIMM training gone stale, a BIOS
+	// update, silent memory-controller throttling): every measurement the
+	// fault fires on takes DriftTimeFactor longer at the same power. The
+	// model itself is untouched, so model-vs-measured residuals degrade —
+	// the signal a calibration-drift watchdog keys on — and a re-fit
+	// against the drifted machine recovers them.
+	FaultMeasureDrift = "hw.measure.drift"
 )
+
+// DriftTimeFactor is the time dilation FaultMeasureDrift applies. It is
+// sized well past the model's worst healthy per-kernel residual (~18% on
+// memory-bound nests), so drifted and healthy residual populations do
+// not overlap and the watchdog threshold can sit between them.
+const DriftTimeFactor = 1.5
 
 // ErrCapBusy is the transient UFS driver write failure.
 var ErrCapBusy = errors.New("hw: uncore cap write: device busy")
@@ -364,6 +378,13 @@ func (m *Machine) measureAtJoint(p *CacheProfile, fC, fU float64, threads int) R
 	sec := math.Max(tc, tm) + t.Overlap*math.Min(tc, tm)
 	if sec <= 0 {
 		sec = 1e-12
+	}
+	// Calibration drift: the machine got uniformly slower than the truth
+	// the constants were fitted against. Applied here — not in Measure —
+	// so every measurement path (serving, sweeps, and crucially a
+	// re-calibration's micro-benchmarks) sees the same drifted hardware.
+	if m.faults.Hit(FaultMeasureDrift) != nil {
+		sec *= DriftTimeFactor
 	}
 
 	// Power. Core dynamic energy per flop scales as 0.35 + 0.65*(f/base)^2

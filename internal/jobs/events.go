@@ -1,0 +1,126 @@
+package jobs
+
+import "sync"
+
+// Event types emitted over a job's stream. Events are derived state —
+// they are never journaled; a client that reconnects after a daemon
+// restart sees the resumed run's events (with Replayed set on units the
+// journal replayed) rather than a replica of the dead run's stream.
+const (
+	EventSubmitted  = "submitted"
+	EventResumed    = "resumed"
+	EventStarted    = "started"
+	EventStage      = "stage"
+	EventUnit       = "unit"
+	EventProgress   = "progress"
+	EventCheckpoint = "checkpoint"
+	EventDone       = "done"
+	EventFailed     = "failed"
+	EventCanceled   = "canceled"
+)
+
+// Event is one progress notification. Seq is per-job, monotonically
+// increasing from 1; subscribers use it to resume a dropped stream
+// without duplicates (SSE Last-Event-ID).
+type Event struct {
+	Seq  int64  `json:"seq"`
+	Job  string `json:"job"`
+	Type string `json:"type"`
+	// Stage/Msg carry pipeline stage transitions and free-form notes;
+	// Unit names a checkpointed unit, Replayed marking journal replays.
+	Stage    string `json:"stage,omitempty"`
+	Msg      string `json:"msg,omitempty"`
+	Unit     string `json:"unit,omitempty"`
+	Replayed bool   `json:"replayed,omitempty"`
+	// Done/Total are progress counters on progress/checkpoint events.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+}
+
+// eventRingCap bounds the per-job backlog. Jobs emit one event per unit
+// plus a handful of lifecycle events; a subscriber further behind than
+// the ring simply starts from the oldest retained event.
+const eventRingCap = 1024
+
+// subChanCap bounds each live subscriber channel. A subscriber slower
+// than this loses events (dropped, not blocked): one stuck SSE client
+// must never stall the worker pool.
+const subChanCap = 256
+
+// ring is a bounded per-job event buffer with live fan-out.
+type ring struct {
+	mu     sync.Mutex
+	buf    []Event
+	seq    int64
+	subs   map[int]chan Event
+	nextID int
+	closed bool
+}
+
+func newRing(cap int) *ring {
+	return &ring{buf: make([]Event, 0, cap), subs: map[int]chan Event{}}
+}
+
+func (r *ring) emit(ev Event) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.seq++
+	ev.Seq = r.seq
+	if len(r.buf) == cap(r.buf) {
+		copy(r.buf, r.buf[1:])
+		r.buf = r.buf[:len(r.buf)-1]
+	}
+	r.buf = append(r.buf, ev)
+	for _, ch := range r.subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop rather than block the worker
+		}
+	}
+	r.mu.Unlock()
+}
+
+// subscribe returns the retained events after seq and a live channel.
+// The channel is closed when the job finishes; cancel releases the
+// subscription early.
+func (r *ring) subscribe(afterSeq int64) ([]Event, <-chan Event, func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var backlog []Event
+	for _, ev := range r.buf {
+		if ev.Seq > afterSeq {
+			backlog = append(backlog, ev)
+		}
+	}
+	ch := make(chan Event, subChanCap)
+	if r.closed {
+		close(ch)
+		return backlog, ch, func() {}
+	}
+	id := r.nextID
+	r.nextID++
+	r.subs[id] = ch
+	cancel := func() {
+		r.mu.Lock()
+		if c, ok := r.subs[id]; ok {
+			delete(r.subs, id)
+			close(c)
+		}
+		r.mu.Unlock()
+	}
+	return backlog, ch, cancel
+}
+
+// close ends the stream: live channels close after the final event.
+func (r *ring) close() {
+	r.mu.Lock()
+	r.closed = true
+	for id, ch := range r.subs {
+		delete(r.subs, id)
+		close(ch)
+	}
+	r.mu.Unlock()
+}

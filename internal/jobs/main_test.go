@@ -1,0 +1,12 @@
+package jobs
+
+import (
+	"testing"
+
+	"polyufc/internal/leakcheck"
+)
+
+// The job tier owns worker goroutines and per-subscriber event fans;
+// Close must reap them all — including after simulated crashes, which
+// is exactly where a missed waitgroup would hide.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -7,10 +7,13 @@
 // caller skips them and continues where the dead run stopped.
 //
 // Torn tails are expected: a line cut short by the crash fails to parse
-// and is dropped. When Open finds such damage it compacts the file — the
-// valid entries are rewritten to a temporary file which atomically renames
-// over the original — so the journal on disk is always a clean prefix of
-// valid JSONL.
+// and is dropped. Corruption in the middle of the file — bad JSON that is
+// not a torn tail, e.g. a bit flip or a partial overwrite — must not cost
+// the entries recorded after it: such lines are quarantined verbatim into
+// a ".quarantine" sidecar and replay continues. Whenever damage of either
+// kind is found the file is compacted — the valid entries are rewritten
+// to a temporary file which atomically renames over the original — so the
+// journal on disk is always clean valid JSONL.
 package journal
 
 import (
@@ -35,54 +38,78 @@ type Stats struct {
 	Entries int
 	// Replayed counts Get hits served from the reopened file, Appended
 	// the entries recorded by this process, Dropped the torn or invalid
-	// lines discarded at Open.
-	Replayed, Appended, Dropped int64
+	// tail lines discarded at Open, Quarantined the corrupt mid-file
+	// lines diverted to the ".quarantine" sidecar.
+	Replayed, Appended, Dropped, Quarantined int64
 }
 
 // Journal is a keyed, append-only JSONL checkpoint log. It is safe for
 // concurrent use — sweep workers record from pool goroutines.
 type Journal struct {
-	mu       sync.Mutex
-	path     string
-	f        *os.File
-	done     map[string]json.RawMessage
-	replayed int64
-	appended int64
-	dropped  int64
+	mu          sync.Mutex
+	path        string
+	f           *os.File
+	done        map[string]json.RawMessage
+	order       []string // first-seen key order, for compaction and Keys
+	replayed    int64
+	appended    int64
+	dropped     int64
+	quarantined int64
 }
 
+// QuarantinePath returns the sidecar file corrupt mid-file lines of the
+// journal at path are diverted to.
+func QuarantinePath(path string) string { return path + ".quarantine" }
+
 // Open loads the journal at path (creating it when absent), replaying
-// every valid entry and dropping a torn tail. When damage is found the
-// file is compacted in place via atomic rename before appending resumes.
+// every valid entry. A torn tail — a contiguous run of invalid lines at
+// the end of the file, the signature of a crash mid-Record — is dropped.
+// Invalid lines followed by valid ones are not a torn tail: they are
+// appended verbatim to the ".quarantine" sidecar and replay continues,
+// so one corrupt record does not cost the entries after it. When damage
+// of either kind is found the file is compacted in place via atomic
+// rename before appending resumes.
 func Open(path string) (*Journal, error) {
 	j := &Journal{path: path, done: map[string]json.RawMessage{}}
-	var keys []string // first-seen order, for compaction
 	if data, err := os.ReadFile(path); err == nil {
+		var bad [][]byte // invalid lines seen so far, pending tail/quarantine triage
 		r := bufio.NewReader(bytes.NewReader(data))
 		for {
 			line, err := r.ReadBytes('\n')
 			if len(line) > 0 {
 				var e Entry
 				if uerr := json.Unmarshal(line, &e); uerr != nil || e.Key == "" {
-					// Torn or invalid line: everything from here on is
-					// untrustworthy — a crash only damages the tail.
-					j.dropped++
-					break
+					// Invalid. Whether this is a torn tail or mid-file
+					// corruption depends on whether any valid line follows,
+					// so hold it until we know.
+					bad = append(bad, append([]byte(nil), line...))
+				} else {
+					// A valid line after invalid ones: those were not a
+					// torn tail — quarantine them and keep replaying.
+					if len(bad) > 0 {
+						if qerr := quarantine(path, bad); qerr != nil {
+							return nil, qerr
+						}
+						j.quarantined += int64(len(bad))
+						bad = nil
+					}
+					if _, seen := j.done[e.Key]; !seen {
+						j.order = append(j.order, e.Key)
+					}
+					j.done[e.Key] = e.Data
 				}
-				if _, seen := j.done[e.Key]; !seen {
-					keys = append(keys, e.Key)
-				}
-				j.done[e.Key] = e.Data
 			}
 			if err != nil {
 				break
 			}
 		}
+		// Invalid lines with nothing valid after them are the torn tail.
+		j.dropped = int64(len(bad))
 	} else if !os.IsNotExist(err) {
 		return nil, err
 	}
-	if j.dropped > 0 {
-		if err := j.compact(keys); err != nil {
+	if j.dropped > 0 || j.quarantined > 0 {
+		if err := j.compact(); err != nil {
 			return nil, err
 		}
 	}
@@ -94,16 +121,45 @@ func Open(path string) (*Journal, error) {
 	return j, nil
 }
 
+// quarantine appends the corrupt lines verbatim to the sidecar, synced —
+// the evidence must survive the next crash too.
+func quarantine(path string, lines [][]byte) error {
+	f, err := os.OpenFile(QuarantinePath(path), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: quarantine: %w", err)
+	}
+	for _, line := range lines {
+		if _, err := f.Write(line); err != nil {
+			f.Close()
+			return fmt.Errorf("journal: quarantine: %w", err)
+		}
+		if len(line) == 0 || line[len(line)-1] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return fmt.Errorf("journal: quarantine: %w", err)
+			}
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: quarantine: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: quarantine: %w", err)
+	}
+	return nil
+}
+
 // compact rewrites the valid entries to path.tmp and atomically renames
-// it over the journal, dropping the damaged tail from disk.
-func (j *Journal) compact(keys []string) error {
+// it over the journal, dropping the damaged lines from disk.
+func (j *Journal) compact() error {
 	tmp := j.path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
 	w := bufio.NewWriter(f)
-	for _, k := range keys {
+	for _, k := range j.order {
 		line, err := json.Marshal(Entry{Key: k, Data: j.done[k]})
 		if err != nil {
 			f.Close()
@@ -155,6 +211,9 @@ func (j *Journal) Record(key string, v any) error {
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("journal: sync %q: %w", key, err)
 	}
+	if _, seen := j.done[key]; !seen {
+		j.order = append(j.order, key)
+	}
 	j.done[key] = data
 	j.appended++
 	return nil
@@ -195,6 +254,17 @@ func (j *Journal) Has(key string) bool {
 	return ok
 }
 
+// Keys returns every checkpointed key in first-recorded order — the
+// replay order a resuming job tier rebuilds its state in.
+func (j *Journal) Keys() []string {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]string(nil), j.order...)
+}
+
 // Len returns the number of distinct completed keys known.
 func (j *Journal) Len() int {
 	if j == nil {
@@ -215,6 +285,7 @@ func (j *Journal) Stats() Stats {
 	return Stats{
 		Entries: len(j.done), Replayed: j.replayed,
 		Appended: j.appended, Dropped: j.dropped,
+		Quarantined: j.quarantined,
 	}
 }
 

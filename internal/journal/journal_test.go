@@ -117,14 +117,17 @@ func TestJournalTornTailDroppedAndCompacted(t *testing.T) {
 	}
 }
 
-// Garbage in the middle truncates trust at that point: only the clean
-// prefix replays (everything after the first bad line is suspect).
-func TestJournalStopsAtFirstBadLine(t *testing.T) {
+// Garbage in the middle is not a torn tail: the corrupt line is diverted
+// to the .quarantine sidecar and every valid entry — before and after it
+// — still replays.
+func TestJournalQuarantinesMidFileCorruption(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "j.jsonl")
 	lines := []string{
 		`{"key":"a","data":{"f":1}}`,
 		`not json at all`,
+		`{"data":{"f":9}}`, // valid JSON but keyless: also corrupt
 		`{"key":"b","data":{"f":2}}`,
+		`{"key":"c","data":{"f":3}}`,
 	}
 	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
 		t.Fatal(err)
@@ -134,8 +137,55 @@ func TestJournalStopsAtFirstBadLine(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer j.Close()
-	if !j.Has("a") || j.Has("b") || j.Len() != 1 {
-		t.Fatalf("len %d, has(a)=%v has(b)=%v", j.Len(), j.Has("a"), j.Has("b"))
+	if !j.Has("a") || !j.Has("b") || !j.Has("c") || j.Len() != 3 {
+		t.Fatalf("len %d, has(a)=%v has(b)=%v has(c)=%v", j.Len(), j.Has("a"), j.Has("b"), j.Has("c"))
+	}
+	if st := j.Stats(); st.Quarantined != 2 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v, want 2 quarantined, 0 dropped", st)
+	}
+	if got := j.Keys(); len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("Keys = %v", got)
+	}
+	// The sidecar holds the corrupt lines verbatim.
+	q, err := os.ReadFile(QuarantinePath(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(q), "not json at all") || !strings.Contains(string(q), `{"data":{"f":9}}`) {
+		t.Fatalf("quarantine sidecar missing corrupt lines:\n%s", q)
+	}
+	// Compaction scrubbed the main file: a reopen is clean.
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if st := r.Stats(); r.Len() != 3 || st.Quarantined != 0 || st.Dropped != 0 {
+		t.Fatalf("after compaction: len %d, stats %+v", r.Len(), st)
+	}
+}
+
+// Mid-file corruption and a torn tail together: the mid-file line is
+// quarantined, the tail dropped, and the valid entries all replay.
+func TestJournalQuarantineAndTornTailTogether(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	content := `{"key":"a","data":{"f":1}}` + "\n" +
+		`garbage` + "\n" +
+		`{"key":"b","data":{"f":2}}` + "\n" +
+		`{"key":"c","data":{"f":` // torn mid-write, no newline
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if !j.Has("a") || !j.Has("b") || j.Has("c") || j.Len() != 2 {
+		t.Fatalf("len %d, has(a)=%v has(b)=%v has(c)=%v", j.Len(), j.Has("a"), j.Has("b"), j.Has("c"))
+	}
+	if st := j.Stats(); st.Quarantined != 1 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v, want 1 quarantined, 1 dropped", st)
 	}
 }
 

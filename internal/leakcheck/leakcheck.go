@@ -1,0 +1,100 @@
+// Package leakcheck fails a test binary that exits with project
+// goroutines still running. The long-running packages (the serving
+// daemon, the worker pool, the job tier) spawn goroutines whose leaks
+// would surface only in production as slow memory growth; wiring
+// leakcheck.Main into a package's TestMain turns every `go test` run
+// into a leak assertion.
+//
+// It is a small, dependency-free take on the goleak idea: after the
+// tests finish, snapshot all goroutine stacks and flag any goroutine
+// executing (or created by) code in this module. Goroutines still
+// winding down get a grace period of re-checks before the run fails.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// modulePrefix identifies this project's frames in a goroutine stack.
+const modulePrefix = "polyufc/internal/"
+
+// Main wraps testing.M: run the package's tests, then fail the binary
+// if project goroutines outlive them. Use from TestMain:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := Check(5 * time.Second); leaked != "" {
+			fmt.Fprintf(os.Stderr, "leakcheck: goroutines leaked past the test run:\n\n%s\n", leaked)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check polls the goroutine set until no project goroutines remain or
+// the grace period elapses, returning the offending stacks ("" when
+// clean). The grace period absorbs legitimate teardown: a drained
+// server's workers exit asynchronously a moment after Close returns.
+func Check(grace time.Duration) string {
+	deadline := time.Now().Add(grace)
+	delay := time.Millisecond
+	for {
+		leaked := snapshot()
+		if len(leaked) == 0 {
+			return ""
+		}
+		if time.Now().After(deadline) {
+			return strings.Join(leaked, "\n")
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// snapshot returns the stacks of running project goroutines.
+func snapshot() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var leaked []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if isProjectGoroutine(g) {
+			leaked = append(leaked, g)
+		}
+	}
+	return leaked
+}
+
+// isProjectGoroutine reports whether the stack block belongs to a
+// lingering goroutine of this module. The current goroutine (running
+// the check itself), the testing harness, and runtime/stdlib helpers
+// are exempt.
+func isProjectGoroutine(stack string) bool {
+	if !strings.Contains(stack, modulePrefix) {
+		return false
+	}
+	if strings.Contains(stack, "leakcheck.Check") {
+		return false // the goroutine running the check itself
+	}
+	// The main goroutine survives the test run by design: it is the one
+	// calling Main.
+	if strings.Contains(stack, "testing.(*M).Run") {
+		return false
+	}
+	return true
+}

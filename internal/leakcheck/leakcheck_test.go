@@ -1,0 +1,35 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakyWorker parks until released — the shape of a real leak: a worker
+// goroutine whose owner forgot to close its channel.
+func leakyWorker(stop chan struct{}) { <-stop }
+
+func TestCheckDetectsAndClearsLeak(t *testing.T) {
+	stop := make(chan struct{})
+	go leakyWorker(stop)
+
+	leaked := Check(50 * time.Millisecond)
+	if leaked == "" {
+		t.Fatal("parked project goroutine not detected")
+	}
+	if want := "leakcheck.leakyWorker"; !strings.Contains(leaked, want) {
+		t.Fatalf("report does not name the leaker %q:\n%s", want, leaked)
+	}
+
+	close(stop)
+	if leaked := Check(2 * time.Second); leaked != "" {
+		t.Fatalf("released goroutine still reported:\n%s", leaked)
+	}
+}
+
+func TestCheckCleanByDefault(t *testing.T) {
+	if leaked := Check(time.Second); leaked != "" {
+		t.Fatalf("clean package reported leaks:\n%s", leaked)
+	}
+}

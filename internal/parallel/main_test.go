@@ -1,0 +1,11 @@
+package parallel
+
+import (
+	"testing"
+
+	"polyufc/internal/leakcheck"
+)
+
+// The worker pool and singleflight memo are the two places the compiler
+// parks goroutines; leak-check every test run of this package.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -29,8 +29,6 @@ package plantable
 
 import (
 	"bytes"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -105,13 +103,7 @@ type Table struct {
 // description). Constants marshal deterministically (fixed field order,
 // shortest float representation), so the hash is stable.
 func CalibrationHash(c *platform.Constants) string {
-	data, err := json.Marshal(c)
-	if err != nil {
-		// Constants has no unmarshalable fields; keep the signature clean.
-		panic(fmt.Sprintf("plantable: hash constants for %q: %v", c.Platform, err))
-	}
-	sum := sha256.Sum256(data)
-	return hex.EncodeToString(sum[:8])
+	return c.Hash()
 }
 
 // GridSize returns the number of cap-grid points the table addresses.

@@ -1,6 +1,12 @@
 package platform
 
-import "math"
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+)
 
 // Constants are the calibrated roofline constants of Table I, plus the
 // frequency-parametric fits of Sec. V. They are produced by the roofline
@@ -86,6 +92,22 @@ func (c Class) String() string {
 		return "CB"
 	}
 	return "BB"
+}
+
+// Hash is the content hash of the calibrated constants, pinning derived
+// artifacts (plan tables, cached compilations, journaled responses) to
+// the exact fit that produced them: a re-fit of the same backend yields
+// a different hash even though the description is unchanged. Constants
+// marshal deterministically (fixed field order, shortest float
+// representation), so the hash is stable across processes.
+func (c *Constants) Hash() string {
+	data, err := json.Marshal(c)
+	if err != nil {
+		// Constants has no unmarshalable fields; keep the signature clean.
+		panic(fmt.Sprintf("platform: hash constants for %q: %v", c.Platform, err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
 }
 
 // Classify applies Sec. IV-D: CB iff OI >= B^t_DRAM.

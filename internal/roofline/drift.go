@@ -1,0 +1,238 @@
+package roofline
+
+import (
+	"math"
+	"sync"
+)
+
+// DriftState is the calibration-health position of one backend.
+type DriftState int
+
+// The drift watchdog's three states. A backend starts OK; sustained
+// model-vs-measured residuals past the threshold degrade it (firing the
+// OnDegrade hook once per episode — the serving daemon enqueues a re-fit
+// job there); BeginRefit marks the re-fit in flight; CompleteRefit
+// returns to OK on success with the residual history reset, or back to
+// Degraded on failure so the next bad sample can re-trigger.
+const (
+	DriftOK DriftState = iota
+	DriftDegraded
+	DriftRefitting
+)
+
+func (s DriftState) String() string {
+	switch s {
+	case DriftOK:
+		return "ok"
+	case DriftDegraded:
+		return "degraded"
+	case DriftRefitting:
+		return "refitting"
+	}
+	return "state?"
+}
+
+// DriftOptions tunes the watchdog.
+type DriftOptions struct {
+	// Threshold is the EWMA of |measured - predicted| / measured that
+	// flips a backend to Degraded. The roofline model's healthy
+	// per-kernel residual against the hidden machine peaks around 18%
+	// (memory-bound nests where the two-level bandwidth model is
+	// coarsest), while genuine drift (hw.DriftTimeFactor) pushes every
+	// kernel past 30% — the default 25% sits between the populations.
+	Threshold float64
+	// MinSamples is how many residual samples must accumulate before the
+	// threshold applies (one outlier must not trigger a re-fit).
+	MinSamples int64
+	// Alpha is the EWMA weight of the newest sample.
+	Alpha float64
+}
+
+// DefaultDriftOptions returns production-shaped watchdog defaults.
+func DefaultDriftOptions() DriftOptions {
+	return DriftOptions{Threshold: 0.25, MinSamples: 3, Alpha: 0.3}
+}
+
+// DriftStats is one backend's residual snapshot for /statsz.
+type DriftStats struct {
+	State string `json:"state"`
+	// Samples counts residuals recorded since the last successful re-fit.
+	Samples int64 `json:"samples"`
+	// LastAbsRelErr is the most recent |measured-predicted|/measured;
+	// MeanAbsRelErr its EWMA — the value the threshold is compared to.
+	LastAbsRelErr float64 `json:"last_abs_rel_err"`
+	MeanAbsRelErr float64 `json:"mean_abs_rel_err"`
+	Threshold     float64 `json:"threshold"`
+	// Degradations counts OK -> Degraded episodes, Refits the completed
+	// successful re-fits.
+	Degradations int64 `json:"degradations"`
+	Refits       int64 `json:"refits"`
+}
+
+type driftEntry struct {
+	state        DriftState
+	samples      int64
+	last         float64
+	ewma         float64
+	degradations int64
+	refits       int64
+	// notified suppresses duplicate OnDegrade firings within one episode.
+	notified bool
+}
+
+// DriftTracker watches live model-vs-measured residuals per backend and
+// drives the degrade -> re-fit -> recover state machine. It is safe for
+// concurrent use; the OnDegrade hook is called outside the lock.
+type DriftTracker struct {
+	mu        sync.Mutex
+	opts      DriftOptions
+	backends  map[string]*driftEntry
+	onDegrade func(backend string)
+}
+
+// NewDriftTracker builds a tracker. Zero option fields fall back to the
+// defaults.
+func NewDriftTracker(opts DriftOptions) *DriftTracker {
+	def := DefaultDriftOptions()
+	if opts.Threshold <= 0 {
+		opts.Threshold = def.Threshold
+	}
+	if opts.MinSamples <= 0 {
+		opts.MinSamples = def.MinSamples
+	}
+	if opts.Alpha <= 0 || opts.Alpha > 1 {
+		opts.Alpha = def.Alpha
+	}
+	return &DriftTracker{opts: opts, backends: map[string]*driftEntry{}}
+}
+
+// OnDegrade installs the hook fired (once per degradation episode, after
+// the lock is released) when a backend's residuals cross the threshold.
+func (d *DriftTracker) OnDegrade(fn func(backend string)) {
+	d.mu.Lock()
+	d.onDegrade = fn
+	d.mu.Unlock()
+}
+
+func (d *DriftTracker) entry(backend string) *driftEntry {
+	e, ok := d.backends[backend]
+	if !ok {
+		e = &driftEntry{}
+		d.backends[backend] = e
+	}
+	return e
+}
+
+// Record feeds one model-vs-measured pair (both in the same unit —
+// seconds of the same run) into the backend's residual EWMA, advancing
+// the state machine. Non-positive or non-finite measurements are
+// discarded.
+func (d *DriftTracker) Record(backend string, predicted, measured float64) {
+	if d == nil || !(measured > 0) || math.IsInf(predicted, 0) || math.IsNaN(predicted) {
+		return
+	}
+	rel := math.Abs(measured-predicted) / measured
+	var fire func(string)
+	d.mu.Lock()
+	e := d.entry(backend)
+	e.samples++
+	e.last = rel
+	if e.samples == 1 {
+		e.ewma = rel
+	} else {
+		e.ewma = d.opts.Alpha*rel + (1-d.opts.Alpha)*e.ewma
+	}
+	if e.state == DriftOK && e.samples >= d.opts.MinSamples && e.ewma > d.opts.Threshold {
+		e.state = DriftDegraded
+		e.degradations++
+	}
+	if e.state == DriftDegraded && !e.notified && d.onDegrade != nil {
+		e.notified = true
+		fire = d.onDegrade
+	}
+	d.mu.Unlock()
+	if fire != nil {
+		fire(backend)
+	}
+}
+
+// State returns the backend's watchdog position (OK when never seen).
+func (d *DriftTracker) State(backend string) DriftState {
+	if d == nil {
+		return DriftOK
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.backends[backend]; ok {
+		return e.state
+	}
+	return DriftOK
+}
+
+// Degraded reports whether the backend is anywhere in a degradation
+// episode (Degraded or Refitting) — the serving daemon's Strict policy
+// refuses such backends, BestEffort flags their answers.
+func (d *DriftTracker) Degraded(backend string) bool {
+	s := d.State(backend)
+	return s == DriftDegraded || s == DriftRefitting
+}
+
+// BeginRefit marks the backend's re-fit as in flight, reporting false
+// when one already is (the caller must not enqueue a second).
+func (d *DriftTracker) BeginRefit(backend string) bool {
+	if d == nil {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e := d.entry(backend)
+	if e.state == DriftRefitting {
+		return false
+	}
+	e.state = DriftRefitting
+	return true
+}
+
+// CompleteRefit records the re-fit outcome: success returns the backend
+// to OK with its residual history reset (the new fit starts clean);
+// failure falls back to Degraded and re-arms the OnDegrade hook so a
+// later sample can retry.
+func (d *DriftTracker) CompleteRefit(backend string, ok bool) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e := d.entry(backend)
+	if ok {
+		e.state = DriftOK
+		e.samples, e.last, e.ewma = 0, 0, 0
+		e.notified = false
+		e.refits++
+		return
+	}
+	e.state = DriftDegraded
+	e.notified = false
+}
+
+// Snapshot returns every tracked backend's residual statistics.
+func (d *DriftTracker) Snapshot() map[string]DriftStats {
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]DriftStats, len(d.backends))
+	for name, e := range d.backends {
+		out[name] = DriftStats{
+			State:         e.state.String(),
+			Samples:       e.samples,
+			LastAbsRelErr: e.last,
+			MeanAbsRelErr: e.ewma,
+			Threshold:     d.opts.Threshold,
+			Degradations:  e.degradations,
+			Refits:        e.refits,
+		}
+	}
+	return out
+}

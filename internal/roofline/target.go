@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"polyufc/internal/faults"
 	"polyufc/internal/hw"
 	"polyufc/internal/pipeline"
 	"polyufc/internal/platform"
@@ -89,6 +90,41 @@ func ResolveCached(ctx context.Context, cache *pipeline.Cache, b *platform.Backe
 		return nil, err
 	}
 	return v.(*Target), nil
+}
+
+// Refit re-runs the calibration micro-benchmarks for an already-resolved
+// target and returns a fresh Target sharing the same platform. The fault
+// registry — normally the serving daemon's — is armed on the calibration
+// machine so the fit measures the same (possibly drifted) hardware the
+// live measurement path sees; that is what makes online recalibration
+// actually recover residuals instead of reproducing the stale fit.
+func Refit(t *Target, reg *faults.Registry) (*Target, error) {
+	if t == nil || t.Platform == nil {
+		return nil, fmt.Errorf("roofline: refit: target has no platform")
+	}
+	m := hw.NewMachine(t.Platform)
+	m.SetFaults(reg)
+	c, err := Calibrate(m)
+	if err != nil {
+		return nil, fmt.Errorf("roofline: refit %s: %w", t.Platform.Name, err)
+	}
+	cal := &platform.Calibration{
+		Schema:    platform.CalibrationSchemaVersion,
+		Constants: *c,
+		Provenance: platform.Provenance{
+			FitDate: time.Now().UTC().Format(time.RFC3339),
+			Residuals: map[string]float64{
+				"miss_latency": c.MissLatR2,
+				"uncore_power": c.PowerR2,
+			},
+			Tool: "polyufc/roofline-refit",
+		},
+	}
+	if t.Backend != nil {
+		cal.Backend = t.Backend.Name
+		cal.BackendHash = t.Backend.Hash()
+	}
+	return &Target{Backend: t.Backend, Platform: t.Platform, Constants: &cal.Constants, Calibration: cal}, nil
 }
 
 // FromCalibration builds a target from a persisted calibration artifact

@@ -58,26 +58,32 @@ type NestResponse struct {
 	Error          string  `json:"error,omitempty"`
 }
 
-// CompileResponse is the /v1/compile payload.
+// CompileResponse is the /v1/compile payload. CalibrationDegraded marks
+// answers computed while the backend's drift watchdog is in a
+// degradation episode (best-effort daemons only; strict ones refuse
+// with 503 instead) — the model constants are known to disagree with
+// the live hardware until the re-fit lands.
 type CompileResponse struct {
-	Kernel       string         `json:"kernel"`
-	Arch         string         `json:"arch"`
-	Objective    string         `json:"objective"`
-	CapLevel     string         `json:"cap_level"`
-	CapsInserted int            `json:"caps_inserted"`
-	CapsRemoved  int            `json:"caps_removed"`
-	Nests        []NestResponse `json:"nests"`
+	Kernel              string         `json:"kernel"`
+	Arch                string         `json:"arch"`
+	Objective           string         `json:"objective"`
+	CapLevel            string         `json:"cap_level"`
+	CapsInserted        int            `json:"caps_inserted"`
+	CapsRemoved         int            `json:"caps_removed"`
+	Nests               []NestResponse `json:"nests"`
+	CalibrationDegraded bool           `json:"calibration_degraded,omitempty"`
 }
 
 // CharacterizeResponse is the /v1/characterize payload: the calibrated
 // roofline plus each nest's operational-intensity classification.
 type CharacterizeResponse struct {
-	Kernel     string         `json:"kernel"`
-	Arch       string         `json:"arch"`
-	PeakGFlops float64        `json:"peak_gflops"`
-	PeakGBs    float64        `json:"peak_gbs"`
-	BtDRAM     float64        `json:"bt_dram"`
-	Nests      []NestResponse `json:"nests"`
+	Kernel              string         `json:"kernel"`
+	Arch                string         `json:"arch"`
+	PeakGFlops          float64        `json:"peak_gflops"`
+	PeakGBs             float64        `json:"peak_gbs"`
+	BtDRAM              float64        `json:"bt_dram"`
+	Nests               []NestResponse `json:"nests"`
+	CalibrationDegraded bool           `json:"calibration_degraded,omitempty"`
 }
 
 // MeasuredResponse is the hardware half of a measured /v1/search answer.
@@ -95,12 +101,13 @@ type MeasuredResponse struct {
 // measured request fell back to the model answer (breaker open or driver
 // error); the model half is always present.
 type SearchResponse struct {
-	Kernel     string            `json:"kernel"`
-	Arch       string            `json:"arch"`
-	Objective  string            `json:"objective"`
-	Nests      []NestResponse    `json:"nests"`
-	Measured   *MeasuredResponse `json:"measured,omitempty"`
-	DegradedTo string            `json:"degraded_to,omitempty"`
+	Kernel              string            `json:"kernel"`
+	Arch                string            `json:"arch"`
+	Objective           string            `json:"objective"`
+	Nests               []NestResponse    `json:"nests"`
+	Measured            *MeasuredResponse `json:"measured,omitempty"`
+	DegradedTo          string            `json:"degraded_to,omitempty"`
+	CalibrationDegraded bool              `json:"calibration_degraded,omitempty"`
 }
 
 // httpError carries a status code out of a handler.
@@ -139,6 +146,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/compile", s.wrap(s.handleCompile))
 	mux.HandleFunc("/v1/characterize", s.wrap(s.handleCharacterize))
 	mux.HandleFunc("/v1/search", s.wrap(s.handleSearch))
+	// The async job tier. Submission and status are cheap bookkeeping —
+	// the actual work runs on the job worker pool — so like the
+	// observability endpoints they bypass the admission gate: inspecting
+	// a running sweep must work while the daemon sheds compute load.
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
 	return mux
 }
 
@@ -232,7 +249,7 @@ func (s *Server) resolve(req Request) (resolved, error) {
 	if err != nil {
 		return r, badRequest("unknown platform %q (serving: %s)", name, strings.Join(s.servedNames(), ", "))
 	}
-	t, ok := s.targets[b.Name]
+	t, ok := s.target(b.Name)
 	if !ok {
 		return r, badRequest("platform %q is registered but not served by this daemon (serving: %s)",
 			b.Name, strings.Join(s.servedNames(), ", "))
@@ -278,7 +295,7 @@ func (s *Server) requestConfig(r resolved) core.Config {
 	cfg.Search.Epsilon = r.eps
 	cfg.CapLevel = r.lvl
 	cfg.Degrade = s.cfg.Degrade
-	cfg.Plans = s.plans // nil when no tables are loaded
+	cfg.Plans = s.planSet() // nil when no tables are loaded or built
 	return cfg
 }
 
@@ -312,6 +329,7 @@ func (s *Server) compile(ctx context.Context, req Request, r resolved) (*core.Re
 	key := core.CacheKey{
 		Kernel:    req.Kernel,
 		Platform:  r.p.Name,
+		CalHash:   r.target.Constants.Hash(),
 		Size:      int(r.sz),
 		CapLevel:  cfg.CapLevel,
 		Objective: r.obj,
@@ -376,17 +394,19 @@ func nestResponses(res *core.Result) []NestResponse {
 }
 
 // journalKey canonicalizes the deterministic parameters of a request.
-// Loaded plan tables are part of them: a table-served cap can differ
-// from live bisection within the interpolation tolerance, so a daemon
-// rebooted with different tables must recompute, not replay.
+// The calibration hash is part of them: a re-fitted daemon must not
+// replay answers computed against the stale constants. Loaded plan
+// tables are too: a table-served cap can differ from live bisection
+// within the interpolation tolerance, so a daemon rebooted with
+// different tables must recompute, not replay.
 func (s *Server) journalKey(endpoint string, req Request, r resolved) string {
 	key := strings.Join([]string{
-		endpoint, r.p.Name, req.Kernel,
+		endpoint, r.p.Name, "cal" + r.target.Constants.Hash(), req.Kernel,
 		fmt.Sprintf("sz%d", int(r.sz)), r.obj.String(),
 		fmt.Sprintf("lvl%d", int(r.lvl)), fmt.Sprintf("eps%g", r.eps),
 	}, "/")
-	if s.plans != nil {
-		sum := sha256.Sum256([]byte(s.plans.Fingerprint()))
+	if plans := s.planSet(); plans != nil {
+		sum := sha256.Sum256([]byte(plans.Fingerprint()))
 		key += "/plans" + hex.EncodeToString(sum[:8])
 	}
 	return key
@@ -411,8 +431,31 @@ func (s *Server) journaled(key string, out any, compute func() error) error {
 	return s.jrnl.Record(key, out)
 }
 
+// driftGate applies the degrade semantics while a backend's calibration
+// is in a degradation episode (watchdog degraded, or re-fit running): a
+// Strict daemon refuses the request with 503 — the constants are known
+// wrong, an answer would be too — while a BestEffort daemon serves the
+// model-only answer flagged CalibrationDegraded. The flag is applied
+// OUTSIDE the response journal: degradation is live state, not part of
+// the deterministic answer.
+func (s *Server) driftGate(r resolved) (bool, error) {
+	if !s.drift.Degraded(r.p.Name) {
+		return false, nil
+	}
+	if s.cfg.Degrade == core.Strict {
+		return false, &httpError{http.StatusServiceUnavailable, fmt.Sprintf(
+			"calibration for %q is degraded (drift watchdog %s); re-fit in progress — retry later or serve with -degrade best-effort",
+			r.p.Name, s.drift.State(r.p.Name))}
+	}
+	return true, nil
+}
+
 func (s *Server) handleCompile(ctx context.Context, req Request) (any, error) {
 	r, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	degraded, err := s.driftGate(r)
 	if err != nil {
 		return nil, err
 	}
@@ -436,12 +479,17 @@ func (s *Server) handleCompile(ctx context.Context, req Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	resp.CalibrationDegraded = degraded
 	s.markServed(r.p.Name)
 	return resp, nil
 }
 
 func (s *Server) handleCharacterize(ctx context.Context, req Request) (any, error) {
 	r, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	degraded, err := s.driftGate(r)
 	if err != nil {
 		return nil, err
 	}
@@ -465,12 +513,17 @@ func (s *Server) handleCharacterize(ctx context.Context, req Request) (any, erro
 	if err != nil {
 		return nil, err
 	}
+	resp.CalibrationDegraded = degraded
 	s.markServed(r.p.Name)
 	return resp, nil
 }
 
 func (s *Server) handleSearch(ctx context.Context, req Request) (any, error) {
 	r, err := s.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	degraded, err := s.driftGate(r)
 	if err != nil {
 		return nil, err
 	}
@@ -495,6 +548,7 @@ func (s *Server) handleSearch(ctx context.Context, req Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	resp.CalibrationDegraded = degraded
 	s.markServed(r.p.Name)
 	if !req.Measure {
 		return resp, nil
@@ -541,6 +595,21 @@ func (s *Server) measure(res *core.Result, r resolved, resp *SearchResponse) {
 		s.degraded.Add(1)
 		resp.DegradedTo = "model-only: baseline measurement failed: " + err.Error()
 		return
+	}
+	// Every successful baseline measurement feeds the drift watchdog:
+	// the model's default-cap prediction vs what the hardware just did.
+	// Sustained disagreement past the threshold flips the backend to
+	// degraded and auto-enqueues a re-fit job (see onDrift).
+	var predicted float64
+	for _, rep := range res.Reports {
+		if rep.Degraded {
+			predicted = 0
+			break
+		}
+		predicted += rep.EstDefault.Seconds
+	}
+	if predicted > 0 {
+		s.drift.Record(r.p.Name, predicted, base.Seconds)
 	}
 	capped, err := b.RunFunc(res.Module.Funcs[0])
 	if err != nil {

@@ -1,0 +1,586 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"polyufc/internal/jobs"
+	"polyufc/internal/plantable"
+	"polyufc/internal/platform"
+	"polyufc/internal/roofline"
+	"polyufc/internal/search"
+	"polyufc/internal/workloads"
+)
+
+// The job kinds the daemon executes. Sweep and characterize fan one
+// request shape across many kernels, checkpointing each kernel as one
+// journal unit; plantable builds (or rebuilds) a capping-plan table;
+// refit re-runs the roofline calibration against the live hardware and
+// atomically swaps the backend's target — the drift watchdog enqueues
+// these automatically.
+const (
+	JobSweep        jobs.Kind = "sweep"
+	JobCharacterize jobs.Kind = "characterize"
+	JobPlanTable    jobs.Kind = "plantable"
+	JobRefit        jobs.Kind = "refit"
+)
+
+// JobParams is the kind-specific parameter block of POST /v1/jobs.
+// Sweep/characterize use Kernels (or Suite) plus the usual request
+// knobs; plantable uses Platform/Objective/Epsilon and the axis
+// resolutions; refit uses Platform only.
+type JobParams struct {
+	Kernels   []string `json:"kernels,omitempty"`
+	Suite     string   `json:"suite,omitempty"` // "", "all", "polybench", "ml"
+	Platform  string   `json:"platform,omitempty"`
+	Size      string   `json:"size,omitempty"`
+	Objective string   `json:"objective,omitempty"`
+	CapLevel  string   `json:"cap_level,omitempty"`
+	Epsilon   float64  `json:"epsilon,omitempty"`
+	// Measure also runs each swept kernel on the platform's machine
+	// through the breaker — the path that feeds the drift watchdog.
+	Measure   bool `json:"measure,omitempty"`
+	OIPoints  int  `json:"oi_points,omitempty"`
+	MemPoints int  `json:"mem_points,omitempty"`
+}
+
+// JobSubmitRequest is the POST /v1/jobs body.
+type JobSubmitRequest struct {
+	Kind string `json:"kind"`
+	JobParams
+}
+
+// JobStatusResponse is the GET /v1/jobs/{id} payload. Result is
+// included inline once the job is done; GET /v1/jobs/{id}/result serves
+// the same bytes verbatim (no re-encoding) for byte-identity checks.
+type JobStatusResponse struct {
+	jobs.Status
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// JobListResponse is the GET /v1/jobs payload.
+type JobListResponse struct {
+	Jobs []jobs.Status `json:"jobs"`
+}
+
+// jobsEnabled guards the job endpoints on daemons started without
+// -jobs-dir.
+func (s *Server) jobsEnabled(w http.ResponseWriter) bool {
+	if s.jobsMgr == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errBody{"job tier disabled: start the daemon with -jobs-dir"})
+		return false
+	}
+	return true
+}
+
+// expandKernels resolves the explicit kernel list or the named suite.
+func expandKernels(p JobParams) ([]string, error) {
+	if len(p.Kernels) > 0 {
+		for _, k := range p.Kernels {
+			if _, err := workloads.ByName(k); err != nil {
+				return nil, err
+			}
+		}
+		return p.Kernels, nil
+	}
+	var ks []workloads.Kernel
+	switch p.Suite {
+	case "", "all":
+		ks = workloads.All()
+	case "polybench":
+		ks = workloads.PolyBench()
+	case "ml":
+		ks = workloads.ML()
+	default:
+		return nil, fmt.Errorf("unknown suite %q (want all, polybench or ml)", p.Suite)
+	}
+	names := make([]string, len(ks))
+	for i, k := range ks {
+		names[i] = k.Name
+	}
+	return names, nil
+}
+
+// validateJob rejects malformed submissions synchronously (a 400 at
+// submit time beats a failed job five minutes later).
+func (s *Server) validateJob(kind jobs.Kind, p JobParams) error {
+	if p.Platform != "" {
+		b, err := platform.Lookup(p.Platform)
+		if err != nil {
+			return err
+		}
+		if _, ok := s.target(b.Name); !ok {
+			return fmt.Errorf("platform %q is not served by this daemon", b.Name)
+		}
+	}
+	switch kind {
+	case JobSweep, JobCharacterize:
+		if _, err := expandKernels(p); err != nil {
+			return err
+		}
+	case JobPlanTable, JobRefit:
+		if kind == JobRefit && p.Platform == "" {
+			return errors.New("refit requires a platform")
+		}
+	default:
+		return fmt.Errorf("unknown job kind %q (want sweep, characterize, plantable or refit)", kind)
+	}
+	if p.Objective != "" {
+		if _, ok := search.ParseObjective(p.Objective); !ok {
+			return fmt.Errorf("unknown objective %q", p.Objective)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsEnabled(w) {
+		return
+	}
+	var req JobSubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody{"bad request body: " + err.Error()})
+		return
+	}
+	kind := jobs.Kind(req.Kind)
+	if err := s.validateJob(kind, req.JobParams); err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody{err.Error()})
+		return
+	}
+	st, err := s.jobsMgr.Submit(kind, req.JobParams)
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errBody{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsEnabled(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, JobListResponse{Jobs: s.jobsMgr.List()})
+}
+
+// getJob resolves {id}, writing the 404 itself on a miss.
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) *jobs.Job {
+	jb, err := s.jobsMgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errBody{err.Error()})
+		return nil
+	}
+	return jb
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsEnabled(w) {
+		return
+	}
+	jb := s.getJob(w, r)
+	if jb == nil {
+		return
+	}
+	resp := JobStatusResponse{Status: jb.Status()}
+	if raw, ok := jb.Result(); ok {
+		resp.Result = raw
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleJobResult serves the recorded result bytes VERBATIM — this is
+// the byte-identity surface: a job resumed after kill -9 must produce
+// exactly these bytes again.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsEnabled(w) {
+		return
+	}
+	jb := s.getJob(w, r)
+	if jb == nil {
+		return
+	}
+	raw, ok := jb.Result()
+	if !ok {
+		writeJSON(w, http.StatusConflict, JobStatusResponse{Status: jb.Status()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(raw)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsEnabled(w) {
+		return
+	}
+	jb := s.getJob(w, r)
+	if jb == nil {
+		return
+	}
+	if err := s.jobsMgr.Cancel(jb.ID()); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errBody{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, jb.Status())
+}
+
+// handleJobEvents streams a job's progress as Server-Sent Events: the
+// retained backlog first (resumable via ?after= or Last-Event-ID), then
+// live events until the job finishes, the client disconnects, or the
+// daemon begins draining.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsEnabled(w) {
+		return
+	}
+	jb := s.getJob(w, r)
+	if jb == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, errBody{"streaming unsupported by this connection"})
+		return
+	}
+	var after int64
+	if v := r.URL.Query().Get("after"); v != "" {
+		after, _ = strconv.ParseInt(v, 10, 64)
+	} else if v := r.Header.Get("Last-Event-ID"); v != "" {
+		after, _ = strconv.ParseInt(v, 10, 64)
+	}
+	backlog, live, cancel := jb.Subscribe(after)
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	emit := func(ev jobs.Event) {
+		data, _ := json.Marshal(ev)
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	}
+	for _, ev := range backlog {
+		emit(ev)
+	}
+	fl.Flush()
+	for {
+		select {
+		case ev, open := <-live:
+			if !open {
+				fmt.Fprint(w, ": stream closed\n\n")
+				fl.Flush()
+				return
+			}
+			emit(ev)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.shutdown:
+			fmt.Fprint(w, ": server draining\n\n")
+			fl.Flush()
+			return
+		}
+	}
+}
+
+// --- Executors ---
+
+// onDrift is the watchdog's degrade hook: claim the episode and enqueue
+// a background re-fit job. Without a job tier the backend simply stays
+// degraded (Strict refuses, BestEffort flags) until a restart
+// re-calibrates.
+func (s *Server) onDrift(backend string) {
+	if s.jobsMgr == nil {
+		return
+	}
+	if !s.drift.BeginRefit(backend) {
+		return // a re-fit is already in flight
+	}
+	if _, err := s.jobsMgr.Submit(JobRefit, JobParams{Platform: backend}); err != nil {
+		s.drift.CompleteRefit(backend, false)
+	}
+}
+
+// executeJob dispatches one job to its kind's executor. It runs on a
+// jobs worker goroutine.
+func (s *Server) executeJob(jb *jobs.Job) (any, error) {
+	var p JobParams
+	if err := jb.Params(&p); err != nil {
+		return nil, err
+	}
+	switch jb.Spec().Kind {
+	case JobSweep:
+		return s.runSweepJob(jb, p, false)
+	case JobCharacterize:
+		return s.runSweepJob(jb, p, true)
+	case JobPlanTable:
+		return s.runPlanTableJob(jb, p)
+	case JobRefit:
+		return s.runRefitJob(jb, p)
+	}
+	return nil, fmt.Errorf("server: unknown job kind %q", jb.Spec().Kind)
+}
+
+// SweepJobResult is a sweep job's recorded result.
+type SweepJobResult struct {
+	Kind      string           `json:"kind"`
+	Platform  string           `json:"platform"`
+	Objective string           `json:"objective"`
+	Kernels   []SearchResponse `json:"kernels"`
+}
+
+// CharacterizeJobResult is a characterize job's recorded result.
+type CharacterizeJobResult struct {
+	Kind     string                 `json:"kind"`
+	Platform string                 `json:"platform"`
+	Kernels  []CharacterizeResponse `json:"kernels"`
+}
+
+// runSweepJob fans the request shape across the kernel list, one
+// journal unit per kernel: a resumed job replays finished kernels
+// byte-identically and computes only the rest.
+func (s *Server) runSweepJob(jb *jobs.Job, p JobParams, characterizeOnly bool) (any, error) {
+	kernels, err := expandKernels(p)
+	if err != nil {
+		return nil, err
+	}
+	jb.Total(len(kernels))
+	jb.Log("sweep", fmt.Sprintf("%d kernels", len(kernels)))
+	var sweep SweepJobResult
+	var chars CharacterizeJobResult
+	for _, kernel := range kernels {
+		req := Request{
+			Kernel: kernel, Platform: p.Platform, Size: p.Size,
+			Objective: p.Objective, CapLevel: p.CapLevel,
+			Epsilon: p.Epsilon, Measure: p.Measure,
+		}
+		r, err := s.resolve(req)
+		if err != nil {
+			return nil, err
+		}
+		if characterizeOnly {
+			var kr CharacterizeResponse
+			if _, err := jb.Step("kernel/"+kernel, &kr, func() (any, error) {
+				res, err := s.characterize(jb.Context(), req, r)
+				if err != nil {
+					return nil, err
+				}
+				c := r.target.Constants
+				return CharacterizeResponse{
+					Kernel: kernel, Arch: r.p.Name,
+					PeakGFlops: c.PeakGFlops, PeakGBs: c.PeakGBs, BtDRAM: c.BtDRAM,
+					Nests: nestResponses(res),
+				}, nil
+			}); err != nil {
+				return nil, err
+			}
+			chars.Kernels = append(chars.Kernels, kr)
+			continue
+		}
+		var kr SearchResponse
+		if _, err := jb.Step("kernel/"+kernel, &kr, func() (any, error) {
+			res, err := s.compile(jb.Context(), req, r)
+			if err != nil {
+				return nil, err
+			}
+			out := SearchResponse{
+				Kernel: kernel, Arch: r.p.Name,
+				Objective: r.obj.String(), Nests: nestResponses(res),
+			}
+			// The measured half runs the kernel on the live machine
+			// through the breaker — and feeds the drift watchdog, so a
+			// measured sweep is also a calibration health check.
+			if p.Measure {
+				s.measure(res, r, &out)
+			}
+			return out, nil
+		}); err != nil {
+			return nil, err
+		}
+		sweep.Kernels = append(sweep.Kernels, kr)
+		s.markServed(r.p.Name)
+	}
+	if characterizeOnly {
+		chars.Kind = string(JobCharacterize)
+		if len(chars.Kernels) > 0 {
+			chars.Platform = chars.Kernels[0].Arch
+		}
+		return chars, nil
+	}
+	sweep.Kind = string(JobSweep)
+	sweep.Objective = p.Objective
+	if len(sweep.Kernels) > 0 {
+		sweep.Platform = sweep.Kernels[0].Arch
+		sweep.Objective = sweep.Kernels[0].Objective
+	}
+	return sweep, nil
+}
+
+// PlanTableJobResult is a plantable job's recorded result.
+type PlanTableJobResult struct {
+	Kind      string  `json:"kind"`
+	Backend   string  `json:"backend"`
+	Path      string  `json:"path"`
+	CalHash   string  `json:"cal_hash"`
+	Objective string  `json:"objective"`
+	Epsilon   float64 `json:"epsilon"`
+	OIPoints  int     `json:"oi_points"`
+	MemPoints int     `json:"mem_points"`
+}
+
+// runPlanTableJob sweeps the backend's capping-plan table against the
+// LIVE calibration and installs it, replacing any stale table. Solved
+// cells checkpoint to the shared plancells journal (content-addressed
+// by backend and calibration hash), so an interrupted build resumes and
+// a post-re-fit rebuild reuses nothing stale.
+func (s *Server) runPlanTableJob(jb *jobs.Job, p JobParams) (any, error) {
+	name := p.Platform
+	if name == "" {
+		name = "rpl"
+	}
+	b, err := platform.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := s.target(b.Name)
+	if !ok {
+		return nil, fmt.Errorf("platform %q is not served", b.Name)
+	}
+	opts := plantable.BuildOptions{
+		OIPoints:  p.OIPoints,
+		MemPoints: p.MemPoints,
+		Journal:   s.planJournal,
+	}
+	if p.Objective != "" || p.Epsilon > 0 {
+		obj, _ := search.ParseObjective(p.Objective)
+		eps := p.Epsilon
+		if eps <= 0 {
+			eps = search.DefaultOptions().Epsilon
+		}
+		opts.Search = search.Options{Objective: obj, Epsilon: eps}
+	}
+	jb.Log("plantable", fmt.Sprintf("sweeping %s (cal %s)", b.Name, t.Constants.Hash()))
+	var result PlanTableJobResult
+	if _, err := jb.Step("table", &result, func() (any, error) {
+		tb, err := plantable.Build(jb.Context(), t, opts)
+		if err != nil {
+			return nil, err
+		}
+		dir := filepath.Join(s.cfg.JobsDir, "tables")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s-%s-eps%g.json", tb.Backend, tb.Objective, tb.Epsilon))
+		if err := tb.Save(path); err != nil {
+			return nil, err
+		}
+		return PlanTableJobResult{
+			Kind: string(JobPlanTable), Backend: tb.Backend, Path: path,
+			CalHash: tb.CalHash, Objective: tb.Objective, Epsilon: tb.Epsilon,
+			OIPoints: len(tb.OIAxis), MemPoints: len(tb.MemAxis),
+		}, nil
+	}); err != nil {
+		return nil, err
+	}
+	// Install from disk (fresh run or journal replay both take this
+	// path). If the calibration moved again since the build, the set's
+	// Matches check will refuse the table at lookup time — installing a
+	// stale table is safe, serving it is impossible.
+	tb, err := plantable.Load(result.Path)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.installPlanTable(tb); err != nil {
+		return nil, err
+	}
+	jb.Log("plantable", "table installed: "+result.Path)
+	return result, nil
+}
+
+// RefitJobResult is a refit job's recorded result.
+type RefitJobResult struct {
+	Kind        string             `json:"kind"`
+	Backend     string             `json:"backend"`
+	OldCalHash  string             `json:"old_cal_hash"`
+	NewCalHash  string             `json:"new_cal_hash"`
+	Residuals   map[string]float64 `json:"residuals,omitempty"`
+	RebuildJobs []string           `json:"rebuild_jobs,omitempty"`
+}
+
+// runRefitJob re-runs the roofline calibration micro-benchmarks against
+// the live (possibly drifted) hardware, atomically swaps the backend's
+// target to the new fit, and enqueues rebuild jobs for every plan table
+// the swap made stale. Until the swap lands, requests for the backend
+// serve under the degrade policy (Strict refuses, BestEffort flags).
+func (s *Server) runRefitJob(jb *jobs.Job, p JobParams) (any, error) {
+	b, err := platform.Lookup(p.Platform)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := s.target(b.Name)
+	if !ok {
+		return nil, fmt.Errorf("platform %q is not served", b.Name)
+	}
+	// Claim (or, on a resumed job, re-claim) the refit episode so the
+	// degrade gate reports "refitting" and no duplicate enqueues.
+	s.drift.BeginRefit(b.Name)
+	fail := func(err error) (any, error) {
+		// Shutdown interruption is not a failed fit: leave the episode
+		// for the resumed job (the in-memory tracker dies with us).
+		if jb.Context().Err() == nil {
+			s.drift.CompleteRefit(b.Name, false)
+		}
+		return nil, err
+	}
+	oldHash := t.Constants.Hash()
+	jb.Log("refit", fmt.Sprintf("re-calibrating %s (stale cal %s)", b.Name, oldHash))
+	var cal platform.Calibration
+	if _, err := jb.Step("calibrate", &cal, func() (any, error) {
+		nt, err := roofline.Refit(t, s.cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		return nt.Calibration, nil
+	}); err != nil {
+		return fail(err)
+	}
+	nt, err := roofline.FromCalibration(t.Backend, &cal)
+	if err != nil {
+		return fail(err)
+	}
+	s.swapTarget(b.Name, nt)
+	s.drift.CompleteRefit(b.Name, true)
+	newHash := nt.Constants.Hash()
+	jb.Log("refit", fmt.Sprintf("constants swapped: %s -> %s", oldHash, newHash))
+
+	// Rebuild the plan tables the swap just invalidated. Journaled as a
+	// unit so a resumed refit does not enqueue duplicates.
+	var rebuilt []string
+	if _, err := jb.Step("rebuild", &rebuilt, func() (any, error) {
+		var ids []string
+		if set := s.planSet(); set != nil {
+			for _, tb := range set.Tables() {
+				if tb.Backend != b.Name || tb.CalHash == newHash {
+					continue
+				}
+				st, err := s.jobsMgr.Submit(JobPlanTable, JobParams{
+					Platform: b.Name, Objective: tb.Objective, Epsilon: tb.Epsilon,
+				})
+				if err != nil {
+					jb.Log("refit", "plan-table rebuild not enqueued: "+err.Error())
+					continue
+				}
+				ids = append(ids, st.ID)
+			}
+		}
+		return ids, nil
+	}); err != nil {
+		return nil, err
+	}
+	return RefitJobResult{
+		Kind: string(JobRefit), Backend: b.Name,
+		OldCalHash: oldHash, NewCalHash: newHash,
+		Residuals: cal.Provenance.Residuals, RebuildJobs: rebuilt,
+	}, nil
+}

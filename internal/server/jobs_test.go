@@ -1,0 +1,423 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"polyufc/internal/core"
+	"polyufc/internal/faults"
+	"polyufc/internal/hw"
+	"polyufc/internal/jobs"
+	"polyufc/internal/roofline"
+)
+
+// postJSON posts an arbitrary JSON body (the Request-shaped post helper
+// in server_test.go does not fit the jobs API).
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// waitJob polls GET /v1/jobs/{id} until the job reaches a terminal
+// state, returning the final status.
+func waitJob(t *testing.T, ts *httptest.Server, id string) JobStatusResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, data := get(t, ts, "/v1/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("get job %s: %d: %s", id, resp.StatusCode, data)
+		}
+		var st JobStatusResponse
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("bad job status %s: %v", data, err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerJobsSweepRoundTrip drives the async tier end to end over
+// HTTP: submit a sweep, poll to completion, fetch the durable result,
+// and replay the full event history over SSE.
+func TestServerJobsSweepRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	cfg.JobsDir = t.TempDir()
+	s := newServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, data := postJSON(t, ts, "/v1/jobs", JobSubmitRequest{
+		Kind:      string(JobSweep),
+		JobParams: JobParams{Kernels: []string{"gemm", "atax"}, Platform: "rpl", Size: "test"},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
+	}
+	var st jobs.Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Kind != JobSweep {
+		t.Fatalf("bad submit status: %s", data)
+	}
+
+	final := waitJob(t, ts, st.ID)
+	if final.State != jobs.StateDone {
+		t.Fatalf("job finished %s (%s), want done", final.State, final.Error)
+	}
+	if final.UnitsDone != 2 || final.UnitsTotal != 2 {
+		t.Fatalf("units %d/%d, want 2/2", final.UnitsDone, final.UnitsTotal)
+	}
+
+	resp, data = get(t, ts, "/v1/jobs/"+st.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d: %s", resp.StatusCode, data)
+	}
+	var sweep SweepJobResult
+	if err := json.Unmarshal(data, &sweep); err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Kernels) != 2 || sweep.Platform != "RPL" {
+		t.Fatalf("bad sweep result: %s", data)
+	}
+	for _, kr := range sweep.Kernels {
+		if len(kr.Nests) == 0 {
+			t.Fatalf("kernel %s has no nests", kr.Kernel)
+		}
+	}
+
+	// The job shows up in the listing.
+	resp, data = get(t, ts, "/v1/jobs")
+	var list JobListResponse
+	if resp.StatusCode != http.StatusOK || json.Unmarshal(data, &list) != nil || len(list.Jobs) != 1 {
+		t.Fatalf("list: %d: %s", resp.StatusCode, data)
+	}
+
+	// SSE replay of a finished job: the retained backlog streams out and
+	// the connection closes at the terminal event.
+	resp, data = get(t, ts, "/v1/jobs/"+st.ID+"/events")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "text/event-stream" {
+		t.Fatalf("events: %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	stream := string(data)
+	for _, want := range []string{
+		"event: " + jobs.EventSubmitted,
+		"event: " + jobs.EventStarted,
+		"event: " + jobs.EventUnit,
+		"event: " + jobs.EventDone,
+	} {
+		if !strings.Contains(stream, want+"\n") {
+			t.Fatalf("SSE stream missing %q:\n%s", want, stream)
+		}
+	}
+
+	// Malformed submissions fail synchronously.
+	for _, bad := range []JobSubmitRequest{
+		{Kind: "mine-bitcoin"},
+		{Kind: string(JobSweep), JobParams: JobParams{Kernels: []string{"no-such-kernel"}}},
+		{Kind: string(JobSweep), JobParams: JobParams{Suite: "no-such-suite"}},
+		{Kind: string(JobRefit)}, // refit requires a platform
+		{Kind: string(JobSweep), JobParams: JobParams{Objective: "no-such-objective"}},
+	} {
+		if resp, data := postJSON(t, ts, "/v1/jobs", bad); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("submit %+v: %d %s, want 400", bad, resp.StatusCode, data)
+		}
+	}
+	if resp, _ := get(t, ts, "/v1/jobs/j9999"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerJobsDisabledWithoutDir: a daemon started without -jobs-dir
+// refuses the job endpoints loudly instead of 404ing.
+func TestServerJobsDisabledWithoutDir(t *testing.T) {
+	s := newServer(t, testConfig())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, data := postJSON(t, ts, "/v1/jobs", JobSubmitRequest{Kind: string(JobSweep)})
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(data), "-jobs-dir") {
+		t.Fatalf("submit on disabled tier: %d: %s", resp.StatusCode, data)
+	}
+}
+
+// TestServerJobResultDurableAcrossRestart proves the result a client
+// fetches from a restarted daemon is byte-identical to the one the
+// original daemon recorded.
+func TestServerJobResultDurableAcrossRestart(t *testing.T) {
+	jobsDir := t.TempDir()
+	cfg := testConfig()
+	cfg.JobsDir = jobsDir
+
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(a.Handler())
+	resp, data := postJSON(t, tsA, "/v1/jobs", JobSubmitRequest{
+		Kind:      string(JobSweep),
+		JobParams: JobParams{Kernels: []string{"gemm"}, Platform: "bdw", Size: "test"},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
+	}
+	var st jobs.Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, tsA, st.ID)
+	_, want := get(t, tsA, "/v1/jobs/"+st.ID+"/result")
+	tsA.Close()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b := newServer(t, cfg)
+	tsB := httptest.NewServer(b.Handler())
+	defer tsB.Close()
+	resp, got := get(t, tsB, "/v1/jobs/"+st.ID+"/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result after restart: %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("result changed across restart:\n before: %s\n after:  %s", want, got)
+	}
+}
+
+// driftServer builds a server whose machines run with the measurement
+// drift fault always on: every measured run takes hw.DriftTimeFactor
+// longer than the calibrated model predicts.
+func driftServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	reg := faults.New(11)
+	reg.Enable(hw.FaultMeasureDrift, faults.Spec{P: 1})
+	cfg := testConfig()
+	cfg.Faults = reg
+	cfg.FaultSeed = 11
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s := newServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// measureN sends n measured searches for the backend, asserting each
+// one succeeds; every successful baseline feeds the drift watchdog.
+func measureN(t *testing.T, ts *httptest.Server, arch string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		resp, data := post(t, ts, "/v1/search", Request{Kernel: "gemm", Platform: arch, Size: "test", Measure: true})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("measured search %d: %d: %s", i, resp.StatusCode, data)
+		}
+		var sr SearchResponse
+		if err := json.Unmarshal(data, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if sr.DegradedTo != "" {
+			t.Fatalf("measured search %d degraded to model-only: %s", i, sr.DegradedTo)
+		}
+	}
+}
+
+// TestServerDriftStrictRefuses: without a job tier the watchdog can only
+// refuse — under the default Strict policy a degraded backend 503s until
+// an operator intervenes, and /statsz says why.
+func TestServerDriftStrictRefuses(t *testing.T) {
+	s, ts := driftServer(t, nil)
+	measureN(t, ts, "bdw", 3)
+
+	if !s.drift.Degraded("BDW") {
+		t.Fatalf("watchdog did not trip after 3 drifted samples: %+v", s.drift.Snapshot())
+	}
+	resp, data := post(t, ts, "/v1/search", Request{Kernel: "gemm", Platform: "bdw", Size: "test"})
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(data), "degraded") {
+		t.Fatalf("degraded backend served under Strict: %d: %s", resp.StatusCode, data)
+	}
+	// The sibling backend is untouched.
+	if resp, data := post(t, ts, "/v1/search", Request{Kernel: "gemm", Platform: "rpl", Size: "test"}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy backend refused: %d: %s", resp.StatusCode, data)
+	}
+	st := s.statsz()
+	ds, ok := st.Drift["BDW"]
+	if !ok || ds.State != roofline.DriftDegraded.String() || ds.MeanAbsRelErr < 0.25 {
+		t.Fatalf("statsz drift for BDW: %+v", st.Drift)
+	}
+}
+
+// TestServerDriftBestEffortFlags: same episode under -degrade
+// best-effort — the daemon keeps answering from the stale model but
+// marks every response calibration_degraded.
+func TestServerDriftBestEffortFlags(t *testing.T) {
+	s, ts := driftServer(t, func(cfg *Config) { cfg.Degrade = core.BestEffort })
+	measureN(t, ts, "bdw", 3)
+	if !s.drift.Degraded("BDW") {
+		t.Fatalf("watchdog did not trip: %+v", s.drift.Snapshot())
+	}
+	resp, data := post(t, ts, "/v1/search", Request{Kernel: "gemm", Platform: "bdw", Size: "test"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("best-effort refused: %d: %s", resp.StatusCode, data)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.CalibrationDegraded {
+		t.Fatalf("best-effort response not flagged: %s", data)
+	}
+}
+
+// TestServerDriftAutoRefitRecovers is the whole robustness story in one
+// test: drifted measurements trip the watchdog, the watchdog enqueues a
+// re-fit job, the job re-calibrates against the drifted machine, swaps
+// the live target, rebuilds the plan table the swap made stale, and the
+// backend serves healthy again — no restart, no operator.
+func TestServerDriftAutoRefitRecovers(t *testing.T) {
+	dir := t.TempDir()
+	tablePath, tb := buildPlanTable(t, "bdw", dir)
+	var s *Server
+	s, ts := driftServer(t, func(cfg *Config) {
+		cfg.JobsDir = filepath.Join(dir, "jobs")
+		cfg.PlanTables = []string{tablePath}
+	})
+	oldT, ok := s.target("BDW")
+	if !ok {
+		t.Fatal("BDW not served")
+	}
+	oldHash := oldT.Constants.Hash()
+	if tb.CalHash != oldHash {
+		t.Fatalf("precomputed table does not match boot calibration: %s vs %s", tb.CalHash, oldHash)
+	}
+
+	measureN(t, ts, "bdw", 3) // trips the watchdog; onDrift enqueues the re-fit
+
+	// Wait for the episode to resolve: refit done, new constants live.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		snap := s.drift.Snapshot()
+		if ds, ok := snap["BDW"]; ok && ds.State == roofline.DriftOK.String() && ds.Refits == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("refit never completed: %+v", snap)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	newT, _ := s.target("BDW")
+	newHash := newT.Constants.Hash()
+	if newHash == oldHash {
+		t.Fatalf("refit did not change the calibration (hash %s)", newHash)
+	}
+
+	// The refit job recorded the swap and enqueued the table rebuild.
+	var refit RefitJobResult
+	found := false
+	for _, st := range s.jobsMgr.List() {
+		if st.Kind != JobRefit {
+			continue
+		}
+		final := waitJob(t, ts, st.ID)
+		if final.State != jobs.StateDone {
+			t.Fatalf("refit job %s: %s (%s)", st.ID, final.State, final.Error)
+		}
+		if err := json.Unmarshal(final.Result, &refit); err != nil {
+			t.Fatal(err)
+		}
+		found = true
+	}
+	if !found {
+		t.Fatal("no refit job was enqueued")
+	}
+	if refit.OldCalHash != oldHash || refit.NewCalHash != newHash || len(refit.RebuildJobs) != 1 {
+		t.Fatalf("bad refit result: %+v", refit)
+	}
+
+	// The rebuild job replaces the stale table with one pinned to the
+	// new calibration.
+	rebuild := waitJob(t, ts, refit.RebuildJobs[0])
+	if rebuild.State != jobs.StateDone {
+		t.Fatalf("rebuild job: %s (%s)", rebuild.State, rebuild.Error)
+	}
+	var ptr PlanTableJobResult
+	if err := json.Unmarshal(rebuild.Result, &ptr); err != nil {
+		t.Fatal(err)
+	}
+	if ptr.Backend != "BDW" || ptr.CalHash != newHash {
+		t.Fatalf("rebuilt table pinned to %s/%s, want BDW/%s", ptr.Backend, ptr.CalHash, newHash)
+	}
+	fresh := false
+	for _, tb := range s.planSet().Tables() {
+		if tb.Backend == "BDW" && tb.CalHash == newHash {
+			fresh = true
+		}
+	}
+	if !fresh {
+		t.Fatalf("rebuilt table not installed: %+v", s.planSet().Stats())
+	}
+
+	// The backend serves healthy again: 200, unflagged, and the plan
+	// table hits with the NEW calibration (no staleness counted).
+	resp, data := post(t, ts, "/v1/search", Request{Kernel: "gemm", Platform: "bdw", Size: "test"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-refit search: %d: %s", resp.StatusCode, data)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.CalibrationDegraded {
+		t.Fatalf("post-refit response still flagged: %s", data)
+	}
+	stz := s.statsz()
+	if stz.Jobs == nil || stz.Jobs.Jobs < 2 {
+		t.Fatalf("statsz jobs: %+v", stz.Jobs)
+	}
+
+	// Post-refit measured runs agree with the new fit: residuals stay
+	// well under the threshold and the watchdog stays OK.
+	measureN(t, ts, "bdw", 3)
+	if ds := s.drift.Snapshot()["BDW"]; ds.State != roofline.DriftOK.String() || ds.MeanAbsRelErr > 0.10 {
+		t.Fatalf("post-refit residuals still high: %+v", ds)
+	}
+}

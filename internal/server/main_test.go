@@ -1,0 +1,13 @@
+package server
+
+import (
+	"testing"
+
+	"polyufc/internal/leakcheck"
+)
+
+// The daemon spawns goroutines per request (admission workers), per
+// backend (breaker probes) and per job (executors, SSE fan-out); any of
+// them outliving Close is a production memory leak. Every test run of
+// this package doubles as a leak assertion.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -18,6 +18,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"polyufc/internal/core"
 	"polyufc/internal/faults"
 	"polyufc/internal/hw"
+	"polyufc/internal/jobs"
 	"polyufc/internal/journal"
 	"polyufc/internal/parallel"
 	"polyufc/internal/pipeline"
@@ -75,6 +77,17 @@ type Config struct {
 	// tables answer the search stage on the serve path; /statsz reports
 	// hit/fallback/staleness counters.
 	PlanTables []string
+	// JobsDir, when set, enables the crash-safe asynchronous job tier
+	// (/v1/jobs): sweeps, characterizations, plan-table builds and
+	// calibration re-fits run on a worker pool, journaled so a killed
+	// daemon resumes them on restart. JobWorkers sizes the pool.
+	JobsDir    string
+	JobWorkers int
+	// Drift tunes the calibration-drift watchdog: live model-vs-measured
+	// residuals per backend, with a re-fit job auto-enqueued (when the
+	// job tier is enabled) once a backend's residual EWMA crosses the
+	// threshold. Zero fields select roofline.DefaultDriftOptions.
+	Drift roofline.DriftOptions
 }
 
 // DefaultConfig returns production-shaped defaults.
@@ -92,19 +105,41 @@ func DefaultConfig() Config {
 // caches, per-platform breaker-guarded machines, the admission gate and
 // the response journal.
 type Server struct {
-	cfg      Config
-	gate     *parallel.Gate
-	plats    []*hw.Platform
-	targets  map[string]*roofline.Target
-	cache    core.Cache
-	profiles hw.ProfileCache
-	breakers map[string]*hw.CapBreaker
-	jrnl     *journal.Journal
-	// plans holds the boot-loaded plan tables; nil when none are
-	// configured, which keeps the compile pipeline's stage list (and
-	// memo keys) exactly as without plan tables.
-	plans *plantable.Set
+	cfg   Config
+	gate  *parallel.Gate
+	plats []*hw.Platform
+	// targets maps backend name to its resolved target. The map is
+	// written by boot and by the re-fit job's atomic swap; requests read
+	// their target once at resolve time and keep that snapshot for the
+	// whole compilation.
+	targetsMu sync.RWMutex
+	targets   map[string]*roofline.Target
+	cache     core.Cache
+	profiles  hw.ProfileCache
+	breakers  map[string]*hw.CapBreaker
+	jrnl      *journal.Journal
+	// plans holds the loaded plan tables; nil when none are configured
+	// and no job has built one, which keeps the compile pipeline's stage
+	// list (and memo keys) exactly as without plan tables. It is an
+	// atomic pointer because the plan-table job installs the first set
+	// at runtime.
+	plans atomic.Pointer[plantable.Set]
 	start time.Time
+
+	// drift is the calibration-drift watchdog; jobsMgr the async job
+	// tier (nil unless cfg.JobsDir is set). planJournal checkpoints
+	// plan-table sweep cells across job restarts — keys are
+	// content-addressed by backend/calibration hash, so rebuilt tables
+	// reuse every cell the re-fit did not invalidate.
+	drift       *roofline.DriftTracker
+	jobsMgr     *jobs.Manager
+	planJournal *journal.Journal
+
+	// shutdown closes when the daemon begins draining; long-lived
+	// streams (job event SSE) terminate on it instead of holding the
+	// drain open.
+	shutdown     chan struct{}
+	shutdownOnce sync.Once
 
 	// platServed counts requests served per backend (prefilled at boot,
 	// so handlers update without locking).
@@ -154,6 +189,7 @@ func New(cfg Config) (*Server, error) {
 		breakers:   map[string]*hw.CapBreaker{},
 		platServed: map[string]*atomic.Int64{},
 		start:      time.Now(),
+		shutdown:   make(chan struct{}),
 	}
 	s.cache.SetLimit(cfg.CacheLimit)
 	s.profiles.SetLimit(cfg.CacheLimit)
@@ -190,7 +226,7 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	if len(cfg.PlanTables) > 0 {
-		s.plans = plantable.NewSet()
+		set := plantable.NewSet()
 		for _, path := range cfg.PlanTables {
 			tb, err := plantable.Load(path)
 			if err != nil {
@@ -203,10 +239,11 @@ func New(cfg Config) (*Server, error) {
 			if err := tb.Matches(t); err != nil {
 				return nil, fmt.Errorf("server: plan table %s: %w", path, err)
 			}
-			if err := s.plans.Add(tb); err != nil {
+			if err := set.Add(tb); err != nil {
 				return nil, fmt.Errorf("server: plan table %s: %w", path, err)
 			}
 		}
+		s.plans.Store(set)
 	}
 
 	if cfg.JournalPath != "" {
@@ -221,14 +258,80 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.jrnl = j
 	}
+
+	s.drift = roofline.NewDriftTracker(cfg.Drift)
+	s.drift.OnDegrade(s.onDrift)
+	if cfg.JobsDir != "" {
+		if err := os.MkdirAll(cfg.JobsDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		pj, err := journal.Open(filepath.Join(cfg.JobsDir, "plancells.journal"))
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.planJournal = pj
+		mgr, err := jobs.Open(jobs.Options{Dir: cfg.JobsDir, Workers: cfg.JobWorkers}, s.executeJob)
+		if err != nil {
+			pj.Close()
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.jobsMgr = mgr
+		// Start last: resumed jobs begin executing immediately, against
+		// the fully constructed server.
+		mgr.Start()
+	}
 	return s, nil
 }
 
+// planSet returns the live plan-table set (nil when none loaded or
+// built).
+func (s *Server) planSet() *plantable.Set { return s.plans.Load() }
+
+// installPlanTable registers a freshly built table, creating the set on
+// first use.
+func (s *Server) installPlanTable(tb *plantable.Table) error {
+	for {
+		if set := s.plans.Load(); set != nil {
+			return set.Add(tb)
+		}
+		set := plantable.NewSet()
+		if err := set.Add(tb); err != nil {
+			return err
+		}
+		if s.plans.CompareAndSwap(nil, set) {
+			return nil
+		}
+	}
+}
+
+// target returns the live resolved target for a backend name.
+func (s *Server) target(name string) (*roofline.Target, bool) {
+	s.targetsMu.RLock()
+	defer s.targetsMu.RUnlock()
+	t, ok := s.targets[name]
+	return t, ok
+}
+
+// swapTarget atomically replaces a backend's target with a re-fitted
+// one. In-flight requests keep the snapshot they resolved; new requests
+// see the new fit. Plan tables pinned to the old calibration hash go
+// stale automatically — Set.For refuses them via Matches/ErrStale.
+func (s *Server) swapTarget(name string, t *roofline.Target) {
+	s.targetsMu.Lock()
+	s.targets[name] = t
+	s.targetsMu.Unlock()
+}
+
 // Run serves on ln until ctx is cancelled (SIGTERM in main), then drains:
-// the listener stops accepting, in-flight requests finish (bounded by
-// DrainTimeout), and Close guarantees the driver-default caps are back.
+// the listener stops accepting, long-lived event streams are released,
+// in-flight requests finish (bounded by DrainTimeout), and Close
+// checkpoints running jobs and guarantees the driver-default caps are
+// back.
 func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	hs := &http.Server{Handler: s.Handler()}
+	// Shutdown would otherwise wait out the whole drain budget on an
+	// open SSE connection: release the streams the moment drain begins.
+	hs.RegisterOnShutdown(s.beginShutdown)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	var err error
@@ -248,11 +351,27 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 	return err
 }
 
-// Close restores the driver-default cap on every platform (bypassing open
-// breakers — the machine must never stay capped) and closes the journal.
-// It is idempotent.
+// beginShutdown releases long-lived streams; idempotent.
+func (s *Server) beginShutdown() { s.shutdownOnce.Do(func() { close(s.shutdown) }) }
+
+// Close drains the job tier (running jobs get DrainTimeout to finish,
+// then are interrupted and checkpointed so the next boot resumes them),
+// restores the driver-default cap on every platform (bypassing open
+// breakers — the machine must never stay capped) and closes the
+// journals. It is idempotent.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
+		s.beginShutdown()
+		if s.jobsMgr != nil {
+			dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+			if err := s.jobsMgr.Close(dctx); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+			cancel()
+			if err := s.planJournal.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
 		for _, p := range s.plats {
 			if err := s.breakers[p.Name].Restore(); err != nil && s.closeErr == nil {
 				s.closeErr = err
@@ -275,6 +394,15 @@ func (s *Server) markServed(name string) {
 	}
 }
 
+// JobStats reports the job tier's journal and state counters (zeros
+// when the daemon runs without a jobs directory).
+func (s *Server) JobStats() jobs.Stats {
+	if s.jobsMgr == nil {
+		return jobs.Stats{}
+	}
+	return s.jobsMgr.Stats()
+}
+
 // JournalStats reports the response journal's counters (zeros when no
 // journal is configured).
 func (s *Server) JournalStats() journal.Stats { return s.jrnl.Stats() }
@@ -285,13 +413,15 @@ type CacheStatsz struct {
 	Len                     int
 }
 
-// BreakerStatsz is one platform breaker's observable state.
+// BreakerStatsz is one platform breaker's observable state, including
+// the half-open probe counters recovery assertions (smoke gates) read.
 type BreakerStatsz struct {
-	State                              string
-	Trips, Probes, Rejected, Recovered int64
-	ConsecutiveFailures                int
-	Applies, Writes, Retries, Failures int64
-	Restores                           int64
+	State                                    string
+	Trips, Probes, Rejected, Recovered       int64
+	ConsecutiveFailures                      int
+	HalfOpens, ProbeSuccesses, ProbeFailures int64
+	Applies, Writes, Retries, Failures       int64
+	Restores                                 int64
 }
 
 // StageStatsz is one pipeline stage's aggregated events: how often it
@@ -341,6 +471,11 @@ type Statsz struct {
 	// Platforms maps each served backend to its calibration provenance
 	// and per-backend served count.
 	Platforms map[string]PlatformStatsz
+	// Drift is the calibration-drift watchdog's per-backend residuals
+	// (empty until measured requests feed it); Jobs the async job tier's
+	// counters (nil when the tier is disabled).
+	Drift map[string]roofline.DriftStats
+	Jobs  *jobs.Stats
 }
 
 // statsz snapshots the daemon counters.
@@ -361,8 +496,13 @@ func (s *Server) statsz() Statsz {
 	out.ProfileCache = CacheStatsz{Hits: ph, Misses: pm, Evictions: s.profiles.Evictions(), Len: s.profiles.Len()}
 	sh, sm := s.stages.Stats()
 	out.StageCache = CacheStatsz{Hits: sh, Misses: sm, Evictions: s.stages.Evictions(), Len: s.stages.Len()}
-	if s.plans != nil {
-		out.PlanTables = s.plans.Stats()
+	if plans := s.planSet(); plans != nil {
+		out.PlanTables = plans.Stats()
+	}
+	out.Drift = s.drift.Snapshot()
+	if s.jobsMgr != nil {
+		js := s.jobsMgr.Stats()
+		out.Jobs = &js
 	}
 	out.Stages = map[string]StageStatsz{}
 	for name, st := range s.stageStats.Snapshot() {
@@ -378,12 +518,19 @@ func (s *Server) statsz() Statsz {
 			State: b.State().String(),
 			Trips: bs.Trips, Probes: bs.Probes, Rejected: bs.Rejected, Recovered: bs.Recovered,
 			ConsecutiveFailures: bs.ConsecutiveFailures,
-			Applies:             cs.Applies, Writes: cs.Writes, Retries: cs.Retries,
+			HalfOpens:           bs.HalfOpens, ProbeSuccesses: bs.ProbeSuccesses, ProbeFailures: bs.ProbeFailures,
+			Applies: cs.Applies, Writes: cs.Writes, Retries: cs.Retries,
 			Failures: cs.Failures, Restores: cs.Restores,
 		}
 	}
 	out.Platforms = map[string]PlatformStatsz{}
+	s.targetsMu.RLock()
+	targets := make(map[string]*roofline.Target, len(s.targets))
 	for name, t := range s.targets {
+		targets[name] = t
+	}
+	s.targetsMu.RUnlock()
+	for name, t := range targets {
 		ps := PlatformStatsz{Served: s.platServed[name].Load()}
 		if b := t.Backend; b != nil {
 			ps.CPU = b.CPU
