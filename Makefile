@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments faults fuzz fmt cover serve smoke pipeline platforms plantable jobs
+.PHONY: all build vet test race bench experiments faults fuzz fmt cover serve smoke pipeline platforms plantable jobs fleet
 
 all: build vet test
 
@@ -73,6 +73,19 @@ jobs:
 	$(GO) test -race ./internal/jobs ./internal/leakcheck
 	$(GO) test -race -run 'Job|Drift|Refit|Quarantine' ./internal/server ./internal/roofline ./internal/journal
 	sh scripts/jobs_smoke.sh
+
+# Fleet-cache gate: the content-addressed store (bit-flip property and
+# corruption tests), the peer protocol (breakers, hedging, injected
+# faults) and the generalized breaker under the race detector, the
+# daemon's fleet/CAS integration suite, a short fuzz session over the
+# on-disk entry codec, and the end-to-end smoke script — three peers,
+# SIGKILL one mid-fill with zero failed requests, warm-restart cache
+# hits, on-disk corruption quarantined, injected peer faults absorbed.
+fleet:
+	$(GO) test -race ./internal/cas ./internal/fleet ./internal/breaker
+	$(GO) test -race -run 'CAS|Fleet|Compact|RetryAfter' ./internal/server ./internal/journal ./internal/jobs
+	$(GO) test -fuzz FuzzDecodeEntry -fuzztime 5s ./internal/cas
+	sh scripts/fleet_smoke.sh
 
 # Run the capping service locally with production-shaped defaults.
 serve:

@@ -14,11 +14,19 @@
 // watchdog that auto-enqueues a re-fit when measured runs disagree with
 // the calibrated model.
 //
+// With -cas-dir the daemon persists deterministic responses, calibration
+// artifacts and plan tables in a content-addressed store and warm-starts
+// from it after a restart; with -peer it also exchanges those entries
+// with fleet peers over GET/PUT /v1/cas/{key} — deadline-bounded, hedged,
+// checksum-verified, behind per-peer circuit breakers, degrading to local
+// compute on any peer failure.
+//
 // Usage:
 //
 //	polyufc-serve -addr :8321
 //	polyufc-serve -addr :8321 -journal serve.jsonl -resume
 //	polyufc-serve -addr :8321 -jobs-dir /var/lib/polyufc/jobs
+//	polyufc-serve -addr :8321 -cas-dir /var/lib/polyufc/cas -peer http://10.0.0.2:8321
 //	polyufc-serve -fault "ufs.write.ebusy=0.5" -breaker-threshold 2
 package main
 
@@ -58,9 +66,22 @@ func main() {
 		planTables  = flag.String("plan-table", "", "comma-separated precomputed capping-plan tables (polyufc -build-plan-table); a table whose backend or calibration hash is stale fails boot")
 		jobsDir     = flag.String("jobs-dir", "", "enable the async job tier, journaling jobs (and built plan tables) under this directory")
 		jobWorkers  = flag.Int("job-workers", 2, "concurrent job executors (with -jobs-dir)")
+		jobCompact  = flag.Int("job-compact-threshold", 0, "prunable terminal-job records that trigger jobs-journal compaction (0 = default 512, negative disables)")
 		driftThresh = flag.Float64("drift-threshold", 0, "model-vs-measured EWMA residual that marks a backend's calibration degraded (0 = default 0.25)")
 		driftMin    = flag.Int64("drift-min-samples", 0, "measured samples before the drift threshold applies (0 = default 3)")
+		casDir      = flag.String("cas-dir", "", "enable the persistent content-addressed cache under this directory (responses, calibrations and plan tables survive restarts)")
+		peerTimeout = flag.Duration("peer-timeout", 0, "per-attempt deadline for fleet peer lookups (0 = default 500ms)")
+		peerRetries = flag.Int("peer-retries", 0, "extra backoff rounds over the peer set after an all-error round (0 = default 1)")
 	)
+	var peers []string
+	flag.Func("peer", "fleet peer base URL, e.g. http://10.0.0.2:8321 (repeatable, or comma-separated)", func(v string) error {
+		for _, p := range strings.Split(v, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, strings.TrimSuffix(p, "/"))
+			}
+		}
+		return nil
+	})
 	flag.Parse()
 
 	policy, ok := core.ParseDegradePolicy(*degrade)
@@ -91,8 +112,13 @@ func main() {
 	cfg.Resume = *resume
 	cfg.JobsDir = *jobsDir
 	cfg.JobWorkers = *jobWorkers
+	cfg.JobCompactThreshold = *jobCompact
 	cfg.Drift.Threshold = *driftThresh
 	cfg.Drift.MinSamples = *driftMin
+	cfg.CASDir = *casDir
+	cfg.Peers = peers
+	cfg.PeerTimeout = *peerTimeout
+	cfg.PeerRetries = *peerRetries
 	for _, f := range strings.Split(*platFiles, ",") {
 		if f = strings.TrimSpace(f); f != "" {
 			cfg.PlatformFiles = append(cfg.PlatformFiles, f)
@@ -127,6 +153,15 @@ func run(addr string, cfg server.Config) error {
 		st := srv.JobStats()
 		fmt.Fprintf(os.Stderr, "polyufc-serve: job tier on %s: %d job(s) journaled, %d resumed\n",
 			cfg.JobsDir, st.Jobs, st.ByState["queued"])
+	}
+	if cfg.CASDir != "" {
+		st := srv.CASStats()
+		fmt.Fprintf(os.Stderr, "polyufc-serve: cas %s: %d entries warm-started (%d quarantined)\n",
+			cfg.CASDir, st.WarmEntries, st.Quarantined)
+	}
+	if len(cfg.Peers) > 0 {
+		fmt.Fprintf(os.Stderr, "polyufc-serve: fleet mode: %d peer(s): %s\n",
+			len(cfg.Peers), strings.Join(cfg.Peers, ", "))
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

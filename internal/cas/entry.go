@@ -1,0 +1,101 @@
+package cas
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// The on-disk entry format is a self-verifying frame: a magic line, one
+// JSON header line naming the key, the payload length and the payload's
+// SHA-256, then the raw payload bytes. Everything needed to detect a
+// torn write, a truncation or a bit flip is inside the file itself, so
+// the warm-start scan and every read can validate an entry without any
+// out-of-band index.
+const magic = "polyufc-cas/1\n"
+
+// header is the JSON line between the magic and the payload.
+type header struct {
+	Key string `json:"key"`
+	Len int64  `json:"len"`
+	Sum string `json:"sum"`
+}
+
+// Sum returns the hex SHA-256 of a payload — the checksum stored in
+// entry headers and exchanged as the X-Polyufc-Sum header by the peer
+// protocol.
+func Sum(payload []byte) string {
+	h := sha256.Sum256(payload)
+	return hex.EncodeToString(h[:])
+}
+
+// ValidKey reports whether key is a well-formed content address: 16 to
+// 64 lowercase hex characters. Keys become file names and URL path
+// segments, so anything else — path separators, dots, uppercase — is
+// rejected outright.
+func ValidKey(key string) bool {
+	if len(key) < 16 || len(key) > 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeEntry frames a payload for disk.
+func EncodeEntry(key string, payload []byte) ([]byte, error) {
+	if !ValidKey(key) {
+		return nil, fmt.Errorf("cas: invalid key %q", key)
+	}
+	hdr, err := json.Marshal(header{Key: key, Len: int64(len(payload)), Sum: Sum(payload)})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(magic) + len(hdr) + 1 + len(payload))
+	buf.WriteString(magic)
+	buf.Write(hdr)
+	buf.WriteByte('\n')
+	buf.Write(payload)
+	return buf.Bytes(), nil
+}
+
+// DecodeEntry parses and verifies a framed entry: magic, header shape,
+// declared length against the actual payload, and the payload checksum.
+// Any mismatch — truncation, trailing garbage, a flipped bit anywhere in
+// header or payload — is an error; a decoded entry is a verified entry.
+func DecodeEntry(data []byte) (key string, payload []byte, err error) {
+	rest, ok := bytes.CutPrefix(data, []byte(magic))
+	if !ok {
+		return "", nil, fmt.Errorf("cas: bad magic")
+	}
+	line, body, ok := bytes.Cut(rest, []byte{'\n'})
+	if !ok {
+		return "", nil, fmt.Errorf("cas: truncated header")
+	}
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var hdr header
+	if err := dec.Decode(&hdr); err != nil {
+		return "", nil, fmt.Errorf("cas: bad header: %w", err)
+	}
+	if dec.More() {
+		return "", nil, fmt.Errorf("cas: trailing data after header")
+	}
+	if !ValidKey(hdr.Key) {
+		return "", nil, fmt.Errorf("cas: invalid key in header")
+	}
+	if hdr.Len < 0 || hdr.Len != int64(len(body)) {
+		return "", nil, fmt.Errorf("cas: payload length %d, header declares %d", len(body), hdr.Len)
+	}
+	if Sum(body) != hdr.Sum {
+		return "", nil, fmt.Errorf("cas: payload checksum mismatch")
+	}
+	return hdr.Key, body, nil
+}

@@ -3,8 +3,8 @@ package hw
 import (
 	"errors"
 	"sync"
-	"time"
 
+	"polyufc/internal/breaker"
 	"polyufc/internal/ir"
 )
 
@@ -13,68 +13,32 @@ import (
 // instead of queueing behind a sick driver.
 var ErrBreakerOpen = errors.New("hw: cap breaker open: driver quarantined")
 
-// BreakerState is the circuit breaker's position.
-type BreakerState int
+// The breaker state machine lives in internal/breaker (the fleet tier
+// quarantines peers with the same one); these aliases keep hw's
+// historical vocabulary working.
+type (
+	// BreakerState is the circuit breaker's position.
+	BreakerState = breaker.State
+	// BreakerOptions tunes the circuit breaker.
+	BreakerOptions = breaker.Options
+	// BreakerStats are the breaker's reliability counters.
+	BreakerStats = breaker.Stats
+)
 
 // The classic three breaker states.
 const (
 	// BreakerClosed passes every operation through to the driver.
-	BreakerClosed BreakerState = iota
+	BreakerClosed = breaker.Closed
 	// BreakerOpen fast-fails every operation with ErrBreakerOpen.
-	BreakerOpen
+	BreakerOpen = breaker.Open
 	// BreakerHalfOpen lets one probe operation through after the
 	// cooldown; its outcome closes or re-opens the breaker.
-	BreakerHalfOpen
+	BreakerHalfOpen = breaker.HalfOpen
 )
-
-func (s BreakerState) String() string {
-	switch s {
-	case BreakerClosed:
-		return "closed"
-	case BreakerOpen:
-		return "open"
-	case BreakerHalfOpen:
-		return "half-open"
-	}
-	return "state?"
-}
-
-// BreakerOptions tunes the circuit breaker.
-type BreakerOptions struct {
-	// Threshold is the number of consecutive verified-write failures
-	// (Apply calls that exhaust their retry budget) that trips the
-	// breaker open.
-	Threshold int
-	// Cooldown is how long the breaker stays open before letting one
-	// half-open probe reach the driver again.
-	Cooldown time.Duration
-	// Clock overrides time.Now, for deterministic tests.
-	Clock func() time.Time
-}
 
 // DefaultBreakerOptions mirrors a production driver quarantine: trip
 // after 3 consecutive exhausted Applies, probe again after a second.
-func DefaultBreakerOptions() BreakerOptions {
-	return BreakerOptions{Threshold: 3, Cooldown: time.Second}
-}
-
-// BreakerStats are the breaker's reliability counters.
-type BreakerStats struct {
-	// Trips counts closed/half-open -> open transitions, Probes the
-	// half-open attempts, Rejected the operations fast-failed while
-	// open, Recovered the open -> closed transitions.
-	Trips, Probes, Rejected, Recovered int64
-	// HalfOpens counts open -> half-open transitions (cooldown expiries
-	// that let a probe through); ProbeSuccesses and ProbeFailures split
-	// the probe outcomes, so operators — and the smoke gate — can assert
-	// the breaker actually recovered through a probe rather than merely
-	// cooled down.
-	HalfOpens, ProbeSuccesses, ProbeFailures int64
-	// ConsecutiveFailures is the current failure streak.
-	ConsecutiveFailures int
-	// State is the breaker position at snapshot time.
-	State BreakerState
-}
+func DefaultBreakerOptions() BreakerOptions { return breaker.DefaultOptions() }
 
 // CapBreaker wraps a CapController in a circuit breaker and a mutex: it
 // is the concurrency-safe front door the serving daemon drives the UFS
@@ -85,75 +49,14 @@ type BreakerStats struct {
 // bypasses the breaker — the machine must never stay capped because the
 // driver was quarantined mid-shutdown.
 type CapBreaker struct {
-	mu       sync.Mutex
-	ctl      *CapController
-	opts     BreakerOptions
-	state    BreakerState
-	consec   int
-	openedAt time.Time
-	stats    BreakerStats
+	mu  sync.Mutex
+	ctl *CapController
+	brk *breaker.Breaker
 }
 
 // NewCapBreaker wraps a controller. Zero options fall back to defaults.
 func NewCapBreaker(ctl *CapController, opts BreakerOptions) *CapBreaker {
-	def := DefaultBreakerOptions()
-	if opts.Threshold <= 0 {
-		opts.Threshold = def.Threshold
-	}
-	if opts.Cooldown <= 0 {
-		opts.Cooldown = def.Cooldown
-	}
-	if opts.Clock == nil {
-		opts.Clock = time.Now
-	}
-	return &CapBreaker{ctl: ctl, opts: opts}
-}
-
-// allowLocked decides whether an operation may reach the driver,
-// advancing open -> half-open when the cooldown has elapsed.
-func (b *CapBreaker) allowLocked() error {
-	switch b.state {
-	case BreakerClosed:
-		return nil
-	case BreakerOpen:
-		if b.opts.Clock().Sub(b.openedAt) < b.opts.Cooldown {
-			b.stats.Rejected++
-			return ErrBreakerOpen
-		}
-		b.state = BreakerHalfOpen
-		b.stats.HalfOpens++
-		fallthrough
-	default: // BreakerHalfOpen: this caller is the probe.
-		b.stats.Probes++
-		return nil
-	}
-}
-
-// recordLocked feeds one driver outcome into the trip logic.
-func (b *CapBreaker) recordLocked(failed bool) {
-	if b.state == BreakerHalfOpen {
-		// This outcome is the probe's verdict.
-		if failed {
-			b.stats.ProbeFailures++
-		} else {
-			b.stats.ProbeSuccesses++
-		}
-	}
-	if !failed {
-		b.consec = 0
-		if b.state != BreakerClosed {
-			b.state = BreakerClosed
-			b.stats.Recovered++
-		}
-		return
-	}
-	b.consec++
-	if b.state == BreakerHalfOpen || b.consec >= b.opts.Threshold {
-		b.state = BreakerOpen
-		b.openedAt = b.opts.Clock()
-		b.stats.Trips++
-		b.consec = 0
-	}
+	return &CapBreaker{ctl: ctl, brk: breaker.New(opts)}
 }
 
 // SetCap requests a cap through the hardened Apply path, gated by the
@@ -162,11 +65,11 @@ func (b *CapBreaker) recordLocked(failed bool) {
 func (b *CapBreaker) SetCap(ghz float64) (float64, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if err := b.allowLocked(); err != nil {
-		return b.ctl.Machine().UncoreCap(), err
+	if err := b.brk.Allow(); err != nil {
+		return b.ctl.Machine().UncoreCap(), ErrBreakerOpen
 	}
 	got, err := b.ctl.Apply(ghz)
-	b.recordLocked(err != nil)
+	b.brk.Record(err != nil)
 	return got, err
 }
 
@@ -175,11 +78,11 @@ func (b *CapBreaker) SetCap(ghz float64) (float64, error) {
 func (b *CapBreaker) Reassert() (bool, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if err := b.allowLocked(); err != nil {
-		return false, err
+	if err := b.brk.Allow(); err != nil {
+		return false, ErrBreakerOpen
 	}
 	fixed, err := b.ctl.Reassert()
-	b.recordLocked(err != nil)
+	b.brk.Record(err != nil)
 	return fixed, err
 }
 
@@ -189,12 +92,12 @@ func (b *CapBreaker) Reassert() (bool, error) {
 func (b *CapBreaker) RunFunc(f *ir.Func) (RunResult, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if err := b.allowLocked(); err != nil {
-		return RunResult{}, err
+	if err := b.brk.Allow(); err != nil {
+		return RunResult{}, ErrBreakerOpen
 	}
 	before := b.ctl.Stats().Failures
 	r, err := b.ctl.RunFunc(f)
-	b.recordLocked(err != nil || b.ctl.Stats().Failures > before)
+	b.brk.Record(err != nil || b.ctl.Stats().Failures > before)
 	return r, err
 }
 
@@ -207,7 +110,7 @@ func (b *CapBreaker) Restore() error {
 	defer b.mu.Unlock()
 	err := b.ctl.Restore()
 	if err == nil {
-		b.recordLocked(false)
+		b.brk.Record(false)
 	} else if m := b.ctl.Machine(); m.UncoreCap() == m.P.UncoreMax {
 		// The verified-write path failed but the infallible driver reset
 		// landed: the machine is uncapped, which is all Restore promises.
@@ -230,24 +133,10 @@ func (b *CapBreaker) WithMachine(f func(*Machine) error) error {
 
 // State returns the breaker position, reporting half-open once an open
 // breaker's cooldown has elapsed (the next operation will probe).
-func (b *CapBreaker) State() BreakerState {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.state == BreakerOpen && b.opts.Clock().Sub(b.openedAt) >= b.opts.Cooldown {
-		return BreakerHalfOpen
-	}
-	return b.state
-}
+func (b *CapBreaker) State() BreakerState { return b.brk.State() }
 
 // Stats returns the breaker's counters.
-func (b *CapBreaker) Stats() BreakerStats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	st := b.stats
-	st.ConsecutiveFailures = b.consec
-	st.State = b.state
-	return st
-}
+func (b *CapBreaker) Stats() BreakerStats { return b.brk.Stats() }
 
 // ControllerStats returns the wrapped controller's reliability counters.
 func (b *CapBreaker) ControllerStats() CapStats {

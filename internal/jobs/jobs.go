@@ -121,7 +121,20 @@ type Options struct {
 	// Clock stamps submissions and checkpoints (default time.Now); tests
 	// inject a fixed clock.
 	Clock func() time.Time
+	// CompactThreshold bounds the journal's dead weight: once that many
+	// prunable records — the per-unit history and shutdown checkpoints of
+	// jobs already in a terminal state — accumulate, the journal is
+	// rewritten in place via the same atomic temp+rename the corruption
+	// path uses. Specs, terminal outcomes and cancel markers are kept
+	// forever, and every record of a live job is retained verbatim, so
+	// resume stays byte-identical. 0 selects the default (512); negative
+	// disables compaction.
+	CompactThreshold int
 }
+
+// defaultCompactThreshold is the prunable-record count that triggers a
+// jobs-journal compaction when Options.CompactThreshold is zero.
+const defaultCompactThreshold = 512
 
 // Manager owns the journal, the job table and the worker pool.
 type Manager struct {
@@ -187,6 +200,9 @@ func Open(opts Options, exec Executor) (*Manager, error) {
 	if opts.Clock == nil {
 		opts.Clock = time.Now
 	}
+	if opts.CompactThreshold == 0 {
+		opts.CompactThreshold = defaultCompactThreshold
+	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: %w", err)
 	}
@@ -202,6 +218,13 @@ func Open(opts Options, exec Executor) (*Manager, error) {
 		queue: make(chan *Job, opts.QueueDepth),
 	}
 	if err := m.replay(); err != nil {
+		jnl.Close()
+		return nil, err
+	}
+	// A long-lived directory may carry the unit history of many finished
+	// jobs; prune it before appending resumes so the journal does not
+	// grow without bound across restarts.
+	if err := m.maybeCompact(); err != nil {
 		jnl.Close()
 		return nil, err
 	}
@@ -263,6 +286,56 @@ func (m *Manager) replay() error {
 		}
 	}
 	return nil
+}
+
+// prunableKey reports whether a job-key suffix is replay-irrelevant once
+// the job is terminal: the per-unit checkpoints and the shutdown marker.
+// The spec, the terminal outcome and the cancel marker ARE the job and
+// are never pruned.
+func prunableKey(rest string) bool {
+	return rest == "ckpt" || strings.HasPrefix(rest, "unit/")
+}
+
+// maybeCompact prunes the unit history of terminal jobs once it exceeds
+// the configured threshold, rewriting the journal through the atomic
+// temp+rename path. Every record of a non-terminal job is retained with
+// its journaled bytes verbatim, so a live job interrupted before, during
+// or after the compaction still resumes byte-identically. Terminal jobs
+// keep their spec and outcome (ID, state, error and result all survive);
+// only their per-unit progress counts are forgotten by later replays.
+func (m *Manager) maybeCompact() error {
+	m.mu.Lock()
+	threshold := m.opts.CompactThreshold
+	terminal := map[string]bool{}
+	for id, jb := range m.jobs {
+		jb.mu.Lock()
+		if jb.state.Terminal() {
+			terminal[id] = true
+		}
+		jb.mu.Unlock()
+	}
+	m.mu.Unlock()
+	if threshold < 0 {
+		return nil
+	}
+	prunable := 0
+	for _, key := range m.jnl.Keys() {
+		if id, rest, ok := splitJobKey(key); ok && terminal[id] && prunableKey(rest) {
+			prunable++
+		}
+	}
+	if prunable < threshold {
+		return nil
+	}
+	// A job finalizing between the snapshot and the rewrite is simply not
+	// in the terminal set: its records are kept and pruned by a later
+	// pass. The journal's own lock orders this rewrite against concurrent
+	// Step records.
+	_, err := m.jnl.CompactRetain(func(key string) bool {
+		id, rest, ok := splitJobKey(key)
+		return !ok || !terminal[id] || !prunableKey(rest)
+	})
+	return err
 }
 
 // splitJobKey parses "job/<id>/<rest>".
@@ -425,6 +498,7 @@ func (m *Manager) Cancel(id string) error {
 	jb.mu.Unlock()
 	if queued {
 		jb.finalize(StateCanceled, nil, nil)
+		_ = m.maybeCompact()
 	}
 	return nil
 }
@@ -489,6 +563,11 @@ func (m *Manager) run(jb *Job) {
 		jb.finalize(StateCanceled, nil, nil)
 	default:
 		jb.finalize(StateFailed, nil, err)
+	}
+	// Terminal jobs retire their unit history once enough accumulates;
+	// failure here is non-fatal (the records are merely kept longer).
+	if jb.Status().State.Terminal() {
+		_ = m.maybeCompact()
 	}
 }
 

@@ -323,3 +323,162 @@ func TestJobFailureIsDurable(t *testing.T) {
 	}
 	m2.Close(context.Background())
 }
+
+// Compaction: once enough terminal jobs accumulate, their unit history
+// is pruned from the journal — while a live (interrupted) job in the
+// same journal still resumes byte-identically afterwards.
+func TestJobCompactionPrunesTerminalHistoryKeepsLiveResume(t *testing.T) {
+	dir := t.TempDir()
+
+	// Control result for the job that will be interrupted and resumed.
+	var ctlComputed atomic.Int64
+	ctl, err := Open(Options{Dir: t.TempDir(), Workers: 1}, sumExec(-1, &ctlComputed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Start()
+	cst, err := ctl.Submit("sweep", map[string]int{"N": 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, ctl, cst.ID, StateDone)
+	cjb, _ := ctl.Get(cst.ID)
+	want, _ := cjb.Result()
+	ctl.Close(context.Background())
+
+	// Threshold 1: every terminal job's history is pruned as soon as it
+	// finishes. Finish one job (4 units), then interrupt a second inside
+	// unit 3.
+	var computed atomic.Int64
+	m, err := Open(Options{Dir: dir, Workers: 1, CompactThreshold: 1}, sumExec(-1, &computed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	done, err := m.Submit("sweep", map[string]int{"N": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, done.ID, StateDone)
+	djb, _ := m.Get(done.ID)
+	doneResult, ok := djb.Result()
+	if !ok {
+		t.Fatal("no result for finished job")
+	}
+	// The finished job's unit records are gone from the journal...
+	if keys := djb.UnitKeys(); len(keys) != 0 {
+		t.Fatalf("terminal job unit keys survived compaction: %v", keys)
+	}
+	// ...but its spec and outcome are not.
+	if st := djb.Status(); st.State != StateDone {
+		t.Fatalf("finished job after compaction: %+v", st)
+	}
+	if m.Stats().Journal.Compactions == 0 {
+		t.Fatal("no compaction recorded")
+	}
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second incarnation: interrupt a job mid-run so live records coexist
+	// with the already-pruned terminal job.
+	var liveComputed atomic.Int64
+	m2, err := Open(Options{Dir: dir, Workers: 1, CompactThreshold: 1}, sumExec(3, &liveComputed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Start()
+	live, err := m2.Submit("sweep", map[string]int{"N": 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		jb, _ := m2.Get(live.ID)
+		if jb.Status().UnitsDone >= 3 && liveComputed.Load() >= 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never reached unit 3: %+v", jb.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m2.Close(expired); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third incarnation: the open-time compaction sees the terminal job
+	// and runs again (its ckpt/unit records were already gone; the live
+	// job's records must survive). The live job replays its three units
+	// without recomputing and finishes byte-identical to the control.
+	var resumeComputed atomic.Int64
+	m3, err := Open(Options{Dir: dir, Workers: 1, CompactThreshold: 1}, sumExec(-1, &resumeComputed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := m3.Get(live.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := jb.Status(); st.State != StateQueued || st.UnitsDone != 3 {
+		t.Fatalf("live job before resume: %+v", st)
+	}
+	m3.Start()
+	waitState(t, m3, live.ID, StateDone)
+	got, ok := jb.Result()
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("resumed result differs after compaction:\n  resumed: %s\n  control: %s", got, want)
+	}
+	if resumeComputed.Load() != 3 {
+		t.Fatalf("resume recomputed %d units, want 3", resumeComputed.Load())
+	}
+	// The first job's terminal outcome is still replayable.
+	djb3, err := m3.Get(done.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw, ok := djb3.Result(); !ok || !bytes.Equal(raw, doneResult) {
+		t.Fatalf("terminal result lost across compactions: %s", raw)
+	}
+	if err := m3.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A negative threshold disables compaction entirely; the default (0)
+// keeps small histories untouched.
+func TestJobCompactionDisabledAndBelowThreshold(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		threshold int
+	}{
+		{"disabled", -1},
+		{"default-far-above", 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var computed atomic.Int64
+			m, err := Open(Options{Dir: t.TempDir(), Workers: 1, CompactThreshold: tc.threshold}, sumExec(-1, &computed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.Start()
+			st, err := m.Submit("sweep", map[string]int{"N": 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			waitState(t, m, st.ID, StateDone)
+			jb, _ := m.Get(st.ID)
+			if keys := jb.UnitKeys(); len(keys) != 3 {
+				t.Fatalf("unit keys pruned unexpectedly: %v", keys)
+			}
+			if n := m.Stats().Journal.Compactions; n != 0 {
+				t.Fatalf("unexpected compactions: %d", n)
+			}
+			if err := m.Close(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

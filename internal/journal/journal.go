@@ -21,9 +21,47 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 )
+
+// AtomicWrite writes a file crash-safely: the content goes to path.tmp
+// through a buffered writer, is flushed and fsynced, and the temporary
+// file atomically renames over path — so the file on disk is always
+// either the old complete content or the new complete content, never a
+// torn mix. It is the journal's own compaction machinery, exported for
+// the other durable artifacts (the content-addressed store, calibration
+// and plan-table files) so every "write this artifact safely" path in
+// the system is the same code.
+func AtomicWrite(path string, write func(w io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := write(w); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
 
 // Entry is one checkpoint line: a key identifying the unit of work and
 // the recorded result.
@@ -41,6 +79,9 @@ type Stats struct {
 	// tail lines discarded at Open, Quarantined the corrupt mid-file
 	// lines diverted to the ".quarantine" sidecar.
 	Replayed, Appended, Dropped, Quarantined int64
+	// Compactions counts CompactRetain rewrites that actually dropped
+	// entries (history pruning, not corruption repair).
+	Compactions int64
 }
 
 // Journal is a keyed, append-only JSONL checkpoint log. It is safe for
@@ -55,6 +96,7 @@ type Journal struct {
 	appended    int64
 	dropped     int64
 	quarantined int64
+	compactions int64
 }
 
 // QuarantinePath returns the sidecar file corrupt mid-file lines of the
@@ -153,33 +195,69 @@ func quarantine(path string, lines [][]byte) error {
 // compact rewrites the valid entries to path.tmp and atomically renames
 // it over the journal, dropping the damaged lines from disk.
 func (j *Journal) compact() error {
-	tmp := j.path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	w := bufio.NewWriter(f)
-	for _, k := range j.order {
-		line, err := json.Marshal(Entry{Key: k, Data: j.done[k]})
-		if err != nil {
-			f.Close()
-			return err
+	return AtomicWrite(j.path, func(w io.Writer) error {
+		for _, k := range j.order {
+			line, err := json.Marshal(Entry{Key: k, Data: j.done[k]})
+			if err != nil {
+				return err
+			}
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				return err
+			}
 		}
-		w.Write(line)
-		w.WriteByte('\n')
+		return nil
+	})
+}
+
+// CompactRetain rewrites the journal keeping only the entries keep
+// returns true for, via the same atomic temp+rename the corruption path
+// uses. Retained entries keep their recorded bytes verbatim, so replay
+// of the survivors is byte-identical — the jobs tier uses this to prune
+// the per-unit history of terminal jobs while live jobs resume exactly
+// as before. Dropped keys stop answering Get/Has immediately. It
+// returns the number of entries dropped; zero drops leave the file
+// untouched.
+func (j *Journal) CompactRetain(keep func(key string) bool) (int, error) {
+	if j == nil {
+		return 0, nil
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return 0, fmt.Errorf("journal: closed")
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
+	var order []string
+	dropped := 0
+	for _, k := range j.order {
+		if keep(k) {
+			order = append(order, k)
+		} else {
+			delete(j.done, k)
+			dropped++
+		}
 	}
-	if err := f.Close(); err != nil {
-		return err
+	if dropped == 0 {
+		return 0, nil
 	}
-	return os.Rename(tmp, j.path)
+	j.order = order
+	// The append handle points at the current inode; compaction renames
+	// a fresh file over the path, so the handle must be reopened or
+	// future Records would land in the unlinked old file.
+	if err := j.f.Close(); err != nil {
+		j.f = nil
+		return dropped, err
+	}
+	j.f = nil
+	if err := j.compact(); err != nil {
+		return dropped, err
+	}
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return dropped, err
+	}
+	j.f = f
+	j.compactions++
+	return dropped, nil
 }
 
 // Record checkpoints one completed unit of work: v is marshalled,
@@ -285,7 +363,7 @@ func (j *Journal) Stats() Stats {
 	return Stats{
 		Entries: len(j.done), Replayed: j.replayed,
 		Appended: j.appended, Dropped: j.dropped,
-		Quarantined: j.quarantined,
+		Quarantined: j.quarantined, Compactions: j.compactions,
 	}
 }
 

@@ -277,3 +277,134 @@ func TestJournalNilAndClosed(t *testing.T) {
 		t.Fatal("closed journal lost entries")
 	}
 }
+
+// CompactRetain drops the filtered keys, keeps the survivors with their
+// recorded bytes verbatim, and — crucially — keeps appending to the NEW
+// file after the atomic rename, so records made after a compaction
+// survive a reopen.
+func TestJournalCompactRetain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := j.Record(fmt.Sprintf("k%d", i), point{F: float64(i), E: 1e-9 * float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keepEven := func(key string) bool {
+		return strings.HasSuffix(key, "0") || strings.HasSuffix(key, "2") || strings.HasSuffix(key, "4")
+	}
+	dropped, err := j.CompactRetain(keepEven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", dropped)
+	}
+	if st := j.Stats(); st.Compactions != 1 || st.Entries != 3 {
+		t.Fatalf("stats after compaction: %+v", st)
+	}
+	// Dropped keys stop answering immediately; survivors still answer.
+	if j.Has("k1") || j.Has("k3") || j.Has("k5") {
+		t.Fatal("dropped key still present")
+	}
+	var got point
+	if ok, err := j.Get("k2", &got); err != nil || !ok || got.F != 2 {
+		t.Fatalf("survivor k2: %+v ok=%v err=%v", got, ok, err)
+	}
+	// Appending after the rename must land in the new file.
+	if err := j.Record("k9", point{F: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 4 {
+		t.Fatalf("reopened len = %d, want 4 (k0,k2,k4,k9): %v", r.Len(), r.Keys())
+	}
+	for _, k := range []string{"k0", "k2", "k4", "k9"} {
+		if !r.Has(k) {
+			t.Fatalf("key %s missing after reopen: %v", k, r.Keys())
+		}
+	}
+	if st := r.Stats(); st.Dropped != 0 || st.Quarantined != 0 {
+		t.Fatalf("compacted file replayed with damage: %+v", st)
+	}
+}
+
+// Retained entries survive compaction with their journaled bytes
+// verbatim — the byte-identity guarantee the jobs tier's resume rides on.
+func TestJournalCompactRetainBytesVerbatim(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw messages with deliberate formatting quirks JSON re-marshalling
+	// would normalize away if the bytes were not kept verbatim.
+	if err := j.Record("keep", map[string]any{"v": 0.30000000000000004}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("drop", point{F: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var before map[string]any
+	if _, err := j.Get("keep", &before); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.CompactRetain(func(key string) bool { return key == "keep" }); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "0.30000000000000004") {
+		t.Fatalf("retained bytes not verbatim: %s", data)
+	}
+	if strings.Contains(string(data), `"drop"`) {
+		t.Fatalf("dropped entry still on disk: %s", data)
+	}
+}
+
+// Zero drops leave the file untouched and count no compaction; a closed
+// journal refuses; a nil journal no-ops.
+func TestJournalCompactRetainNoopAndClosed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("a", point{F: 1}); err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := j.CompactRetain(func(string) bool { return true })
+	if err != nil || dropped != 0 {
+		t.Fatalf("no-op compaction: dropped=%d err=%v", dropped, err)
+	}
+	if st := j.Stats(); st.Compactions != 0 {
+		t.Fatalf("no-op counted a compaction: %+v", st)
+	}
+	// Still appendable after the no-op (the fd was never cycled).
+	if err := j.Record("b", point{F: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := j.CompactRetain(func(string) bool { return false }); err == nil {
+		t.Fatal("CompactRetain on closed journal succeeded")
+	}
+	var nilJ *Journal
+	if dropped, err := nilJ.CompactRetain(func(string) bool { return false }); err != nil || dropped != 0 {
+		t.Fatalf("nil journal: dropped=%d err=%v", dropped, err)
+	}
+}

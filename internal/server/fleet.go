@@ -1,0 +1,250 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+
+	"polyufc/internal/cas"
+	"polyufc/internal/fleet"
+	"polyufc/internal/plantable"
+	"polyufc/internal/platform"
+	"polyufc/internal/roofline"
+)
+
+// This file is the daemon's side of the fleet cache tier: the
+// degradation ladder serving deterministic responses (in-memory journal
+// -> local CAS -> peer lookup -> compute), the warm-start paths reusing
+// persisted calibration and plan-table artifacts at boot, and the HTTP
+// surface peers fetch and fill entries through.
+
+// casKey derives the content address of an artifact from its identity
+// parts: the full hex SHA-256 of the NUL-joined parts, which is also a
+// valid cas key and URL segment.
+func casKey(parts ...string) string {
+	sum := sha256.Sum256([]byte(strings.Join(parts, "\x00")))
+	return hex.EncodeToString(sum[:])
+}
+
+// cacheable reports whether deterministic-response caching is live.
+// Armed fault points outside the fleet/cas namespaces disarm it —
+// injected compute outcomes are call-ordered, not deterministic, so
+// caching one would replay a single injection across requests. Fleet
+// and cas faults are exactly what the cache tier exists to absorb, so
+// they leave caching on.
+func (s *Server) cacheable() bool {
+	if s.cfg.Faults == nil {
+		return true
+	}
+	for _, p := range s.cfg.Faults.Points() {
+		if !strings.HasPrefix(p, "fleet.") && !strings.HasPrefix(p, "cas.") {
+			return false
+		}
+	}
+	return true
+}
+
+// cached serves one deterministic response through the degradation
+// ladder: the in-memory response journal first, then the local
+// persistent CAS, then the peer fleet, and only then compute. Every
+// tier above the one that answered is back-filled, so the next request
+// (or the next boot, or the next peer) is served higher up. Each tier
+// degrades strictly: a corrupt CAS entry or a dead peer falls through
+// to the next rung with byte-identical results — never a failed
+// request.
+func (s *Server) cached(ctx context.Context, key string, out any, compute func() error) error {
+	if !s.cacheable() {
+		return compute()
+	}
+	if ok, err := s.jrnl.Get(key, out); err != nil {
+		return err
+	} else if ok {
+		return nil
+	}
+	ck := casKey("response", key)
+	if payload, ok := s.casStore.Get(ck); ok {
+		if err := json.Unmarshal(payload, out); err == nil {
+			_ = s.jrnl.Record(key, out)
+			return nil
+		}
+		// A verified entry that does not decode as this response shape:
+		// fall through and recompute (the overwrite below repairs it).
+	}
+	if payload, ok := s.fleetCli.Lookup(ctx, ck); ok {
+		if err := json.Unmarshal(payload, out); err == nil {
+			_ = s.casStore.Put(ck, payload)
+			_ = s.jrnl.Record(key, out)
+			return nil
+		}
+	}
+	if err := compute(); err != nil {
+		return err
+	}
+	if s.jrnl != nil {
+		if err := s.jrnl.Record(key, out); err != nil {
+			return err
+		}
+	}
+	if s.casStore != nil || s.fleetCli != nil {
+		if payload, err := json.Marshal(out); err == nil {
+			_ = s.casStore.Put(ck, payload)
+			s.fleetCli.Fill(ck, payload)
+		}
+	}
+	return nil
+}
+
+// warmCalibration tries to boot a backend from a persisted calibration
+// artifact instead of re-running the micro-benchmarks. Any failure —
+// no entry, undecodable payload, artifact/backend mismatch — returns
+// nil and the caller calibrates from scratch.
+func (s *Server) warmCalibration(b *platform.Backend) *roofline.Target {
+	payload, ok := s.casStore.Get(casKey("calibration", b.Hash()))
+	if !ok {
+		return nil
+	}
+	var cal platform.Calibration
+	if err := json.Unmarshal(payload, &cal); err != nil {
+		return nil
+	}
+	t, err := roofline.FromCalibration(b, &cal)
+	if err != nil {
+		return nil
+	}
+	return t
+}
+
+// storeCalibration persists a resolved target's calibration artifact so
+// the next boot (local or a peer's) warm-starts from it.
+func (s *Server) storeCalibration(t *roofline.Target) {
+	if s.casStore == nil || t == nil || t.Backend == nil || t.Calibration == nil {
+		return
+	}
+	payload, err := json.Marshal(t.Calibration)
+	if err != nil {
+		return
+	}
+	key := casKey("calibration", t.Backend.Hash())
+	_ = s.casStore.Put(key, payload)
+	s.fleetCli.Fill(key, payload)
+}
+
+// planTableKey addresses a backend's latest built plan table: one slot
+// per backend and calibration, so a re-fit naturally orphans the stale
+// table instead of serving it.
+func planTableKey(backendHash, calHash string) string {
+	return casKey("plantable", backendHash, calHash)
+}
+
+// storePlanTable persists a freshly built table into the cache tier.
+func (s *Server) storePlanTable(tb *plantable.Table) {
+	if s.casStore == nil || tb == nil {
+		return
+	}
+	payload, err := tb.Marshal()
+	if err != nil {
+		return
+	}
+	key := planTableKey(tb.BackendHash, tb.CalHash)
+	_ = s.casStore.Put(key, payload)
+	s.fleetCli.Fill(key, payload)
+}
+
+// warmPlanTables probes the CAS for a plan table matching each served
+// backend's live calibration and installs the hits — a rebooted daemon
+// serves table answers immediately instead of waiting for a rebuild
+// job. Stale or damaged entries are skipped silently; the plan-table
+// job rebuilds them.
+func (s *Server) warmPlanTables() {
+	if s.casStore == nil {
+		return
+	}
+	s.targetsMu.RLock()
+	targets := make([]*roofline.Target, 0, len(s.targets))
+	for _, t := range s.targets {
+		targets = append(targets, t)
+	}
+	s.targetsMu.RUnlock()
+	for _, t := range targets {
+		if t.Backend == nil {
+			continue
+		}
+		payload, ok := s.casStore.Get(planTableKey(t.Backend.Hash(), t.Constants.Hash()))
+		if !ok {
+			continue
+		}
+		tb, err := plantable.Parse(payload)
+		if err != nil || tb.Matches(t) != nil {
+			continue
+		}
+		_ = s.installPlanTable(tb)
+	}
+}
+
+// CASWarmHits reports how many reads the persistent store served from
+// entries that survived a previous process — the restart-reuse gate the
+// fleet smoke asserts on.
+func (s *Server) CASWarmHits() int64 { return s.casStore.Stats().WarmHits }
+
+// handleCASGet serves one verified entry to a peer. Like the
+// observability endpoints it bypasses the admission gate: cache fills
+// must not compete with compute for slots. A miss — or a daemon with no
+// store — is a 404, the protocol's clean "compute it yourself".
+func (s *Server) handleCASGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !cas.ValidKey(key) {
+		writeJSON(w, http.StatusBadRequest, errBody{"invalid cas key"})
+		return
+	}
+	payload, ok := s.casStore.Get(key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errBody{"no such entry"})
+		return
+	}
+	w.Header().Set(fleet.HeaderSum, cas.Sum(payload))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(payload)
+}
+
+// handleCASPut accepts a peer's cache fill: size-bounded, checksum-
+// verified against the X-Polyufc-Sum header, stored crash-safely. A
+// daemon running without a store refuses with 503 + Retry-After (the
+// peer's breaker backs off).
+func (s *Server) handleCASPut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !cas.ValidKey(key) {
+		writeJSON(w, http.StatusBadRequest, errBody{"invalid cas key"})
+		return
+	}
+	if s.casStore == nil {
+		w.Header().Set("Retry-After", "30")
+		writeJSON(w, http.StatusServiceUnavailable, errBody{"cache tier disabled: start the daemon with -cas-dir"})
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, fleet.MaxEntryBytes)
+	payload, err := io.ReadAll(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errBody{err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errBody{"read body: " + err.Error()})
+		return
+	}
+	if sum := r.Header.Get(fleet.HeaderSum); sum != "" && cas.Sum(payload) != sum {
+		writeJSON(w, http.StatusBadRequest, errBody{"payload checksum mismatch"})
+		return
+	}
+	if err := s.casStore.Put(key, payload); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errBody{err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -8,7 +8,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"polyufc/internal/core"
 	"polyufc/internal/hw"
@@ -110,16 +112,33 @@ type SearchResponse struct {
 	CalibrationDegraded bool              `json:"calibration_degraded,omitempty"`
 }
 
-// httpError carries a status code out of a handler.
+// httpError carries a status code out of a handler. retryAfter, when
+// positive, becomes a Retry-After header — every 503 the daemon sends
+// for a transient condition (drift degradation, an open breaker) tells
+// the client when to come back, consistent with the 429 shedding path.
 type httpError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter int
 }
 
 func (e *httpError) Error() string { return e.msg }
 
 func badRequest(format string, args ...any) error {
-	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// retryAfterSeconds renders a duration as a Retry-After value, never
+// below one second (zero would tell clients to hammer).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d / time.Second)
+	if d%time.Second != 0 {
+		secs++
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -156,6 +175,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleJobCancel)
+	// The fleet cache tier: peers fetch and fill content-addressed
+	// entries. Cheap verified I/O, so like the observability endpoints
+	// it bypasses the admission gate — cache exchange must keep working
+	// while the daemon sheds compute load.
+	mux.HandleFunc("GET /v1/cas/{key}", s.handleCASGet)
+	mux.HandleFunc("PUT /v1/cas/{key}", s.handleCASPut)
 	return mux
 }
 
@@ -189,6 +214,7 @@ func (s *Server) wrap(h func(ctx context.Context, req Request) (any, error)) htt
 				writeJSON(w, http.StatusTooManyRequests, errBody{"server saturated, retry later"})
 				return
 			}
+			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusServiceUnavailable, errBody{"cancelled while queued: " + err.Error()})
 			return
 		}
@@ -201,7 +227,16 @@ func (s *Server) wrap(h func(ctx context.Context, req Request) (any, error)) htt
 			var he *httpError
 			switch {
 			case errors.As(err, &he):
+				if he.retryAfter > 0 {
+					w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
+				}
 				writeJSON(w, he.status, errBody{he.msg})
+			case errors.Is(err, hw.ErrBreakerOpen):
+				// A strict compute path ran into a quarantined driver:
+				// transient by construction — the breaker reprobes after
+				// its cooldown — so tell the client when.
+				w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.Breaker.Cooldown))
+				writeJSON(w, http.StatusServiceUnavailable, errBody{err.Error()})
 			case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 				writeJSON(w, http.StatusGatewayTimeout, errBody{"deadline exceeded: " + err.Error()})
 			default:
@@ -412,25 +447,6 @@ func (s *Server) journalKey(endpoint string, req Request, r resolved) string {
 	return key
 }
 
-// journaled serves one deterministic response through the crash-safe
-// journal: a hit replays the recorded bytes (byte-identical across daemon
-// restarts), a miss computes, records, then serves. Fault-armed daemons
-// bypass the journal — injected outcomes are not deterministic.
-func (s *Server) journaled(key string, out any, compute func() error) error {
-	if s.jrnl == nil || s.cfg.Faults != nil {
-		return compute()
-	}
-	if ok, err := s.jrnl.Get(key, out); err != nil {
-		return err
-	} else if ok {
-		return nil
-	}
-	if err := compute(); err != nil {
-		return err
-	}
-	return s.jrnl.Record(key, out)
-}
-
 // driftGate applies the degrade semantics while a backend's calibration
 // is in a degradation episode (watchdog degraded, or re-fit running): a
 // Strict daemon refuses the request with 503 — the constants are known
@@ -443,7 +459,7 @@ func (s *Server) driftGate(r resolved) (bool, error) {
 		return false, nil
 	}
 	if s.cfg.Degrade == core.Strict {
-		return false, &httpError{http.StatusServiceUnavailable, fmt.Sprintf(
+		return false, &httpError{status: http.StatusServiceUnavailable, retryAfter: 5, msg: fmt.Sprintf(
 			"calibration for %q is degraded (drift watchdog %s); re-fit in progress — retry later or serve with -degrade best-effort",
 			r.p.Name, s.drift.State(r.p.Name))}
 	}
@@ -460,7 +476,7 @@ func (s *Server) handleCompile(ctx context.Context, req Request) (any, error) {
 		return nil, err
 	}
 	var resp CompileResponse
-	err = s.journaled(s.journalKey("v1/compile", req, r), &resp, func() error {
+	err = s.cached(ctx, s.journalKey("v1/compile", req, r), &resp, func() error {
 		res, err := s.compile(ctx, req, r)
 		if err != nil {
 			return err
@@ -494,7 +510,7 @@ func (s *Server) handleCharacterize(ctx context.Context, req Request) (any, erro
 		return nil, err
 	}
 	var resp CharacterizeResponse
-	err = s.journaled(s.journalKey("v1/characterize", req, r), &resp, func() error {
+	err = s.cached(ctx, s.journalKey("v1/characterize", req, r), &resp, func() error {
 		res, err := s.characterize(ctx, req, r)
 		if err != nil {
 			return err
@@ -531,7 +547,7 @@ func (s *Server) handleSearch(ctx context.Context, req Request) (any, error) {
 	// never is — it exercises the live driver every time.
 	var resp SearchResponse
 	var res *core.Result
-	err = s.journaled(s.journalKey("v1/search", req, r), &resp, func() error {
+	err = s.cached(ctx, s.journalKey("v1/search", req, r), &resp, func() error {
 		var cerr error
 		res, cerr = s.compile(ctx, req, r)
 		if cerr != nil {

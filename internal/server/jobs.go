@@ -72,6 +72,7 @@ type JobListResponse struct {
 // -jobs-dir.
 func (s *Server) jobsEnabled(w http.ResponseWriter) bool {
 	if s.jobsMgr == nil {
+		w.Header().Set("Retry-After", "30")
 		writeJSON(w, http.StatusServiceUnavailable, errBody{"job tier disabled: start the daemon with -jobs-dir"})
 		return false
 	}
@@ -154,6 +155,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.jobsMgr.Submit(kind, req.JobParams)
 	if err != nil {
+		w.Header().Set("Retry-After", "5")
 		writeJSON(w, http.StatusServiceUnavailable, errBody{err.Error()})
 		return
 	}
@@ -494,6 +496,9 @@ func (s *Server) runPlanTableJob(jb *jobs.Job, p JobParams) (any, error) {
 	if err := s.installPlanTable(tb); err != nil {
 		return nil, err
 	}
+	// Persist into the cache tier: the next boot (here or on a peer)
+	// warm-starts the table instead of re-sweeping it.
+	s.storePlanTable(tb)
 	jb.Log("plantable", "table installed: "+result.Path)
 	return result, nil
 }
@@ -550,6 +555,7 @@ func (s *Server) runRefitJob(jb *jobs.Job, p JobParams) (any, error) {
 		return fail(err)
 	}
 	s.swapTarget(b.Name, nt)
+	s.storeCalibration(nt)
 	s.drift.CompleteRefit(b.Name, true)
 	newHash := nt.Constants.Hash()
 	jb.Log("refit", fmt.Sprintf("constants swapped: %s -> %s", oldHash, newHash))

@@ -23,8 +23,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"polyufc/internal/cas"
 	"polyufc/internal/core"
 	"polyufc/internal/faults"
+	"polyufc/internal/fleet"
 	"polyufc/internal/hw"
 	"polyufc/internal/jobs"
 	"polyufc/internal/journal"
@@ -88,6 +90,25 @@ type Config struct {
 	// job tier is enabled) once a backend's residual EWMA crosses the
 	// threshold. Zero fields select roofline.DefaultDriftOptions.
 	Drift roofline.DriftOptions
+	// CASDir, when set, enables the persistent content-addressed
+	// snapshot store: deterministic responses, calibration artifacts and
+	// plan tables persist across restarts (warm start) and are served to
+	// fleet peers over GET/PUT /v1/cas/{key}.
+	CASDir string
+	// Peers are the base URLs of the static fleet peer set. With at
+	// least one peer, cache misses consult the fleet (deadline-bounded,
+	// hedged, per-peer circuit breakers) before computing, and computed
+	// entries are offered back asynchronously. PeerTimeout bounds one
+	// attempt, PeerHedge staggers the parallel second attempt,
+	// PeerRetries adds backoff rounds; zeros select fleet defaults.
+	Peers       []string
+	PeerTimeout time.Duration
+	PeerHedge   time.Duration
+	PeerRetries int
+	// JobCompactThreshold triggers the jobs-journal compaction once that
+	// many prunable records (per-unit history of terminal jobs)
+	// accumulate; 0 selects the jobs default, negative disables.
+	JobCompactThreshold int
 }
 
 // DefaultConfig returns production-shaped defaults.
@@ -118,6 +139,11 @@ type Server struct {
 	profiles  hw.ProfileCache
 	breakers  map[string]*hw.CapBreaker
 	jrnl      *journal.Journal
+	// casStore is the persistent content-addressed snapshot store and
+	// fleetCli the peer cache protocol client; both nil-safe no-ops when
+	// the daemon runs without -cas-dir / -peer.
+	casStore *cas.Store
+	fleetCli *fleet.Client
 	// plans holds the loaded plan tables; nil when none are configured
 	// and no job has built one, which keeps the compile pipeline's stage
 	// list (and memo keys) exactly as without plan tables. It is an
@@ -195,6 +221,21 @@ func New(cfg Config) (*Server, error) {
 	s.profiles.SetLimit(cfg.CacheLimit)
 	s.stages.SetLimit(cfg.CacheLimit)
 
+	// The cache tier boots first: the warm-start scan below lets the
+	// calibration loop reuse persisted artifacts instead of re-running
+	// the micro-benchmarks.
+	if cfg.CASDir != "" {
+		st, err := cas.Open(cfg.CASDir, cfg.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.casStore = st
+	}
+	s.fleetCli = fleet.New(fleet.Options{
+		Peers: cfg.Peers, Timeout: cfg.PeerTimeout, Hedge: cfg.PeerHedge,
+		Retries: cfg.PeerRetries, Seed: cfg.FaultSeed, Faults: cfg.Faults,
+	})
+
 	for _, path := range cfg.PlatformFiles {
 		if _, err := platform.LoadFile(path); err != nil {
 			return nil, fmt.Errorf("server: %w", err)
@@ -203,10 +244,14 @@ func New(cfg Config) (*Server, error) {
 	backends := platform.All()
 	targets, err := parallel.Map(context.Background(), len(backends), 0,
 		func(ctx context.Context, i int) (*roofline.Target, error) {
+			if t := s.warmCalibration(backends[i]); t != nil {
+				return t, nil
+			}
 			t, err := roofline.ResolveCached(ctx, &s.stages, backends[i])
 			if err != nil {
 				return nil, fmt.Errorf("server: calibrate %s: %w", backends[i].Name, err)
 			}
+			s.storeCalibration(t)
 			return t, nil
 		})
 	if err != nil {
@@ -245,6 +290,9 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.plans.Store(set)
 	}
+	// Explicit -plan-table files win; the CAS probe fills the gaps with
+	// persisted tables still matching the live calibration.
+	s.warmPlanTables()
 
 	if cfg.JournalPath != "" {
 		if !cfg.Resume {
@@ -270,7 +318,11 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: %w", err)
 		}
 		s.planJournal = pj
-		mgr, err := jobs.Open(jobs.Options{Dir: cfg.JobsDir, Workers: cfg.JobWorkers}, s.executeJob)
+		mgr, err := jobs.Open(jobs.Options{
+			Dir:              cfg.JobsDir,
+			Workers:          cfg.JobWorkers,
+			CompactThreshold: cfg.JobCompactThreshold,
+		}, s.executeJob)
 		if err != nil {
 			pj.Close()
 			return nil, fmt.Errorf("server: %w", err)
@@ -362,6 +414,9 @@ func (s *Server) beginShutdown() { s.shutdownOnce.Do(func() { close(s.shutdown) 
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		s.beginShutdown()
+		// Stop offering cache fills and wait out in-flight ones before
+		// anything they might reference is torn down.
+		s.fleetCli.Close()
 		if s.jobsMgr != nil {
 			dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 			if err := s.jobsMgr.Close(dctx); err != nil && s.closeErr == nil {
@@ -406,6 +461,14 @@ func (s *Server) JobStats() jobs.Stats {
 // JournalStats reports the response journal's counters (zeros when no
 // journal is configured).
 func (s *Server) JournalStats() journal.Stats { return s.jrnl.Stats() }
+
+// CASStats reports the persistent content-addressed store's counters
+// (zeros when the daemon runs without -cas-dir).
+func (s *Server) CASStats() cas.Stats { return s.casStore.Stats() }
+
+// FleetStats reports the peer cache client's counters (zeros without
+// peers).
+func (s *Server) FleetStats() fleet.Stats { return s.fleetCli.Stats() }
 
 // CacheStatsz is one bounded cache's counters.
 type CacheStatsz struct {
@@ -468,6 +531,11 @@ type Statsz struct {
 	// tables are configured).
 	PlanTables plantable.Stats
 	Journal    journal.Stats
+	// CAS is the persistent content-addressed store (warm_hits > 0
+	// proves a restart reused the previous run's artifacts); Fleet the
+	// peer cache protocol client. Both all-zero when the tier is off.
+	CAS   cas.Stats
+	Fleet fleet.Stats
 	// Platforms maps each served backend to its calibration provenance
 	// and per-backend served count.
 	Platforms map[string]PlatformStatsz
@@ -489,6 +557,8 @@ func (s *Server) statsz() Statsz {
 		Gate:          s.gate.Stats(),
 		Breakers:      map[string]BreakerStatsz{},
 		Journal:       s.jrnl.Stats(),
+		CAS:           s.casStore.Stats(),
+		Fleet:         s.fleetCli.Stats(),
 	}
 	ch, cm := s.cache.Stats()
 	out.CompileCache = CacheStatsz{Hits: ch, Misses: cm, Evictions: s.cache.Evictions(), Len: s.cache.Len()}

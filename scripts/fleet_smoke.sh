@@ -1,0 +1,152 @@
+#!/bin/sh
+# End-to-end smoke for the fleet cache tier, driving real polyufc-serve
+# binaries (built with -race):
+#
+#   1. Three-peer fleet: daemon A computes and fills the tier; B and C
+#      serve the same requests byte-identically. C is SIGKILLed mid-fill
+#      and a request sweep against the survivors must show ZERO failed
+#      requests — a dead peer costs a recompute, never an error.
+#   2. Warm restart: A is killed and restarted on the same -cas-dir; it
+#      must answer byte-identically with nonzero cas warm_hits in
+#      /statsz, without recomputing.
+#   3. Corruption: a persisted entry is bit-flipped on disk; the
+#      restarted daemon quarantines it and still answers 200 with the
+#      recomputed (identical) bytes.
+#   4. Injected peer faults: a daemon whose every peer lookup times out
+#      (fleet.peer.timeout=1) still serves 200s through the fallback.
+#
+# Requires: go, curl, jq.
+set -eu
+
+tmp="$(mktemp -d)"
+# $(jobs -p) is empty inside an EXIT trap under some shells (dash), so
+# every daemon pid is tracked explicitly and the trap sweeps them all.
+pids=""
+trap 'kill $pids 2>/dev/null || true; rm -rf "$tmp"' EXIT
+cd "$(dirname "$0")/.."
+
+echo "== building polyufc-serve (-race)"
+go build -race -o "$tmp/polyufc-serve" ./cmd/polyufc-serve
+
+addr_a="127.0.0.1:8361"; base_a="http://$addr_a"
+addr_b="127.0.0.1:8362"; base_b="http://$addr_b"
+addr_c="127.0.0.1:8363"; base_c="http://$addr_c"
+addr_d="127.0.0.1:8364"; base_d="http://$addr_d"
+
+# start_daemon <pidvar> <addr> <logfile> [flags...]
+start_daemon() {
+    pidvar="$1"; daddr="$2"; log="$3"; shift 3
+    # stdout joins the log too: an inherited pipe would keep the caller
+    # of this script waiting on any daemon the trap has to sweep.
+    "$tmp/polyufc-serve" -addr "$daddr" "$@" >"$log" 2>&1 &
+    eval "$pidvar=$!"
+    pids="$pids $!"
+    for i in $(seq 1 100); do
+        curl -sf "http://$daddr/healthz" >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    echo "daemon on $daddr never came up"; cat "$log"; exit 1
+}
+
+# compile <base> <kernel> <outfile> -> http code on stdout
+compile() {
+    curl -s -o "$3" -w '%{http_code}' -X POST "$1/v1/compile" \
+        -d "{\"kernel\":\"$2\",\"size\":\"test\"}"
+}
+
+kernels="gemm atax mvt bicg gesummv"
+
+echo "== 1/4 three-peer fleet, SIGKILL one mid-fill, zero failed requests"
+start_daemon pid_a "$addr_a" "$tmp/a.log" -cas-dir "$tmp/cas-a" -peer "$base_b" -peer "$base_c"
+start_daemon pid_b "$addr_b" "$tmp/b.log" -cas-dir "$tmp/cas-b" -peer "$base_a" -peer "$base_c"
+start_daemon pid_c "$addr_c" "$tmp/c.log" -cas-dir "$tmp/cas-c" -peer "$base_a" -peer "$base_b"
+grep -q "fleet mode: 2 peer" "$tmp/a.log" || { echo "fleet banner missing:"; cat "$tmp/a.log"; exit 1; }
+
+# Fill through A; SIGKILL C halfway through so fills land on a corpse.
+n=0
+for k in $kernels; do
+    code="$(compile "$base_a" "$k" "$tmp/fill-$k.json")"
+    [ "$code" = 200 ] || { echo "fill $k on A got $code"; cat "$tmp/fill-$k.json"; exit 1; }
+    n=$((n + 1))
+    if [ "$n" = 2 ]; then
+        kill -9 "$pid_c" 2>/dev/null || true
+        wait "$pid_c" 2>/dev/null || true
+        echo "   SIGKILLed peer C after $n fills"
+    fi
+done
+
+# Sweep every kernel against both survivors: all must be 200, and B's
+# answers byte-identical to A's.
+fails=0
+for k in $kernels; do
+    for base in "$base_a" "$base_b"; do
+        code="$(compile "$base" "$k" "$tmp/sweep.json")"
+        [ "$code" = 200 ] || { fails=$((fails + 1)); echo "   FAIL: $k on $base -> $code"; }
+    done
+    code="$(compile "$base_b" "$k" "$tmp/b-$k.json")"
+    [ "$code" = 200 ] || fails=$((fails + 1))
+    cmp -s "$tmp/fill-$k.json" "$tmp/b-$k.json" || {
+        fails=$((fails + 1)); echo "   FAIL: $k differs between A and B"; }
+done
+[ "$fails" = 0 ] || { echo "$fails failed requests with a dead peer"; exit 1; }
+curl -s "$base_b/statsz" | jq -e '(.CAS.hits + .Fleet.peer_hits) > 0' >/dev/null || {
+    echo "B never served from the cache tier:"; curl -s "$base_b/statsz" | jq '{CAS, Fleet}'; exit 1; }
+echo "   zero failed requests; B byte-identical to A"
+
+echo "== 2/4 warm restart: same -cas-dir, nonzero warm hits"
+kill -9 "$pid_a" 2>/dev/null || true
+wait "$pid_a" 2>/dev/null || true
+start_daemon pid_a "$addr_a" "$tmp/a2.log" -cas-dir "$tmp/cas-a"
+grep -q "entries warm-started" "$tmp/a2.log" || { echo "cas banner missing:"; cat "$tmp/a2.log"; exit 1; }
+code="$(compile "$base_a" gemm "$tmp/warm.json")"
+[ "$code" = 200 ] || { echo "warm-restart compile got $code"; exit 1; }
+cmp -s "$tmp/fill-gemm.json" "$tmp/warm.json" || {
+    echo "warm-restart response differs from the original"; exit 1; }
+warm="$(curl -s "$base_a/statsz" | jq -r .CAS.warm_hits)"
+[ "$warm" -ge 1 ] 2>/dev/null || {
+    echo "no warm hits after restart:"; curl -s "$base_a/statsz" | jq .CAS; exit 1; }
+echo "   warm restart OK ($warm warm hits, response byte-identical)"
+
+echo "== 3/4 corruption: bit-flipped entry quarantined, request recomputed"
+kill -9 "$pid_a" 2>/dev/null || true
+wait "$pid_a" 2>/dev/null || true
+victim="$(ls "$tmp/cas-a"/*.cas | head -1)"
+# Flip one bit in the middle of the payload.
+size="$(wc -c <"$victim")"
+printf '\377' | dd of="$victim" bs=1 seek="$((size / 2))" conv=notrunc 2>/dev/null
+start_daemon pid_a "$addr_a" "$tmp/a3.log" -cas-dir "$tmp/cas-a"
+quarantined="$(curl -s "$base_a/statsz" | jq -r .CAS.quarantined)"
+[ "$quarantined" -ge 1 ] 2>/dev/null || {
+    echo "corrupt entry not quarantined:"; curl -s "$base_a/statsz" | jq .CAS; exit 1; }
+ls "$tmp/cas-a"/*.quarantine >/dev/null 2>&1 || { echo "no .quarantine sidecar"; exit 1; }
+fails=0
+for k in $kernels; do
+    code="$(compile "$base_a" "$k" "$tmp/post-$k.json")"
+    [ "$code" = 200 ] || fails=$((fails + 1))
+    cmp -s "$tmp/fill-$k.json" "$tmp/post-$k.json" || {
+        fails=$((fails + 1)); echo "   FAIL: $k differs after corruption"; }
+done
+[ "$fails" = 0 ] || { echo "$fails failures after on-disk corruption"; exit 1; }
+kill "$pid_a" 2>/dev/null || true; wait "$pid_a" 2>/dev/null || true
+kill "$pid_b" 2>/dev/null || true; wait "$pid_b" 2>/dev/null || true
+echo "   quarantined $quarantined entr(ies); all responses 200 and byte-identical"
+
+echo "== 4/4 injected peer faults: every lookup times out, still all 200"
+start_daemon pid_b "$addr_b" "$tmp/b2.log" -cas-dir "$tmp/cas-b2"
+start_daemon pid_d "$addr_d" "$tmp/d.log" -cas-dir "$tmp/cas-d" -peer "$base_b" \
+    -peer-timeout 200ms -fault "fleet.peer.timeout=1"
+fails=0
+for k in $kernels; do
+    code="$(compile "$base_d" "$k" "$tmp/faulty-$k.json")"
+    [ "$code" = 200 ] || fails=$((fails + 1))
+    cmp -s "$tmp/fill-$k.json" "$tmp/faulty-$k.json" || {
+        fails=$((fails + 1)); echo "   FAIL: $k differs under injected peer timeout"; }
+done
+[ "$fails" = 0 ] || { echo "$fails failures under injected peer faults"; exit 1; }
+curl -s "$base_d/statsz" | jq -e '.Fleet.peer_errors >= 1' >/dev/null || {
+    echo "injected timeouts never surfaced in /statsz:"; curl -s "$base_d/statsz" | jq .Fleet; exit 1; }
+kill "$pid_b" 2>/dev/null || true; wait "$pid_b" 2>/dev/null || true
+kill "$pid_d" 2>/dev/null || true; wait "$pid_d" 2>/dev/null || true
+echo "   fault-injected fleet degraded to local compute, zero failures"
+
+echo "fleet smoke OK"
