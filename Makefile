@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments faults fuzz fmt cover serve smoke pipeline platforms plantable jobs fleet
+.PHONY: all build vet test race bench experiments faults fuzz fmt cover serve smoke pipeline platforms plantable jobs fleet tiling
 
 all: build vet test
 
@@ -86,6 +86,18 @@ fleet:
 	$(GO) test -race -run 'CAS|Fleet|Compact|RetryAfter' ./internal/server ./internal/journal ./internal/jobs
 	$(GO) test -fuzz FuzzDecodeEntry -fuzztime 5s ./internal/cas
 	sh scripts/fleet_smoke.sh
+
+# Tiling-strategy gate: the strategy layer's unit suite under the race
+# detector, the golden equivalence properties (zero-value config
+# byte-identical to explicit pluto, distinct strategies never sharing
+# memo entries), the per-strategy degrade and auto-skips-errored tests,
+# the divergence-witness sweep, and a short fuzz session over the
+# strategy-spec parser.
+tiling:
+	$(GO) test -race ./internal/tiling
+	$(GO) test -race -run 'Tiling|DefaultAndExplicitPluto|DistinctStrategies|Auto' \
+		./internal/core ./internal/server ./internal/experiments ./internal/plantable
+	$(GO) test -fuzz FuzzParseTilingSpec -fuzztime 5s ./internal/tiling
 
 # Run the capping service locally with production-shaped defaults.
 serve:

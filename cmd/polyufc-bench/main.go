@@ -34,6 +34,7 @@ import (
 	"polyufc/internal/faults"
 	"polyufc/internal/journal"
 	"polyufc/internal/platform"
+	"polyufc/internal/tiling"
 	"polyufc/internal/workloads"
 )
 
@@ -43,6 +44,7 @@ func main() {
 		size      = flag.String("size", "bench", "problem size class: test, bench, full")
 		jobs      = flag.Int("j", 0, "worker-pool size for sweeps (0 = GOMAXPROCS, 1 = serial)")
 		degrade   = flag.String("degrade", "strict", "failure policy: strict (fail fast) or best-effort (drop failing kernels with a summary)")
+		tilingStr = flag.String("tiling", "", "tiling strategy for every sweep: pluto (default), cacheoblivious[:base=N], latency[:probe=N], auto")
 		fault     = flag.String("fault", "", `inject failures, e.g. "ufs.write.ebusy=0.3; core.cachemodel=@2"`)
 		faultSeed = flag.Int64("fault-seed", 1, "seed for probabilistic fault triggers")
 		jpath     = flag.String("journal", "", "checkpoint sweep progress to this JSONL file")
@@ -59,6 +61,11 @@ func main() {
 		os.Exit(2)
 	}
 	reg, err := faults.Parse(*fault, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polyufc-bench:", err)
+		os.Exit(2)
+	}
+	tspec, err := tiling.ParseSpec(*tilingStr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "polyufc-bench:", err)
 		os.Exit(2)
@@ -109,6 +116,7 @@ func main() {
 	s.Ctx = ctx
 	s.Degrade = policy
 	s.Faults = reg
+	s.Tiling = tspec
 	if *jpath != "" {
 		if !*resume {
 			if err := os.Remove(*jpath); err != nil && !os.IsNotExist(err) {

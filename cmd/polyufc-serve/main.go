@@ -45,6 +45,7 @@ import (
 	"polyufc/internal/core"
 	"polyufc/internal/faults"
 	"polyufc/internal/server"
+	"polyufc/internal/tiling"
 )
 
 func main() {
@@ -58,6 +59,7 @@ func main() {
 		brkCooldown = flag.Duration("breaker-cooldown", time.Second, "how long a tripped breaker stays open before probing")
 		cacheLimit  = flag.Int("cache-limit", 1024, "LRU bound on the compile and profile caches")
 		degrade     = flag.String("degrade", "strict", "compilation failure policy: strict or best-effort")
+		tilingSpec  = flag.String("tiling", "", `default tiling strategy for requests that omit one: pluto, pluto:size=64, cacheoblivious[:base=N], latency[:probe=N], auto`)
 		fault       = flag.String("fault", "", `inject failures, e.g. "ufs.write.ebusy=0.5; core.pluto=@2"`)
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for probabilistic fault triggers")
 		journalPath = flag.String("journal", "", "checkpoint deterministic responses to this JSONL journal")
@@ -70,6 +72,7 @@ func main() {
 		driftThresh = flag.Float64("drift-threshold", 0, "model-vs-measured EWMA residual that marks a backend's calibration degraded (0 = default 0.25)")
 		driftMin    = flag.Int64("drift-min-samples", 0, "measured samples before the drift threshold applies (0 = default 3)")
 		casDir      = flag.String("cas-dir", "", "enable the persistent content-addressed cache under this directory (responses, calibrations and plan tables survive restarts)")
+		casMaxBytes = flag.Int64("cas-max-bytes", 0, "LRU bound on the persistent cache's payload volume in bytes (0 = unbounded)")
 		peerTimeout = flag.Duration("peer-timeout", 0, "per-attempt deadline for fleet peer lookups (0 = default 500ms)")
 		peerRetries = flag.Int("peer-retries", 0, "extra backoff rounds over the peer set after an all-error round (0 = default 1)")
 	)
@@ -94,6 +97,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "polyufc-serve:", err)
 		os.Exit(1)
 	}
+	tspec, err := tiling.ParseSpec(*tilingSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polyufc-serve:", err)
+		os.Exit(1)
+	}
 	cfg := server.DefaultConfig()
 	if *concurrency <= 0 {
 		*concurrency = runtime.GOMAXPROCS(0)
@@ -106,6 +114,7 @@ func main() {
 	cfg.Breaker.Cooldown = *brkCooldown
 	cfg.CacheLimit = *cacheLimit
 	cfg.Degrade = policy
+	cfg.Tiling = tspec
 	cfg.Faults = reg
 	cfg.FaultSeed = *faultSeed
 	cfg.JournalPath = *journalPath
@@ -116,6 +125,7 @@ func main() {
 	cfg.Drift.Threshold = *driftThresh
 	cfg.Drift.MinSamples = *driftMin
 	cfg.CASDir = *casDir
+	cfg.CASMaxBytes = *casMaxBytes
 	cfg.Peers = peers
 	cfg.PeerTimeout = *peerTimeout
 	cfg.PeerRetries = *peerRetries

@@ -29,6 +29,7 @@ import (
 	"polyufc/internal/platform"
 	"polyufc/internal/roofline"
 	"polyufc/internal/search"
+	"polyufc/internal/tiling"
 	"polyufc/internal/workloads"
 )
 
@@ -45,6 +46,7 @@ func main() {
 		objective = flag.String("objective", "edp", "objective: edp, energy, performance")
 		size      = flag.String("size", "bench", "problem size class: test, bench, full")
 		capLevel  = flag.String("cap-level", "linalg", "cap granularity: torch, linalg, affine")
+		tilingStr = flag.String("tiling", "", "tiling strategy: pluto (default), pluto:size=N, cacheoblivious[:base=N], latency[:probe=N], auto")
 		epsilon   = flag.Float64("epsilon", 1e-3, "search threshold epsilon (Sec. VI-C)")
 		printIR   = flag.Bool("print-ir", false, "print the transformed module")
 		measure   = flag.Bool("measure", false, "execute baseline and capped program on the simulated machine")
@@ -81,8 +83,13 @@ func main() {
 	if name == "" {
 		name = *arch
 	}
+	tspec, err := tiling.ParseSpec(*tilingStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polyufc:", err)
+		os.Exit(1)
+	}
 	if *buildPlan != "" {
-		if err := buildPlanTable(*buildPlan, name, *objective, *calPath, *jpath, *epsilon, *resume); err != nil {
+		if err := buildPlanTable(*buildPlan, name, *objective, *calPath, *jpath, *epsilon, *resume, tspec); err != nil {
 			fmt.Fprintln(os.Stderr, "polyufc:", err)
 			os.Exit(1)
 		}
@@ -92,7 +99,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "polyufc: -kernel or -file is required (use -list to see registry kernels)")
 		os.Exit(2)
 	}
-	if err := run(*kernel, *file, name, *objective, *size, *capLevel, *degrade, *fault, *jpath, *calPath, *saveCal, *planFiles, *faultSeed, *epsilon, *printIR, *measure, *resume); err != nil {
+	if err := run(*kernel, *file, name, *objective, *size, *capLevel, *degrade, *fault, *jpath, *calPath, *saveCal, *planFiles, *faultSeed, *epsilon, *printIR, *measure, *resume, tspec); err != nil {
 		fmt.Fprintln(os.Stderr, "polyufc:", err)
 		os.Exit(1)
 	}
@@ -104,7 +111,7 @@ func main() {
 // file + rename — a kill mid-build leaves no table, never a torn one).
 // With -journal, each solved cell checkpoints so -resume completes an
 // interrupted sweep instead of restarting it.
-func buildPlanTable(out, platName, objective, calPath, jpath string, epsilon float64, resume bool) error {
+func buildPlanTable(out, platName, objective, calPath, jpath string, epsilon float64, resume bool, tspec tiling.Spec) error {
 	b, err := platform.Lookup(platName)
 	if err != nil {
 		return err
@@ -128,7 +135,7 @@ func buildPlanTable(out, platName, objective, calPath, jpath string, epsilon flo
 			return err
 		}
 	}
-	opts := plantable.BuildOptions{Search: search.Options{Objective: obj, Epsilon: epsilon}}
+	opts := plantable.BuildOptions{Search: search.Options{Objective: obj, Epsilon: epsilon}, Tiling: tspec}
 	if jpath != "" {
 		if !resume {
 			if err := os.Remove(jpath); err != nil && !os.IsNotExist(err) {
@@ -156,8 +163,8 @@ func buildPlanTable(out, platName, objective, calPath, jpath string, epsilon flo
 	fmt.Printf("plan table for %s: %d cells (%dx%d per class) over %d cap steps, swept in %v\n",
 		tb.Backend, tb.Cells(), len(tb.OIAxis), len(tb.MemAxis), tb.GridSize(),
 		time.Since(start).Round(time.Millisecond))
-	fmt.Printf("  pinned to description %s, calibration %s (%s objective, eps %g)\n",
-		tb.BackendHash, tb.CalHash, tb.Objective, tb.Epsilon)
+	fmt.Printf("  pinned to description %s, calibration %s (%s objective, eps %g, %s tiling)\n",
+		tb.BackendHash, tb.CalHash, tb.Objective, tb.Epsilon, tb.TilingName())
 	fmt.Printf("  written atomically to %s\n", out)
 	return nil
 }
@@ -182,6 +189,8 @@ type reportRow struct {
 	OI       float64 `json:"oi"`
 	Class    string  `json:"class"`
 	Tiled    bool    `json:"tiled"`
+	Tiling   string  `json:"tiling,omitempty"`
+	TileSize int64   `json:"tile_size,omitempty"`
 	CapGHz   float64 `json:"cap_ghz"`
 	DT       float64 `json:"dt"`
 	DE       float64 `json:"de"`
@@ -250,7 +259,7 @@ func printRows(rec reportRecord) {
 	}
 }
 
-func run(kernel, file, platName, objective, size, capLevel, degrade, fault, jpath, calPath, saveCal, planFiles string, faultSeed int64, epsilon float64, printIR, measure, resume bool) error {
+func run(kernel, file, platName, objective, size, capLevel, degrade, fault, jpath, calPath, saveCal, planFiles string, faultSeed int64, epsilon float64, printIR, measure, resume bool, tspec tiling.Spec) error {
 	b, err := platform.Lookup(platName)
 	if err != nil {
 		return err
@@ -324,8 +333,8 @@ func run(kernel, file, platName, objective, size, capLevel, degrade, fault, jpat
 		}
 		defer j.Close()
 		jrnl = j
-		jkey = fmt.Sprintf("polyufc/%s/%s/sz%d/%s/lvl%d/eps%g/%s",
-			kernel, b.Name, int(sz), obj, int(lvl), epsilon, policy)
+		jkey = fmt.Sprintf("polyufc/%s/%s/sz%d/%s/lvl%d/eps%g/%s/tiling=%s",
+			kernel, b.Name, int(sz), obj, int(lvl), epsilon, policy, tspec.Fingerprint())
 		if plans != nil {
 			// Table-served caps may differ from live bisection within the
 			// interpolation tolerance: different tables, different record.
@@ -411,6 +420,7 @@ func run(kernel, file, platName, objective, size, capLevel, degrade, fault, jpat
 	cfg.Search.Objective = obj
 	cfg.Search.Epsilon = epsilon
 	cfg.CapLevel = lvl
+	cfg.Tiling = tspec
 	cfg.Degrade = policy
 	cfg.Faults = reg
 	cfg.Plans = plans
@@ -437,7 +447,8 @@ func run(kernel, file, platName, objective, size, capLevel, degrade, fault, jpat
 	for _, r := range res.Reports {
 		row := reportRow{
 			Label: r.Label, OI: r.OI, Class: r.Class.String(),
-			Tiled: r.Tiled, CapGHz: r.CapGHz, Degraded: r.Degraded,
+			Tiled: r.Tiled, Tiling: r.Tiling, TileSize: r.TileSize,
+			CapGHz: r.CapGHz, Degraded: r.Degraded,
 			Plan: r.PlanHit,
 		}
 		if r.Err != nil {

@@ -59,6 +59,22 @@ type Stats struct {
 	// Quarantined counts entries diverted to ".quarantine" sidecars
 	// after failing verification at scan or read time.
 	Quarantined int64 `json:"quarantined"`
+	// TotalBytes is the live payload volume; Evictions and EvictedBytes
+	// count entries removed by the MaxBytes LRU bound (zero on an
+	// unbounded store).
+	TotalBytes   int64 `json:"total_bytes"`
+	Evictions    int64 `json:"evictions"`
+	EvictedBytes int64 `json:"evicted_bytes"`
+}
+
+// Options tunes a store.
+type Options struct {
+	// MaxBytes bounds the summed payload volume; when a Put (or a
+	// warm-start scan) pushes the store past it, least-recently-accessed
+	// entries are evicted — index entry and disk file both — until the
+	// store fits again. The most recently touched entry is never evicted,
+	// so a single oversized payload still serves. 0 means unbounded.
+	MaxBytes int64
 }
 
 // Store is a directory of framed, checksummed entries, one file per
@@ -67,13 +83,22 @@ type Store struct {
 	mu      sync.Mutex
 	dir     string
 	faults  *faults.Registry
+	opts    Options
 	entries map[string]*entryInfo
-	stats   Stats
+	// total is the summed payload volume of the index; seq orders entry
+	// accesses for the LRU eviction policy (a logical clock, bumped on
+	// every Get hit and Put).
+	total int64
+	seq   int64
+	stats Stats
 }
 
 type entryInfo struct {
 	warm bool
 	size int64
+	// access is the seq value of the entry's last Get hit or Put; the
+	// smallest access is the eviction victim.
+	access int64
 }
 
 // entryPath is the on-disk file of a key.
@@ -87,10 +112,18 @@ func QuarantinePath(path string) string { return path + ".quarantine" }
 // as warm, damaged ones are quarantined. reg (may be nil) arms the
 // store's injectable fault points.
 func Open(dir string, reg *faults.Registry) (*Store, error) {
+	return OpenOptions(dir, reg, Options{})
+}
+
+// OpenOptions is Open with store options (the MaxBytes LRU bound). A
+// warm-start scan that exceeds the bound evicts oldest-scanned entries
+// immediately, so a store re-opened with a smaller budget trims itself
+// at boot.
+func OpenOptions(dir string, reg *faults.Registry, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cas: %w", err)
 	}
-	s := &Store{dir: dir, faults: reg, entries: map[string]*entryInfo{}}
+	s := &Store{dir: dir, faults: reg, opts: opts, entries: map[string]*entryInfo{}}
 	names, err := filepath.Glob(filepath.Join(dir, "*.cas"))
 	if err != nil {
 		return nil, fmt.Errorf("cas: %w", err)
@@ -113,10 +146,45 @@ func Open(dir string, reg *faults.Registry) (*Store, error) {
 			}
 			continue
 		}
-		s.entries[key] = &entryInfo{warm: true, size: int64(len(payload))}
+		s.seq++
+		s.entries[key] = &entryInfo{warm: true, size: int64(len(payload)), access: s.seq}
+		s.total += int64(len(payload))
 	}
+	s.evictLocked()
 	s.stats.WarmEntries = len(s.entries)
 	return s, nil
+}
+
+// evictLocked enforces the MaxBytes bound: least-recently-accessed
+// entries go first — dropped from the index and removed from disk —
+// until the store fits. The most recently touched entry always
+// survives, so a single payload larger than the bound still serves
+// (and converges to a one-entry store instead of thrashing).
+func (s *Store) evictLocked() {
+	if s.opts.MaxBytes <= 0 {
+		return
+	}
+	for s.total > s.opts.MaxBytes && len(s.entries) > 1 {
+		victim := ""
+		var oldest int64
+		for k, info := range s.entries {
+			if victim == "" || info.access < oldest {
+				victim, oldest = k, info.access
+			}
+		}
+		info := s.entries[victim]
+		delete(s.entries, victim)
+		if info.warm {
+			s.stats.WarmEntries--
+		}
+		s.total -= info.size
+		s.stats.Evictions++
+		s.stats.EvictedBytes += info.size
+		// A remove failure leaves a stray file behind; the next Open
+		// re-indexes it. The index bound — what the serving path sees —
+		// holds regardless.
+		_ = os.Remove(s.entryPath(victim))
+	}
 }
 
 // quarantine moves a damaged entry file into its ".quarantine" sidecar
@@ -183,6 +251,8 @@ func (s *Store) Get(key string) (payload []byte, ok bool) {
 			if info.warm {
 				s.stats.WarmHits++
 			}
+			s.seq++
+			info.access = s.seq
 			return body, true
 		}
 	}
@@ -191,6 +261,7 @@ func (s *Store) Get(key string) (payload []byte, ok bool) {
 	// the index entry — serving a known-bad entry is the one forbidden
 	// outcome.
 	delete(s.entries, key)
+	s.total -= info.size
 	if info.warm {
 		s.stats.WarmEntries--
 	}
@@ -220,12 +291,18 @@ func (s *Store) Put(key string, payload []byte) error {
 	}); err != nil {
 		return fmt.Errorf("cas: put %s: %w", key, err)
 	}
-	if old, ok := s.entries[key]; ok && old.warm {
-		s.stats.WarmEntries--
+	if old, ok := s.entries[key]; ok {
+		if old.warm {
+			s.stats.WarmEntries--
+		}
+		s.total -= old.size
 	}
-	s.entries[key] = &entryInfo{size: int64(len(payload))}
+	s.seq++
+	s.entries[key] = &entryInfo{size: int64(len(payload)), access: s.seq}
+	s.total += int64(len(payload))
 	s.stats.Puts++
 	s.stats.PutBytes += int64(len(payload))
+	s.evictLocked()
 	return nil
 }
 
@@ -283,6 +360,7 @@ func (s *Store) Stats() Stats {
 	defer s.mu.Unlock()
 	st := s.stats
 	st.Entries = len(s.entries)
+	st.TotalBytes = s.total
 	return st
 }
 

@@ -26,6 +26,11 @@ type CacheKey struct {
 	Size       int
 	CapLevel   ir.Dialect
 	FullyAssoc bool
+	// Tiling is the tiling-strategy fingerprint (tiling.Spec.Fingerprint;
+	// "" and "pluto" are the same artifact, so callers may pass either).
+	// Distinct strategies transform nests differently and must never
+	// share entries.
+	Tiling string
 	// NoAmortize marks configurations with the profitability gate
 	// disabled (AmortizeFactor 0), as in the Sec. VII-F overhead study.
 	NoAmortize bool

@@ -24,6 +24,7 @@ import (
 	"polyufc/internal/pluto"
 	"polyufc/internal/roofline"
 	"polyufc/internal/search"
+	"polyufc/internal/tiling"
 )
 
 // Config parameterizes one compilation.
@@ -33,6 +34,12 @@ type Config struct {
 	// as one value (roofline.Resolve / ResolveName produce it).
 	Target *roofline.Target
 	Pluto  pluto.Options
+	// Tiling selects the tile-stage strategy (internal/tiling): the zero
+	// value is the pluto strategy with the Pluto options above, which is
+	// byte-identical to the pre-strategy pipeline. The spec's fingerprint
+	// is folded into CacheKey and the tile stage's memo salt, so distinct
+	// strategies never share memoized artifacts.
+	Tiling tiling.Spec
 	CM     cachemodel.Options
 	Search search.Options
 	// CapLevel selects the granularity caps are applied at (Sec. VI-B);
@@ -56,7 +63,8 @@ type Config struct {
 	// and the KernelReport is marked Degraded with the error recorded.
 	Degrade DegradePolicy
 	// Faults, when non-nil, arms the compiler's injection points
-	// (FaultPluto, FaultCacheModel) for robustness testing.
+	// (FaultPluto, FaultCacheModel, and the per-strategy tiling.<name>
+	// points) for robustness testing.
 	Faults *faults.Registry
 }
 
@@ -161,13 +169,18 @@ func (t Timings) Total() time.Duration {
 
 // KernelReport is the per-nest analysis outcome.
 type KernelReport struct {
-	Label   string
-	Origin  string
-	OI      float64
-	Class   roofline.Class
-	CapGHz  float64
-	Tiled   bool
-	Threads int
+	Label  string
+	Origin string
+	OI     float64
+	Class  roofline.Class
+	CapGHz float64
+	Tiled  bool
+	// Tiling names the strategy that transformed the nest ("pluto",
+	// "auto:latency", ...; empty when the tile stage degraded before
+	// reporting), and TileSize the tile size it applied (0 when untiled).
+	Tiling   string
+	TileSize int64
+	Threads  int
 	// Est is the model estimate at the selected cap; EstDefault at the
 	// driver's default (maximum uncore frequency).
 	Est, EstDefault model.Estimate

@@ -13,9 +13,9 @@ import (
 	"polyufc/internal/lower"
 	"polyufc/internal/model"
 	"polyufc/internal/pipeline"
-	"polyufc/internal/pluto"
 	"polyufc/internal/roofline"
 	"polyufc/internal/search"
+	"polyufc/internal/tiling"
 )
 
 // Stable stage names of the compile pipeline. These strings are the
@@ -24,7 +24,8 @@ import (
 const (
 	// StagePreprocess lowers torch -> linalg -> affine (Fig. 3 prep).
 	StagePreprocess = "preprocess"
-	// StageTile is Pluto tiling + parallelization (stage 2).
+	// StageTile is tiling + parallelization (stage 2) under the
+	// configured tiling strategy (internal/tiling; Pluto by default).
 	StageTile = "tile"
 	// StageCacheModel is PolyUFC-CM + OI (stages 3a-3b).
 	StageCacheModel = "cachemodel"
@@ -62,8 +63,10 @@ type compileState struct {
 	// nests lists the module's loop nests in walk order; tile updates
 	// entries in place as it swaps optimized nests into the module.
 	nests []*ir.Nest
-	// tiled marks nests Pluto actually tiled.
-	tiled []bool
+	// tinfo is the per-nest tiling metadata the strategy reported
+	// (strategy name, tiled flag, tile size); zero-valued for nests whose
+	// tile stage degraded.
+	tinfo []tiling.NestInfo
 	// nerr records the first BestEffort stage error per nest (tile or
 	// cachemodel); such nests are compiled degraded.
 	nerr []error
@@ -108,7 +111,7 @@ func (st *compileState) refreshNests() {
 // alloc sizes every per-nest artifact slice to the nest count.
 func (st *compileState) alloc() {
 	n := len(st.nests)
-	st.tiled = make([]bool, n)
+	st.tinfo = make([]tiling.NestInfo, n)
 	st.nerr = make([]error, n)
 	st.cms = make([]*cachemodel.Result, n)
 	st.class = make([]roofline.Class, n)
@@ -127,7 +130,7 @@ func (st *compileState) alloc() {
 // are immutable once produced, so snapshots share them.
 type stageSnap struct {
 	mod     *ir.Module
-	tiled   []bool
+	tinfo   []tiling.NestInfo
 	nerr    []error
 	cms     []*cachemodel.Result
 	class   []roofline.Class
@@ -142,7 +145,7 @@ type stageSnap struct {
 func snapSave(st *compileState) any {
 	return &stageSnap{
 		mod:     st.res.Module.Clone(),
-		tiled:   append([]bool(nil), st.tiled...),
+		tinfo:   append([]tiling.NestInfo(nil), st.tinfo...),
 		nerr:    append([]error(nil), st.nerr...),
 		cms:     append([]*cachemodel.Result(nil), st.cms...),
 		class:   append([]roofline.Class(nil), st.class...),
@@ -159,7 +162,7 @@ func snapLoad(st *compileState, v any) {
 	snap := v.(*stageSnap)
 	st.res.Module = snap.mod.Clone()
 	st.refreshNests()
-	st.tiled = append([]bool(nil), snap.tiled...)
+	st.tinfo = append([]tiling.NestInfo(nil), snap.tinfo...)
 	st.nerr = append([]error(nil), snap.nerr...)
 	st.cms = append([]*cachemodel.Result(nil), snap.cms...)
 	st.class = append([]roofline.Class(nil), snap.class...)
@@ -231,9 +234,21 @@ func stagePreprocess() pipeline.Stage[*compileState] {
 func stageTile() pipeline.Stage[*compileState] {
 	return pipeline.Stage[*compileState]{
 		Name: StageTile,
-		Salt: func(st *compileState) string { return fmt.Sprintf("%+v", st.cfg.Pluto) },
+		Salt: func(st *compileState) string {
+			return fmt.Sprintf("%+v|tiling=%s", st.cfg.Pluto, st.cfg.Tiling.Fingerprint())
+		},
 		Save: snapSave, Load: snapLoad,
 		Run: func(ctx context.Context, st *compileState) error {
+			strat, err := tiling.New(st.cfg.Tiling)
+			if err != nil {
+				return err
+			}
+			tctx := tiling.Context{
+				Cache:   st.cfg.Platform().Cache,
+				Threads: st.cfg.CM.Threads,
+				Pluto:   st.cfg.Pluto,
+				Faults:  st.cfg.Faults,
+			}
 			idx := 0
 			for _, f := range st.res.Module.Funcs {
 				for i, op := range f.Ops {
@@ -244,16 +259,19 @@ func stageTile() pipeline.Stage[*compileState] {
 					if err := ctx.Err(); err != nil {
 						return err
 					}
-					var pres pluto.Result
+					var out *ir.Nest
+					var info tiling.NestInfo
 					err := pipeline.Unit(StageTile, nest.Label, func() error {
 						if err := st.cfg.Faults.Hit(FaultPluto); err != nil {
 							return err
 						}
 						var err error
-						pres, err = pluto.Optimize(nest, st.cfg.Pluto)
+						out, info, err = strat.Apply(nest, tctx)
 						return err
 					})
 					if err != nil {
+						// BestEffort: the nest falls back to its untiled form
+						// and is still analyzed and capped downstream.
 						if st.cfg.Degrade != BestEffort {
 							return err
 						}
@@ -261,9 +279,9 @@ func stageTile() pipeline.Stage[*compileState] {
 						idx++
 						continue
 					}
-					f.Ops[i] = pres.Nest
-					st.nests[idx] = pres.Nest
-					st.tiled[idx] = pres.Tiled
+					f.Ops[i] = out
+					st.nests[idx] = out
+					st.tinfo[idx] = info
 					idx++
 				}
 			}
@@ -380,7 +398,7 @@ func stagePlanLookup() pipeline.Stage[*compileState] {
 					return err
 				}
 				err := pipeline.Unit(StagePlanLookup, nest.Label, func() error {
-					f, ok := st.cfg.Plans.Lookup(st.cfg.Target, st.cfg.Search, m)
+					f, ok := st.cfg.Plans.Lookup(st.cfg.Target, st.cfg.Search, st.cfg.Tiling.Fingerprint(), m)
 					if !ok {
 						return nil
 					}
@@ -457,7 +475,9 @@ func stageCapInsert() pipeline.Stage[*compileState] {
 						// uncapped — it runs at whatever frequency is active.
 						st.res.Reports = append(st.res.Reports, KernelReport{
 							Label: nest.Label, Origin: nest.Origin(),
-							CapGHz: activeCap, Tiled: st.tiled[i], Threads: st.threads[i],
+							CapGHz: activeCap, Tiled: st.tinfo[i].Tiled,
+							Tiling: st.tinfo[i].Strategy, TileSize: st.tinfo[i].TileSize,
+							Threads:  st.threads[i],
 							Degraded: true, Err: st.nerr[i],
 						})
 						out = append(out, nest)
@@ -468,7 +488,8 @@ func stageCapInsert() pipeline.Stage[*compileState] {
 						// uncapped.
 						st.res.Reports = append(st.res.Reports, KernelReport{
 							Label: nest.Label, Origin: nest.Origin(),
-							OI: cm.OI, CapGHz: activeCap, Tiled: st.tiled[i],
+							OI: cm.OI, CapGHz: activeCap, Tiled: st.tinfo[i].Tiled,
+							Tiling: st.tinfo[i].Strategy, TileSize: st.tinfo[i].TileSize,
 							Threads: st.threads[i], CM: cm, Degraded: true, Err: st.serr[i],
 						})
 						out = append(out, nest)
@@ -478,8 +499,10 @@ func stageCapInsert() pipeline.Stage[*compileState] {
 					st.res.Reports = append(st.res.Reports, KernelReport{
 						Label: nest.Label, Origin: nest.Origin(),
 						OI: cm.OI, Class: sres.Class, CapGHz: sres.BestGHz,
-						Tiled: st.tiled[i], Threads: st.threads[i],
-						Est: sres.Best, EstDefault: st.defEst[i],
+						Tiled:  st.tinfo[i].Tiled,
+						Tiling: st.tinfo[i].Strategy, TileSize: st.tinfo[i].TileSize,
+						Threads: st.threads[i],
+						Est:     sres.Best, EstDefault: st.defEst[i],
 						CM: cm, SearchEvals: sres.Evaluated, PlanHit: st.plan[i],
 						Degraded: st.nerr[i] != nil, Err: st.nerr[i],
 					})
@@ -658,7 +681,9 @@ func (st *compileState) partialReports() {
 	for i, nest := range st.nests {
 		rep := KernelReport{
 			Label: nest.Label, Origin: nest.Origin(),
-			Tiled: st.tiled[i], Threads: st.threads[i],
+			Tiled:  st.tinfo[i].Tiled,
+			Tiling: st.tinfo[i].Strategy, TileSize: st.tinfo[i].TileSize,
+			Threads: st.threads[i],
 		}
 		if cm := st.cms[i]; cm != nil {
 			rep.OI = cm.OI

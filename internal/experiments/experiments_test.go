@@ -293,3 +293,47 @@ func TestGeomeanEDPGain(t *testing.T) {
 		t.Fatal("empty rows must give 0")
 	}
 }
+
+func TestRenderTilingSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	s := suite(t)
+	s.Out = &buf
+	defer func() { s.Out = nil }()
+	if err := s.Run("tiling"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"per-strategy phase-change rerun", "pluto:", "cacheoblivious:", "latency:", "auto:", "caps per strategy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The sweep must surface at least one divergence witness at Test
+	// size: on cholesky and ludcmp both cacheoblivious and latency pick
+	// a bandwidth-bound cap one grid step above Pluto-32.
+	if !strings.Contains(out, "differs from pluto") && !strings.Contains(out, "diverges from pluto") {
+		t.Fatalf("no strategy diverged from pluto anywhere:\n%s", out)
+	}
+}
+
+func TestTilingCapSweepDisagreesWithPluto(t *testing.T) {
+	s := suite(t)
+	p := s.Platforms()[0] // the witnesses fire on both platforms
+	rows, err := s.TilingCapSweep(p, TilingWitnessKernels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStrategy := map[string]bool{}
+	for _, r := range rows {
+		if r.Diverges {
+			byStrategy[strings.SplitN(r.Strategy, ":", 2)[0]] = true
+		}
+	}
+	// The ISSUE acceptance requires a witness kernel per alternative
+	// strategy: cacheoblivious and latency must each flip a class or cap.
+	for _, want := range []string{"cacheoblivious", "latency"} {
+		if !byStrategy[want] {
+			t.Fatalf("%s produced no diverging row: %+v", want, rows)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"polyufc/internal/pipeline"
 	"polyufc/internal/platform"
 	"polyufc/internal/roofline"
+	"polyufc/internal/tiling"
 	"polyufc/internal/workloads"
 )
 
@@ -51,6 +52,10 @@ type Suite struct {
 	// machine and compilation the suite runs. Injection state is mutable
 	// and call-ordered, so the compile cache is bypassed while armed.
 	Faults *faults.Registry
+	// Tiling selects the tile-stage strategy every sweep compiles with
+	// (internal/tiling); the zero value is the paper's Pluto baseline, so
+	// default sweeps stay byte-identical.
+	Tiling tiling.Spec
 	// Journal, when non-nil, checkpoints sweep progress per unit of work
 	// (one kernel at one frequency for Fig. 1, one comparison row for
 	// Fig. 7) so a killed sweep resumes instead of restarting: completed
@@ -235,6 +240,9 @@ func (s *Suite) compileCfg(kernelName string, p *hw.Platform, cfg core.Config) (
 		return nil, err
 	}
 	cfg.Degrade = s.Degrade
+	if cfg.Tiling == (tiling.Spec{}) {
+		cfg.Tiling = s.Tiling
+	}
 	opts := core.PipelineOptions{Stages: &s.stages, Observe: s.stageStats.Observe}
 	if s.Faults != nil {
 		// Injection state advances per call: memoizing a faulted Result
@@ -252,6 +260,7 @@ func (s *Suite) compileCfg(kernelName string, p *hw.Platform, cfg core.Config) (
 		Platform:   p.Name,
 		Size:       int(s.Size),
 		CapLevel:   cfg.CapLevel,
+		Tiling:     cfg.Tiling.Fingerprint(),
 		FullyAssoc: cfg.CM.FullyAssoc,
 		NoAmortize: cfg.AmortizeFactor == 0,
 		Objective:  cfg.Search.Objective,
@@ -328,6 +337,8 @@ func (s *Suite) Run(id string) error {
 		return s.RenderJoint()
 	case "tilesize":
 		return s.RenderTileSize()
+	case "tiling":
+		return s.RenderTiling()
 	case "valid":
 		return s.RenderValidate()
 	case "all":
@@ -348,7 +359,7 @@ func (s *Suite) Run(id string) error {
 func ExperimentIDs() []string {
 	ids := []string{"fig1", "fig5", "fig6", "fig7", "fig8",
 		"tab1", "tab2", "tab3", "tab4", "overhead", "dedup", "dufs", "joint",
-		"tilesize", "valid", "all"}
+		"tilesize", "tiling", "valid", "all"}
 	sort.Strings(ids)
 	return ids
 }

@@ -13,6 +13,7 @@ import (
 	"polyufc/internal/platform"
 	"polyufc/internal/roofline"
 	"polyufc/internal/search"
+	"polyufc/internal/tiling"
 )
 
 // Default base axis resolutions before ridge densification.
@@ -51,6 +52,12 @@ type BuildOptions struct {
 	// Search pins the objective and epsilon the table answers for. A
 	// zero Epsilon selects search.DefaultOptions().
 	Search search.Options
+	// Tiling stamps the tiling strategy the table answers for (the
+	// zero value stamps pluto, the pre-strategy default). The swept
+	// surface is strategy-independent — witnesses are synthetic shapes —
+	// but the stamp makes the table an axis of the serving
+	// configuration, so per-strategy pipelines pin their own tables.
+	Tiling tiling.Spec
 	// Journal, when set, checkpoints every solved cell to a crash-safe
 	// journal file so an interrupted sweep resumes instead of restarting.
 	Journal *journal.Journal
@@ -229,6 +236,7 @@ func Build(ctx context.Context, t *roofline.Target, opts BuildOptions) (*Table, 
 		CalHash:      CalibrationHash(c),
 		Objective:    opts.Search.Objective.String(),
 		Epsilon:      opts.Search.Epsilon,
+		Tiling:       opts.Tiling.Fingerprint(),
 		UncoreMinGHz: p.UncoreMin,
 		UncoreMaxGHz: p.UncoreMax,
 		CapStepGHz:   p.CapStep,

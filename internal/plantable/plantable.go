@@ -42,6 +42,7 @@ import (
 	"polyufc/internal/platform"
 	"polyufc/internal/roofline"
 	"polyufc/internal/search"
+	"polyufc/internal/tiling"
 )
 
 // SchemaVersion is the plan-table format version. Files carrying a
@@ -79,6 +80,15 @@ type Table struct {
 	// search.
 	Objective string  `json:"objective"`
 	Epsilon   float64 `json:"epsilon"`
+	// Tiling is the tiling-strategy fingerprint (tiling.Spec.Fingerprint)
+	// the table answers for. The cap surface itself depends only on the
+	// intensive shape, but compilations under different strategies hand
+	// the lookup differently-shaped models, so tables are an axis of the
+	// serving configuration: a table serves only requests compiled under
+	// its strategy. Empty means "pluto" — tables written before the
+	// strategy layer existed load unchanged and keep serving the default
+	// pipeline.
+	Tiling string `json:"tiling,omitempty"`
 	// The uncore cap grid the stored indices address, in the anchored
 	// (min, max, step) form of hw.GridPoint — indices, not floats, so
 	// fractional steps round-trip exactly.
@@ -104,6 +114,16 @@ type Table struct {
 // shortest float representation), so the hash is stable.
 func CalibrationHash(c *platform.Constants) string {
 	return c.Hash()
+}
+
+// TilingName returns the tiling-strategy fingerprint the table answers
+// for, with the pre-strategy default normalized: tables written before
+// the tiling axis existed are pluto tables.
+func (tb *Table) TilingName() string {
+	if tb.Tiling == "" {
+		return tiling.NamePluto
+	}
+	return tb.Tiling
 }
 
 // GridSize returns the number of cap-grid points the table addresses.
@@ -152,6 +172,16 @@ func (tb *Table) Validate() error {
 	}
 	if !(tb.Epsilon > 0) {
 		return fmt.Errorf("plantable: table for %q: epsilon: must be > 0, got %g", tb.Backend, tb.Epsilon)
+	}
+	if tb.Tiling != "" {
+		spec, err := tiling.ParseSpec(tb.Tiling)
+		if err != nil {
+			return fmt.Errorf("plantable: table for %q: tiling: %w", tb.Backend, err)
+		}
+		if fp := spec.Fingerprint(); fp != tb.Tiling {
+			return fmt.Errorf("plantable: table for %q: tiling: %q is not canonical (want %q)",
+				tb.Backend, tb.Tiling, fp)
+		}
 	}
 	if !(tb.UncoreMinGHz > 0) || tb.UncoreMaxGHz < tb.UncoreMinGHz || !(tb.CapStepGHz > 0) {
 		return fmt.Errorf("plantable: table for %q: uncore grid: need 0 < min <= max and step > 0, got [%g, %g] step %g",

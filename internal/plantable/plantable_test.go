@@ -213,7 +213,7 @@ func TestStaleness(t *testing.T) {
 		consts := *tg.Constants
 		consts.MissLatB *= 1.5
 		stale := &roofline.Target{Backend: tg.Backend, Platform: tg.Platform, Constants: &consts}
-		if got := set.For(stale, search.DefaultOptions()); got != nil {
+		if got := set.For(stale, search.DefaultOptions(), ""); got != nil {
 			t.Fatal("Set.For served a stale table")
 		}
 		if st := set.Stats(); st.Stale != 1 {
@@ -238,7 +238,7 @@ func TestMatchesOptions(t *testing.T) {
 	if err := set.Add(tb); err != nil {
 		t.Fatal(err)
 	}
-	if got := set.For(testTarget(t, "bdw"), other); got != nil {
+	if got := set.For(testTarget(t, "bdw"), other, ""); got != nil {
 		t.Fatal("Set.For served a table for the wrong objective")
 	}
 	if st := set.Stats(); st.Stale != 0 {
@@ -342,4 +342,71 @@ func mustMarshal(t *testing.T, tb *Table) []byte {
 		t.Fatal(err)
 	}
 	return data
+}
+
+// TestTilingAxis proves the strategy dimension of the table key: a
+// pre-axis table (no tiling field) answers as pluto — for both "" and
+// the explicit name — while a table built for another strategy is
+// served only to requests naming that strategy.
+func TestTilingAxis(t *testing.T) {
+	tb := testTable(t, "bdw")
+	if tb.TilingName() != "pluto" {
+		t.Fatalf("default-build TilingName() = %q", tb.TilingName())
+	}
+	// A pre-axis artifact has no tiling field at all; it must parse and
+	// answer as pluto.
+	legacy := *tb
+	legacy.Tiling = ""
+	data, err := legacy.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"tiling"`) {
+		t.Fatal("empty tiling serialized a field; pre-axis readers would reject it")
+	}
+	old, err := Parse(data)
+	if err != nil {
+		t.Fatalf("pre-axis table rejected: %v", err)
+	}
+	if old.TilingName() != "pluto" {
+		t.Fatalf("pre-axis TilingName() = %q", old.TilingName())
+	}
+
+	tg := testTarget(t, "bdw")
+	set := NewSet()
+	if err := set.Add(old); err != nil {
+		t.Fatal(err)
+	}
+	opts := search.DefaultOptions()
+	if set.For(tg, opts, "") == nil || set.For(tg, opts, "pluto") == nil {
+		t.Fatal("pre-axis table must answer for both \"\" and \"pluto\"")
+	}
+	for _, other := range []string{"cacheoblivious", "latency", "auto", "pluto:size=64"} {
+		if set.For(tg, opts, other) != nil {
+			t.Fatalf("pluto table served a %s request", other)
+		}
+	}
+
+	// A table stamped for another strategy is keyed apart from pluto's.
+	co := *old
+	co.Tiling = "cacheoblivious"
+	if err := set.Add(&co); err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2 {
+		t.Fatalf("set holds %d tables; want 2 (pluto + cacheoblivious)", set.Len())
+	}
+	if got := set.For(tg, opts, "cacheoblivious"); got == nil || got.TilingName() != "cacheoblivious" {
+		t.Fatalf("cacheoblivious lookup got %v", got)
+	}
+	if got := set.For(tg, opts, ""); got == nil || got.TilingName() != "pluto" {
+		t.Fatal("adding a cacheoblivious table displaced the pluto one")
+	}
+
+	// A non-canonical fingerprint is rejected at validation.
+	bad := *old
+	bad.Tiling = "latency:probe=4" // canonical form is bare "latency"
+	if err := set.Add(&bad); err == nil {
+		t.Fatal("non-canonical tiling fingerprint accepted")
+	}
 }

@@ -11,6 +11,7 @@ import (
 	"polyufc/internal/model"
 	"polyufc/internal/roofline"
 	"polyufc/internal/search"
+	"polyufc/internal/tiling"
 )
 
 // Stats are a Set's serve-path counters: Hits answered from a table,
@@ -24,12 +25,13 @@ type Stats struct {
 	Stale     int64 `json:"stale"`
 }
 
-// Set holds the loaded plan tables of a process (one per backend and
-// search configuration) plus the hit/fallback/staleness counters the
-// daemon reports in /statsz. It is safe for concurrent use.
+// Set holds the loaded plan tables of a process (one per backend,
+// search configuration and tiling strategy) plus the
+// hit/fallback/staleness counters the daemon reports in /statsz. It is
+// safe for concurrent use.
 type Set struct {
 	mu     sync.RWMutex
-	tables map[string]*Table // keyed by backend|objective|epsilon
+	tables map[string]*Table // keyed by backend|objective|epsilon|tiling
 
 	hits      atomic.Int64
 	fallbacks atomic.Int64
@@ -41,19 +43,22 @@ func NewSet() *Set {
 	return &Set{tables: map[string]*Table{}}
 }
 
-func tableKey(backend, objective string, eps float64) string {
-	return fmt.Sprintf("%s|%s|%g", backend, objective, eps)
+func tableKey(backend, objective string, eps float64, tilingName string) string {
+	if tilingName == "" {
+		tilingName = tiling.NamePluto
+	}
+	return fmt.Sprintf("%s|%s|%g|%s", backend, objective, eps, tilingName)
 }
 
-// Add validates and registers a table. A table for the same backend and
-// search configuration replaces the previous one.
+// Add validates and registers a table. A table for the same backend,
+// search configuration and tiling strategy replaces the previous one.
 func (s *Set) Add(tb *Table) error {
 	if err := tb.Validate(); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.tables[tableKey(tb.Backend, tb.Objective, tb.Epsilon)] = tb
+	s.tables[tableKey(tb.Backend, tb.Objective, tb.Epsilon, tb.TilingName())] = tb
 	return nil
 }
 
@@ -80,16 +85,17 @@ func (s *Set) Tables() []*Table {
 	return out
 }
 
-// For returns the table answering for a target and search configuration,
-// or nil when none is loaded. A loaded table whose backend description
-// or calibration hash no longer matches counts as stale and is not
+// For returns the table answering for a target, search configuration
+// and tiling strategy (a tiling.Spec fingerprint; "" means pluto), or
+// nil when none is loaded. A loaded table whose backend description or
+// calibration hash no longer matches counts as stale and is not
 // returned — staleness is surfaced, never silently served around.
-func (s *Set) For(t *roofline.Target, opts search.Options) *Table {
+func (s *Set) For(t *roofline.Target, opts search.Options, tilingName string) *Table {
 	if t == nil || t.Backend == nil {
 		return nil
 	}
 	s.mu.RLock()
-	tb := s.tables[tableKey(t.Backend.Name, opts.Objective.String(), opts.Epsilon)]
+	tb := s.tables[tableKey(t.Backend.Name, opts.Objective.String(), opts.Epsilon, tilingName)]
 	s.mu.RUnlock()
 	if tb == nil {
 		return nil
@@ -108,8 +114,8 @@ func (s *Set) For(t *roofline.Target, opts search.Options) *Table {
 // grid point); anything else — no table, stale table, off-axis kernel,
 // steep cell — counts a fallback (or staleness) and reports false so the
 // caller runs live search.
-func (s *Set) Lookup(t *roofline.Target, opts search.Options, m *model.Model) (float64, bool) {
-	tb := s.For(t, opts)
+func (s *Set) Lookup(t *roofline.Target, opts search.Options, tilingName string, m *model.Model) (float64, bool) {
+	tb := s.For(t, opts, tilingName)
 	if tb == nil {
 		s.fallbacks.Add(1)
 		return 0, false

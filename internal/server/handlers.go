@@ -19,6 +19,7 @@ import (
 	"polyufc/internal/platform"
 	"polyufc/internal/roofline"
 	"polyufc/internal/search"
+	"polyufc/internal/tiling"
 	"polyufc/internal/workloads"
 )
 
@@ -35,6 +36,11 @@ type Request struct {
 	Objective string  `json:"objective"`
 	CapLevel  string  `json:"cap_level"`
 	Epsilon   float64 `json:"epsilon"`
+	// Tiling selects the tile-stage strategy ("pluto", "cacheoblivious",
+	// "latency:probe=3", "auto"; see internal/tiling). Empty falls back
+	// to the daemon's configured default. The tiling= query parameter
+	// overrides the body field.
+	Tiling string `json:"tiling"`
 	// Measure asks /v1/search to also run the baseline and capped program
 	// on the platform's shared machine, through the circuit breaker. When
 	// the breaker is open the response degrades to model-only instead of
@@ -48,6 +54,8 @@ type NestResponse struct {
 	OI             float64 `json:"oi"`
 	Class          string  `json:"class"`
 	Tiled          bool    `json:"tiled"`
+	Tiling         string  `json:"tiling,omitempty"`
+	TileSize       int64   `json:"tile_size,omitempty"`
 	CapGHz         float64 `json:"cap_ghz"`
 	Threads        int     `json:"threads"`
 	PredSeconds    float64 `json:"pred_seconds"`
@@ -205,6 +213,11 @@ func (s *Server) wrap(h func(ctx context.Context, req Request) (any, error)) htt
 			writeJSON(w, http.StatusBadRequest, errBody{"bad request body: " + err.Error()})
 			return
 		}
+		// tiling= in the URL overrides the body: curl-side strategy
+		// comparison without editing the request payload.
+		if v := r.URL.Query().Get("tiling"); v != "" {
+			req.Tiling = v
+		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		if err := s.gate.Acquire(ctx); err != nil {
@@ -257,6 +270,7 @@ type resolved struct {
 	obj    search.Objective
 	lvl    ir.Dialect
 	eps    float64
+	tiling tiling.Spec
 }
 
 // servedNames lists the backends this daemon calibrated, in boot order.
@@ -320,6 +334,15 @@ func (s *Server) resolve(req Request) (resolved, error) {
 	if r.eps <= 0 {
 		r.eps = 1e-3
 	}
+	if req.Tiling == "" {
+		r.tiling = s.cfg.Tiling.Normalize()
+	} else {
+		spec, err := tiling.ParseSpec(req.Tiling)
+		if err != nil {
+			return r, badRequest("%v", err)
+		}
+		r.tiling = spec
+	}
 	return r, nil
 }
 
@@ -329,6 +352,7 @@ func (s *Server) requestConfig(r resolved) core.Config {
 	cfg.Search.Objective = r.obj
 	cfg.Search.Epsilon = r.eps
 	cfg.CapLevel = r.lvl
+	cfg.Tiling = r.tiling
 	cfg.Degrade = s.cfg.Degrade
 	cfg.Plans = s.planSet() // nil when no tables are loaded or built
 	return cfg
@@ -367,6 +391,7 @@ func (s *Server) compile(ctx context.Context, req Request, r resolved) (*core.Re
 		CalHash:   r.target.Constants.Hash(),
 		Size:      int(r.sz),
 		CapLevel:  cfg.CapLevel,
+		Tiling:    r.tiling.Fingerprint(),
 		Objective: r.obj,
 		Epsilon:   r.eps,
 		Degrade:   s.cfg.Degrade,
@@ -402,12 +427,14 @@ func nestResponses(res *core.Result) []NestResponse {
 	out := make([]NestResponse, 0, len(res.Reports))
 	for _, r := range res.Reports {
 		n := NestResponse{
-			Label:   r.Label,
-			OI:      r.OI,
-			Class:   r.Class.String(),
-			Tiled:   r.Tiled,
-			CapGHz:  r.CapGHz,
-			Threads: r.Threads,
+			Label:    r.Label,
+			OI:       r.OI,
+			Class:    r.Class.String(),
+			Tiled:    r.Tiled,
+			Tiling:   r.Tiling,
+			TileSize: r.TileSize,
+			CapGHz:   r.CapGHz,
+			Threads:  r.Threads,
 		}
 		if r.Degraded {
 			n.Degraded = true
@@ -439,6 +466,7 @@ func (s *Server) journalKey(endpoint string, req Request, r resolved) string {
 		endpoint, r.p.Name, "cal" + r.target.Constants.Hash(), req.Kernel,
 		fmt.Sprintf("sz%d", int(r.sz)), r.obj.String(),
 		fmt.Sprintf("lvl%d", int(r.lvl)), fmt.Sprintf("eps%g", r.eps),
+		"tiling=" + r.tiling.Fingerprint(),
 	}, "/")
 	if plans := s.planSet(); plans != nil {
 		sum := sha256.Sum256([]byte(plans.Fingerprint()))
@@ -497,6 +525,7 @@ func (s *Server) handleCompile(ctx context.Context, req Request) (any, error) {
 	}
 	resp.CalibrationDegraded = degraded
 	s.markServed(r.p.Name)
+	s.markTiling(r.tiling)
 	return resp, nil
 }
 
@@ -531,6 +560,7 @@ func (s *Server) handleCharacterize(ctx context.Context, req Request) (any, erro
 	}
 	resp.CalibrationDegraded = degraded
 	s.markServed(r.p.Name)
+	s.markTiling(r.tiling)
 	return resp, nil
 }
 
@@ -566,6 +596,7 @@ func (s *Server) handleSearch(ctx context.Context, req Request) (any, error) {
 	}
 	resp.CalibrationDegraded = degraded
 	s.markServed(r.p.Name)
+	s.markTiling(r.tiling)
 	if !req.Measure {
 		return resp, nil
 	}

@@ -8,12 +8,14 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 
 	"polyufc/internal/jobs"
 	"polyufc/internal/plantable"
 	"polyufc/internal/platform"
 	"polyufc/internal/roofline"
 	"polyufc/internal/search"
+	"polyufc/internal/tiling"
 	"polyufc/internal/workloads"
 )
 
@@ -47,6 +49,9 @@ type JobParams struct {
 	Measure   bool `json:"measure,omitempty"`
 	OIPoints  int  `json:"oi_points,omitempty"`
 	MemPoints int  `json:"mem_points,omitempty"`
+	// Tiling is the tile-stage strategy spec ("pluto", "auto", ...; see
+	// internal/tiling). Plan-table jobs stamp it on the built table.
+	Tiling string `json:"tiling,omitempty"`
 }
 
 // JobSubmitRequest is the POST /v1/jobs body.
@@ -135,6 +140,9 @@ func (s *Server) validateJob(kind jobs.Kind, p JobParams) error {
 		if _, ok := search.ParseObjective(p.Objective); !ok {
 			return fmt.Errorf("unknown objective %q", p.Objective)
 		}
+	}
+	if _, err := tiling.ParseSpec(p.Tiling); err != nil {
+		return err
 	}
 	return nil
 }
@@ -356,6 +364,7 @@ func (s *Server) runSweepJob(jb *jobs.Job, p JobParams, characterizeOnly bool) (
 			Kernel: kernel, Platform: p.Platform, Size: p.Size,
 			Objective: p.Objective, CapLevel: p.CapLevel,
 			Epsilon: p.Epsilon, Measure: p.Measure,
+			Tiling: p.Tiling,
 		}
 		r, err := s.resolve(req)
 		if err != nil {
@@ -427,8 +436,15 @@ type PlanTableJobResult struct {
 	CalHash   string  `json:"cal_hash"`
 	Objective string  `json:"objective"`
 	Epsilon   float64 `json:"epsilon"`
+	Tiling    string  `json:"tiling,omitempty"`
 	OIPoints  int     `json:"oi_points"`
 	MemPoints int     `json:"mem_points"`
+}
+
+// sanitizeTiling makes a tiling fingerprint filename-friendly
+// ("latency:probe=3" -> "latency-probe-3").
+func sanitizeTiling(fp string) string {
+	return strings.NewReplacer(":", "-", "=", "-", ",", "-").Replace(fp)
 }
 
 // runPlanTableJob sweeps the backend's capping-plan table against the
@@ -449,10 +465,15 @@ func (s *Server) runPlanTableJob(jb *jobs.Job, p JobParams) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("platform %q is not served", b.Name)
 	}
+	tspec, err := tiling.ParseSpec(p.Tiling)
+	if err != nil {
+		return nil, err
+	}
 	opts := plantable.BuildOptions{
 		OIPoints:  p.OIPoints,
 		MemPoints: p.MemPoints,
 		Journal:   s.planJournal,
+		Tiling:    tspec,
 	}
 	if p.Objective != "" || p.Epsilon > 0 {
 		obj, _ := search.ParseObjective(p.Objective)
@@ -473,13 +494,17 @@ func (s *Server) runPlanTableJob(jb *jobs.Job, p JobParams) (any, error) {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, err
 		}
-		path := filepath.Join(dir, fmt.Sprintf("%s-%s-eps%g.json", tb.Backend, tb.Objective, tb.Epsilon))
+		// The tiling strategy is a table axis: per-strategy builds must not
+		// overwrite each other's files.
+		path := filepath.Join(dir, fmt.Sprintf("%s-%s-eps%g-%s.json",
+			tb.Backend, tb.Objective, tb.Epsilon, sanitizeTiling(tb.TilingName())))
 		if err := tb.Save(path); err != nil {
 			return nil, err
 		}
 		return PlanTableJobResult{
 			Kind: string(JobPlanTable), Backend: tb.Backend, Path: path,
 			CalHash: tb.CalHash, Objective: tb.Objective, Epsilon: tb.Epsilon,
+			Tiling:   tb.TilingName(),
 			OIPoints: len(tb.OIAxis), MemPoints: len(tb.MemAxis),
 		}, nil
 	}); err != nil {

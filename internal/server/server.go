@@ -35,6 +35,7 @@ import (
 	"polyufc/internal/plantable"
 	"polyufc/internal/platform"
 	"polyufc/internal/roofline"
+	"polyufc/internal/tiling"
 )
 
 // Config tunes the daemon.
@@ -57,6 +58,10 @@ type Config struct {
 	CacheLimit int
 	// Degrade is the compilation failure policy for served requests.
 	Degrade core.DegradePolicy
+	// Tiling is the default tile-stage strategy for requests that do not
+	// choose one ("tiling" request field or tiling= query parameter). The
+	// zero value is the pluto strategy — the pre-strategy pipeline.
+	Tiling tiling.Spec
 	// Faults, when non-nil, arms the injectable failure modes on every
 	// machine and compilation the daemon runs (smoke tests, chaos runs).
 	Faults *faults.Registry
@@ -93,8 +98,10 @@ type Config struct {
 	// CASDir, when set, enables the persistent content-addressed
 	// snapshot store: deterministic responses, calibration artifacts and
 	// plan tables persist across restarts (warm start) and are served to
-	// fleet peers over GET/PUT /v1/cas/{key}.
-	CASDir string
+	// fleet peers over GET/PUT /v1/cas/{key}. CASMaxBytes bounds the
+	// store's payload volume with LRU eviction (0 = unbounded).
+	CASDir      string
+	CASMaxBytes int64
 	// Peers are the base URLs of the static fleet peer set. With at
 	// least one peer, cache misses consult the fleet (deadline-bounded,
 	// hedged, per-peer circuit breakers) before computing, and computed
@@ -167,9 +174,11 @@ type Server struct {
 	shutdown     chan struct{}
 	shutdownOnce sync.Once
 
-	// platServed counts requests served per backend (prefilled at boot,
-	// so handlers update without locking).
-	platServed map[string]*atomic.Int64
+	// platServed counts requests served per backend and tilingServed per
+	// tiling strategy (both prefilled at boot, so handlers update without
+	// locking).
+	platServed   map[string]*atomic.Int64
+	tilingServed map[string]*atomic.Int64
 
 	// stages memoizes per-stage compile snapshots across endpoints: a
 	// characterize followed by a search on the same kernel/config reuses
@@ -209,13 +218,17 @@ func New(cfg Config) (*Server, error) {
 		cfg.CacheLimit = def.CacheLimit
 	}
 	s := &Server{
-		cfg:        cfg,
-		gate:       parallel.NewGate(parallel.Workers(cfg.Concurrency), cfg.Queue),
-		targets:    map[string]*roofline.Target{},
-		breakers:   map[string]*hw.CapBreaker{},
-		platServed: map[string]*atomic.Int64{},
-		start:      time.Now(),
-		shutdown:   make(chan struct{}),
+		cfg:          cfg,
+		gate:         parallel.NewGate(parallel.Workers(cfg.Concurrency), cfg.Queue),
+		targets:      map[string]*roofline.Target{},
+		breakers:     map[string]*hw.CapBreaker{},
+		platServed:   map[string]*atomic.Int64{},
+		tilingServed: map[string]*atomic.Int64{},
+		start:        time.Now(),
+		shutdown:     make(chan struct{}),
+	}
+	for _, name := range tiling.Names() {
+		s.tilingServed[name] = &atomic.Int64{}
 	}
 	s.cache.SetLimit(cfg.CacheLimit)
 	s.profiles.SetLimit(cfg.CacheLimit)
@@ -225,7 +238,7 @@ func New(cfg Config) (*Server, error) {
 	// calibration loop reuse persisted artifacts instead of re-running
 	// the micro-benchmarks.
 	if cfg.CASDir != "" {
-		st, err := cas.Open(cfg.CASDir, cfg.Faults)
+		st, err := cas.OpenOptions(cfg.CASDir, cfg.Faults, cas.Options{MaxBytes: cfg.CASMaxBytes})
 		if err != nil {
 			return nil, fmt.Errorf("server: %w", err)
 		}
@@ -449,6 +462,14 @@ func (s *Server) markServed(name string) {
 	}
 }
 
+// markTiling bumps the per-strategy served counter (keyed by the spec's
+// strategy name, so "latency:probe=3" counts under "latency").
+func (s *Server) markTiling(spec tiling.Spec) {
+	if c, ok := s.tilingServed[spec.Normalize().Name]; ok {
+		c.Add(1)
+	}
+}
+
 // JobStats reports the job tier's journal and state counters (zeros
 // when the daemon runs without a jobs directory).
 func (s *Server) JobStats() jobs.Stats {
@@ -539,6 +560,9 @@ type Statsz struct {
 	// Platforms maps each served backend to its calibration provenance
 	// and per-backend served count.
 	Platforms map[string]PlatformStatsz
+	// TilingServed counts requests served per tiling strategy (pluto,
+	// cacheoblivious, latency, auto).
+	TilingServed map[string]int64
 	// Drift is the calibration-drift watchdog's per-backend residuals
 	// (empty until measured requests feed it); Jobs the async job tier's
 	// counters (nil when the tier is disabled).
@@ -592,6 +616,10 @@ func (s *Server) statsz() Statsz {
 			Applies: cs.Applies, Writes: cs.Writes, Retries: cs.Retries,
 			Failures: cs.Failures, Restores: cs.Restores,
 		}
+	}
+	out.TilingServed = map[string]int64{}
+	for name, c := range s.tilingServed {
+		out.TilingServed[name] = c.Load()
 	}
 	out.Platforms = map[string]PlatformStatsz{}
 	s.targetsMu.RLock()

@@ -1,0 +1,347 @@
+package tiling
+
+import (
+	"fmt"
+	"math"
+
+	"polyufc/internal/cachemodel"
+	"polyufc/internal/cachesim"
+	"polyufc/internal/faults"
+	"polyufc/internal/ir"
+	"polyufc/internal/pluto"
+)
+
+// Fault-point names probed at the top of each concrete strategy's Apply
+// (and therefore inside auto's candidate runs). A nil registry is a
+// no-op, so production compiles pay nothing.
+const (
+	FaultPluto          = "tiling.pluto"
+	FaultCacheOblivious = "tiling.cacheoblivious"
+	FaultLatency        = "tiling.latency"
+)
+
+// Context carries the per-compile environment a strategy may consult:
+// the target's cache hierarchy (for model-scored strategies), the
+// thread count the cachemodel stage will use, the base pluto options
+// (legality, permutation and parallelization flags plus the default
+// tile size) and the fault registry.
+type Context struct {
+	Cache   cachesim.Config
+	Threads int
+	Pluto   pluto.Options
+	Faults  *faults.Registry
+}
+
+// NestInfo is the per-nest tiling metadata a strategy reports; it is
+// surfaced in KernelReport and journal records and snapshotted by the
+// pipeline memo.
+type NestInfo struct {
+	// Strategy is the concrete strategy that transformed the nest; the
+	// auto meta-strategy reports "auto:<winner>".
+	Strategy string `json:"strategy"`
+	// Tiled reports whether the nest was actually tiled (imperfect or
+	// non-permutable nests pass through untiled under every strategy).
+	Tiled bool `json:"tiled"`
+	// TileSize is the tile size applied when Tiled (0 otherwise).
+	TileSize int64 `json:"tile_size,omitempty"`
+}
+
+// Strategy is a pluggable tile-stage policy: a per-nest transform
+// returning the (possibly) tiled nest plus tiling metadata. Apply must
+// not modify the input nest.
+type Strategy interface {
+	// Name is the registered strategy name ("pluto", ...).
+	Name() string
+	// Fingerprint is the canonical options hash folded into cache keys
+	// and stage salts (see Spec.Fingerprint).
+	Fingerprint() string
+	// Apply transforms one nest. On error the caller decides (via the
+	// degrade policy) whether to fail the compile or fall back untiled
+	// for that nest only.
+	Apply(nest *ir.Nest, ctx Context) (*ir.Nest, NestInfo, error)
+}
+
+// New resolves a parsed spec to a Strategy. The zero-value spec yields
+// the pluto strategy.
+func New(spec Spec) (Strategy, error) {
+	spec = spec.Normalize()
+	switch spec.Name {
+	case NamePluto:
+		return &plutoStrategy{spec: spec}, nil
+	case NameCacheOblivious:
+		return &cobStrategy{spec: spec}, nil
+	case NameLatency:
+		return &latencyStrategy{spec: spec}, nil
+	case NameAuto:
+		return &autoStrategy{spec: spec}, nil
+	default:
+		return nil, fmt.Errorf("tiling: unknown strategy %q", spec.Name)
+	}
+}
+
+// MustNew is New for specs already validated by ParseSpec.
+func MustNew(spec Spec) Strategy {
+	s, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// plutoStrategy reproduces the pre-strategy pipeline: pluto.Optimize
+// with the Context's pluto options, optionally overriding the tile size
+// from the spec. With a zero Size it is byte-identical to the old
+// hard-wired stageTile.
+type plutoStrategy struct{ spec Spec }
+
+func (s *plutoStrategy) Name() string        { return NamePluto }
+func (s *plutoStrategy) Fingerprint() string { return s.spec.Fingerprint() }
+
+func (s *plutoStrategy) Apply(nest *ir.Nest, ctx Context) (*ir.Nest, NestInfo, error) {
+	if err := ctx.Faults.Hit(FaultPluto); err != nil {
+		return nil, NestInfo{}, fmt.Errorf("tiling: pluto on %s: %w", nest.Label, err)
+	}
+	opts := ctx.Pluto
+	if s.spec.Size > 0 {
+		opts.TileSize = s.spec.Size
+	}
+	return runPluto(nest, opts, NamePluto)
+}
+
+// cobStrategy approximates PCOT-style cache-oblivious tiling: a
+// recursive space bisection halts once a sub-block's per-dimension
+// extent drops to the leaf size, so the effective tile is a power of
+// two derived from the nest's own iteration-space geometry — the
+// geometric mean extent E = tripcount^(1/depth) bisected log2(sqrt(E))
+// times, i.e. the largest power of two <= sqrt(E) — clamped to
+// [base, 256] and independent of any cache parameter. The resulting
+// miss curve tracks the problem size where a fixed 32 does not.
+type cobStrategy struct{ spec Spec }
+
+func (s *cobStrategy) Name() string        { return NameCacheOblivious }
+func (s *cobStrategy) Fingerprint() string { return s.spec.Fingerprint() }
+
+func (s *cobStrategy) Apply(nest *ir.Nest, ctx Context) (*ir.Nest, NestInfo, error) {
+	if err := ctx.Faults.Hit(FaultCacheOblivious); err != nil {
+		return nil, NestInfo{}, fmt.Errorf("tiling: cacheoblivious on %s: %w", nest.Label, err)
+	}
+	base := s.spec.Base
+	if base <= 0 {
+		base = DefaultBase
+	}
+	opts := ctx.Pluto
+	opts.TileSize = leafTile(nest, base)
+	return runPluto(nest, opts, NameCacheOblivious)
+}
+
+// leafTile computes the recursive-bisection leaf size for a nest: the
+// largest power of two no greater than the square root of the geometric
+// mean per-dimension extent, clamped to [base, 256]. Nests whose trip
+// count cannot be established statically use the base leaf.
+func leafTile(nest *ir.Nest, base int64) int64 {
+	depth := 0
+	nest.WalkLoops(func(_ *ir.Loop, d int) {
+		if d+1 > depth {
+			depth = d + 1
+		}
+	})
+	tc, err := nest.TripCount()
+	if err != nil || tc <= 0 || depth == 0 {
+		return clampPow2(base, base, 256)
+	}
+	extent := math.Pow(float64(tc), 1/float64(depth))
+	return clampPow2(int64(math.Sqrt(extent)), base, 256)
+}
+
+// clampPow2 returns the largest power of two <= v, clamped to [lo, hi].
+func clampPow2(v, lo, hi int64) int64 {
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	p := int64(1)
+	for p*2 <= v {
+		p *= 2
+	}
+	if p < 2 {
+		p = 2
+	}
+	return p
+}
+
+// latencyLadder is the candidate tile-size ladder the latency strategy
+// probes, smallest first; Spec.Probe bounds how many are modeled.
+var latencyLadder = []int64{8, 16, 32, 64, 128, 256}
+
+// Nominal per-level hit latencies (cycles) used to turn PolyUFC-CM
+// miss counts into a scalar access-latency score, plus the DRAM miss
+// penalty. Only the relative ordering matters for tile selection.
+var (
+	levelLatency = []float64{4, 12, 40, 80}
+	dramLatency  = 200.0
+)
+
+// latencyExactBelow bounds the exact-trace route inside candidate
+// scoring: nests at most this many instances are probed through
+// internal/cachesim, larger ones through the analytic counts, keeping
+// compile cost low either way.
+const latencyExactBelow = 1 << 12
+
+// latencyStrategy derives the tile size from miss-ratio scaling: each
+// candidate size on the ladder is tiled speculatively, its miss profile
+// modeled by PolyUFC-CM (exact cachesim trace for small nests, analytic
+// counts for large ones), and the candidate minimizing the modeled
+// total access latency wins. Ties break toward the smaller size.
+type latencyStrategy struct{ spec Spec }
+
+func (s *latencyStrategy) Name() string        { return NameLatency }
+func (s *latencyStrategy) Fingerprint() string { return s.spec.Fingerprint() }
+
+func (s *latencyStrategy) Apply(nest *ir.Nest, ctx Context) (*ir.Nest, NestInfo, error) {
+	if err := ctx.Faults.Hit(FaultLatency); err != nil {
+		return nil, NestInfo{}, fmt.Errorf("tiling: latency on %s: %w", nest.Label, err)
+	}
+	probe := s.spec.Probe
+	if probe <= 0 {
+		probe = DefaultProbe
+	}
+	if probe > len(latencyLadder) {
+		probe = len(latencyLadder)
+	}
+
+	var (
+		best     *ir.Nest
+		bestInfo NestInfo
+		bestCost = math.Inf(1)
+		lastErr  error
+	)
+	for _, size := range latencyLadder[:probe] {
+		opts := ctx.Pluto
+		opts.TileSize = size
+		out, info, err := runPluto(nest, opts, NameLatency)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !info.Tiled {
+			// The nest is outside the tileable class; every candidate
+			// would produce the same untransformed nest.
+			return out, info, nil
+		}
+		cost, err := modeledLatency(out, ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if cost < bestCost {
+			best, bestInfo, bestCost = out, info, cost
+		}
+	}
+	if best == nil {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("no candidate tile size")
+		}
+		return nil, NestInfo{}, fmt.Errorf("tiling: latency on %s: %w", nest.Label, lastErr)
+	}
+	return best, bestInfo, nil
+}
+
+// modeledLatency scores a transformed nest: per-level hits weighted by
+// nominal latencies plus LLC misses at the DRAM penalty.
+func modeledLatency(nest *ir.Nest, ctx Context) (float64, error) {
+	cm, err := cachemodel.Analyze(nest, ctx.Cache, cmScoreOptions(ctx))
+	if err != nil {
+		return 0, err
+	}
+	var cost float64
+	for i, lv := range cm.Levels {
+		lat := levelLatency[len(levelLatency)-1]
+		if i < len(levelLatency) {
+			lat = levelLatency[i]
+		}
+		cost += float64(lv.Accesses-lv.Misses) * lat
+	}
+	cost += float64(cm.LLC().Misses) * dramLatency
+	return cost, nil
+}
+
+func cmScoreOptions(ctx Context) cachemodel.Options {
+	opts := cachemodel.DefaultOptions()
+	opts.Threads = ctx.Threads
+	opts.ExactBelow = latencyExactBelow
+	return opts
+}
+
+// autoStrategy races the three concrete strategies and keeps the one
+// whose transformed nest PolyUFC-CM predicts the lowest DRAM miss
+// volume for (QDRAM, the quantity the roofline classification and the
+// cap search hinge on; total LLC misses break ties, then candidate
+// order, so an across-the-board tie behaves like pluto). Candidates
+// that error — including injected tiling.<name> faults — are skipped
+// and never selected; auto errors only when every candidate failed.
+type autoStrategy struct{ spec Spec }
+
+func (s *autoStrategy) Name() string        { return NameAuto }
+func (s *autoStrategy) Fingerprint() string { return s.spec.Fingerprint() }
+
+func (s *autoStrategy) Apply(nest *ir.Nest, ctx Context) (*ir.Nest, NestInfo, error) {
+	candidates := []Strategy{
+		&plutoStrategy{spec: Spec{Name: NamePluto}},
+		&cobStrategy{spec: Spec{Name: NameCacheOblivious}},
+		&latencyStrategy{spec: Spec{Name: NameLatency}},
+	}
+	var (
+		best     *ir.Nest
+		bestInfo NestInfo
+		bestQ    int64
+		bestMiss int64
+		haveBest bool
+		lastErr  error
+	)
+	for _, cand := range candidates {
+		out, info, err := cand.Apply(nest, ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cm, err := cachemodel.Analyze(out, ctx.Cache, cmScoreOptions(ctx))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var miss int64
+		for _, lv := range cm.Levels {
+			miss += lv.Misses
+		}
+		if !haveBest || cm.QDRAM < bestQ || (cm.QDRAM == bestQ && miss < bestMiss) {
+			best = out
+			bestInfo = NestInfo{Strategy: NameAuto + ":" + cand.Name(), Tiled: info.Tiled, TileSize: info.TileSize}
+			bestQ, bestMiss = cm.QDRAM, miss
+			haveBest = true
+		}
+	}
+	if !haveBest {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("no candidates")
+		}
+		return nil, NestInfo{}, fmt.Errorf("tiling: auto on %s: all candidates failed: %w", nest.Label, lastErr)
+	}
+	return best, bestInfo, nil
+}
+
+// runPluto funnels every strategy through the shared pluto legality and
+// transform machinery with the given options, translating the pluto
+// result into strategy metadata.
+func runPluto(nest *ir.Nest, opts pluto.Options, name string) (*ir.Nest, NestInfo, error) {
+	res, err := pluto.Optimize(nest, opts)
+	if err != nil {
+		return nil, NestInfo{}, fmt.Errorf("tiling: %s on %s: %w", name, nest.Label, err)
+	}
+	info := NestInfo{Strategy: name, Tiled: res.Tiled}
+	if res.Tiled {
+		info.TileSize = res.TileSize
+	}
+	return res.Nest, info, nil
+}
