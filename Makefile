@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments faults fuzz fmt cover serve smoke pipeline platforms plantable jobs fleet tiling
+.PHONY: all build vet test race bench experiments faults fuzz fmt cover serve smoke pipeline platforms plantable jobs fleet tiling topology
 
 all: build vet test
 
@@ -98,6 +98,20 @@ tiling:
 	$(GO) test -race -run 'Tiling|DefaultAndExplicitPluto|DistinctStrategies|Auto' \
 		./internal/core ./internal/server ./internal/experiments ./internal/plantable
 	$(GO) test -fuzz FuzzParseTilingSpec -fuzztime 5s ./internal/tiling
+
+# Topology gate: the schema-v2 platform suite and backend-decoder fuzz
+# session, the v1-vs-v2 spelling equivalence properties (constants,
+# compile results, plan tables), socket placement and cluster rollups,
+# per-socket breaker isolation under the race detector, and the real
+# daemon end to end on the 2-socket description (socket-scoped fault,
+# only the sick domain's breaker opens).
+topology:
+	$(GO) test -race ./internal/platform
+	$(GO) test -race -run 'Topology|Socket|Cluster|V2Spelling|Rho|NUMA|Remote' \
+		./internal/roofline ./internal/model ./internal/hw ./internal/core \
+		./internal/server ./internal/plantable ./internal/experiments
+	$(GO) test -fuzz FuzzParseBackend -fuzztime 5s ./internal/platform
+	sh scripts/topology_smoke.sh
 
 # Run the capping service locally with production-shaped defaults.
 serve:

@@ -52,6 +52,7 @@ func main() {
 		stageInfo = flag.Bool("stage-stats", false, "print per-stage pipeline aggregates and stage-cache reuse to stderr after the run")
 		platSet   = flag.String("platforms", "paper", `backend set to sweep: "paper" (the two Table-III machines) or "all" registered backends`)
 		platFiles = flag.String("platform-file", "", "comma-separated backend description files (platforms/*.json) to register before the sweep")
+		topo      = flag.Bool("topology", false, "print the swept backends' topologies (sockets, interconnect, nodes) and exit")
 	)
 	flag.Parse()
 
@@ -102,6 +103,12 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "polyufc-bench: unknown platform set %q (want paper or all)\n", *platSet)
 		os.Exit(2)
+	}
+	if *topo {
+		for _, b := range backends {
+			fmt.Print(b.TopologySummary())
+		}
+		return
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

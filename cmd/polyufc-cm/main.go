@@ -36,20 +36,46 @@ func main() {
 		noTile     = flag.Bool("no-tile", false, "skip Pluto tiling")
 		validate   = flag.Bool("validate", false, "run the exact cache simulator for comparison")
 		dumpScop   = flag.Bool("scop", false, "dump each nest's OpenSCoP-style JSON instead of analyzing")
+		topo       = flag.Bool("topology", false, "print the resolved platform's topology (sockets, interconnect, nodes) and exit")
 	)
 	flag.Parse()
-	if *kernel == "" {
-		fmt.Fprintln(os.Stderr, "polyufc-cm: -kernel is required")
-		os.Exit(2)
-	}
 	name := *platName
 	if name == "" {
 		name = *arch
+	}
+	if *topo {
+		if err := printTopology(name, *platFiles); err != nil {
+			fmt.Fprintln(os.Stderr, "polyufc-cm:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *kernel == "" {
+		fmt.Fprintln(os.Stderr, "polyufc-cm: -kernel is required")
+		os.Exit(2)
 	}
 	if err := run(*kernel, name, *platFiles, *size, *fullyAssoc, *noTile, *validate, *dumpScop); err != nil {
 		fmt.Fprintln(os.Stderr, "polyufc-cm:", err)
 		os.Exit(1)
 	}
+}
+
+// printTopology renders the backend's socket/interconnect/node layout.
+func printTopology(platName, platFiles string) error {
+	for _, f := range strings.Split(platFiles, ",") {
+		if f = strings.TrimSpace(f); f == "" {
+			continue
+		}
+		if _, err := platform.LoadFile(f); err != nil {
+			return err
+		}
+	}
+	b, err := platform.Lookup(platName)
+	if err != nil {
+		return err
+	}
+	fmt.Print(b.TopologySummary())
+	return nil
 }
 
 func run(kernel, platName, platFiles, size string, fullyAssoc, noTile, validate, dumpScop bool) error {

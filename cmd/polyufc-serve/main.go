@@ -44,6 +44,7 @@ import (
 
 	"polyufc/internal/core"
 	"polyufc/internal/faults"
+	"polyufc/internal/platform"
 	"polyufc/internal/server"
 	"polyufc/internal/tiling"
 )
@@ -62,6 +63,8 @@ func main() {
 		tilingSpec  = flag.String("tiling", "", `default tiling strategy for requests that omit one: pluto, pluto:size=64, cacheoblivious[:base=N], latency[:probe=N], auto`)
 		fault       = flag.String("fault", "", `inject failures, e.g. "ufs.write.ebusy=0.5; core.pluto=@2"`)
 		faultSeed   = flag.Int64("fault-seed", 1, "seed for probabilistic fault triggers")
+		faultSocket = flag.Int("fault-socket", -1, "scope -fault on multi-socket backends: -1 arms every socket's machine, k >= 0 only socket k's")
+		topo        = flag.Bool("topology", false, "print the served backends' topologies (sockets, interconnect, nodes) and exit")
 		journalPath = flag.String("journal", "", "checkpoint deterministic responses to this JSONL journal")
 		resume      = flag.Bool("resume", false, "replay an existing journal instead of truncating it")
 		platFiles   = flag.String("platform-file", "", "comma-separated backend description files (platforms/*.json); the daemon serves every registered backend")
@@ -117,6 +120,7 @@ func main() {
 	cfg.Tiling = tspec
 	cfg.Faults = reg
 	cfg.FaultSeed = *faultSeed
+	cfg.FaultSocket = *faultSocket
 	cfg.JournalPath = *journalPath
 	cfg.Resume = *resume
 	cfg.JobsDir = *jobsDir
@@ -138,6 +142,18 @@ func main() {
 		if f = strings.TrimSpace(f); f != "" {
 			cfg.PlanTables = append(cfg.PlanTables, f)
 		}
+	}
+	if *topo {
+		for _, f := range cfg.PlatformFiles {
+			if _, err := platform.LoadFile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "polyufc-serve:", err)
+				os.Exit(1)
+			}
+		}
+		for _, b := range platform.All() {
+			fmt.Print(b.TopologySummary())
+		}
+		return
 	}
 	if err := run(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "polyufc-serve:", err)

@@ -43,6 +43,7 @@ func main() {
 		calPath   = flag.String("calibration", "", "load a persisted calibration artifact instead of re-running the roofline fit")
 		saveCal   = flag.String("save-calibration", "", "write the calibration artifact (constants + fit provenance) to this file")
 		listPlats = flag.Bool("list-platforms", false, "list registered platform backends and exit")
+		topo      = flag.Bool("topology", false, "print the resolved platform's topology (sockets, interconnect, nodes) and exit")
 		objective = flag.String("objective", "edp", "objective: edp, energy, performance")
 		size      = flag.String("size", "bench", "problem size class: test, bench, full")
 		capLevel  = flag.String("cap-level", "linalg", "cap granularity: torch, linalg, affine")
@@ -82,6 +83,15 @@ func main() {
 	name := *platName
 	if name == "" {
 		name = *arch
+	}
+	if *topo {
+		b, err := platform.Lookup(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polyufc:", err)
+			os.Exit(1)
+		}
+		fmt.Print(b.TopologySummary())
+		return
 	}
 	tspec, err := tiling.ParseSpec(*tilingStr)
 	if err != nil {

@@ -189,11 +189,55 @@ type KernelReport struct {
 	// PlanHit marks a cap answered from a precomputed plan table rather
 	// than a live PolyUFC-SEARCH bisection (SearchEvals is 0 then).
 	PlanHit bool
+	// Socket is the home socket the nest was placed on (topology
+	// targets): -1 marks a parallel nest spanning every socket, 0 is the
+	// only value single-socket targets produce.
+	Socket int
+	// RemoteRatio is the modeled fraction of the nest's DRAM traffic
+	// served across the inter-socket link (0 on single-socket targets
+	// and on serial nests, whose data is home-socket local).
+	RemoteRatio float64
+	// SocketCaps is the per-socket cap vector the placement selects:
+	// the searched cap on every socket a parallel nest spans, or the
+	// searched cap on the home socket with idle sockets parked at their
+	// grid minimum. Nil on single-socket targets, so v1 reports are
+	// unchanged.
+	SocketCaps []float64
 	// Degraded marks a best-effort fallback: a stage failed and this nest
 	// fell back to untiled (Pluto failure) or uncapped (cache-model or
 	// search failure). Err records the stage error behind it.
 	Degraded bool
 	Err      error
+}
+
+// TopologyResult aggregates a compilation's model estimates across the
+// target's sockets and cluster nodes: the chip-to-cluster energy rollup
+// the LULESH-style analysis reports. All figures are model predictions
+// at the selected caps (Est) and at the driver default (EstDefault) —
+// the same quantities the per-kernel reports carry, summed per socket
+// and scaled to the node count.
+type TopologyResult struct {
+	// Sockets and Nodes mirror the backend topology.
+	Sockets int
+	Nodes   int
+	// SocketSeconds[k] and SocketJoules[k] attribute predicted busy time
+	// and energy to socket k: serial nests bill their home socket,
+	// parallel nests bill their wall time to every socket they span and
+	// split their energy evenly.
+	SocketSeconds []float64
+	SocketJoules  []float64
+	// NodeSeconds is the node makespan (the module runs its nests in
+	// order); NodeJoules the node's total predicted energy.
+	NodeSeconds float64
+	NodeJoules  float64
+	// Cluster figures scale to Nodes identical replicas running the
+	// module data-parallel: energy sums, the BSP step time is the node
+	// makespan. ClusterEDP = (Nodes x NodeJoules) x NodeSeconds;
+	// ClusterEDPDefault is the same rollup at the driver default.
+	ClusterSeconds    float64
+	ClusterJoules     float64
+	ClusterEDP        float64
+	ClusterEDPDefault float64
 }
 
 // Result is the outcome of one PolyUFC compilation.
@@ -203,6 +247,9 @@ type Result struct {
 	Timings      Timings
 	CapsInserted int
 	CapsRemoved  int
+	// Topology is the per-socket/cluster energy rollup; nil for
+	// single-socket, single-node targets (v1 results are unchanged).
+	Topology *TopologyResult
 }
 
 // Compile runs the full PolyUFC flow on a module (torch, linalg or affine

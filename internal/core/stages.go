@@ -76,6 +76,12 @@ type compileState struct {
 	class []roofline.Class
 	// threads is the per-nest thread count reported and modeled.
 	threads []int
+	// socket and remote are the topology placement (multi-socket targets
+	// only; zero-valued otherwise): the home socket per nest (-1 for
+	// parallel nests spanning every socket) and the modeled remote share
+	// of its DRAM traffic.
+	socket []int
+	remote []float64
 	// models and defEst hold the fitted Sec. V model and its estimate at
 	// the driver-default (maximum) uncore frequency.
 	models []*model.Model
@@ -116,6 +122,8 @@ func (st *compileState) alloc() {
 	st.cms = make([]*cachemodel.Result, n)
 	st.class = make([]roofline.Class, n)
 	st.threads = make([]int, n)
+	st.socket = make([]int, n)
+	st.remote = make([]float64, n)
 	st.models = make([]*model.Model, n)
 	st.defEst = make([]model.Estimate, n)
 	st.sres = make([]search.Result, n)
@@ -135,6 +143,8 @@ type stageSnap struct {
 	cms     []*cachemodel.Result
 	class   []roofline.Class
 	threads []int
+	socket  []int
+	remote  []float64
 	models  []*model.Model
 	defEst  []model.Estimate
 	sres    []search.Result
@@ -150,6 +160,8 @@ func snapSave(st *compileState) any {
 		cms:     append([]*cachemodel.Result(nil), st.cms...),
 		class:   append([]roofline.Class(nil), st.class...),
 		threads: append([]int(nil), st.threads...),
+		socket:  append([]int(nil), st.socket...),
+		remote:  append([]float64(nil), st.remote...),
 		models:  append([]*model.Model(nil), st.models...),
 		defEst:  append([]model.Estimate(nil), st.defEst...),
 		sres:    append([]search.Result(nil), st.sres...),
@@ -167,6 +179,8 @@ func snapLoad(st *compileState, v any) {
 	st.cms = append([]*cachemodel.Result(nil), snap.cms...)
 	st.class = append([]roofline.Class(nil), snap.class...)
 	st.threads = append([]int(nil), snap.threads...)
+	st.socket = append([]int(nil), snap.socket...)
+	st.remote = append([]float64(nil), snap.remote...)
 	st.models = append([]*model.Model(nil), snap.models...)
 	st.defEst = append([]model.Estimate(nil), snap.defEst...)
 	st.sres = append([]search.Result(nil), snap.sres...)
@@ -195,12 +209,22 @@ func stageBaseKey(mod *ir.Module, cfg Config) string {
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
+// machineThreads is the whole-machine thread count a parallel nest
+// spans: every socket's threads on a topology target, the platform's on
+// a single-socket one (identical there, so the v1 path is unchanged).
+func machineThreads(cfg Config) int {
+	if cfg.Target.NumSockets() > 1 {
+		return cfg.Target.Backend.TotalThreads()
+	}
+	return cfg.Platform().Threads
+}
+
 // cmOptions applies the OpenMP sharing heuristic: a parallel nest's
-// sequential miss counts are divided across the platform's threads.
+// sequential miss counts are divided across the machine's threads.
 func cmOptions(cfg Config, nest *ir.Nest) cachemodel.Options {
 	o := cfg.CM
 	if nest.Root != nil && nest.Root.Parallel && o.Threads <= 1 {
-		o.Threads = cfg.Platform().Threads
+		o.Threads = machineThreads(cfg)
 	}
 	return o
 }
@@ -208,7 +232,7 @@ func cmOptions(cfg Config, nest *ir.Nest) cachemodel.Options {
 // nestThreads is the thread count a nest runs (and is modeled) with.
 func nestThreads(cfg Config, nest *ir.Nest) int {
 	if nest.Root != nil && nest.Root.Parallel {
-		return cfg.Platform().Threads
+		return machineThreads(cfg)
 	}
 	return 1
 }
@@ -235,7 +259,14 @@ func stageTile() pipeline.Stage[*compileState] {
 	return pipeline.Stage[*compileState]{
 		Name: StageTile,
 		Salt: func(st *compileState) string {
-			return fmt.Sprintf("%+v|tiling=%s", st.cfg.Pluto, st.cfg.Tiling.Fingerprint())
+			salt := fmt.Sprintf("%+v|tiling=%s", st.cfg.Pluto, st.cfg.Tiling.Fingerprint())
+			if st.cfg.Tiling.Normalize().Name == tiling.NameAuto {
+				// Auto's candidate ranking consults the cap search, so
+				// distinct search configurations must not share tiles
+				// (the calibration is already in the base key).
+				salt += "|search=" + st.cfg.Search.Fingerprint()
+			}
+			return salt
 		},
 		Save: snapSave, Load: snapLoad,
 		Run: func(ctx context.Context, st *compileState) error {
@@ -248,6 +279,7 @@ func stageTile() pipeline.Stage[*compileState] {
 				Threads: st.cfg.CM.Threads,
 				Pluto:   st.cfg.Pluto,
 				Faults:  st.cfg.Faults,
+				CapEDP:  capEDPScorer(ctx, st.cfg),
 			}
 			idx := 0
 			for _, f := range st.res.Module.Funcs {
@@ -287,6 +319,26 @@ func stageTile() pipeline.Stage[*compileState] {
 			}
 			return nil
 		},
+	}
+}
+
+// capEDPScorer builds the auto-tiling scoring callback: the EDP of the
+// uncore cap PolyUFC-SEARCH would select for a candidate's transformed
+// nest under this configuration's calibration. Concrete strategies
+// ignore it; auto prefers it over the legacy DRAM-volume score. The
+// score intentionally uses the plain single-socket model — candidate
+// ranking happens before placement, and on homogeneous topologies the
+// remote term shifts every candidate's EDP by the same traffic-
+// proportional factor.
+func capEDPScorer(ctx context.Context, cfg Config) func(nest *ir.Nest, cm *cachemodel.Result) (float64, bool) {
+	return func(nest *ir.Nest, cm *cachemodel.Result) (float64, bool) {
+		ks := model.FromCacheModel(cm, nestThreads(cfg, nest))
+		m := model.New(cfg.Constants(), ks)
+		res, err := search.Run(ctx, m, cfg.Platform().UncoreSteps(), cfg.Search)
+		if err != nil {
+			return 0, false
+		}
+		return res.Best.EDP, true
 	}
 }
 
@@ -332,8 +384,24 @@ func stageCharacterize() pipeline.Stage[*compileState] {
 		Name: StageCharacterize,
 		Save: snapSave, Load: snapLoad,
 		Run: func(_ context.Context, st *compileState) error {
+			// Topology placement: a parallel nest spans every socket with
+			// memory interleaved across them — (S-1)/S of its DRAM traffic
+			// crosses the link; a serial nest is pinned round-robin with
+			// its data home-socket local. Single-socket targets skip this
+			// entirely (socket 0, remote 0: the pre-topology state).
+			S := st.cfg.Target.NumSockets()
+			serial := 0
 			for idx, nest := range st.nests {
 				st.threads[idx] = nestThreads(st.cfg, nest)
+				if S > 1 {
+					if nest.Root != nil && nest.Root.Parallel {
+						st.socket[idx] = -1
+						st.remote[idx] = float64(S-1) / float64(S)
+					} else {
+						st.socket[idx] = serial % S
+						serial++
+					}
+				}
 				if cm := st.cms[idx]; cm != nil {
 					st.class[idx] = st.cfg.Constants().Classify(cm.OI)
 				}
@@ -357,7 +425,24 @@ func stageModelFit() pipeline.Stage[*compileState] {
 					return err
 				}
 				err := pipeline.Unit(StageModelFit, nest.Label, func() error {
-					m := model.New(st.cfg.Constants(), model.FromCacheModel(cm, st.threads[idx]))
+					ks := model.FromCacheModel(cm, st.threads[idx])
+					c := st.cfg.Constants()
+					var m *model.Model
+					if rho := st.remote[idx]; rho > 0 {
+						// Multi-socket placement: arm the inter-socket
+						// traffic term with the backend's declared link.
+						ks.RemoteRatio = rho
+						sec, jpb := st.cfg.Target.RemotePenalty()
+						m = model.NewNUMA(c, ks, &model.RemoteCost{SecPerByte: sec, JoulesPerByte: jpb})
+					} else {
+						if s := st.socket[idx]; s > 0 {
+							// Serial nest pinned off socket 0: model it with
+							// that socket's calibration (same pointer on
+							// homogeneous topologies).
+							c = st.cfg.Target.SocketConstants(s)
+						}
+						m = model.New(c, ks)
+					}
 					st.models[idx] = m
 					st.defEst[idx] = m.At(st.cfg.Platform().UncoreMax)
 					return nil
@@ -398,7 +483,14 @@ func stagePlanLookup() pipeline.Stage[*compileState] {
 					return err
 				}
 				err := pipeline.Unit(StagePlanLookup, nest.Label, func() error {
-					f, ok := st.cfg.Plans.Lookup(st.cfg.Target, st.cfg.Search, st.cfg.Tiling.Fingerprint(), m)
+					// The nest's socket domain picks the table; spanning
+					// nests (socket -1) answer from socket 0's, whose
+					// rho-extended surface carries their remote share.
+					socket := st.socket[idx]
+					if socket < 0 {
+						socket = 0
+					}
+					f, ok := st.cfg.Plans.Lookup(st.cfg.Target, st.cfg.Search, st.cfg.Tiling.Fingerprint(), socket, m)
 					if !ok {
 						return nil
 					}
@@ -457,6 +549,26 @@ func stageCapInsert() pipeline.Stage[*compileState] {
 		Name: StageCapInsert,
 		Run: func(_ context.Context, st *compileState) error {
 			cfg := st.cfg
+			S := cfg.Target.NumSockets()
+			// socketCaps builds the per-socket cap vector of a capped nest:
+			// the searched cap on every socket the nest runs on, idle
+			// sockets parked at their grid minimum (nil on single-socket
+			// targets, keeping v1 reports unchanged).
+			socketCaps := func(i int, capGHz float64) []float64 {
+				if S <= 1 {
+					return nil
+				}
+				topo := cfg.Target.Backend.Topology()
+				caps := make([]float64, S)
+				for k := range caps {
+					if st.socket[i] < 0 || st.socket[i] == k {
+						caps[k] = capGHz
+					} else {
+						caps[k] = topo[k].UncoreMinGHz
+					}
+				}
+				return caps
+			}
 			idx := 0
 			for _, f := range st.res.Module.Funcs {
 				var out []ir.Op
@@ -477,7 +589,8 @@ func stageCapInsert() pipeline.Stage[*compileState] {
 							Label: nest.Label, Origin: nest.Origin(),
 							CapGHz: activeCap, Tiled: st.tinfo[i].Tiled,
 							Tiling: st.tinfo[i].Strategy, TileSize: st.tinfo[i].TileSize,
-							Threads:  st.threads[i],
+							Threads: st.threads[i],
+							Socket:  st.socket[i], RemoteRatio: st.remote[i],
 							Degraded: true, Err: st.nerr[i],
 						})
 						out = append(out, nest)
@@ -490,7 +603,9 @@ func stageCapInsert() pipeline.Stage[*compileState] {
 							Label: nest.Label, Origin: nest.Origin(),
 							OI: cm.OI, CapGHz: activeCap, Tiled: st.tinfo[i].Tiled,
 							Tiling: st.tinfo[i].Strategy, TileSize: st.tinfo[i].TileSize,
-							Threads: st.threads[i], CM: cm, Degraded: true, Err: st.serr[i],
+							Threads: st.threads[i], CM: cm,
+							Socket: st.socket[i], RemoteRatio: st.remote[i],
+							Degraded: true, Err: st.serr[i],
 						})
 						out = append(out, nest)
 						continue
@@ -504,7 +619,9 @@ func stageCapInsert() pipeline.Stage[*compileState] {
 						Threads: st.threads[i],
 						Est:     sres.Best, EstDefault: st.defEst[i],
 						CM: cm, SearchEvals: sres.Evaluated, PlanHit: st.plan[i],
-						Degraded: st.nerr[i] != nil, Err: st.nerr[i],
+						Socket: st.socket[i], RemoteRatio: st.remote[i],
+						SocketCaps: socketCaps(i, sres.BestGHz),
+						Degraded:   st.nerr[i] != nil, Err: st.nerr[i],
 					})
 					// Profitability gate (Sec. VII-F): switching the cap costs
 					// CapLatency; only worthwhile when the kernel runs long
@@ -522,9 +639,61 @@ func stageCapInsert() pipeline.Stage[*compileState] {
 				}
 				f.Ops = out
 			}
+			st.res.Topology = st.topologyResult()
 			return nil
 		},
 	}
+}
+
+// topologyResult rolls the per-kernel model estimates up the topology:
+// time and energy attributed per socket, node makespan, and the cluster
+// EDP of Nodes identical replicas running the module data-parallel.
+// Nil for single-socket, single-node targets.
+func (st *compileState) topologyResult() *TopologyResult {
+	t := st.cfg.Target
+	S := t.NumSockets()
+	nodes := 1
+	if t != nil && t.Backend != nil {
+		nodes = t.Backend.NumNodes()
+	}
+	if S <= 1 && nodes <= 1 {
+		return nil
+	}
+	tr := &TopologyResult{
+		Sockets: S, Nodes: nodes,
+		SocketSeconds: make([]float64, S),
+		SocketJoules:  make([]float64, S),
+	}
+	var defSeconds, defJoules float64
+	for _, rep := range st.res.Reports {
+		est := rep.Est
+		if est.Seconds <= 0 {
+			continue // degraded nest: no model estimate to attribute
+		}
+		tr.NodeSeconds += est.Seconds
+		tr.NodeJoules += est.Joules
+		defSeconds += rep.EstDefault.Seconds
+		defJoules += rep.EstDefault.Joules
+		if rep.Socket < 0 {
+			// A spanning nest bills its wall time to every socket (they
+			// run concurrently) and splits its energy evenly.
+			for k := 0; k < S; k++ {
+				tr.SocketSeconds[k] += est.Seconds
+				tr.SocketJoules[k] += est.Joules / float64(S)
+			}
+		} else if rep.Socket < S {
+			tr.SocketSeconds[rep.Socket] += est.Seconds
+			tr.SocketJoules[rep.Socket] += est.Joules
+		}
+	}
+	// The module runs its nests in order, so the node makespan is the
+	// nest-time sum; the cluster's BSP step takes the same wall time on
+	// every replica while energy scales with the node count.
+	tr.ClusterSeconds = tr.NodeSeconds
+	tr.ClusterJoules = float64(nodes) * tr.NodeJoules
+	tr.ClusterEDP = tr.ClusterJoules * tr.ClusterSeconds
+	tr.ClusterEDPDefault = float64(nodes) * defJoules * defSeconds
+	return tr
 }
 
 func stageCapMerge() pipeline.Stage[*compileState] {
@@ -684,6 +853,7 @@ func (st *compileState) partialReports() {
 			Tiled:  st.tinfo[i].Tiled,
 			Tiling: st.tinfo[i].Strategy, TileSize: st.tinfo[i].TileSize,
 			Threads: st.threads[i],
+			Socket:  st.socket[i], RemoteRatio: st.remote[i],
 		}
 		if cm := st.cms[i]; cm != nil {
 			rep.OI = cm.OI

@@ -2,12 +2,14 @@ package core
 
 import (
 	"context"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
 
 	"polyufc/internal/faults"
 	"polyufc/internal/hw"
+	"polyufc/internal/ir"
 	"polyufc/internal/pipeline"
 	"polyufc/internal/tiling"
 	"polyufc/internal/workloads"
@@ -202,5 +204,77 @@ func TestAutoAllCandidatesFailed(t *testing.T) {
 		if r.CM == nil || r.CapGHz <= 0 {
 			t.Fatalf("report %d: fallback not capped: %+v", i, r)
 		}
+	}
+}
+
+// The divergence witness for auto's objective: candidates are ranked by
+// the EDP of the cap PolyUFC-SEARCH selects, not by predicted DRAM
+// volume. On bicg at Bench size on BDW the two objectives disagree —
+// the volume rule prefers one strategy, the cap-EDP rule another — and
+// the compile pipeline must follow the EDP argmin: auto's report names
+// the EDP winner and matches the best searched EDP over the concrete
+// strategies.
+func TestAutoSelectsByCapEDPNotDRAMVolume(t *testing.T) {
+	const kernel = "bicg"
+	p := hw.BDW()
+	cfg := DefaultConfig(targetFor(t, p))
+	cfg.AmortizeFactor = 0
+
+	// Unit level: replicate stageTile's context with and without the
+	// scorer; the winners must differ (otherwise the fix is untestable
+	// on this input and the witness kernel must change).
+	mod := buildModule(t, kernel, workloads.Bench)
+	var nest *ir.Nest
+	for _, f := range mod.Funcs {
+		for _, op := range f.Ops {
+			if n, ok := op.(*ir.Nest); ok && nest == nil {
+				nest = n
+			}
+		}
+	}
+	if nest == nil {
+		t.Fatalf("%s has no nest", kernel)
+	}
+	auto := tiling.MustNew(tiling.Spec{Name: tiling.NameAuto})
+	tctx := tiling.Context{Cache: cfg.Platform().Cache, Threads: cfg.CM.Threads, Pluto: cfg.Pluto}
+	_, volInfo, err := auto.Apply(nest, tctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tctx.CapEDP = capEDPScorer(context.Background(), cfg)
+	_, edpInfo, err := auto.Apply(nest, tctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if volInfo.Strategy == edpInfo.Strategy {
+		t.Fatalf("no divergence on %s: volume and cap-EDP rules both pick %s", kernel, volInfo.Strategy)
+	}
+
+	// Pipeline level: a full auto compile follows the EDP winner, and
+	// its searched EDP is the minimum over the concrete strategies.
+	cfgAuto := cfg
+	cfgAuto.Tiling = tiling.Spec{Name: tiling.NameAuto}
+	resAuto, err := CompileCtx(context.Background(), buildModule(t, kernel, workloads.Bench), cfgAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := resAuto.Reports[0]
+	if rep.Tiling != edpInfo.Strategy {
+		t.Fatalf("pipeline picked %s, want the cap-EDP winner %s", rep.Tiling, edpInfo.Strategy)
+	}
+	best := math.Inf(1)
+	for _, name := range []string{tiling.NamePluto, tiling.NameCacheOblivious, tiling.NameLatency} {
+		cfgC := cfg
+		cfgC.Tiling = tiling.Spec{Name: name}
+		resC, err := CompileCtx(context.Background(), buildModule(t, kernel, workloads.Bench), cfgC)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if edp := resC.Reports[0].Est.EDP; edp < best {
+			best = edp
+		}
+	}
+	if rep.Est.EDP > best*(1+1e-9) {
+		t.Fatalf("auto's searched EDP %g exceeds the best concrete strategy's %g", rep.Est.EDP, best)
 	}
 }

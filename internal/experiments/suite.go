@@ -335,6 +335,8 @@ func (s *Suite) Run(id string) error {
 		return s.RenderDUFS()
 	case "joint":
 		return s.RenderJoint()
+	case "cluster":
+		return s.RenderCluster()
 	case "tilesize":
 		return s.RenderTileSize()
 	case "tiling":
@@ -359,7 +361,7 @@ func (s *Suite) Run(id string) error {
 func ExperimentIDs() []string {
 	ids := []string{"fig1", "fig5", "fig6", "fig7", "fig8",
 		"tab1", "tab2", "tab3", "tab4", "overhead", "dedup", "dufs", "joint",
-		"tilesize", "tiling", "valid", "all"}
+		"cluster", "tilesize", "tiling", "valid", "all"}
 	sort.Strings(ids)
 	return ids
 }

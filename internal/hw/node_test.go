@@ -1,0 +1,154 @@
+package hw
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"polyufc/internal/faults"
+	"polyufc/internal/platform"
+)
+
+// twoSocketBackend builds a 2-socket topology out of the embedded BDW
+// description (same sockets, a QPI-shaped link).
+func twoSocketBackend(t *testing.T) *platform.Backend {
+	t.Helper()
+	bdw, err := platform.Lookup("BDW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock := bdw.Topology()[0]
+	b := &platform.Backend{
+		Schema: platform.SchemaVersion, Name: "2S-TEST",
+		CPU: "test 2S", Released: 2026,
+		Sockets:      []platform.Socket{sock, sock},
+		Interconnect: &platform.Interconnect{BWGBs: 19.2, LatencyNs: 120, EnergyPJPerByte: 15},
+	}
+	b.Normalize()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNodeBootAndSocketViews(t *testing.T) {
+	b := twoSocketBackend(t)
+	n, err := NewNode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumSockets() != 2 {
+		t.Fatalf("NumSockets = %d", n.NumSockets())
+	}
+	if n.TotalThreads() != 2*b.Threads {
+		t.Fatalf("TotalThreads = %d, want %d", n.TotalThreads(), 2*b.Threads)
+	}
+	s0, _ := n.Socket(0)
+	s1, _ := n.Socket(1)
+	if s0.P.Socket != 0 || s1.P.Socket != 1 {
+		t.Fatalf("socket indices %d/%d", s0.P.Socket, s1.P.Socket)
+	}
+	// Socket 0's platform view is FromBackend's, field for field — the
+	// invariant that keeps every single-socket consumer on the same data.
+	direct, err := FromBackend(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s0.P, direct) {
+		t.Fatal("socket 0 platform differs from FromBackend")
+	}
+	if _, err := n.Socket(2); err == nil {
+		t.Fatal("out-of-range socket resolved")
+	}
+	// Single-socket backends boot as 1-socket nodes.
+	bdw, _ := platform.Lookup("BDW")
+	nb, err := NewNode(bdw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb.NumSockets() != 1 || nb.Interconnect() != nil {
+		t.Fatalf("BDW node: %d sockets, ic=%v", nb.NumSockets(), nb.Interconnect())
+	}
+}
+
+func TestMeasureNUMARemotePenalty(t *testing.T) {
+	b := twoSocketBackend(t)
+	n, err := NewNode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := n.Socket(0)
+	p := &CacheProfile{
+		Flops: 1 << 24, LLCMisses: 1 << 18,
+		DRAMReadB: 64 << 18, DRAMWriteB: 32 << 18,
+		LevelHits: []int64{1 << 20, 1 << 18, 1 << 16}, HasParallel: true,
+	}
+	local := m.MeasureAtNUMA(p, m.P.CoreBase, m.P.UncoreMax, 0, n.Interconnect())
+	base := m.MeasureAt(p, m.P.CoreBase, m.P.UncoreMax)
+	if local != base {
+		t.Fatal("zero remote ratio is not bit-identical to MeasureAt")
+	}
+	prev := local
+	for _, rho := range []float64{0.25, 0.5, 1.0} {
+		r := m.MeasureAtNUMA(p, m.P.CoreBase, m.P.UncoreMax, rho, n.Interconnect())
+		if !(r.Seconds > prev.Seconds) || !(r.PkgJoules > prev.PkgJoules) {
+			t.Fatalf("rho=%g: remote traffic did not cost time/energy (%.3g s vs %.3g s)", rho, r.Seconds, prev.Seconds)
+		}
+		prev = r
+	}
+	// The ratio clamps at 1: over-unity input costs the same as all-remote.
+	over := m.MeasureAtNUMA(p, m.P.CoreBase, m.P.UncoreMax, 2.0, n.Interconnect())
+	if math.Abs(over.Seconds-prev.Seconds) > 1e-15 {
+		t.Fatal("remote ratio did not clamp at 1")
+	}
+	// Stateful MeasureNUMA accumulates RAPL.
+	m.ResetCounters()
+	r := m.MeasureNUMA(p, 0.5, n.Interconnect())
+	pkg, _, busy := m.RAPL()
+	if pkg != r.PkgJoules || busy != r.Seconds {
+		t.Fatal("MeasureNUMA did not accumulate RAPL counters")
+	}
+}
+
+func TestNodePerSocketFaultIsolation(t *testing.T) {
+	b := twoSocketBackend(t)
+	n, err := NewNode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm a hard EBUSY fault on socket 1 only.
+	reg := faults.New(1)
+	reg.Enable(FaultCapWriteBusy, faults.Spec{P: 1})
+	if err := n.SetSocketFaults(1, reg); err != nil {
+		t.Fatal(err)
+	}
+	ctls := n.Controllers(CapControllerOptions{MaxRetries: 2, BestEffort: true})
+	target := 1.6
+	got0, err0 := ctls[0].Apply(target)
+	_, err1 := ctls[1].Apply(target)
+	if err0 != nil || got0 != target {
+		t.Fatalf("healthy socket 0 degraded: cap=%g err=%v", got0, err0)
+	}
+	if err1 == nil {
+		t.Fatal("faulty socket 1 applied the cap despite a hard EBUSY fault")
+	}
+	s0, _ := n.Socket(0)
+	s1, _ := n.Socket(1)
+	if s0.UncoreCap() != target {
+		t.Fatalf("socket 0 cap = %g, want %g", s0.UncoreCap(), target)
+	}
+	if s1.UncoreCap() != s1.P.UncoreMax {
+		t.Fatalf("socket 1 cap moved to %g despite write failures", s1.UncoreCap())
+	}
+	// ApplyCaps surfaces the failure but still drives every socket.
+	applied, err := n.ApplyCaps([]float64{1.4, 1.4}, CapControllerOptions{MaxRetries: 1, BestEffort: true})
+	if err == nil {
+		t.Fatal("ApplyCaps swallowed the socket-1 failure")
+	}
+	if applied[0] != 1.4 {
+		t.Fatalf("socket 0 cap after ApplyCaps = %g", applied[0])
+	}
+	if _, err := n.ApplyCaps([]float64{1.2}, CapControllerOptions{}); err == nil {
+		t.Fatal("cap-count mismatch accepted")
+	}
+}

@@ -14,6 +14,7 @@
 package hw
 
 import (
+	"fmt"
 	"math"
 
 	"polyufc/internal/cachesim"
@@ -48,6 +49,10 @@ type Platform struct {
 	// (false on BDW, footnote 15).
 	HasUncoreRAPL bool
 	Cache         cachesim.Config
+	// Socket is the topology index this platform views (0 for v1
+	// single-socket descriptions and for FromBackend, which always views
+	// socket 0 — the flattened top-level fields).
+	Socket int
 	// Backend is the description this platform was constructed from.
 	Backend *platform.Backend
 	truth   Truth
@@ -74,6 +79,43 @@ func FromBackend(b *platform.Backend) (*Platform, error) {
 		Cache:         cachesim.Config{Levels: levels},
 		Backend:       b,
 		truth:         b.Truth,
+	}, nil
+}
+
+// SocketPlatform constructs the Platform view of one socket of a
+// topology description: the socket's own uncore domain, cap grid, cache
+// hierarchy and truth constants under the backend's name. Socket 0 is
+// identical to FromBackend (v1 descriptions are their own socket 0), so
+// single-socket consumers never see a difference.
+func SocketPlatform(b *platform.Backend, socket int) (*Platform, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	topo := b.Topology()
+	if socket < 0 || socket >= len(topo) {
+		return nil, fmt.Errorf("hw: backend %q has %d socket(s), no socket %d", b.Name, len(topo), socket)
+	}
+	if socket == 0 {
+		return FromBackend(b)
+	}
+	s := topo[socket]
+	levels := make([]cachesim.LevelConfig, len(s.Cache))
+	for i, lv := range s.Cache {
+		levels[i] = cachesim.LevelConfig{
+			Name: lv.Name, SizeBytes: lv.SizeBytes, LineSize: lv.LineSize, Assoc: lv.Assoc,
+		}
+	}
+	return &Platform{
+		Name: b.Name, CPU: b.CPU, Released: b.Released,
+		Cores: s.Cores, Threads: s.Threads,
+		CoreMin: s.CoreMinGHz, CoreMax: s.CoreMaxGHz, CoreBase: s.CoreBaseGHz,
+		UncoreMin: s.UncoreMinGHz, UncoreMax: s.UncoreMaxGHz,
+		CapStep: s.CapStepGHz, CapLatency: s.CapLatencySec,
+		HasUncoreRAPL: s.HasUncoreRAPL,
+		Cache:         cachesim.Config{Levels: levels},
+		Socket:        socket,
+		Backend:       b,
+		truth:         s.Truth,
 	}, nil
 }
 

@@ -31,6 +31,11 @@ type KernelStats struct {
 	MissRatio []float64
 	// Threads the kernel will run with (OpenMP).
 	Threads int
+	// RemoteRatio is the fraction of DRAM traffic served from a remote
+	// socket across the interconnect (the NUMA intensive coordinate);
+	// 0 on single-socket placements. It only takes effect when the model
+	// carries a RemoteCost.
+	RemoteRatio float64
 }
 
 // FromCacheModel converts a PolyUFC-CM result into model inputs.
@@ -66,16 +71,36 @@ type Estimate struct {
 	Class     roofline.Class
 }
 
+// RemoteCost is the analytic inter-socket traffic term of a topology
+// target: the per-byte service time and energy a remote DRAM access pays
+// on top of a local one. It is derived from the backend's declared
+// interconnect (known topology data), not calibrated — the hidden truth
+// model charges its own version, so the analytic term is genuinely
+// tested against measurement like every other part of the model.
+type RemoteCost struct {
+	SecPerByte    float64
+	JoulesPerByte float64
+}
+
 // Model evaluates the Sec. V equations for one kernel on one calibrated
 // platform.
 type Model struct {
 	C  *roofline.Constants
 	KS KernelStats
+	// Remote, when non-nil, arms the inter-socket traffic term for
+	// kernels with a non-zero RemoteRatio. Nil (every single-socket
+	// model) evaluates the original equations bit for bit.
+	Remote *RemoteCost
 }
 
 // New builds a model instance.
 func New(c *roofline.Constants, ks KernelStats) *Model {
 	return &Model{C: c, KS: ks}
+}
+
+// NewNUMA builds a model with the inter-socket traffic term armed.
+func NewNUMA(c *roofline.Constants, ks KernelStats, rc *RemoteCost) *Model {
+	return &Model{C: c, KS: ks, Remote: rc}
 }
 
 // Class returns the kernel's CB/BB characterization (Sec. IV-D).
@@ -116,6 +141,19 @@ func (m *Model) At(f float64) Estimate {
 	tDRAM := float64(qTime) * c.MissLat(f)
 	tMem += tDRAM
 
+	// Inter-socket traffic term: the remote fraction of DRAM bytes pays
+	// the link's per-byte service time serially — the link is a shared
+	// resource the uncore cap does not clock, so the term is frequency-
+	// independent (it deepens the memory-bound plateau, pushing optimal
+	// caps down). Skipped entirely at rho = 0 so single-socket estimates
+	// are bit-identical to the pre-topology model.
+	var remoteBytes float64
+	if m.Remote != nil && ks.RemoteRatio > 0 {
+		rho := math.Min(ks.RemoteRatio, 1)
+		remoteBytes = rho * float64(qTime)
+		tMem += remoteBytes * m.Remote.SecPerByte
+	}
+
 	t := tComp + tMem
 	if t <= 0 {
 		t = 1e-12
@@ -143,6 +181,11 @@ func (m *Model) At(f float64) Estimate {
 	// time-weighted platform power for the memory phase; the constant and
 	// uncore power also burn during compute).
 	joules := float64(ks.Flops)*c.EFpu + t*(c.PCon+pUncore)
+	if remoteBytes > 0 {
+		// Link transfer energy; the time-weighted platform power of the
+		// extra seconds is already inside t*(PCon+pUncore).
+		joules += remoteBytes * m.Remote.JoulesPerByte
+	}
 
 	return Estimate{
 		FGHz: f, Seconds: t, TCompute: tComp, TMemory: tMem,

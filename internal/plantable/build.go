@@ -63,6 +63,17 @@ type BuildOptions struct {
 	Journal *journal.Journal
 	// Concurrency bounds the sweep workers; <1 uses GOMAXPROCS.
 	Concurrency int
+	// Socket selects the uncore domain the table answers for on a
+	// multi-socket topology: the sweep runs against that socket's
+	// platform view and calibration. 0 (the default) is the only valid
+	// value for single-socket backends.
+	Socket int
+	// Rhos, when non-empty, extends the sweep with the remote-traffic
+	// -ratio axis: the listed ratios (plus an implicit 0 anchor) are
+	// swept with the inter-socket traffic term armed, producing the
+	// rho-extended surfaces NUMA placements are answered from. Requires
+	// a topology backend with a declared interconnect.
+	Rhos []float64
 }
 
 func (o BuildOptions) normalize() BuildOptions {
@@ -182,12 +193,43 @@ func SyntheticModel(c *platform.Constants, cls roofline.Class, phi, ratio, fRef 
 	return model.New(c, ks), nil
 }
 
+// SyntheticModelNUMA is SyntheticModel with the inter-socket traffic
+// term armed: the witness serves rho of its DRAM bytes across the link.
+// The search outcome stays volume-invariant — both remote terms scale
+// with Q — so sweeping NUMA witnesses tabulates the whole rho > 0
+// family the same way the 2D sweep does.
+func SyntheticModelNUMA(c *platform.Constants, cls roofline.Class, phi, ratio, rho, fRef float64, rc *model.RemoteCost) (*model.Model, error) {
+	if !(rho >= 0) || rho > 1 {
+		return nil, fmt.Errorf("plantable: synthetic model: rho must be in [0, 1], got %g", rho)
+	}
+	if rc == nil {
+		return nil, fmt.Errorf("plantable: synthetic model: rho sweep needs a remote cost")
+	}
+	m, err := SyntheticModel(c, cls, phi, ratio, fRef)
+	if err != nil {
+		return nil, err
+	}
+	ks := m.KS
+	ks.RemoteRatio = rho
+	return model.NewNUMA(c, ks, rc), nil
+}
+
 // cellKey is the journal checkpoint key of one solved cell. It is keyed
 // by the cell's axis values (not indices), so a resumed sweep at a
 // different axis resolution reuses every cell both resolutions share.
 func cellKey(tb *Table, cls roofline.Class, phi, ratio float64) string {
 	return fmt.Sprintf("plantable/%s/%s/%s/eps%g/%s/phi%.17g/mem%.17g",
 		tb.BackendHash, tb.CalHash, tb.Objective, tb.Epsilon, cls, phi, ratio)
+}
+
+// cellKeyRho extends cellKey with the remote-ratio coordinate; rho = 0
+// cells keep the legacy key so journals written before the axis existed
+// resume unchanged.
+func cellKeyRho(tb *Table, cls roofline.Class, phi, ratio, rho float64) string {
+	if rho == 0 {
+		return cellKey(tb, cls, phi, ratio)
+	}
+	return cellKey(tb, cls, phi, ratio) + fmt.Sprintf("/rho%.17g", rho)
 }
 
 // splitPoint is the refinement midpoint of one axis interval: geometric
@@ -227,8 +269,29 @@ func Build(ctx context.Context, t *roofline.Target, opts BuildOptions) (*Table, 
 		return nil, fmt.Errorf("plantable: build: target must carry backend, platform and constants")
 	}
 	opts = opts.normalize()
-	c := t.Constants
+	if opts.Socket < 0 || opts.Socket >= t.NumSockets() {
+		return nil, fmt.Errorf("plantable: build: socket %d out of range for %s (%d sockets)",
+			opts.Socket, t.Backend.Name, t.NumSockets())
+	}
+	var rc *model.RemoteCost
+	if len(opts.Rhos) > 0 {
+		if t.Backend.Interconnect == nil {
+			return nil, fmt.Errorf("plantable: build: %s declares no interconnect — a rho sweep needs one", t.Backend.Name)
+		}
+		sec, jpb := t.RemotePenalty()
+		rc = &model.RemoteCost{SecPerByte: sec, JoulesPerByte: jpb}
+	}
+	// The sweep runs against the selected socket's domain: its platform
+	// view (the cap grid) and its calibration. Socket 0 is exactly the
+	// pre-topology single-socket sweep.
+	c := t.SocketConstants(opts.Socket)
 	p := t.Platform
+	if opts.Socket > 0 {
+		var err error
+		if p, err = hw.SocketPlatform(t.Backend, opts.Socket); err != nil {
+			return nil, err
+		}
+	}
 	tb := &Table{
 		Schema:       SchemaVersion,
 		Backend:      t.Backend.Name,
@@ -242,27 +305,41 @@ func Build(ctx context.Context, t *roofline.Target, opts BuildOptions) (*Table, 
 		CapStepGHz:   p.CapStep,
 		OIAxis:       OIAxisFor(c.BtDRAM, opts.OIPoints),
 		MemAxis:      MemAxisPoints(opts.MemPoints),
+		Socket:       opts.Socket,
+	}
+	if rc != nil {
+		tb.RhoAxis = dedupAscending(append(append([]float64(nil), opts.Rhos...), 0))
+		last := tb.RhoAxis[len(tb.RhoAxis)-1]
+		if tb.RhoAxis[0] < 0 || last > 1 {
+			return nil, fmt.Errorf("plantable: build: rho axis must stay within [0, 1], got [%g, %g]", tb.RhoAxis[0], last)
+		}
 	}
 
 	freqs := p.UncoreSteps()
 	fRef := tb.refFreq()
 	classes := []roofline.Class{roofline.ComputeBound, roofline.BandwidthBound}
 	type shape struct {
-		cls        roofline.Class
-		phi, ratio float64
+		cls             roofline.Class
+		phi, ratio, rho float64
 	}
 	cache := map[shape]int{}
 	solve := func(shapes []shape) error {
 		idxs, err := parallel.Map(ctx, len(shapes), opts.Concurrency, func(ctx context.Context, n int) (int, error) {
 			s := shapes[n]
-			key := cellKey(tb, s.cls, s.phi, s.ratio)
+			key := cellKeyRho(tb, s.cls, s.phi, s.ratio, s.rho)
 			if opts.Journal != nil {
 				var idx int
 				if ok, err := opts.Journal.Get(key, &idx); err == nil && ok {
 					return idx, nil
 				}
 			}
-			m, err := SyntheticModel(c, s.cls, s.phi, s.ratio, fRef)
+			var m *model.Model
+			var err error
+			if s.rho > 0 {
+				m, err = SyntheticModelNUMA(c, s.cls, s.phi, s.ratio, s.rho, fRef, rc)
+			} else {
+				m, err = SyntheticModel(c, s.cls, s.phi, s.ratio, fRef)
+			}
 			if err != nil {
 				return 0, err
 			}
@@ -292,7 +369,7 @@ func Build(ctx context.Context, t *roofline.Target, opts BuildOptions) (*Table, 
 		for _, cls := range classes {
 			for _, phi := range tb.OIAxis {
 				for _, ratio := range tb.MemAxis {
-					s := shape{cls, phi, ratio}
+					s := shape{cls, phi, ratio, 0}
 					if _, ok := cache[s]; !ok {
 						missing = append(missing, s)
 					}
@@ -306,7 +383,7 @@ func Build(ctx context.Context, t *roofline.Target, opts BuildOptions) (*Table, 
 			break
 		}
 		at := func(cls roofline.Class, phi, ratio float64) int {
-			return cache[shape{cls, phi, ratio}]
+			return cache[shape{cls, phi, ratio, 0}]
 		}
 		var addOI, addMem []float64
 		for _, cls := range classes {
@@ -346,8 +423,44 @@ func Build(ctx context.Context, t *roofline.Target, opts BuildOptions) (*Table, 
 		tb.CB[i] = make([]int, len(tb.MemAxis))
 		tb.BB[i] = make([]int, len(tb.MemAxis))
 		for j, ratio := range tb.MemAxis {
-			tb.CB[i][j] = cache[shape{roofline.ComputeBound, phi, ratio}]
-			tb.BB[i][j] = cache[shape{roofline.BandwidthBound, phi, ratio}]
+			tb.CB[i][j] = cache[shape{roofline.ComputeBound, phi, ratio, 0}]
+			tb.BB[i][j] = cache[shape{roofline.BandwidthBound, phi, ratio, 0}]
+		}
+	}
+
+	if rc != nil {
+		// Rho sweep on the refined mesh: the OI/Mem resolution was tuned
+		// against the rho = 0 surfaces; rho > 0 cliffs that survive are
+		// caught by Lookup's spread guard and fall back to live search.
+		var missing []shape
+		for _, cls := range classes {
+			for _, phi := range tb.OIAxis {
+				for _, ratio := range tb.MemAxis {
+					for _, rho := range tb.RhoAxis {
+						if rho == 0 {
+							continue // shared with the 2D sweep
+						}
+						missing = append(missing, shape{cls, phi, ratio, rho})
+					}
+				}
+			}
+		}
+		if err := solve(missing); err != nil {
+			return nil, fmt.Errorf("plantable: build %s: %w", tb.Backend, err)
+		}
+		tb.CBR = make([][][]int, len(tb.OIAxis))
+		tb.BBR = make([][][]int, len(tb.OIAxis))
+		for i, phi := range tb.OIAxis {
+			tb.CBR[i] = make([][]int, len(tb.MemAxis))
+			tb.BBR[i] = make([][]int, len(tb.MemAxis))
+			for j, ratio := range tb.MemAxis {
+				tb.CBR[i][j] = make([]int, len(tb.RhoAxis))
+				tb.BBR[i][j] = make([]int, len(tb.RhoAxis))
+				for k, rho := range tb.RhoAxis {
+					tb.CBR[i][j][k] = cache[shape{roofline.ComputeBound, phi, ratio, rho}]
+					tb.BBR[i][j][k] = cache[shape{roofline.BandwidthBound, phi, ratio, rho}]
+				}
+			}
 		}
 	}
 	if err := tb.Validate(); err != nil {

@@ -105,6 +105,23 @@ type Table struct {
 	// cell for compute-bound and bandwidth-bound kernels respectively.
 	CB [][]int `json:"cb"`
 	BB [][]int `json:"bb"`
+	// Socket is the uncore-domain index the table answers for.
+	// Multi-socket topologies sweep one table per socket domain (their
+	// calibrations can differ); 0 — the single-socket default — keeps
+	// pre-topology tables byte-identical through omitempty.
+	Socket int `json:"socket,omitempty"`
+	// RhoAxis extends the intensive shape with the remote-traffic-ratio
+	// coordinate of topology placements: the fraction of DRAM bytes the
+	// kernel serves across the inter-socket link. The remote time folds
+	// into the memory ratio, but the link's per-byte energy is a genuine
+	// fourth shape parameter, so rho > 0 lookups need their own swept
+	// surface. Absent (with CBR/BBR) on single-socket tables.
+	RhoAxis []float64 `json:"rho_axis,omitempty"`
+	// CBR and BBR hold the selected grid index per (OIAxis[i],
+	// MemAxis[j], RhoAxis[k]) cell; their rho = 0 plane coincides with
+	// CB/BB (the remote term vanishes there).
+	CBR [][][]int `json:"cb_rho,omitempty"`
+	BBR [][][]int `json:"bb_rho,omitempty"`
 }
 
 // CalibrationHash is the content hash of a set of calibrated constants,
@@ -216,6 +233,49 @@ func (tb *Table) Validate() error {
 			}
 		}
 	}
+	if tb.Socket < 0 {
+		return fmt.Errorf("plantable: table for %q: socket: must be >= 0, got %d", tb.Backend, tb.Socket)
+	}
+	if len(tb.RhoAxis) == 0 {
+		if len(tb.CBR) != 0 || len(tb.BBR) != 0 {
+			return fmt.Errorf("plantable: table for %q: cb_rho/bb_rho present without a rho_axis", tb.Backend)
+		}
+		return nil
+	}
+	if len(tb.RhoAxis) < 2 {
+		return fmt.Errorf("plantable: table for %q: rho_axis needs at least 2 points, got %d", tb.Backend, len(tb.RhoAxis))
+	}
+	if err := checkAxis("rho_axis", tb.RhoAxis, false); err != nil {
+		return fmt.Errorf("plantable: table for %q: %w", tb.Backend, err)
+	}
+	if tb.RhoAxis[0] != 0 || tb.RhoAxis[len(tb.RhoAxis)-1] > 1 {
+		return fmt.Errorf("plantable: table for %q: rho_axis must start at 0 and stay within [0, 1], got [%g, %g]",
+			tb.Backend, tb.RhoAxis[0], tb.RhoAxis[len(tb.RhoAxis)-1])
+	}
+	for name, m := range map[string][][][]int{"cb_rho": tb.CBR, "bb_rho": tb.BBR} {
+		if len(m) != len(tb.OIAxis) {
+			return fmt.Errorf("plantable: table for %q: %s: got %d rows, oi_axis has %d points",
+				tb.Backend, name, len(m), len(tb.OIAxis))
+		}
+		for i, row := range m {
+			if len(row) != len(tb.MemAxis) {
+				return fmt.Errorf("plantable: table for %q: %s row %d: got %d entries, mem_axis has %d points",
+					tb.Backend, name, i, len(row), len(tb.MemAxis))
+			}
+			for j, cell := range row {
+				if len(cell) != len(tb.RhoAxis) {
+					return fmt.Errorf("plantable: table for %q: %s[%d][%d]: got %d entries, rho_axis has %d points",
+						tb.Backend, name, i, j, len(cell), len(tb.RhoAxis))
+				}
+				for k, idx := range cell {
+					if idx < 0 || idx >= n {
+						return fmt.Errorf("plantable: table for %q: %s[%d][%d][%d]: grid index %d out of range [0, %d)",
+							tb.Backend, name, i, j, k, idx, n)
+					}
+				}
+			}
+		}
+	}
 	return nil
 }
 
@@ -253,7 +313,14 @@ func (tb *Table) Matches(t *roofline.Target) error {
 		return fmt.Errorf("%w: table for %q was swept against description %s, but the current description is %s (rebuild the table)",
 			ErrStale, tb.Backend, tb.BackendHash, h)
 	}
-	if h := CalibrationHash(t.Constants); tb.CalHash != h {
+	if tb.Socket >= t.NumSockets() {
+		return fmt.Errorf("%w: table for %q answers socket %d, but the description has %d sockets",
+			ErrStale, tb.Backend, tb.Socket, t.NumSockets())
+	}
+	// The calibration pin is per socket domain: socket tables check the
+	// fit of their own socket (identical to Constants on single-socket
+	// and homogeneous targets).
+	if h := CalibrationHash(t.SocketConstants(tb.Socket)); tb.CalHash != h {
 		return fmt.Errorf("%w: table for %q was swept against calibration %s, but the current calibration is %s (rebuild the table)",
 			ErrStale, tb.Backend, tb.CalHash, h)
 	}
@@ -378,6 +445,12 @@ func Decompose(m *model.Model, fRef float64) (Shape, bool) {
 	// instead of re-deriving Eqns. 3-4, so the decomposition can never
 	// drift from the model.
 	a := m.At(fRef).Seconds/float64(q) - mRef
+	// NUMA models fold the remote traffic's frequency-independent
+	// per-byte time into the evaluation; subtract it so the shape stays
+	// the local one and rho remains an independent coordinate.
+	if rho := remoteShare(m); rho > 0 {
+		a -= rho * m.Remote.SecPerByte
+	}
 	if a < 0 {
 		a = 0 // float fuzz on pure-streaming kernels
 	}
@@ -388,12 +461,30 @@ func Decompose(m *model.Model, fRef float64) (Shape, bool) {
 	return Shape{Class: m.Class(), Phi: phi, Ratio: a / mRef}, true
 }
 
+// remoteShare returns the effective remote-traffic ratio of a model: 0
+// unless the inter-socket term is armed, clamped into [0, 1] like the
+// model itself clamps it.
+func remoteShare(m *model.Model) float64 {
+	if m.Remote == nil || !(m.KS.RemoteRatio > 0) {
+		return 0
+	}
+	return math.Min(m.KS.RemoteRatio, 1)
+}
+
 // surface returns the index matrix answering for a class.
 func (tb *Table) surface(cls roofline.Class) [][]int {
 	if cls == roofline.ComputeBound {
 		return tb.CB
 	}
 	return tb.BB
+}
+
+// surfaceRho returns the rho-extended index tensor for a class.
+func (tb *Table) surfaceRho(cls roofline.Class) [][][]int {
+	if cls == roofline.ComputeBound {
+		return tb.CBR
+	}
+	return tb.BBR
 }
 
 // locate finds the cell [lo, lo+1] bracketing v on an ascending axis and
@@ -437,6 +528,45 @@ func (tb *Table) Lookup(m *model.Model) (float64, bool) {
 	j, wj, ok := locate(tb.MemAxis, sh.Ratio)
 	if !ok {
 		return 0, false
+	}
+	if rho := remoteShare(m); rho > 0 {
+		// NUMA placements answer from the rho-extended surface when the
+		// table carries one; a pre-topology table falls back to live
+		// search rather than ignoring the remote coordinate.
+		if len(tb.RhoAxis) == 0 {
+			return 0, false
+		}
+		k, wk, ok := locate(tb.RhoAxis, rho)
+		if !ok {
+			return 0, false
+		}
+		s := tb.surfaceRho(sh.Class)
+		corners := [8]int{
+			s[i][j][k], s[i][j][k+1],
+			s[i][j+1][k], s[i][j+1][k+1],
+			s[i+1][j][k], s[i+1][j][k+1],
+			s[i+1][j+1][k], s[i+1][j+1][k+1],
+		}
+		lo, hi := corners[0], corners[0]
+		for _, c := range corners[1:] {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if hi-lo > maxCellSpread {
+			return 0, false
+		}
+		// Trilinear interpolation in index space, then snap to the grid.
+		bilin := func(c00, c01, c10, c11 int) float64 {
+			return (1-wi)*((1-wj)*float64(c00)+wj*float64(c01)) +
+				wi*((1-wj)*float64(c10)+wj*float64(c11))
+		}
+		v := (1-wk)*bilin(corners[0], corners[2], corners[4], corners[6]) +
+			wk*bilin(corners[1], corners[3], corners[5], corners[7])
+		return tb.GridFreq(int(math.Round(v))), true
 	}
 	s := tb.surface(sh.Class)
 	c00 := s[i][j]

@@ -43,22 +43,29 @@ func NewSet() *Set {
 	return &Set{tables: map[string]*Table{}}
 }
 
-func tableKey(backend, objective string, eps float64, tilingName string) string {
+func tableKey(backend, objective string, eps float64, tilingName string, socket int) string {
 	if tilingName == "" {
 		tilingName = tiling.NamePluto
 	}
-	return fmt.Sprintf("%s|%s|%g|%s", backend, objective, eps, tilingName)
+	key := fmt.Sprintf("%s|%s|%g|%s", backend, objective, eps, tilingName)
+	if socket != 0 {
+		// Socket 0 keeps the pre-topology key, so single-socket sets
+		// fingerprint identically.
+		key += fmt.Sprintf("|s%d", socket)
+	}
+	return key
 }
 
 // Add validates and registers a table. A table for the same backend,
-// search configuration and tiling strategy replaces the previous one.
+// search configuration, tiling strategy and socket domain replaces the
+// previous one.
 func (s *Set) Add(tb *Table) error {
 	if err := tb.Validate(); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.tables[tableKey(tb.Backend, tb.Objective, tb.Epsilon, tb.TilingName())] = tb
+	s.tables[tableKey(tb.Backend, tb.Objective, tb.Epsilon, tb.TilingName(), tb.Socket)] = tb
 	return nil
 }
 
@@ -85,17 +92,23 @@ func (s *Set) Tables() []*Table {
 	return out
 }
 
-// For returns the table answering for a target, search configuration
-// and tiling strategy (a tiling.Spec fingerprint; "" means pluto), or
-// nil when none is loaded. A loaded table whose backend description or
-// calibration hash no longer matches counts as stale and is not
-// returned — staleness is surfaced, never silently served around.
+// For returns the socket-0 table answering for a target, search
+// configuration and tiling strategy (a tiling.Spec fingerprint; ""
+// means pluto), or nil when none is loaded. A loaded table whose
+// backend description or calibration hash no longer matches counts as
+// stale and is not returned — staleness is surfaced, never silently
+// served around.
 func (s *Set) For(t *roofline.Target, opts search.Options, tilingName string) *Table {
+	return s.ForSocket(t, opts, tilingName, 0)
+}
+
+// ForSocket is For for one socket domain of a topology target.
+func (s *Set) ForSocket(t *roofline.Target, opts search.Options, tilingName string, socket int) *Table {
 	if t == nil || t.Backend == nil {
 		return nil
 	}
 	s.mu.RLock()
-	tb := s.tables[tableKey(t.Backend.Name, opts.Objective.String(), opts.Epsilon, tilingName)]
+	tb := s.tables[tableKey(t.Backend.Name, opts.Objective.String(), opts.Epsilon, tilingName, socket)]
 	s.mu.RUnlock()
 	if tb == nil {
 		return nil
@@ -113,9 +126,10 @@ func (s *Set) For(t *roofline.Target, opts search.Options, tilingName string) *T
 // the outcome: a table hit returns the selected cap frequency (an exact
 // grid point); anything else — no table, stale table, off-axis kernel,
 // steep cell — counts a fallback (or staleness) and reports false so the
-// caller runs live search.
-func (s *Set) Lookup(t *roofline.Target, opts search.Options, tilingName string, m *model.Model) (float64, bool) {
-	tb := s.For(t, opts, tilingName)
+// caller runs live search. socket selects the table's uncore domain (0
+// on single-socket targets and for nests spanning every socket).
+func (s *Set) Lookup(t *roofline.Target, opts search.Options, tilingName string, socket int, m *model.Model) (float64, bool) {
+	tb := s.ForSocket(t, opts, tilingName, socket)
 	if tb == nil {
 		s.fallbacks.Add(1)
 		return 0, false

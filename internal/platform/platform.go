@@ -20,11 +20,17 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"reflect"
 )
 
-// SchemaVersion is the current backend-description schema. Files carrying
-// a different "schema" value are rejected at parse time.
-const SchemaVersion = 1
+// SchemaVersion is the current backend-description schema (v2:
+// topology-aware — a sockets array plus an interconnect section).
+// SchemaVersionV1 single-socket files are still read and load as a
+// 1-socket topology; any other "schema" value is rejected at parse time.
+const (
+	SchemaVersionV1 = 1
+	SchemaVersion   = 2
+)
 
 // Truth holds the hidden machine constants the hardware simulator uses.
 // They are not exported to the analytic model; PolyUFC must recover
@@ -111,6 +117,19 @@ type Backend struct {
 	HasUncoreRAPL bool         `json:"has_uncore_rapl"`
 	Cache         []CacheLevel `json:"cache"`
 	Truth         Truth        `json:"truth"`
+	// Sockets is the schema-v2 topology: one entry per socket, each with
+	// its own uncore domain, cap grid and truth constants. Empty for v1
+	// descriptions (the top-level fields above are then the one socket).
+	// Normalize mirrors socket 0 into the top-level fields so v1
+	// consumers keep working; all omitempty, so v1 content hashes are
+	// unchanged by this schema revision.
+	Sockets []Socket `json:"sockets,omitempty"`
+	// Interconnect models the inter-socket link; required when the
+	// topology has more than one socket.
+	Interconnect *Interconnect `json:"interconnect,omitempty"`
+	// Nodes models an N-node cluster of identical replicas of this
+	// topology sharing one calibration; 0 (absent) means one node.
+	Nodes int `json:"nodes,omitempty"`
 }
 
 // Validate checks a description for internal consistency and returns a
@@ -119,78 +138,50 @@ func (b *Backend) Validate() error {
 	if b == nil {
 		return fmt.Errorf("platform: nil backend")
 	}
-	bad := func(field, format string, args ...interface{}) error {
-		return fmt.Errorf("platform: backend %q: %s: %s", b.Name, field, fmt.Sprintf(format, args...))
-	}
-	if b.Schema != SchemaVersion {
-		return fmt.Errorf("platform: backend %q: schema: got version %d, this build reads version %d (re-export the description or upgrade)",
-			b.Name, b.Schema, SchemaVersion)
+	switch b.Schema {
+	case SchemaVersionV1:
+		if len(b.Sockets) > 0 || b.Interconnect != nil || b.Nodes != 0 {
+			return fmt.Errorf("platform: backend %q: schema: version %d descriptions cannot carry sockets/interconnect/nodes (re-export as schema %d)",
+				b.Name, SchemaVersionV1, SchemaVersion)
+		}
+	case SchemaVersion:
+		if len(b.Sockets) == 0 {
+			return fmt.Errorf("platform: backend %q: sockets: schema %d descriptions need at least one socket", b.Name, SchemaVersion)
+		}
+	default:
+		return fmt.Errorf("platform: backend %q: schema: got version %d, this build reads versions %d and %d (re-export the description or upgrade)",
+			b.Name, b.Schema, SchemaVersionV1, SchemaVersion)
 	}
 	if b.Name == "" {
 		return fmt.Errorf("platform: backend description: name: must be non-empty")
 	}
-	if b.Cores <= 0 {
-		return bad("cores", "must be > 0, got %d", b.Cores)
+	// The flattened top-level view: the whole machine for v1, the
+	// socket-0 mirror for v2.
+	legacy := b.legacySocket()
+	if err := legacy.validate(b.Name, ""); err != nil {
+		return err
 	}
-	if b.Threads < b.Cores {
-		return bad("threads", "must be >= cores (%d), got %d", b.Cores, b.Threads)
+	if b.Schema == SchemaVersionV1 {
+		return nil
 	}
-	if b.CoreMinGHz <= 0 || b.CoreMaxGHz < b.CoreMinGHz {
-		return bad("core_min_ghz/core_max_ghz", "need 0 < min <= max, got [%g, %g]", b.CoreMinGHz, b.CoreMaxGHz)
-	}
-	if b.CoreBaseGHz < b.CoreMinGHz || b.CoreBaseGHz > b.CoreMaxGHz {
-		return bad("core_base_ghz", "must lie in [%g, %g], got %g", b.CoreMinGHz, b.CoreMaxGHz, b.CoreBaseGHz)
-	}
-	if b.UncoreMinGHz <= 0 || b.UncoreMaxGHz < b.UncoreMinGHz {
-		return bad("uncore_min_ghz/uncore_max_ghz", "need 0 < min <= max, got [%g, %g]", b.UncoreMinGHz, b.UncoreMaxGHz)
-	}
-	if b.CapStepGHz <= 0 {
-		return bad("cap_step_ghz", "must be > 0, got %g", b.CapStepGHz)
-	}
-	if b.CapLatencySec < 0 {
-		return bad("cap_latency_sec", "must be >= 0, got %g", b.CapLatencySec)
-	}
-	if len(b.Cache) == 0 {
-		return bad("cache", "need at least one level")
-	}
-	for i, lv := range b.Cache {
-		if lv.Name == "" {
-			return bad("cache", "level %d: name must be non-empty", i)
-		}
-		if lv.SizeBytes <= 0 || lv.LineSize <= 0 || lv.Assoc <= 0 {
-			return bad("cache", "level %s: size_bytes, line_size and assoc must be > 0", lv.Name)
-		}
-		if lv.SizeBytes%(lv.LineSize*lv.Assoc) != 0 {
-			return bad("cache", "level %s: size %d is not a whole number of sets (line %d x assoc %d)",
-				lv.Name, lv.SizeBytes, lv.LineSize, lv.Assoc)
-		}
-		if i > 0 && lv.SizeBytes < b.Cache[i-1].SizeBytes {
-			return bad("cache", "level %s: smaller than inner level %s", lv.Name, b.Cache[i-1].Name)
+	for i := range b.Sockets {
+		if err := b.Sockets[i].validate(b.Name, fmt.Sprintf("sockets[%d].", i)); err != nil {
+			return err
 		}
 	}
-	t := &b.Truth
-	if t.FlopsPerCycle <= 0 {
-		return bad("truth.flops_per_cycle", "must be > 0, got %g", t.FlopsPerCycle)
+	if !reflect.DeepEqual(legacy, b.Sockets[0]) {
+		return fmt.Errorf("platform: backend %q: sockets[0]: top-level socket fields must mirror socket 0 (Parse and Register normalize this; call Normalize after editing a description in code)", b.Name)
 	}
-	if len(t.HitLatencyNs) != len(b.Cache) {
-		return bad("truth.hit_latency_ns", "need one latency per cache level (%d), got %d", len(b.Cache), len(t.HitLatencyNs))
+	if len(b.Sockets) > 1 && b.Interconnect == nil {
+		return fmt.Errorf("platform: backend %q: interconnect: required for multi-socket topologies", b.Name)
 	}
-	for i, h := range t.HitLatencyNs {
-		if h <= 0 {
-			return bad("truth.hit_latency_ns", "level %d: must be > 0, got %g", i, h)
+	if b.Interconnect != nil {
+		if err := b.Interconnect.validate(b.Name); err != nil {
+			return err
 		}
 	}
-	if t.BWPeakGBs <= 0 || t.BWKneeGHz <= 0 {
-		return bad("truth.bw_peak_gbs/bw_knee_ghz", "must be > 0, got %g / %g", t.BWPeakGBs, t.BWKneeGHz)
-	}
-	if t.MLP < 1 || t.MLPSystem < t.MLP {
-		return bad("truth.mlp/mlp_system", "need 1 <= mlp <= mlp_system, got %g / %g", t.MLP, t.MLPSystem)
-	}
-	if t.ILP < 1 {
-		return bad("truth.ilp", "must be >= 1, got %g", t.ILP)
-	}
-	if t.Overlap < 0 || t.Overlap > 1 {
-		return bad("truth.overlap", "must be in [0, 1], got %g", t.Overlap)
+	if b.Nodes < 0 {
+		return fmt.Errorf("platform: backend %q: nodes: must be >= 0 (0 means one node), got %d", b.Name, b.Nodes)
 	}
 	return nil
 }
@@ -205,6 +196,7 @@ func Parse(data []byte) (*Backend, error) {
 	if err := dec.Decode(&b); err != nil {
 		return nil, fmt.Errorf("platform: parse backend description: %w", err)
 	}
+	b.Normalize()
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}

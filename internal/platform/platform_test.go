@@ -13,7 +13,7 @@ import (
 // embedded machines (tests mutate it freely).
 func validBackend() *Backend {
 	return &Backend{
-		Schema:     SchemaVersion,
+		Schema:     SchemaVersionV1,
 		Name:       "UNIT-TEST",
 		Aliases:    []string{"ut"},
 		CPU:        "Unit Test CPU",

@@ -1,0 +1,164 @@
+package platform
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// validTopologyBackend returns a well-formed 2-socket schema-v2
+// description whose sockets are the validBackend machine, normalized.
+func validTopologyBackend() *Backend {
+	base := validBackend()
+	sock := base.legacySocket()
+	b := &Backend{
+		Schema:   SchemaVersion,
+		Name:     "TOPO-TEST",
+		Aliases:  []string{"tt"},
+		CPU:      "Topology Test CPU (2S)",
+		Released: 2026,
+		Sockets:  []Socket{sock, sock},
+		Interconnect: &Interconnect{
+			BWGBs: 19.2, LatencyNs: 120, EnergyPJPerByte: 15,
+		},
+	}
+	b.Normalize()
+	return b
+}
+
+func TestTopologyValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Backend)
+		want   string
+	}{
+		{"no sockets", func(b *Backend) { b.Sockets = nil }, "sockets"},
+		{"missing interconnect", func(b *Backend) { b.Interconnect = nil }, "interconnect"},
+		{"zero link bandwidth", func(b *Backend) { b.Interconnect.BWGBs = 0 }, "interconnect.bw_gbs"},
+		{"negative link latency", func(b *Backend) { b.Interconnect.LatencyNs = -1 }, "interconnect.latency_ns"},
+		{"negative link energy", func(b *Backend) { b.Interconnect.EnergyPJPerByte = -1 }, "interconnect.energy_pj_per_byte"},
+		{"negative nodes", func(b *Backend) { b.Nodes = -2 }, "nodes"},
+		{"bad remote socket", func(b *Backend) { b.Sockets[1].Cores = 0 }, "sockets[1].cores"},
+		{"stale mirror", func(b *Backend) { b.CapStepGHz = 0.2 }, "mirror socket 0"},
+	} {
+		b := validTopologyBackend()
+		tc.mutate(b)
+		err := b.Validate()
+		if err == nil {
+			t.Fatalf("%s: Validate accepted the bad topology", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not name %q", tc.name, err, tc.want)
+		}
+	}
+	if err := validTopologyBackend().Validate(); err != nil {
+		t.Fatalf("valid topology rejected: %v", err)
+	}
+	// v1 descriptions cannot smuggle topology fields.
+	v1 := validBackend()
+	v1.Nodes = 4
+	if err := v1.Validate(); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("v1-with-nodes error = %v", err)
+	}
+}
+
+func TestTopologyRoundTrip(t *testing.T) {
+	b := validTopologyBackend()
+	data, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b, got) {
+		t.Fatal("round trip changed the topology description")
+	}
+	if b.Hash() != got.Hash() {
+		t.Fatal("hash changed across round trip")
+	}
+	// A v2 file that omits the top-level mirror normalizes to the same
+	// description (and therefore the same content hash) as one that
+	// spells it out: socket 0 is authoritative either way.
+	stripped := *b
+	stripped.Cores, stripped.Threads = 0, 0
+	stripped.CoreMinGHz, stripped.CoreMaxGHz, stripped.CoreBaseGHz = 0, 0, 0
+	stripped.UncoreMinGHz, stripped.UncoreMaxGHz = 0, 0
+	stripped.CapStepGHz, stripped.CapLatencySec = 0, 0
+	stripped.HasUncoreRAPL = false
+	stripped.Cache, stripped.Truth = nil, Truth{}
+	raw, err := stripped.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := Parse(raw)
+	if err != nil {
+		t.Fatalf("stripped-mirror description rejected: %v", err)
+	}
+	if reparsed.Hash() != b.Hash() {
+		t.Fatal("normalization is not canonical: stripped mirror hashes differently")
+	}
+}
+
+// TestV1LoadsAsSingleSocketTopology is the v1→v2 equivalence guard at the
+// schema layer: every v1 description (the embedded BDW/RPL machines and
+// anything loaded from platforms/) presents exactly one socket whose
+// fields are the flattened top-level view, and its serialized form — and
+// therefore its content hash, which pins calibrations and plan tables —
+// carries none of the new topology keys.
+func TestV1LoadsAsSingleSocketTopology(t *testing.T) {
+	for _, b := range All() {
+		if b.Schema != SchemaVersionV1 {
+			continue
+		}
+		if got := b.NumSockets(); got != 1 {
+			t.Fatalf("%s: NumSockets = %d, want 1", b.Name, got)
+		}
+		if got := b.NumNodes(); got != 1 {
+			t.Fatalf("%s: NumNodes = %d, want 1", b.Name, got)
+		}
+		topo := b.Topology()
+		if len(topo) != 1 || !reflect.DeepEqual(topo[0], b.legacySocket()) {
+			t.Fatalf("%s: Topology() is not the flattened single socket", b.Name)
+		}
+		if !b.Homogeneous() {
+			t.Fatalf("%s: single socket must be homogeneous", b.Name)
+		}
+		if b.TotalThreads() != b.Threads || b.TotalCores() != b.Cores {
+			t.Fatalf("%s: totals differ from the single socket", b.Name)
+		}
+		data, err := b.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range []string{`"sockets"`, `"interconnect"`, `"nodes"`} {
+			if bytes.Contains(data, []byte(key)) {
+				t.Fatalf("%s: v1 serialization grew a %s key — content hash no longer seed-identical", b.Name, key)
+			}
+		}
+	}
+}
+
+func TestTopologyAccessors(t *testing.T) {
+	b := validTopologyBackend()
+	if got := b.NumSockets(); got != 2 {
+		t.Fatalf("NumSockets = %d", got)
+	}
+	if got := b.TotalThreads(); got != 2*b.Sockets[0].Threads {
+		t.Fatalf("TotalThreads = %d", got)
+	}
+	if !b.Homogeneous() {
+		t.Fatal("identical sockets reported heterogeneous")
+	}
+	b.Sockets[1].Threads *= 2
+	b.Sockets[1].Cores *= 2
+	if b.Homogeneous() {
+		t.Fatal("differing sockets reported homogeneous")
+	}
+	b.Nodes = 4
+	if got := b.NumNodes(); got != 4 {
+		t.Fatalf("NumNodes = %d", got)
+	}
+}

@@ -25,6 +25,74 @@ type Target struct {
 	// Calibration carries the fit provenance; nil when the constants
 	// were not produced by Resolve or loaded from an artifact.
 	Calibration *platform.Calibration
+	// Sockets holds per-socket constants for topology (schema v2)
+	// backends: Sockets[i] is socket i's calibration. Homogeneous
+	// topologies share the socket-0 fit — one calibration serves the
+	// whole node, the cluster-sweep premise — while heterogeneous
+	// sockets get their own micro-benchmark pass. Nil for single-socket
+	// targets, where Constants is the whole story.
+	Sockets []*Constants
+}
+
+// NumSockets returns the socket count of the target's topology (1 for
+// single-socket and hand-built targets).
+func (t *Target) NumSockets() int {
+	if t == nil || t.Backend == nil {
+		return 1
+	}
+	return t.Backend.NumSockets()
+}
+
+// SocketConstants returns socket i's calibrated constants; out-of-range
+// and single-socket lookups fall back to the primary Constants.
+func (t *Target) SocketConstants(i int) *Constants {
+	if t == nil {
+		return nil
+	}
+	if i >= 0 && i < len(t.Sockets) && t.Sockets[i] != nil {
+		return t.Sockets[i]
+	}
+	return t.Constants
+}
+
+// RemotePenalty returns the per-byte time and energy cost of the
+// topology's inter-socket link (zero for single-socket targets) — the
+// inputs of the model's inter-socket traffic term.
+func (t *Target) RemotePenalty() (secPerByte, joulesPerByte float64) {
+	if t == nil || t.Backend == nil {
+		return 0, 0
+	}
+	return hw.RemotePenalty(t.Backend.Interconnect)
+}
+
+// resolveSockets builds the per-socket constants of a topology backend
+// around the already-fitted socket-0 constants: homogeneous sockets
+// share that fit, heterogeneous sockets calibrate their own platform
+// views. Single-socket backends need no socket table at all.
+func resolveSockets(b *platform.Backend, c0 *Constants) ([]*Constants, error) {
+	n := b.NumSockets()
+	if n <= 1 {
+		return nil, nil
+	}
+	out := make([]*Constants, n)
+	out[0] = c0
+	homogeneous := b.Homogeneous()
+	for i := 1; i < n; i++ {
+		if homogeneous {
+			out[i] = c0
+			continue
+		}
+		p, err := hw.SocketPlatform(b, i)
+		if err != nil {
+			return nil, err
+		}
+		ci, err := Calibrate(hw.NewMachine(p))
+		if err != nil {
+			return nil, fmt.Errorf("roofline: calibrate %s socket %d: %w", b.Name, i, err)
+		}
+		out[i] = ci
+	}
+	return out, nil
 }
 
 // NewTarget wraps an already-built platform and constants pair (the
@@ -63,7 +131,11 @@ func Resolve(b *platform.Backend) (*Target, error) {
 			Tool: "polyufc/roofline",
 		},
 	}
-	return &Target{Backend: b, Platform: p, Constants: &cal.Constants, Calibration: cal}, nil
+	sockets, err := resolveSockets(b, &cal.Constants)
+	if err != nil {
+		return nil, err
+	}
+	return &Target{Backend: b, Platform: p, Constants: &cal.Constants, Calibration: cal, Sockets: sockets}, nil
 }
 
 // ResolveName resolves a backend by registry name and calibrates it.
@@ -120,11 +192,17 @@ func Refit(t *Target, reg *faults.Registry) (*Target, error) {
 			Tool: "polyufc/roofline-refit",
 		},
 	}
+	nt := &Target{Backend: t.Backend, Platform: t.Platform, Constants: &cal.Constants, Calibration: cal}
 	if t.Backend != nil {
 		cal.Backend = t.Backend.Name
 		cal.BackendHash = t.Backend.Hash()
+		sockets, err := resolveSockets(t.Backend, &cal.Constants)
+		if err != nil {
+			return nil, err
+		}
+		nt.Sockets = sockets
 	}
-	return &Target{Backend: t.Backend, Platform: t.Platform, Constants: &cal.Constants, Calibration: cal}, nil
+	return nt, nil
 }
 
 // FromCalibration builds a target from a persisted calibration artifact
@@ -138,5 +216,9 @@ func FromCalibration(b *platform.Backend, cal *platform.Calibration) (*Target, e
 	if err != nil {
 		return nil, err
 	}
-	return &Target{Backend: b, Platform: p, Constants: &cal.Constants, Calibration: cal}, nil
+	sockets, err := resolveSockets(b, &cal.Constants)
+	if err != nil {
+		return nil, err
+	}
+	return &Target{Backend: b, Platform: p, Constants: &cal.Constants, Calibration: cal, Sockets: sockets}, nil
 }

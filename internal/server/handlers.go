@@ -66,6 +66,44 @@ type NestResponse struct {
 	DefaultEDP     float64 `json:"default_edp"`
 	Degraded       bool    `json:"degraded,omitempty"`
 	Error          string  `json:"error,omitempty"`
+	// Topology placement (multi-socket backends only; all omitted on
+	// single-socket answers, keeping the v1 wire format byte-identical).
+	// Socket is the home socket, -1 for nests spanning every socket;
+	// RemoteRatio the modeled remote share of DRAM traffic; SocketCaps
+	// the per-socket uncore cap vector in force while this nest runs.
+	Socket      int       `json:"socket,omitempty"`
+	RemoteRatio float64   `json:"remote_ratio,omitempty"`
+	SocketCaps  []float64 `json:"socket_caps,omitempty"`
+}
+
+// TopologyResponse is the cluster-level rollup of a compilation on a
+// multi-socket or multi-node backend (omitted entirely on v1
+// single-socket answers). Mirrors core.TopologyResult.
+type TopologyResponse struct {
+	Sockets           int       `json:"sockets"`
+	Nodes             int       `json:"nodes"`
+	SocketSeconds     []float64 `json:"socket_seconds"`
+	SocketJoules      []float64 `json:"socket_joules"`
+	NodeSeconds       float64   `json:"node_seconds"`
+	NodeJoules        float64   `json:"node_joules"`
+	ClusterSeconds    float64   `json:"cluster_seconds"`
+	ClusterJoules     float64   `json:"cluster_joules"`
+	ClusterEDP        float64   `json:"cluster_edp"`
+	ClusterEDPDefault float64   `json:"cluster_edp_default"`
+}
+
+func topologyResponse(res *core.Result) *TopologyResponse {
+	tp := res.Topology
+	if tp == nil {
+		return nil
+	}
+	return &TopologyResponse{
+		Sockets: tp.Sockets, Nodes: tp.Nodes,
+		SocketSeconds: tp.SocketSeconds, SocketJoules: tp.SocketJoules,
+		NodeSeconds: tp.NodeSeconds, NodeJoules: tp.NodeJoules,
+		ClusterSeconds: tp.ClusterSeconds, ClusterJoules: tp.ClusterJoules,
+		ClusterEDP: tp.ClusterEDP, ClusterEDPDefault: tp.ClusterEDPDefault,
+	}
 }
 
 // CompileResponse is the /v1/compile payload. CalibrationDegraded marks
@@ -74,14 +112,15 @@ type NestResponse struct {
 // with 503 instead) — the model constants are known to disagree with
 // the live hardware until the re-fit lands.
 type CompileResponse struct {
-	Kernel              string         `json:"kernel"`
-	Arch                string         `json:"arch"`
-	Objective           string         `json:"objective"`
-	CapLevel            string         `json:"cap_level"`
-	CapsInserted        int            `json:"caps_inserted"`
-	CapsRemoved         int            `json:"caps_removed"`
-	Nests               []NestResponse `json:"nests"`
-	CalibrationDegraded bool           `json:"calibration_degraded,omitempty"`
+	Kernel              string            `json:"kernel"`
+	Arch                string            `json:"arch"`
+	Objective           string            `json:"objective"`
+	CapLevel            string            `json:"cap_level"`
+	CapsInserted        int               `json:"caps_inserted"`
+	CapsRemoved         int               `json:"caps_removed"`
+	Nests               []NestResponse    `json:"nests"`
+	Topology            *TopologyResponse `json:"topology,omitempty"`
+	CalibrationDegraded bool              `json:"calibration_degraded,omitempty"`
 }
 
 // CharacterizeResponse is the /v1/characterize payload: the calibrated
@@ -105,6 +144,13 @@ type MeasuredResponse struct {
 	CappedJoules    float64 `json:"capped_joules"`
 	CappedEDP       float64 `json:"capped_edp"`
 	EDPGainPct      float64 `json:"edp_gain_pct"`
+	// SocketCaps is the per-socket cap vector asserted on the topology's
+	// uncore domains after the capped run; SocketDegraded lists the
+	// domains whose breaker refused the assertion (one sick socket
+	// degrades only itself, never the measured answer). Both omitted on
+	// single-socket backends.
+	SocketCaps     []float64 `json:"socket_caps,omitempty"`
+	SocketDegraded []string  `json:"socket_degraded,omitempty"`
 }
 
 // SearchResponse is the /v1/search payload. DegradedTo is set when a
@@ -115,6 +161,7 @@ type SearchResponse struct {
 	Arch                string            `json:"arch"`
 	Objective           string            `json:"objective"`
 	Nests               []NestResponse    `json:"nests"`
+	Topology            *TopologyResponse `json:"topology,omitempty"`
 	Measured            *MeasuredResponse `json:"measured,omitempty"`
 	DegradedTo          string            `json:"degraded_to,omitempty"`
 	CalibrationDegraded bool              `json:"calibration_degraded,omitempty"`
@@ -435,6 +482,11 @@ func nestResponses(res *core.Result) []NestResponse {
 			TileSize: r.TileSize,
 			CapGHz:   r.CapGHz,
 			Threads:  r.Threads,
+			// Zero on single-socket backends, so the omitempty tags keep
+			// the pre-topology wire format (and journal keys) intact.
+			Socket:      r.Socket,
+			RemoteRatio: r.RemoteRatio,
+			SocketCaps:  r.SocketCaps,
 		}
 		if r.Degraded {
 			n.Degraded = true
@@ -517,6 +569,7 @@ func (s *Server) handleCompile(ctx context.Context, req Request) (any, error) {
 			CapsInserted: res.CapsInserted,
 			CapsRemoved:  res.CapsRemoved,
 			Nests:        nestResponses(res),
+			Topology:     topologyResponse(res),
 		}
 		return nil
 	})
@@ -588,6 +641,7 @@ func (s *Server) handleSearch(ctx context.Context, req Request) (any, error) {
 			Arch:      r.p.Name,
 			Objective: r.obj.String(),
 			Nests:     nestResponses(res),
+			Topology:  topologyResponse(res),
 		}
 		return nil
 	})
@@ -679,7 +733,45 @@ func (s *Server) measure(res *core.Result, r resolved, resp *SearchResponse) {
 	if base.EDP > 0 {
 		m.EDPGainPct = 100 * (1 - capped.EDP/base.EDP)
 	}
+	s.applySocketCaps(res, r, m)
 	resp.Measured = m
+}
+
+// applySocketCaps asserts the compiled per-socket cap vector on every
+// extra uncore domain of a topology backend through that socket's own
+// breaker (the capped run above already drove socket 0's). One socket's
+// driver failure degrades only that socket — it is recorded, counted,
+// and the measured answer stands.
+func (s *Server) applySocketCaps(res *core.Result, r resolved, m *MeasuredResponse) {
+	if r.target == nil || r.target.NumSockets() <= 1 {
+		return
+	}
+	caps := finalSocketCaps(res)
+	if caps == nil {
+		return
+	}
+	m.SocketCaps = caps
+	for k := 1; k < len(caps); k++ {
+		b := s.socketBreaker(r.p.Name, k)
+		if b == nil {
+			continue
+		}
+		if _, err := b.SetCap(caps[k]); err != nil {
+			s.degraded.Add(1)
+			m.SocketDegraded = append(m.SocketDegraded, fmt.Sprintf("s%d: %v", k, err))
+		}
+	}
+}
+
+// finalSocketCaps is the last report's per-socket cap vector — the caps
+// in force when the module finishes.
+func finalSocketCaps(res *core.Result) []float64 {
+	for i := len(res.Reports) - 1; i >= 0; i-- {
+		if caps := res.Reports[i].SocketCaps; caps != nil {
+			return caps
+		}
+	}
+	return nil
 }
 
 // PlatformResponse is one entry of the /v1/platforms payload: the
@@ -702,6 +794,12 @@ type PlatformResponse struct {
 	FitSeed      int64              `json:"fit_seed"`
 	FitTool      string             `json:"fit_tool,omitempty"`
 	FitResiduals map[string]float64 `json:"fit_residuals,omitempty"`
+	// Topology shape (multi-socket/multi-node backends only; all omitted
+	// for v1 single-socket descriptions so their payloads are unchanged).
+	Sockets         int     `json:"sockets,omitempty"`
+	Nodes           int     `json:"nodes,omitempty"`
+	TotalThreads    int     `json:"total_threads,omitempty"`
+	InterconnectGBs float64 `json:"interconnect_gbs,omitempty"`
 }
 
 // PlatformsResponse is the /v1/platforms payload.
@@ -739,6 +837,14 @@ func platformResponse(t *roofline.Target) PlatformResponse {
 		out.Aliases = b.Aliases
 		out.Paper = b.Paper
 		out.BackendHash = b.Hash()
+		if b.NumSockets() > 1 || b.NumNodes() > 1 {
+			out.Sockets = b.NumSockets()
+			out.Nodes = b.NumNodes()
+			out.TotalThreads = b.TotalThreads()
+			if b.Interconnect != nil {
+				out.InterconnectGBs = b.Interconnect.BWGBs
+			}
+		}
 	}
 	if cal := t.Calibration; cal != nil {
 		out.FitDate = cal.Provenance.FitDate

@@ -67,6 +67,12 @@ type Config struct {
 	Faults *faults.Registry
 	// FaultSeed seeds the cap controllers' backoff jitter.
 	FaultSeed int64
+	// FaultSocket scopes Faults on multi-socket backends: negative arms
+	// every socket's machine, k >= 0 arms only socket k's. Single-socket
+	// backends are unaffected (socket 0 is the only machine either way).
+	// Smoke tests use this to prove one socket's UFS fault degrades only
+	// that socket's uncore domain.
+	FaultSocket int
 	// JournalPath, when set, checkpoints deterministic responses to a
 	// crash-safe JSONL journal; with Resume the journal is replayed on
 	// startup (otherwise it is truncated).
@@ -126,6 +132,7 @@ func DefaultConfig() Config {
 		DrainTimeout:   10 * time.Second,
 		Breaker:        hw.DefaultBreakerOptions(),
 		CacheLimit:     1024,
+		FaultSocket:    -1,
 	}
 }
 
@@ -277,10 +284,31 @@ func New(cfg Config) (*Server, error) {
 		s.platServed[p.Name] = &atomic.Int64{}
 		m := hw.NewMachine(p)
 		m.SetProfileCache(&s.profiles)
-		m.SetFaults(cfg.Faults)
+		if cfg.FaultSocket <= 0 {
+			m.SetFaults(cfg.Faults)
+		}
 		opts := hw.DefaultCapControllerOptions(p)
 		opts.JitterSeed = cfg.FaultSeed
 		s.breakers[p.Name] = hw.NewCapBreaker(hw.NewCapController(m, opts), cfg.Breaker)
+		// Each extra socket of a topology backend is its own uncore
+		// domain: its own machine, cap controller and breaker, keyed
+		// "name#sK" so one socket's UFS fault quarantines only that
+		// socket. Socket 0 keeps the bare platform key — single-socket
+		// daemons are byte-identical to the pre-topology ones.
+		for i := 1; i < t.NumSockets(); i++ {
+			sp, err := hw.SocketPlatform(t.Backend, i)
+			if err != nil {
+				return nil, fmt.Errorf("server: %s socket %d: %w", p.Name, i, err)
+			}
+			sm := hw.NewMachine(sp)
+			sm.SetProfileCache(&s.profiles)
+			if cfg.FaultSocket < 0 || cfg.FaultSocket == i {
+				sm.SetFaults(cfg.Faults)
+			}
+			sopts := hw.DefaultCapControllerOptions(sp)
+			sopts.JitterSeed = cfg.FaultSeed + int64(i)
+			s.breakers[socketBreakerName(p.Name, i)] = hw.NewCapBreaker(hw.NewCapController(sm, sopts), cfg.Breaker)
+		}
 	}
 
 	if len(cfg.PlanTables) > 0 {
@@ -440,8 +468,10 @@ func (s *Server) Close() error {
 				s.closeErr = err
 			}
 		}
-		for _, p := range s.plats {
-			if err := s.breakers[p.Name].Restore(); err != nil && s.closeErr == nil {
+		// Every breaker — socket 0 and the #sK socket domains alike —
+		// must leave the machine at the driver default.
+		for _, b := range s.breakers {
+			if err := b.Restore(); err != nil && s.closeErr == nil {
 				s.closeErr = err
 			}
 		}
@@ -454,6 +484,22 @@ func (s *Server) Close() error {
 
 // breaker returns the platform's breaker (tests reach through this).
 func (s *Server) breaker(plat string) *hw.CapBreaker { return s.breakers[plat] }
+
+// socketBreakerName keys one socket's uncore-domain breaker. Socket 0
+// keeps the bare platform name (the pre-topology key); socket k >= 1 is
+// "name#sk".
+func socketBreakerName(plat string, socket int) string {
+	if socket <= 0 {
+		return plat
+	}
+	return fmt.Sprintf("%s#s%d", plat, socket)
+}
+
+// socketBreaker returns the breaker of one socket's uncore domain (nil
+// for sockets the platform does not have).
+func (s *Server) socketBreaker(plat string, socket int) *hw.CapBreaker {
+	return s.breakers[socketBreakerName(plat, socket)]
+}
 
 // markServed bumps the per-backend served counter.
 func (s *Server) markServed(name string) {
@@ -530,6 +576,12 @@ type PlatformStatsz struct {
 	FitSeed     int64
 	FitTool     string
 	Residuals   map[string]float64
+	// Sockets and Nodes are the backend's topology shape (1/1 for v1
+	// single-socket descriptions); InterconnectGBs the inter-socket link
+	// bandwidth, 0 when the backend declares none.
+	Sockets         int
+	Nodes           int
+	InterconnectGBs float64
 }
 
 // Statsz is the /statsz payload.
@@ -634,6 +686,11 @@ func (s *Server) statsz() Statsz {
 			ps.CPU = b.CPU
 			ps.Paper = b.Paper
 			ps.BackendHash = b.Hash()
+			ps.Sockets = b.NumSockets()
+			ps.Nodes = b.NumNodes()
+			if b.Interconnect != nil {
+				ps.InterconnectGBs = b.Interconnect.BWGBs
+			}
 		}
 		if cal := t.Calibration; cal != nil {
 			ps.FitDate = cal.Provenance.FitDate

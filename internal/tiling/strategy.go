@@ -30,6 +30,16 @@ type Context struct {
 	Threads int
 	Pluto   pluto.Options
 	Faults  *faults.Registry
+	// CapEDP, when non-nil, scores a transformed nest by the EDP of the
+	// uncore cap PolyUFC-SEARCH would select for it (lower is better) —
+	// the objective the compiler actually optimizes. The auto
+	// meta-strategy prefers it over its raw DRAM-volume score: a
+	// candidate that admits a deeper cap can win even with slightly more
+	// traffic, and minimizing QDRAM alone picks the wrong one exactly
+	// there. ok = false (the model fit or search failed) falls back to
+	// the volume score for that candidate. Populated by core's tile
+	// stage; nil keeps the legacy volume-only selection.
+	CapEDP func(nest *ir.Nest, cm *cachemodel.Result) (edp float64, ok bool)
 }
 
 // NestInfo is the per-nest tiling metadata a strategy reports; it is
@@ -274,17 +284,43 @@ func cmScoreOptions(ctx Context) cachemodel.Options {
 	return opts
 }
 
-// autoStrategy races the three concrete strategies and keeps the one
-// whose transformed nest PolyUFC-CM predicts the lowest DRAM miss
-// volume for (QDRAM, the quantity the roofline classification and the
-// cap search hinge on; total LLC misses break ties, then candidate
-// order, so an across-the-board tie behaves like pluto). Candidates
-// that error — including injected tiling.<name> faults — are skipped
-// and never selected; auto errors only when every candidate failed.
+// autoStrategy races the three concrete strategies and keeps the winner.
+// With Context.CapEDP armed (the compile pipeline always arms it) a
+// candidate is scored by the EDP of the cap the search selects for its
+// transformed nest — the compiler's actual objective; the raw DRAM miss
+// volume (QDRAM) and total LLC misses only break ties, then candidate
+// order, so an across-the-board tie behaves like pluto. Without CapEDP
+// (or for candidates where it fails) the legacy volume score applies.
+// Candidates that error — including injected tiling.<name> faults — are
+// skipped and never selected; auto errors only when every candidate
+// failed.
 type autoStrategy struct{ spec Spec }
 
 func (s *autoStrategy) Name() string        { return NameAuto }
 func (s *autoStrategy) Fingerprint() string { return s.spec.Fingerprint() }
+
+// autoScore orders auto's candidates: EDP-scored candidates beat
+// volume-only ones, lower EDP wins, then lower QDRAM, then fewer total
+// misses.
+type autoScore struct {
+	edp    float64
+	hasEDP bool
+	q      int64
+	miss   int64
+}
+
+func (a autoScore) betterThan(b autoScore) bool {
+	if a.hasEDP != b.hasEDP {
+		return a.hasEDP
+	}
+	if a.hasEDP && a.edp != b.edp {
+		return a.edp < b.edp
+	}
+	if a.q != b.q {
+		return a.q < b.q
+	}
+	return a.miss < b.miss
+}
 
 func (s *autoStrategy) Apply(nest *ir.Nest, ctx Context) (*ir.Nest, NestInfo, error) {
 	candidates := []Strategy{
@@ -293,12 +329,11 @@ func (s *autoStrategy) Apply(nest *ir.Nest, ctx Context) (*ir.Nest, NestInfo, er
 		&latencyStrategy{spec: Spec{Name: NameLatency}},
 	}
 	var (
-		best     *ir.Nest
-		bestInfo NestInfo
-		bestQ    int64
-		bestMiss int64
-		haveBest bool
-		lastErr  error
+		best      *ir.Nest
+		bestInfo  NestInfo
+		bestScore autoScore
+		haveBest  bool
+		lastErr   error
 	)
 	for _, cand := range candidates {
 		out, info, err := cand.Apply(nest, ctx)
@@ -311,14 +346,17 @@ func (s *autoStrategy) Apply(nest *ir.Nest, ctx Context) (*ir.Nest, NestInfo, er
 			lastErr = err
 			continue
 		}
-		var miss int64
+		score := autoScore{q: cm.QDRAM}
 		for _, lv := range cm.Levels {
-			miss += lv.Misses
+			score.miss += lv.Misses
 		}
-		if !haveBest || cm.QDRAM < bestQ || (cm.QDRAM == bestQ && miss < bestMiss) {
+		if ctx.CapEDP != nil {
+			score.edp, score.hasEDP = ctx.CapEDP(out, cm)
+		}
+		if !haveBest || score.betterThan(bestScore) {
 			best = out
 			bestInfo = NestInfo{Strategy: NameAuto + ":" + cand.Name(), Tiled: info.Tiled, TileSize: info.TileSize}
-			bestQ, bestMiss = cm.QDRAM, miss
+			bestScore = score
 			haveBest = true
 		}
 	}

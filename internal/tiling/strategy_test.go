@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"polyufc/internal/cachemodel"
 	"polyufc/internal/faults"
 	"polyufc/internal/hw"
 	"polyufc/internal/ir"
@@ -246,5 +247,83 @@ func TestApplyDoesNotMutateInput(t *testing.T) {
 		if !reflect.DeepEqual(nest, before) {
 			t.Fatalf("%s mutated its input nest", name)
 		}
+	}
+}
+
+// A CapEDP callback overrides the legacy DRAM-volume ranking. The stub
+// scores candidates by arrival order (auto tries pluto, cacheoblivious,
+// latency), so the first candidate gets the best EDP and must win even
+// though the volume rule prefers a different strategy for this nest.
+func TestAutoCapEDPOverridesVolumeScore(t *testing.T) {
+	nest := nestFrom(t, "gemm", 1)
+	ctx := testCtx()
+	auto := MustNew(Spec{Name: NameAuto})
+	_, volInfo, err := auto.Apply(nest, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if volInfo.Strategy == "auto:"+NamePluto {
+		t.Fatalf("precondition: the volume rule already picks pluto on this nest; choose one where it does not")
+	}
+
+	calls := 0
+	ctx.CapEDP = func(n *ir.Nest, cm *cachemodel.Result) (float64, bool) {
+		calls++
+		return float64(calls), true // ascending: first candidate scores best
+	}
+	_, edpInfo, err := auto.Apply(nest, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("CapEDP consulted for %d candidates, want 3", calls)
+	}
+	if edpInfo.Strategy != "auto:"+NamePluto {
+		t.Fatalf("CapEDP-scored auto picked %s, want the best-EDP candidate auto:%s", edpInfo.Strategy, NamePluto)
+	}
+	if edpInfo.Strategy == volInfo.Strategy {
+		t.Fatal("CapEDP stub did not flip the selection")
+	}
+}
+
+// CapEDP failures degrade per candidate, not per nest: a callback that
+// always reports failure reproduces the legacy volume winner exactly,
+// and one that scores only a single candidate makes that candidate win
+// regardless of how bad its EDP is (scored candidates outrank unscored
+// ones).
+func TestAutoCapEDPFallback(t *testing.T) {
+	nest := nestFrom(t, "gemm", 1)
+	ctx := testCtx()
+	auto := MustNew(Spec{Name: NameAuto})
+	_, volInfo, err := auto.Apply(nest, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx.CapEDP = func(n *ir.Nest, cm *cachemodel.Result) (float64, bool) { return 0, false }
+	_, fbInfo, err := auto.Apply(nest, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fbInfo.Strategy != volInfo.Strategy {
+		t.Fatalf("all-failed CapEDP picked %s, want the volume winner %s", fbInfo.Strategy, volInfo.Strategy)
+	}
+
+	if volInfo.Strategy == "auto:"+NameCacheOblivious {
+		t.Fatalf("precondition: the volume winner is already cacheoblivious")
+	}
+	calls := 0
+	ctx.CapEDP = func(n *ir.Nest, cm *cachemodel.Result) (float64, bool) {
+		calls++
+		// Score only the second candidate (cacheoblivious), terribly.
+		return 1e12, calls == 2
+	}
+	_, oneInfo, err := auto.Apply(nest, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneInfo.Strategy != "auto:"+NameCacheOblivious {
+		t.Fatalf("partially-scored auto picked %s, want the only scored candidate auto:%s",
+			oneInfo.Strategy, NameCacheOblivious)
 	}
 }
